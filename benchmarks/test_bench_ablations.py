@@ -1,0 +1,81 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* resampling schemes (multinomial vs systematic/stratified/residual);
+* weight evaluation on/off inside Algorithm 2;
+* dependency-graph propagation vs full re-recording for a no-op edit;
+* single-site MH and Gibbs kernel throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CorrespondenceTranslator,
+    WeightedCollection,
+    exact_posterior_sampler,
+    infer,
+)
+from repro.core.mcmc import gibbs_site, single_site_mh
+from repro.experiments import (
+    burglary_correspondence,
+    burglary_original,
+    burglary_refined,
+)
+from repro.gmm import gmm_edit_setup
+from repro.graph import propagate, run_initial
+
+
+@pytest.fixture(scope="module")
+def burglary_setup():
+    original = burglary_original()
+    refined = burglary_refined()
+    translator = CorrespondenceTranslator(original, refined, burglary_correspondence())
+    rng = np.random.default_rng(0)
+    sampler = exact_posterior_sampler(original)
+    collection = WeightedCollection.uniform([sampler(rng) for _ in range(500)])
+    return original, refined, translator, collection
+
+
+@pytest.mark.parametrize("scheme", ["multinomial", "systematic", "stratified", "residual"])
+def test_resampling_scheme(benchmark, scheme, rng):
+    collection = WeightedCollection(
+        list(range(5000)), list(np.random.default_rng(1).normal(size=5000))
+    )
+    result = benchmark(collection.resample, rng, None, scheme)
+    assert len(result) == 5000
+
+
+@pytest.mark.parametrize("use_weights", [True, False], ids=["weighted", "no-weights"])
+def test_infer_weight_ablation(benchmark, burglary_setup, rng, use_weights):
+    _original, _refined, translator, collection = burglary_setup
+    benchmark(infer, translator, collection, rng, None, "never", 0.5, "multinomial", use_weights)
+
+
+@pytest.mark.parametrize("n", [1000])
+def test_noop_propagation_vs_full_rerun(benchmark, rng, n):
+    """Propagating an unchanged program is O(1); compare against
+    test_full_initial_run below for the same n."""
+    setup = gmm_edit_setup(n, k=10)
+    trace = run_initial(setup.source_program, rng, setup.env)
+    result = benchmark(propagate, setup.source_program, trace)
+    assert result.visited_statements == 0
+
+
+@pytest.mark.parametrize("n", [1000])
+def test_full_initial_run(benchmark, rng, n):
+    setup = gmm_edit_setup(n, k=10)
+    benchmark(run_initial, setup.source_program, rng, setup.env)
+
+
+def test_single_site_mh_step(benchmark, burglary_setup, rng):
+    _original, refined, _translator, _collection = burglary_setup
+    kernel = single_site_mh(refined)
+    trace = refined.simulate(rng)
+    benchmark(kernel, rng, trace)
+
+
+def test_gibbs_site_step(benchmark, burglary_setup, rng):
+    _original, refined, _translator, _collection = burglary_setup
+    kernel = gibbs_site(refined, "burglary")
+    trace = refined.simulate(rng)
+    benchmark(kernel, rng, trace)

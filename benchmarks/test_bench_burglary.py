@@ -1,0 +1,64 @@
+"""Benchmarks for the Figure 1 overview example.
+
+Measures the primitive costs of the trace-translation machinery on the
+burglary programs: exact enumeration, simulation, single-trace
+translation, and a full Algorithm-2 step.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CorrespondenceTranslator,
+    WeightedCollection,
+    exact_choice_marginal,
+    exact_posterior_sampler,
+    infer,
+)
+from repro.experiments import (
+    burglary_correspondence,
+    burglary_original,
+    burglary_refined,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    original = burglary_original()
+    refined = burglary_refined()
+    translator = CorrespondenceTranslator(
+        original, refined, burglary_correspondence()
+    )
+    return original, refined, translator
+
+
+def test_exact_enumeration(benchmark, setup):
+    _original, refined, _translator = setup
+    result = benchmark(exact_choice_marginal, refined, "burglary")
+    assert result[1] == pytest.approx(0.194, abs=0.001)
+
+
+def test_simulate(benchmark, setup, rng):
+    original, _refined, _translator = setup
+    benchmark(original.simulate, rng)
+
+
+def test_single_trace_translation(benchmark, setup, rng):
+    original, _refined, translator = setup
+    trace = original.score({"burglary": 1, "alarm": 1})
+    result = benchmark(translator.translate, rng, trace)
+    assert np.isfinite(result.log_weight)
+
+
+def test_algorithm2_step_1000_traces(benchmark, setup, rng):
+    original, refined, translator = setup
+    sampler = exact_posterior_sampler(original)
+    collection = WeightedCollection.uniform([sampler(rng) for _ in range(1000)])
+
+    def step():
+        return infer(translator, collection, rng)
+
+    result = benchmark(step)
+    estimate = result.collection.estimate_probability(lambda u: u["burglary"] == 1)
+    truth = exact_choice_marginal(refined, "burglary")[1]
+    assert estimate == pytest.approx(truth, abs=0.1)

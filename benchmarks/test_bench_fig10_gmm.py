@@ -1,0 +1,60 @@
+"""Figure 10 benchmark: GMM translation time, baseline vs optimized.
+
+The central asymptotic claim of Section 6: as the number of data points
+``N`` grows (with ``K = 10`` clusters fixed), translating a trace across
+the hyper-parameter edit costs O(N + K) with the Section 5 baseline but
+O(K) with the dependency-tracking engine.  Compare the two series across
+the parameterized ``n`` values in the benchmark table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gmm import gmm_edit_setup
+from repro.graph import (
+    GraphTranslator,
+    baseline_lang_translator,
+    graph_trace_to_choice_map,
+)
+
+SIZES = [10, 100, 1000]
+
+
+@pytest.fixture(scope="module")
+def setups():
+    rng = np.random.default_rng(2018)
+    prepared = {}
+    for n in SIZES:
+        setup = gmm_edit_setup(n, k=10)
+        optimized = GraphTranslator(
+            setup.source_program, setup.target_program, source_env=setup.env
+        )
+        graph_trace = optimized.initial_trace(rng)
+        baseline = baseline_lang_translator(
+            setup.source_program, setup.target_program, source_env=setup.env
+        )
+        flat_trace = baseline.source.score(graph_trace_to_choice_map(graph_trace))
+        prepared[n] = (optimized, graph_trace, baseline, flat_trace)
+    return prepared
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_baseline_translation(benchmark, setups, rng, n):
+    _optimized, _graph_trace, baseline, flat_trace = setups[n]
+    result = benchmark(baseline.translate, rng, flat_trace)
+    assert np.isfinite(result.log_weight)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_optimized_translation(benchmark, setups, rng, n):
+    optimized, graph_trace, _baseline, _flat_trace = setups[n]
+    result = benchmark(optimized.translate, rng, graph_trace)
+    assert np.isfinite(result.log_weight)
+    # The work measure is constant in n: 16 statements for k = 10.
+    assert result.components["visited_statements"] == 16
+
+
+@pytest.mark.parametrize("n", [1000])
+def test_initial_recording_run(benchmark, setups, rng, n):
+    optimized, _graph_trace, _baseline, _flat_trace = setups[n]
+    benchmark(optimized.initial_trace, rng)

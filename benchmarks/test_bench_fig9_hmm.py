@@ -1,0 +1,76 @@
+"""Figure 9 benchmark: typo correction, incremental vs Gibbs.
+
+Measures the per-word cost of (a) exact FFBS sampling plus trace
+translation to the second-order model and (b) Gibbs sweeps on the
+second-order model — the two runtimes plotted in Figure 9.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CorrespondenceTranslator, WeightedCollection, infer
+from repro.core.mcmc import chain, gibbs_sweep
+from repro.hmm import (
+    encode,
+    exact_first_order_trace,
+    first_order_model,
+    generate_corpus,
+    hidden_state_correspondence,
+    second_order_model,
+    train_first_order,
+    train_second_order,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(2018)
+    corpus = generate_corpus(rng, num_train_words=3000, num_test_words=1)
+    p_params = train_first_order(corpus.train)
+    q_params = train_second_order(corpus.train)
+    typed, _truth = corpus.test[0]
+    observations = encode(typed)
+    p_model = first_order_model(p_params, observations)
+    q_model = second_order_model(q_params, observations)
+    translator = CorrespondenceTranslator(
+        p_model, q_model, hidden_state_correspondence()
+    )
+    return p_params, q_params, observations, p_model, q_model, translator
+
+
+def test_ffbs_exact_sample(benchmark, setup, rng):
+    p_params, _q_params, observations, p_model, _q_model, _translator = setup
+    benchmark(exact_first_order_trace, p_params, observations, rng, p_model)
+
+
+@pytest.mark.parametrize("num_traces", [1, 10, 30])
+def test_incremental_per_word(benchmark, setup, rng, num_traces):
+    p_params, _q_params, observations, p_model, _q_model, translator = setup
+
+    def correct_word():
+        traces = [
+            exact_first_order_trace(p_params, observations, rng, p_model)
+            for _ in range(num_traces)
+        ]
+        return infer(translator, WeightedCollection.uniform(traces), rng).collection
+
+    collection = benchmark(correct_word)
+    assert len(collection) == num_traces
+
+
+@pytest.mark.parametrize("num_sweeps", [1, 10])
+def test_gibbs_per_word(benchmark, setup, rng, num_sweeps):
+    _p_params, _q_params, observations, _p_model, q_model, _translator = setup
+    addresses = [("hidden", i) for i in range(len(observations))]
+    kernel = gibbs_sweep(q_model, addresses)
+
+    def sweep():
+        return chain(q_model, kernel, rng, iterations=num_sweeps)
+
+    benchmark(sweep)
+
+
+def test_single_trace_translation(benchmark, setup, rng):
+    p_params, _q_params, observations, p_model, _q_model, translator = setup
+    trace = exact_first_order_trace(p_params, observations, rng, p_model)
+    benchmark(translator.translate, rng, trace)

@@ -1,0 +1,73 @@
+"""Benchmarks for the structured-language toolchain.
+
+Measures the parser, both semantics (big-step vs the literal small-step
+machine of Figure 2), constant folding, the static checker, and
+enumeration over a lang program — the substrate costs underlying the
+Figure 10 experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.enumerate import log_normalizer
+from repro.lang import (
+    RandomSource,
+    check_program,
+    fold_constants,
+    lang_model,
+    parse_program,
+    pretty,
+    run,
+)
+from repro.lang.programs import BURGLARY_REFINED, FIGURE3, gmm_source
+
+
+@pytest.fixture(scope="module")
+def burglary_program():
+    return parse_program(BURGLARY_REFINED)
+
+
+def test_parse(benchmark):
+    program = benchmark(parse_program, BURGLARY_REFINED)
+    assert program is not None
+
+
+def test_pretty_print(benchmark, burglary_program):
+    text = benchmark(pretty, burglary_program)
+    assert "flip" in text
+
+
+def test_big_step_simulation(benchmark, burglary_program, rng):
+    model = lang_model(burglary_program)
+    benchmark(model.simulate, rng)
+
+
+def test_small_step_simulation(benchmark, burglary_program, rng):
+    def once():
+        return run(burglary_program, RandomSource(rng))
+
+    result = benchmark(once)
+    assert result.return_value in (0, 1)
+
+
+def test_constant_folding(benchmark, burglary_program):
+    folded = benchmark(fold_constants, burglary_program)
+    assert folded is not None
+
+
+def test_static_checker(benchmark, burglary_program):
+    diagnostics = benchmark(check_program, burglary_program)
+    assert diagnostics == []
+
+
+def test_enumeration(benchmark, burglary_program):
+    model = lang_model(burglary_program)
+    total = benchmark(log_normalizer, model)
+    assert total < 0
+
+
+@pytest.mark.parametrize("n", [100, 1000])
+def test_gmm_simulation_scaling(benchmark, rng, n):
+    model = lang_model(parse_program(gmm_source(10)), env={"sigma": 2.0, "n": n})
+    trace = benchmark(model.simulate, rng)
+    assert len(trace) == 10 + 2 * n

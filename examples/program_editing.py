@@ -1,0 +1,79 @@
+"""Editing a structured probabilistic program with incremental
+re-execution (Section 6 of the paper).
+
+This example uses the paper's concrete language (Section 3).  We parse
+a Gaussian mixture model (Listing 5), run it once while recording its
+dependency graph, then apply a hyper-parameter *edit* and propagate the
+change: only the statements affected by the edit are re-executed, the
+cluster centers are reused and reweighted, and the N data-point
+statements are skipped entirely.
+
+Run with::
+
+    python examples/program_editing.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.graph import (
+    GraphTranslator,
+    baseline_lang_translator,
+    graph_trace_to_choice_map,
+    replace_constant,
+)
+from repro.gmm import gmm_generative_source
+from repro.lang import parse_program, pretty
+
+
+def main():
+    rng = np.random.default_rng(5)
+    n = 2000  # data points; K = 10 clusters
+
+    source_program = parse_program(gmm_generative_source(k=10, sigma=2))
+    print("the Gaussian mixture program (Listing 5):\n")
+    print(pretty(source_program))
+
+    # Edit: change the prior std of the cluster centers from 2 to 3.
+    target_program = replace_constant(source_program, "sigma", 3)
+    print("\nedit: sigma = 2  ->  sigma = 3\n")
+
+    translator = GraphTranslator(
+        source_program, target_program, source_env={"n": n}
+    )
+
+    print(f"running the original program once (n = {n})...")
+    trace = translator.initial_trace(rng)
+    print(f"  trace has {len(trace)} random choices, "
+          f"log-probability {trace.log_prob:.1f}")
+
+    print("\npropagating the edit through the dependency graph...")
+    start = time.perf_counter()
+    result = translator.translate(rng, trace)
+    optimized_seconds = time.perf_counter() - start
+    print(f"  visited {result.components['visited_statements']} statements "
+          f"(skipped {result.components['skipped_statements']}), "
+          f"log weight {result.log_weight:+.4f}, "
+          f"{optimized_seconds * 1e3:.2f} ms")
+
+    # Compare with the Section 5 baseline, which re-executes everything.
+    baseline = baseline_lang_translator(
+        source_program, target_program, source_env={"n": n}
+    )
+    flat_trace = baseline.source.score(graph_trace_to_choice_map(trace))
+    start = time.perf_counter()
+    baseline_result = baseline.translate(rng, flat_trace)
+    baseline_seconds = time.perf_counter() - start
+    print(f"\nbaseline full re-execution: log weight "
+          f"{baseline_result.log_weight:+.4f}, {baseline_seconds * 1e3:.2f} ms")
+    print(f"speedup from dependency tracking: "
+          f"{baseline_seconds / optimized_seconds:.0f}x")
+
+    assert abs(result.log_weight - baseline_result.log_weight) < 1e-9, (
+        "both algorithms compute the same weight"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: the environment's setuptools lacks bdist_wheel,
+so editable installs go through `setup.py develop`."""
+from setuptools import setup
+
+setup()

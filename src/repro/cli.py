@@ -1,0 +1,223 @@
+"""Command-line interface for the structured probabilistic language.
+
+Subcommands (``python -m repro.cli <cmd>`` or the ``repro`` script):
+
+* ``parse FILE`` — parse and pretty-print a program (syntax check);
+* ``run FILE`` — sample traces and print return values with log probs;
+* ``enumerate FILE`` — exact posterior of the return value (finite
+  discrete programs);
+* ``diff OLD NEW`` — show the label correspondence the tree diff
+  recovers between two programs (Section 6's heuristic);
+* ``translate OLD NEW`` — incremental inference across an edit: sample
+  traces of OLD, translate each to NEW with the diff correspondence,
+  and print the weighted return-value distribution with diagnostics.
+
+Environment parameters are passed as ``--env name=value`` (repeatable);
+values parse as int, then float, then a comma-separated list of numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .core import CorrespondenceTranslator, WeightedCollection
+from .core.enumerate import exact_return_distribution
+from .graph import align_labels, diff_correspondence
+from .lang import lang_model, parse_program, pretty
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_env_value(text: str) -> Any:
+    if "," in text:
+        return [_parse_env_value(part) for part in text.split(",")]
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_env(pairs: Optional[List[str]]) -> Dict[str, Any]:
+    env: Dict[str, Any] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--env expects name=value, got {pair!r}")
+        name, _eq, value = pair.partition("=")
+        env[name.strip()] = _parse_env_value(value.strip())
+    return env
+
+
+def _load_program(path: str):
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+    return parse_program(source)
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    print(pretty(program))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .lang import check_kinds, check_program
+
+    program = _load_program(args.file)
+    env = _parse_env(args.env)
+    array_parameters = tuple(
+        name for name, value in env.items() if isinstance(value, list)
+    )
+    diagnostics = check_program(program, parameters=tuple(env))
+    diagnostics += check_kinds(
+        program, parameters=tuple(env), array_parameters=array_parameters
+    )
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    if not diagnostics:
+        print("ok")
+    return 1 if any(d.severity == "error" for d in diagnostics) else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    model = lang_model(program, env=_parse_env(args.env))
+    rng = np.random.default_rng(args.seed)
+    for _ in range(args.num_samples):
+        trace = model.simulate(rng)
+        print(f"return={trace.return_value!r}  log_prob={trace.log_prob:.4f}")
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    model = lang_model(program, env=_parse_env(args.env))
+    distribution = exact_return_distribution(model)
+    for value, probability in sorted(distribution.items(), key=lambda kv: str(kv[0])):
+        print(f"P(return = {value!r}) = {probability:.6f}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    old_program = _load_program(args.old)
+    new_program = _load_program(args.new)
+    mapping = align_labels(old_program, new_program)
+    if not mapping:
+        print("no corresponding random expressions found")
+        return 0
+    for new_label, old_label in sorted(mapping.items()):
+        print(f"{new_label}  <-  {old_label}")
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    old_program = _load_program(args.old)
+    new_program = _load_program(args.new)
+    env = _parse_env(args.env)
+    rng = np.random.default_rng(args.seed)
+
+    source = lang_model(old_program, env=env, name="old")
+    target = lang_model(new_program, env=env, name="new")
+    correspondence = diff_correspondence(old_program, new_program)
+    translator = CorrespondenceTranslator(source, target, correspondence)
+
+    traces, log_weights = [], []
+    for _ in range(args.num_samples):
+        # Posterior sampling of the old program by likelihood weighting.
+        trace, log_weight = source.generate(rng)
+        traces.append(trace)
+        log_weights.append(log_weight)
+    collection = WeightedCollection(traces, log_weights).resample(rng)
+
+    translated, increments = [], []
+    for trace in collection.items:
+        result = translator.translate(rng, trace)
+        translated.append(result.trace)
+        increments.append(result.log_weight)
+    output = WeightedCollection(translated, increments)
+
+    print(f"translated {len(output)} traces "
+          f"(effective sample size {output.effective_sample_size():.1f})")
+    values: Dict[Any, float] = {}
+    weights = output.normalized_weights()
+    for trace, weight in zip(output.items, weights):
+        key = trace.return_value
+        if isinstance(key, dict):
+            key = tuple(sorted(key.items()))
+        if isinstance(key, list):
+            key = tuple(key)
+        values[key] = values.get(key, 0.0) + float(weight)
+    top = sorted(values.items(), key=lambda kv: -kv[1])[: args.top]
+    for value, probability in top:
+        print(f"P(return = {value!r}) = {probability:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="incremental inference for probabilistic programs"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    parse_cmd = subparsers.add_parser("parse", help="parse and pretty-print a program")
+    parse_cmd.add_argument("file")
+    parse_cmd.set_defaults(handler=_cmd_parse)
+
+    check_cmd = subparsers.add_parser("check", help="run static checks on a program")
+    check_cmd.add_argument("file")
+    check_cmd.add_argument("--env", action="append", metavar="NAME=VALUE",
+                           help="declare a program parameter (value unused)")
+    check_cmd.set_defaults(handler=_cmd_check)
+
+    run_cmd = subparsers.add_parser("run", help="sample traces of a program")
+    run_cmd.add_argument("file")
+    run_cmd.add_argument("--env", action="append", metavar="NAME=VALUE")
+    run_cmd.add_argument("-n", "--num-samples", type=int, default=5)
+    run_cmd.add_argument("--seed", type=int, default=None)
+    run_cmd.set_defaults(handler=_cmd_run)
+
+    enum_cmd = subparsers.add_parser(
+        "enumerate", help="exact return-value posterior (finite discrete programs)"
+    )
+    enum_cmd.add_argument("file")
+    enum_cmd.add_argument("--env", action="append", metavar="NAME=VALUE")
+    enum_cmd.set_defaults(handler=_cmd_enumerate)
+
+    diff_cmd = subparsers.add_parser(
+        "diff", help="label correspondence between two programs"
+    )
+    diff_cmd.add_argument("old")
+    diff_cmd.add_argument("new")
+    diff_cmd.set_defaults(handler=_cmd_diff)
+
+    translate_cmd = subparsers.add_parser(
+        "translate", help="incremental inference from OLD to NEW"
+    )
+    translate_cmd.add_argument("old")
+    translate_cmd.add_argument("new")
+    translate_cmd.add_argument("--env", action="append", metavar="NAME=VALUE")
+    translate_cmd.add_argument("-n", "--num-samples", type=int, default=1000)
+    translate_cmd.add_argument("--seed", type=int, default=None)
+    translate_cmd.add_argument("--top", type=int, default=10,
+                               help="show the top-K return values")
+    translate_cmd.set_defaults(handler=_cmd_translate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

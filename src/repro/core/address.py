@@ -1,0 +1,52 @@
+"""Addresses of random choices.
+
+The lightweight embedded PPL follows the transformational-compilation
+design of Wingate et al. [44], as in the paper's Julia implementation
+(Section 7.1): every random choice is annotated with an *address* that
+uniquely identifies it within a trace.  Addresses may be dynamically
+computed (e.g. ``addr("y", i)`` inside a loop, mirroring ``addr_y(i)``
+in Listings 1-4), and the user-supplied correspondence of Section 5 is a
+mapping between addresses of the new and the old program.
+
+An address is a tuple of hashable components.  Single-component
+addresses may be written as plain strings; :func:`addr` normalizes
+either form.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+__all__ = ["Address", "addr"]
+
+Address = Tuple[Hashable, ...]
+
+
+def addr(*components: Hashable) -> Address:
+    """Build an address from components, flattening nested addresses.
+
+    >>> addr("slope")
+    ('slope',)
+    >>> addr("y", 3)
+    ('y', 3)
+    >>> addr(addr("hidden", 2), "obs")
+    ('hidden', 2, 'obs')
+    """
+    flattened = []
+    for component in components:
+        if isinstance(component, tuple):
+            flattened.extend(component)
+        else:
+            flattened.append(component)
+    if not flattened:
+        raise ValueError("an address needs at least one component")
+    return tuple(flattened)
+
+
+def normalize_address(address) -> Address:
+    """Coerce a user-facing address (string or tuple) to canonical form."""
+    if isinstance(address, tuple):
+        if not address:
+            raise ValueError("an address needs at least one component")
+        return address
+    return (address,)

@@ -1,0 +1,109 @@
+"""Correspondence between random choices of two programs (Section 5).
+
+A correspondence is a bijection ``f : F_Q -> F_P`` between (subsets of)
+the random-choice addresses of the new program ``Q`` and the old program
+``P``.  Choices in correspondence are believed to play the same role in
+both programs; the translator reuses their values.
+
+Correspondences may be given extensionally (a dict), as the identity
+over a set of addresses (the common case when ``Q`` extends ``P`` — e.g.
+the hidden states of the HMM experiment), or intensionally as a pair of
+functions (for unboundedly many addresses, as with the loop indexing of
+Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from .address import Address, normalize_address
+
+__all__ = ["Correspondence"]
+
+
+class Correspondence:
+    """Bijection between addresses of the target and source programs.
+
+    ``forward(q_address)`` returns the corresponding source address, or
+    ``None`` when ``q_address`` is not in ``F_Q``; ``backward`` is the
+    inverse.
+    """
+
+    def __init__(
+        self,
+        forward: Callable[[Address], Optional[Address]],
+        backward: Callable[[Address], Optional[Address]],
+        description: str = "custom",
+    ):
+        self._forward = forward
+        self._backward = backward
+        self.description = description
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, mapping: Dict) -> "Correspondence":
+        """Extensional correspondence from ``{q_address: p_address}``.
+
+        Raises ``ValueError`` when the mapping is not injective, since a
+        correspondence must be a bijection onto its image.
+        """
+        forward_map = {
+            normalize_address(q): normalize_address(p) for q, p in mapping.items()
+        }
+        backward_map: Dict[Address, Address] = {}
+        for q_address, p_address in forward_map.items():
+            if p_address in backward_map:
+                raise ValueError(
+                    f"correspondence is not injective: {p_address!r} is the image "
+                    f"of both {backward_map[p_address]!r} and {q_address!r}"
+                )
+            backward_map[p_address] = q_address
+        return cls(forward_map.get, backward_map.get, description=f"dict({len(forward_map)})")
+
+    @classmethod
+    def identity(cls, addresses: Iterable) -> "Correspondence":
+        """Identity correspondence over an explicit set of addresses."""
+        address_set = {normalize_address(a) for a in addresses}
+
+        def forward(address: Address) -> Optional[Address]:
+            return address if address in address_set else None
+
+        return cls(forward, forward, description=f"identity({len(address_set)})")
+
+    @classmethod
+    def identity_by_predicate(cls, predicate: Callable[[Address], bool]) -> "Correspondence":
+        """Identity correspondence over all addresses satisfying ``predicate``.
+
+        Useful when the shared addresses form an unbounded family, e.g.
+        ``lambda a: a[0] == "hidden"`` for the HMM hidden states.
+        """
+
+        def forward(address: Address) -> Optional[Address]:
+            return address if predicate(address) else None
+
+        return cls(forward, forward, description="identity-by-predicate")
+
+    @classmethod
+    def empty(cls) -> "Correspondence":
+        """The empty correspondence: everything is resampled from scratch."""
+        return cls(lambda _a: None, lambda _a: None, description="empty")
+
+    # -- queries ------------------------------------------------------------
+
+    def forward(self, q_address) -> Optional[Address]:
+        """``f(q_address)``: the source address, or None if not in ``F_Q``."""
+        return self._forward(normalize_address(q_address))
+
+    def backward(self, p_address) -> Optional[Address]:
+        """``f^{-1}(p_address)``: the target address, or None if not in ``F_P``."""
+        return self._backward(normalize_address(p_address))
+
+    def inverse(self) -> "Correspondence":
+        """The inverse bijection (used by the backward kernel, Eq. 7)."""
+        return Correspondence(
+            self._backward, self._forward, description=f"inverse({self.description})"
+        )
+
+    def __repr__(self) -> str:
+        return f"Correspondence({self.description})"

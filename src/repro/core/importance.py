@@ -1,0 +1,117 @@
+"""Baseline non-incremental samplers: importance sampling and rejection.
+
+The paper motivates trace translation against sampling ``Q`` from
+scratch (Section 2: "simple rejection sampling using the prior as a
+proposal will be inefficient").  These baselines provide that
+comparison point and double as general-purpose utilities:
+
+* :func:`importance_sampling` — likelihood weighting: simulate latents
+  from the prior, weight by the observations (a properly weighted
+  collection for the posterior);
+* :func:`sampling_importance_resampling` — the same followed by a
+  resampling step, yielding approximately unweighted posterior samples;
+* :func:`rejection_sampling` — exact posterior samples for models whose
+  per-trace observation likelihood is bounded by a known constant;
+* :func:`log_marginal_likelihood` — the importance-sampling estimate of
+  ``log Z``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .handlers import log_sum_exp
+from .model import Model
+from .trace import Trace
+from .weighted import WeightedCollection
+
+__all__ = [
+    "importance_sampling",
+    "sampling_importance_resampling",
+    "rejection_sampling",
+    "log_marginal_likelihood",
+]
+
+
+def importance_sampling(
+    model: Model, rng: np.random.Generator, num_traces: int
+) -> WeightedCollection[Trace]:
+    """Likelihood weighting with the prior as proposal.
+
+    Each trace samples the latents forward and scores the observations;
+    the observation log probability is the importance weight, so the
+    returned collection targets the posterior and its
+    ``log_mean_weight`` estimates ``log Z``.
+    """
+    if num_traces < 1:
+        raise ValueError("need at least one trace")
+    traces: List[Trace] = []
+    log_weights: List[float] = []
+    for _ in range(num_traces):
+        trace, log_weight = model.generate(rng)
+        traces.append(trace)
+        log_weights.append(log_weight)
+    return WeightedCollection(traces, log_weights)
+
+
+def sampling_importance_resampling(
+    model: Model,
+    rng: np.random.Generator,
+    num_traces: int,
+    oversample: int = 10,
+    scheme: str = "multinomial",
+) -> WeightedCollection[Trace]:
+    """Draw ``num_traces * oversample`` weighted traces, then resample
+    down to ``num_traces`` unweighted ones."""
+    if oversample < 1:
+        raise ValueError("oversample must be at least 1")
+    collection = importance_sampling(model, rng, num_traces * oversample)
+    return collection.resample(rng, size=num_traces, scheme=scheme)
+
+
+def rejection_sampling(
+    model: Model,
+    rng: np.random.Generator,
+    num_traces: int,
+    log_likelihood_bound: float = 0.0,
+    max_attempts: Optional[int] = None,
+) -> Tuple[List[Trace], int]:
+    """Exact posterior sampling by rejection.
+
+    Accepts a prior simulation with probability
+    ``exp(observation_log_prob - log_likelihood_bound)``; the bound must
+    satisfy ``observation_log_prob <= log_likelihood_bound`` for every
+    trace (the default ``0.0`` is valid whenever observations are
+    discrete probabilities).  Returns the accepted traces and the total
+    number of attempts (for efficiency reporting).
+    """
+    traces: List[Trace] = []
+    attempts = 0
+    while len(traces) < num_traces:
+        if max_attempts is not None and attempts >= max_attempts:
+            raise RuntimeError(
+                f"rejection sampling exhausted {max_attempts} attempts "
+                f"({len(traces)}/{num_traces} accepted)"
+            )
+        trace = model.simulate(rng)
+        attempts += 1
+        log_accept = trace.observation_log_prob - log_likelihood_bound
+        if log_accept > 0.0:
+            raise ValueError(
+                "log_likelihood_bound is not an upper bound on the "
+                "observation likelihood"
+            )
+        if math.log(rng.random()) < log_accept:
+            traces.append(trace)
+    return traces, attempts
+
+
+def log_marginal_likelihood(
+    model: Model, rng: np.random.Generator, num_traces: int
+) -> float:
+    """Importance-sampling estimate of ``log Z`` (the model evidence)."""
+    collection = importance_sampling(model, rng, num_traces)
+    return collection.log_mean_weight()

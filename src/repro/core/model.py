@@ -1,0 +1,139 @@
+"""The ``Model`` wrapper: a probabilistic program in the embedded PPL.
+
+``Model`` pairs a Python generative function with a fixed argument tuple
+and an (optional) observation map, yielding the *inference problem* the
+paper calls a probabilistic program ``P``: an unnormalized distribution
+``P̃r[t ~ P]`` over traces.  The trace translator (Section 4-5) and all
+samplers operate on ``Model`` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from .handlers import GenerateHandler, ScoreHandler, SimulateHandler, TraceHandler
+from .trace import ChoiceMap, Trace
+
+__all__ = ["Model", "probabilistic"]
+
+ChoiceMapLike = Union[ChoiceMap, Mapping[Any, Any], None]
+
+
+def _as_choice_map(values: ChoiceMapLike) -> ChoiceMap:
+    if values is None:
+        return ChoiceMap()
+    if isinstance(values, ChoiceMap):
+        return values
+    return ChoiceMap(values)
+
+
+class Model:
+    """A probabilistic program: generative function + args + observations.
+
+    Parameters
+    ----------
+    fn:
+        A Python callable ``fn(t, *args)`` whose first parameter is a
+        :class:`~repro.core.handlers.TraceHandler`.
+    args:
+        Arguments forwarded to ``fn`` after the handler.
+    observations:
+        Address -> value map conditioning the program.  Sample statements
+        at these addresses become likelihood factors, mirroring the
+        external-constraint representation of observations used by the
+        paper's lightweight implementation (Section 7.1).
+    name:
+        Optional human-readable name used in reprs and experiment output.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        observations: ChoiceMapLike = None,
+        name: Optional[str] = None,
+    ):
+        self.fn = fn
+        self.args = tuple(args)
+        self.observations = _as_choice_map(observations)
+        self.name = name or getattr(fn, "__name__", "model")
+
+    # -- derived programs ---------------------------------------------------
+
+    def with_args(self, *args: Any) -> "Model":
+        """The same generative function applied to different arguments."""
+        return Model(self.fn, args, self.observations, self.name)
+
+    def condition(self, observations: ChoiceMapLike) -> "Model":
+        """Condition on additional observed addresses (merged with existing)."""
+        merged = {a: v for a, v in self.observations.items()}
+        merged.update(_as_choice_map(observations).items())
+        return Model(self.fn, self.args, ChoiceMap(merged), self.name)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, handler: TraceHandler) -> Trace:
+        """Execute the generative function under ``handler``."""
+        handler.trace.return_value = self.fn(handler, *self.args)
+        return handler.trace
+
+    def simulate(self, rng: np.random.Generator) -> Trace:
+        """Sample a trace: latents from the prior, observations scored."""
+        return self.run(SimulateHandler(rng, self.observations))
+
+    def generate(
+        self, rng: np.random.Generator, constraints: ChoiceMapLike = None
+    ) -> Tuple[Trace, float]:
+        """Sample with ``constraints`` fixed; return (trace, log weight).
+
+        The weight is ``P̃r[t]/q(t)`` where ``q`` samples unconstrained
+        latents from the prior — i.e. the log probability of the
+        constrained choices plus all observations.
+        """
+        handler = GenerateHandler(rng, _as_choice_map(constraints), self.observations)
+        trace = self.run(handler)
+        return trace, handler.log_weight
+
+    def score(self, choices: ChoiceMapLike) -> Trace:
+        """Deterministically replay the program from a full choice map.
+
+        The returned trace's ``log_prob`` is ``log P̃r[t ~ P]`` for the
+        given choices; raises
+        :class:`~repro.core.handlers.MissingChoiceError` if the map does
+        not cover every latent choice the program makes.
+        """
+        return self.run(ScoreHandler(_as_choice_map(choices), self.observations))
+
+    def log_prob(self, choices: ChoiceMapLike) -> float:
+        """``log P̃r[t ~ P]`` of the trace determined by ``choices``."""
+        return self.score(choices).log_prob
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name}, args={self.args!r}, "
+            f"observations={len(self.observations)})"
+        )
+
+
+def probabilistic(fn: Callable[..., Any]) -> Callable[..., Model]:
+    """Decorator turning a generative function into a ``Model`` factory.
+
+    Mirrors the ``@probabilistic`` macro of the paper's Julia
+    implementation (Listings 1-4)::
+
+        @probabilistic
+        def linreg(t, params, xs):
+            ...
+
+        model = linreg(params, xs)          # a Model, not an execution
+        trace = model.simulate(rng)
+    """
+
+    def make_model(*args: Any) -> Model:
+        return Model(fn, args)
+
+    make_model.__name__ = getattr(fn, "__name__", "model")
+    make_model.__doc__ = fn.__doc__
+    return make_model

@@ -1,0 +1,176 @@
+"""Sequential Monte Carlo with trace translators (Section 4.2).
+
+:func:`infer` is Algorithm 2 of the paper: translate every trace of the
+input collection with the trace translator, update the weights, resample
+if requested (or when the effective sample size drops below a
+threshold), and optionally rejuvenate each trace with an MCMC kernel
+whose invariant distribution is the target posterior.
+
+:func:`infer_sequence` iterates Algorithm 2 across a sequence of
+programs, which is how the paper proposes to follow an iterative
+model-editing session while retaining the guarantee of Lemma 2.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .handlers import log_sum_exp
+from .mcmc import Kernel
+from .translator import TraceTranslator
+from .weighted import WeightedCollection
+
+__all__ = ["SMCStep", "infer", "infer_sequence", "SMCStats"]
+
+
+@dataclass
+class SMCStats:
+    """Diagnostics from one Algorithm-2 step."""
+
+    num_traces: int
+    ess_before_resample: float
+    ess_after: float
+    resampled: bool
+    log_mean_weight_increment: float
+    translate_seconds: float
+    mcmc_seconds: float
+
+    def __str__(self) -> str:
+        resampled = "yes" if self.resampled else "no"
+        return (
+            f"SMC step: M={self.num_traces} ess={self.ess_before_resample:.1f}"
+            f" resampled={resampled} logZ-increment={self.log_mean_weight_increment:+.3f}"
+            f" translate={self.translate_seconds:.3f}s mcmc={self.mcmc_seconds:.3f}s"
+        )
+
+
+@dataclass
+class SMCStep:
+    """Result of one Algorithm-2 step: the new collection plus stats."""
+
+    collection: WeightedCollection
+    stats: SMCStats
+
+
+def infer(
+    translator: TraceTranslator,
+    traces: WeightedCollection,
+    rng: np.random.Generator,
+    mcmc_kernel: Optional[Kernel] = None,
+    resample: str = "never",
+    ess_threshold: float = 0.5,
+    resampling_scheme: str = "multinomial",
+    use_weights: bool = True,
+) -> SMCStep:
+    """One step of SMC for probabilistic programs (Algorithm 2).
+
+    Parameters
+    ----------
+    translator:
+        The trace translator ``R = (P, Q, k, l)``.
+    traces:
+        Weighted collection ``{(t_j, w_j)}`` approximating the posterior
+        of ``P``.
+    mcmc_kernel:
+        Optional rejuvenation kernel for ``Q`` (must leave the posterior
+        of ``Q`` invariant); applied once per trace after translation.
+    resample:
+        ``"never"``, ``"always"``, or ``"adaptive"`` (resample when the
+        normalized ESS falls below ``ess_threshold``).
+    use_weights:
+        When False, the weight increments produced by the translator are
+        discarded — the paper's "Incremental (no weights)" ablation,
+        which converges to the *wrong* posterior (the output distribution
+        ``η`` rather than ``Q``) and is included for Figures 8-9.
+    """
+    if resample not in ("never", "always", "adaptive"):
+        raise ValueError(f"unknown resample policy {resample!r}")
+
+    start = time.perf_counter()
+    new_items = []
+    increments: List[float] = []
+    for item in traces.items:
+        result = translator.translate(rng, item)
+        new_items.append(result.trace)
+        increments.append(result.log_weight)
+    translate_seconds = time.perf_counter() - start
+
+    if use_weights:
+        collection = WeightedCollection(new_items, traces.log_weights).scaled(increments)
+    else:
+        collection = WeightedCollection(new_items, list(traces.log_weights))
+    # Incremental evidence estimate: sum_j W_j * ŵ_j with W the input's
+    # normalized weights (estimates Z_Q / Z_P; chains across steps into
+    # the standard SMC marginal-likelihood estimator).
+    input_weights = traces.normalized_weights()
+    log_mean_increment = float(
+        log_sum_exp(
+            math.log(w) + d for w, d in zip(input_weights, increments) if w > 0.0
+        )
+    )
+
+    ess_before = collection.effective_sample_size()
+    should_resample = resample == "always" or (
+        resample == "adaptive" and ess_before < ess_threshold * len(collection)
+    )
+    if should_resample:
+        collection = collection.resample(rng, scheme=resampling_scheme)
+
+    mcmc_start = time.perf_counter()
+    if mcmc_kernel is not None:
+        collection = collection.map(lambda trace: mcmc_kernel(rng, trace))
+    mcmc_seconds = time.perf_counter() - mcmc_start
+
+    stats = SMCStats(
+        num_traces=len(collection),
+        ess_before_resample=ess_before,
+        ess_after=collection.effective_sample_size(),
+        resampled=should_resample,
+        log_mean_weight_increment=log_mean_increment,
+        translate_seconds=translate_seconds,
+        mcmc_seconds=mcmc_seconds,
+    )
+    return SMCStep(collection, stats)
+
+
+def infer_sequence(
+    translators: Sequence[TraceTranslator],
+    initial: WeightedCollection,
+    rng: np.random.Generator,
+    mcmc_kernels: Optional[Sequence[Optional[Kernel]]] = None,
+    resample: str = "adaptive",
+    ess_threshold: float = 0.5,
+    resampling_scheme: str = "multinomial",
+) -> List[SMCStep]:
+    """Iterate Algorithm 2 across a sequence of programs.
+
+    ``translators[k]`` must translate from the target of
+    ``translators[k-1]`` (programs are modified iteratively, Section 4.2
+    "Multiple Steps and resample").  Returns the per-step results; the
+    final collection is ``steps[-1].collection``.
+    """
+    if mcmc_kernels is None:
+        mcmc_kernels = [None] * len(translators)
+    if len(mcmc_kernels) != len(translators):
+        raise ValueError("one (possibly None) MCMC kernel per translator is required")
+
+    steps: List[SMCStep] = []
+    collection = initial
+    for translator, kernel in zip(translators, mcmc_kernels):
+        step = infer(
+            translator,
+            collection,
+            rng,
+            mcmc_kernel=kernel,
+            resample=resample,
+            ess_threshold=ess_threshold,
+            resampling_scheme=resampling_scheme,
+        )
+        steps.append(step)
+        collection = step.collection
+    return steps

@@ -1,0 +1,67 @@
+"""Abstract trace translators (Section 4.1, Algorithm 1).
+
+A trace translator ``R = (P, Q, k_{P->Q}, l_{Q->P})`` adapts traces of a
+program ``P`` into weighted traces of a program ``Q``.  ``translate``
+samples the forward kernel and evaluates the weight estimate
+
+    ŵ(u; t) = P̃r[u ~ Q] * l(t; u) / (P̃r[t ~ P] * k(u; t))      (Eq. 2)
+
+which is, in expectation, proportional to the importance weight
+``w(u) = Pr[u ~ Q] / η(u)`` (Lemma 4 of the supplement).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Generic, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = ["TraceTranslator", "TranslationResult"]
+
+TraceT = TypeVar("TraceT")
+
+
+@dataclass
+class TranslationResult(Generic[TraceT]):
+    """Output of one ``translate`` call.
+
+    Attributes
+    ----------
+    trace:
+        The translated trace ``u`` of the target program.
+    log_weight:
+        ``log ŵ(u; t)``, the log weight estimate (Equation 2).
+    components:
+        Breakdown of the estimate for diagnostics: the four log terms of
+        Equation 2 as a dict with keys ``target_log_prob``,
+        ``backward_log_prob``, ``source_log_prob``, ``forward_log_prob``.
+    """
+
+    trace: TraceT
+    log_weight: float
+    components: dict
+
+
+class TraceTranslator(ABC, Generic[TraceT]):
+    """Adapts traces of a source program into traces of a target program."""
+
+    @property
+    @abstractmethod
+    def source(self) -> Any:
+        """The program ``P`` whose traces are consumed."""
+
+    @property
+    @abstractmethod
+    def target(self) -> Any:
+        """The program ``Q`` whose traces are produced."""
+
+    @abstractmethod
+    def translate(self, rng: np.random.Generator, trace: TraceT) -> TranslationResult:
+        """Algorithm 1: sample ``u ~ k(.; t)`` and evaluate ``ŵ(u; t)``."""
+
+    def translate_pair(self, rng: np.random.Generator, trace: TraceT) -> Tuple[TraceT, float]:
+        """Convenience wrapper returning only ``(u, log ŵ)``."""
+        result = self.translate(rng, trace)
+        return result.trace, result.log_weight

@@ -1,0 +1,187 @@
+"""Weighted collections of traces.
+
+A weighted collection ``{(t_j, w_j)}`` approximates a posterior by the
+empirical distribution ``P̂`` of Section 4.2.  This module provides the
+self-normalized estimator of Equation 5, effective-sample-size
+diagnostics, and the resampling schemes used between SMC steps
+(``resample`` in Algorithm 2 is multinomial; systematic, stratified and
+residual resampling are standard lower-variance alternatives and are
+used as ablation targets).
+
+Weights are carried in log space to avoid underflow across long program
+sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from .handlers import log_sum_exp
+
+__all__ = ["WeightedCollection", "effective_sample_size", "RESAMPLING_SCHEMES"]
+
+T = TypeVar("T")
+
+
+def _normalized_weights(log_weights: Sequence[float]) -> np.ndarray:
+    log_weights = np.asarray(log_weights, dtype=float)
+    if len(log_weights) == 0:
+        raise ValueError("empty weight vector")
+    total = log_sum_exp(log_weights)
+    if total == float("-inf"):
+        raise ValueError("all weights are zero; the collection carries no information")
+    return np.exp(log_weights - total)
+
+
+def effective_sample_size(log_weights: Sequence[float]) -> float:
+    """Kish effective sample size ``(sum w)^2 / sum w^2``.
+
+    The paper (Section 4.2) suggests monitoring the effective number of
+    traces to detect particle degeneracy and decide when resampling (or
+    abandoning the incremental approach) is warranted.
+    """
+    weights = _normalized_weights(log_weights)
+    return 1.0 / float(np.sum(weights**2))
+
+
+def _multinomial_indices(weights: np.ndarray, size: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.choice(len(weights), size=size, replace=True, p=weights)
+
+
+def _systematic_indices(weights: np.ndarray, size: int, rng: np.random.Generator) -> np.ndarray:
+    positions = (rng.random() + np.arange(size)) / size
+    return np.searchsorted(np.cumsum(weights), positions).clip(0, len(weights) - 1)
+
+
+def _stratified_indices(weights: np.ndarray, size: int, rng: np.random.Generator) -> np.ndarray:
+    positions = (rng.random(size) + np.arange(size)) / size
+    return np.searchsorted(np.cumsum(weights), positions).clip(0, len(weights) - 1)
+
+
+def _residual_indices(weights: np.ndarray, size: int, rng: np.random.Generator) -> np.ndarray:
+    scaled = weights * size
+    counts = np.floor(scaled).astype(int)
+    indices: List[int] = []
+    for i, count in enumerate(counts):
+        indices.extend([i] * count)
+    remainder = size - len(indices)
+    if remainder > 0:
+        residual = scaled - counts
+        residual_total = residual.sum()
+        if residual_total <= 0:
+            extra = rng.choice(len(weights), size=remainder, replace=True, p=weights)
+        else:
+            extra = rng.choice(len(weights), size=remainder, replace=True, p=residual / residual_total)
+        indices.extend(int(i) for i in extra)
+    return np.asarray(indices[:size])
+
+
+RESAMPLING_SCHEMES = {
+    "multinomial": _multinomial_indices,
+    "systematic": _systematic_indices,
+    "stratified": _stratified_indices,
+    "residual": _residual_indices,
+}
+
+
+class WeightedCollection(Generic[T]):
+    """A list of items with associated log weights.
+
+    Items are usually :class:`~repro.core.trace.Trace` objects, but the
+    collection is generic so the graph runtime can store its own trace
+    representation.
+    """
+
+    def __init__(self, items: Sequence[T], log_weights: Optional[Sequence[float]] = None):
+        self.items: List[T] = list(items)
+        if log_weights is None:
+            log_weights = [0.0] * len(self.items)
+        self.log_weights: List[float] = [float(w) for w in log_weights]
+        if len(self.items) != len(self.log_weights):
+            raise ValueError(
+                f"{len(self.items)} items but {len(self.log_weights)} weights"
+            )
+        if not self.items:
+            raise ValueError("a weighted collection needs at least one item")
+
+    @classmethod
+    def uniform(cls, items: Sequence[T]) -> "WeightedCollection[T]":
+        """Equally weighted collection (weight 1 each, as in Lemma 2)."""
+        return cls(items, [0.0] * len(items))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(zip(self.items, self.log_weights))
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def normalized_weights(self) -> np.ndarray:
+        return _normalized_weights(self.log_weights)
+
+    def effective_sample_size(self) -> float:
+        return effective_sample_size(self.log_weights)
+
+    def log_mean_weight(self) -> float:
+        """``log( (1/M) sum_j exp(logw_j) )``.
+
+        When the input collection came from exact posterior samples of
+        ``P`` with weight one, this estimates ``log(Z_Q / Z_P)`` (Lemma 6).
+        """
+        return log_sum_exp(self.log_weights) - math.log(len(self))
+
+    # -- estimation (Equation 5) -------------------------------------------------
+
+    def estimate(self, phi: Callable[[T], float]) -> float:
+        """Self-normalized estimate of ``E_{u~Q}[phi(u)]`` (Equation 5)."""
+        weights = self.normalized_weights()
+        return float(np.dot(weights, [float(phi(item)) for item in self.items]))
+
+    def estimate_probability(self, event: Callable[[T], bool]) -> float:
+        """Estimate ``Pr[event]`` using the indicator of the event."""
+        return self.estimate(lambda item: 1.0 if event(item) else 0.0)
+
+    # -- transformation -----------------------------------------------------------
+
+    def map(self, fn: Callable[[T], T]) -> "WeightedCollection[T]":
+        return WeightedCollection([fn(item) for item in self.items], list(self.log_weights))
+
+    def scaled(self, log_increments: Sequence[float]) -> "WeightedCollection[T]":
+        """Multiply weights by per-item increments (``w'_j = w_j * Δw_j``)."""
+        if len(log_increments) != len(self):
+            raise ValueError("one increment per item is required")
+        return WeightedCollection(
+            list(self.items),
+            [w + float(d) for w, d in zip(self.log_weights, log_increments)],
+        )
+
+    def resample(
+        self,
+        rng: np.random.Generator,
+        size: Optional[int] = None,
+        scheme: str = "multinomial",
+    ) -> "WeightedCollection[T]":
+        """Resample the collection; resulting items all carry weight 1.
+
+        ``resample`` of Algorithm 2 corresponds to the default
+        multinomial scheme with ``size == len(self)``.
+        """
+        if scheme not in RESAMPLING_SCHEMES:
+            raise ValueError(
+                f"unknown resampling scheme {scheme!r}; "
+                f"choose from {sorted(RESAMPLING_SCHEMES)}"
+            )
+        size = size if size is not None else len(self)
+        weights = self.normalized_weights()
+        indices = RESAMPLING_SCHEMES[scheme](weights, size, rng)
+        return WeightedCollection([self.items[int(i)] for i in indices], [0.0] * size)
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedCollection(size={len(self)}, "
+            f"ess={self.effective_sample_size():.1f})"
+        )

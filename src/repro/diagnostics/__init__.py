@@ -1,0 +1,22 @@
+"""Diagnostics: divergences, the exact trace-translator error ε(R)
+(Section 4.1 / 5.3) for enumerable programs, and experiment metrics."""
+
+from .error import TranslatorError, output_distribution, translator_error
+from .metrics import (
+    absolute_error,
+    empirical_distribution,
+    kl_divergence,
+    log_marginal_likelihood,
+    total_variation,
+)
+
+__all__ = [
+    "TranslatorError",
+    "output_distribution",
+    "translator_error",
+    "kl_divergence",
+    "total_variation",
+    "empirical_distribution",
+    "log_marginal_likelihood",
+    "absolute_error",
+]

@@ -1,0 +1,143 @@
+"""Exact trace-translator error ε(R) for enumerable programs.
+
+Section 4.1 defines the error of a trace translator as
+
+    ε(R) = D_KL(Q || η)  +  E_{u~Q}[ D_KL( l(.;u) || l_OPT(.;u) ) ]
+
+where ``η`` is the translator's output distribution and ``l_OPT`` the
+optimal backward kernel (Equation 3).  For programs whose latent choices
+are finite and discrete, every quantity is computable by enumeration;
+this module does so, which lets tests validate the theory (e.g. that a
+good correspondence has lower error than an empty one, and that the
+number of traces needed scales with the error — Appendix B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.corr_translator import CorrespondenceTranslator, _BackwardKernelScorer
+from ..core.enumerate import enumerate_traces
+from ..core.handlers import log_sum_exp
+from ..core.trace import Trace
+
+__all__ = ["TranslatorError", "translator_error", "output_distribution"]
+
+NEG_INF = float("-inf")
+
+
+def _trace_key(trace: Trace) -> Tuple:
+    return tuple((address, trace[address]) for address in trace.addresses())
+
+
+def _posterior(model) -> List[Tuple[Trace, float]]:
+    traces = [t for t in enumerate_traces(model) if t.log_prob != NEG_INF]
+    log_z = log_sum_exp(t.log_prob for t in traces)
+    return [(t, math.exp(t.log_prob - log_z)) for t in traces]
+
+
+def _forward_kernel_log_prob(
+    translator: CorrespondenceTranslator, source_trace: Trace, target_trace: Trace
+) -> float:
+    """``log k_{P->Q}(u; t)`` scored deterministically by replay."""
+    scorer = _BackwardKernelScorer(
+        target_trace.to_choice_map(),
+        translator.target.observations,
+        translator.correspondence.inverse(),
+        source_trace,
+        translator.forward_proposals,
+    )
+    translator.target.run(scorer)
+    return scorer.backward_log_prob
+
+
+def _backward_kernel_log_prob(
+    translator: CorrespondenceTranslator, source_trace: Trace, target_trace: Trace
+) -> float:
+    """``log l_{Q->P}(t; u) = log k_{Q->P}(t; u)`` by replay."""
+    scorer = _BackwardKernelScorer(
+        source_trace.to_choice_map(),
+        translator.source.observations,
+        translator.correspondence,
+        target_trace,
+        translator.backward_proposals,
+    )
+    translator.source.run(scorer)
+    return scorer.backward_log_prob
+
+
+def output_distribution(translator: CorrespondenceTranslator) -> Dict[Tuple, float]:
+    """``η(u) = Σ_t Pr[t ~ P] k(u; t)`` over all traces ``u`` of ``Q``.
+
+    Requires both programs to be finite and discrete.  Keys are
+    ``((address, value), ...)`` tuples in execution order.
+    """
+    source_posterior = _posterior(translator.source)
+    eta: Dict[Tuple, float] = {}
+    for target_trace in enumerate_traces(translator.target):
+        key = _trace_key(target_trace)
+        total = 0.0
+        for source_trace, prob in source_posterior:
+            log_k = _forward_kernel_log_prob(translator, source_trace, target_trace)
+            if log_k != NEG_INF:
+                total += prob * math.exp(log_k)
+        if total > 0.0:
+            eta[key] = eta.get(key, 0.0) + total
+    return eta
+
+
+@dataclass(frozen=True)
+class TranslatorError:
+    """The two terms of ε(R) (Equation 4) and their sum."""
+
+    output_divergence: float  # D_KL(Q || η)
+    backward_divergence: float  # E_{u~Q} D_KL(l || l_OPT)
+
+    @property
+    def total(self) -> float:
+        return self.output_divergence + self.backward_divergence
+
+
+def translator_error(translator: CorrespondenceTranslator) -> TranslatorError:
+    """Compute ε(R) exactly by enumeration (finite discrete programs).
+
+    Returns ``inf`` divergences when the support of ``Q`` is not covered
+    by ``η`` (the translator can never produce some posterior-possible
+    trace — e.g. a correspondence that pins a choice to an impossible
+    value).
+    """
+    source_posterior = _posterior(translator.source)
+    target_posterior = _posterior(translator.target)
+
+    # Pre-compute k(u; t) and l(t; u) for all pairs.
+    output_divergence = 0.0
+    backward_divergence = 0.0
+    for target_trace, q_prob in target_posterior:
+        forward = [
+            (source_trace, p_prob,
+             _forward_kernel_log_prob(translator, source_trace, target_trace))
+            for source_trace, p_prob in source_posterior
+        ]
+        eta_u = sum(
+            p_prob * math.exp(log_k) for _t, p_prob, log_k in forward if log_k != NEG_INF
+        )
+        if eta_u <= 0.0:
+            return TranslatorError(float("inf"), float("inf"))
+        output_divergence += q_prob * math.log(q_prob / eta_u)
+
+        # D_KL( l(.;u) || l_OPT(.;u) ) with l_OPT(t;u) = Pr[t] k(u;t) / η(u).
+        divergence_u = 0.0
+        for source_trace, p_prob, log_k in forward:
+            log_l = _backward_kernel_log_prob(translator, source_trace, target_trace)
+            if log_l == NEG_INF:
+                continue
+            l_prob = math.exp(log_l)
+            optimal = p_prob * math.exp(log_k) / eta_u if log_k != NEG_INF else 0.0
+            if optimal <= 0.0:
+                return TranslatorError(output_divergence, float("inf"))
+            divergence_u += l_prob * math.log(l_prob / optimal)
+        backward_divergence += q_prob * divergence_u
+
+    return TranslatorError(output_divergence, backward_divergence)

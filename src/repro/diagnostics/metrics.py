@@ -1,0 +1,63 @@
+"""Divergence and accuracy metrics used by tests and experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, Sequence
+
+import numpy as np
+
+from ..core import WeightedCollection
+
+__all__ = [
+    "kl_divergence",
+    "total_variation",
+    "empirical_distribution",
+    "log_marginal_likelihood",
+    "absolute_error",
+]
+
+
+def kl_divergence(p: Dict[Hashable, float], q: Dict[Hashable, float]) -> float:
+    """``D_KL(p || q)`` for discrete distributions given as dicts.
+
+    Returns ``inf`` when ``p`` puts mass where ``q`` does not.
+    """
+    divergence = 0.0
+    for key, p_prob in p.items():
+        if p_prob <= 0.0:
+            continue
+        q_prob = q.get(key, 0.0)
+        if q_prob <= 0.0:
+            return float("inf")
+        divergence += p_prob * math.log(p_prob / q_prob)
+    return divergence
+
+
+def total_variation(p: Dict[Hashable, float], q: Dict[Hashable, float]) -> float:
+    """Total variation distance ``(1/2) Σ |p - q|``."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def empirical_distribution(
+    collection: WeightedCollection, key: Callable
+) -> Dict[Hashable, float]:
+    """Weighted empirical distribution of ``key(item)`` over a collection."""
+    weights = collection.normalized_weights()
+    distribution: Dict[Hashable, float] = {}
+    for item, weight in zip(collection.items, weights):
+        k = key(item)
+        distribution[k] = distribution.get(k, 0.0) + float(weight)
+    return distribution
+
+
+def log_marginal_likelihood(collection: WeightedCollection) -> float:
+    """``log( (1/M) Σ w_j )`` — estimates ``log(Z_Q / Z_P)`` after one
+    Algorithm-2 step whose input weights were one (Lemma 6)."""
+    return collection.log_mean_weight()
+
+
+def absolute_error(estimates: Sequence[float], truth: float) -> float:
+    """Mean absolute error of repeated estimates against a reference."""
+    return float(np.mean([abs(e - truth) for e in estimates]))

@@ -1,0 +1,60 @@
+"""Primitive probability distributions used by both runtimes.
+
+The structured language (:mod:`repro.lang`) and the embedded PPL
+(:mod:`repro.core`) both score and sample random choices through the
+:class:`~repro.distributions.base.Distribution` interface defined here.
+"""
+
+from .base import (
+    NEG_INF,
+    BinarySupport,
+    ContinuousDistribution,
+    DiscreteDistribution,
+    Distribution,
+    FiniteSupport,
+    IntegerRange,
+    PositiveReals,
+    RealInterval,
+    RealLine,
+    Support,
+)
+from .continuous import Beta, Exponential, Gamma, LogNormal, Normal, TwoNormals, Uniform
+from .discrete import (
+    Bernoulli,
+    Poisson,
+    Categorical,
+    Delta,
+    Flip,
+    Geometric,
+    LogCategorical,
+    UniformDiscrete,
+)
+
+__all__ = [
+    "NEG_INF",
+    "Distribution",
+    "DiscreteDistribution",
+    "ContinuousDistribution",
+    "Support",
+    "FiniteSupport",
+    "IntegerRange",
+    "BinarySupport",
+    "RealLine",
+    "RealInterval",
+    "PositiveReals",
+    "Flip",
+    "Bernoulli",
+    "UniformDiscrete",
+    "Categorical",
+    "LogCategorical",
+    "Delta",
+    "Geometric",
+    "Poisson",
+    "Exponential",
+    "Normal",
+    "Uniform",
+    "TwoNormals",
+    "Gamma",
+    "Beta",
+    "LogNormal",
+]

@@ -1,0 +1,237 @@
+"""Continuous primitive distributions.
+
+The paper treats continuous and discrete random choices uniformly by
+multiplying probabilities and densities (Section 3, "Continuous
+Distributions"); we follow the same convention: ``log_prob`` of a
+continuous distribution is a log *density*.
+
+``TwoNormals`` is the inlier/outlier mixture used by the robust Bayesian
+regression program (Listing 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import (
+    NEG_INF,
+    ContinuousDistribution,
+    PositiveReals,
+    RealInterval,
+    RealLine,
+    Support,
+)
+
+__all__ = [
+    "Normal",
+    "Exponential",
+    "Uniform",
+    "TwoNormals",
+    "Gamma",
+    "Beta",
+    "LogNormal",
+]
+
+_LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
+_REAL_LINE = RealLine()
+_POSITIVE = PositiveReals()
+
+
+def _normal_log_density(value: float, mean: float, std: float) -> float:
+    z = (value - mean) / std
+    return -0.5 * z * z - math.log(std) - _LOG_SQRT_2PI
+
+
+@dataclass(frozen=True)
+class Normal(ContinuousDistribution):
+    """Gaussian with the given ``mean`` and standard deviation ``std``."""
+
+    mean: float
+    std: float
+
+    def __post_init__(self) -> None:
+        if self.std <= 0.0:
+            raise ValueError(f"normal std must be positive, got {self.std}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.normal(self.mean, self.std))
+
+    def log_prob(self, value) -> float:
+        return _normal_log_density(float(value), self.mean, self.std)
+
+    def support(self) -> Support:
+        return _REAL_LINE
+
+
+@dataclass(frozen=True)
+class Uniform(ContinuousDistribution):
+    """Continuous uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise ValueError(
+                f"uniform(low, high) requires low < high, got ({self.low}, {self.high})"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def log_prob(self, value) -> float:
+        if self.low <= float(value) <= self.high:
+            return -math.log(self.high - self.low)
+        return NEG_INF
+
+    def support(self) -> Support:
+        return RealInterval(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class TwoNormals(ContinuousDistribution):
+    """Mixture of two Gaussians sharing a mean: inlier vs outlier.
+
+    With probability ``prob_outlier`` the value is drawn from
+    ``Normal(mean, outlier_std)``, otherwise from ``Normal(mean,
+    inlier_std)``.  This is the ``two_normals`` primitive of Listing 2 in
+    the paper, which marginalizes the per-point outlier indicator so the
+    robust regression trace contains only continuous choices for the data.
+    """
+
+    mean: float
+    prob_outlier: float
+    inlier_std: float
+    outlier_std: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob_outlier <= 1.0:
+            raise ValueError(f"prob_outlier must be in [0, 1], got {self.prob_outlier}")
+        if self.inlier_std <= 0.0 or self.outlier_std <= 0.0:
+            raise ValueError("mixture component stds must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        std = self.outlier_std if rng.random() < self.prob_outlier else self.inlier_std
+        return float(rng.normal(self.mean, std))
+
+    def log_prob(self, value) -> float:
+        value = float(value)
+        log_in = _normal_log_density(value, self.mean, self.inlier_std)
+        log_out = _normal_log_density(value, self.mean, self.outlier_std)
+        if self.prob_outlier == 0.0:
+            return log_in
+        if self.prob_outlier == 1.0:
+            return log_out
+        log_a = math.log1p(-self.prob_outlier) + log_in
+        log_b = math.log(self.prob_outlier) + log_out
+        high = max(log_a, log_b)
+        return high + math.log(math.exp(log_a - high) + math.exp(log_b - high))
+
+    def support(self) -> Support:
+        return _REAL_LINE
+
+
+@dataclass(frozen=True)
+class Gamma(ContinuousDistribution):
+    """Gamma distribution with ``shape`` and ``scale`` parameters."""
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0.0 or self.scale <= 0.0:
+            raise ValueError("gamma shape and scale must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.shape, self.scale))
+
+    def log_prob(self, value) -> float:
+        value = float(value)
+        if value <= 0.0:
+            return NEG_INF
+        return (
+            (self.shape - 1.0) * math.log(value)
+            - value / self.scale
+            - math.lgamma(self.shape)
+            - self.shape * math.log(self.scale)
+        )
+
+    def support(self) -> Support:
+        return _POSITIVE
+
+
+@dataclass(frozen=True)
+class Beta(ContinuousDistribution):
+    """Beta distribution on ``[0, 1]``."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0 or self.beta <= 0.0:
+            raise ValueError("beta parameters must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.beta(self.alpha, self.beta))
+
+    def log_prob(self, value) -> float:
+        value = float(value)
+        if not 0.0 < value < 1.0:
+            return NEG_INF
+        log_norm = (
+            math.lgamma(self.alpha) + math.lgamma(self.beta) - math.lgamma(self.alpha + self.beta)
+        )
+        return (self.alpha - 1.0) * math.log(value) + (self.beta - 1.0) * math.log1p(-value) - log_norm
+
+    def support(self) -> Support:
+        return RealInterval(0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class LogNormal(ContinuousDistribution):
+    """Log-normal: ``exp(Normal(mu, sigma))``."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0.0:
+            raise ValueError(f"log-normal sigma must be positive, got {self.sigma}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(math.exp(rng.normal(self.mu, self.sigma)))
+
+    def log_prob(self, value) -> float:
+        value = float(value)
+        if value <= 0.0:
+            return NEG_INF
+        return _normal_log_density(math.log(value), self.mu, self.sigma) - math.log(value)
+
+    def support(self) -> Support:
+        return _POSITIVE
+
+
+@dataclass(frozen=True)
+class Exponential(ContinuousDistribution):
+    """Exponential distribution with the given ``rate``."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError(f"exponential rate must be positive, got {self.rate}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    def log_prob(self, value) -> float:
+        value = float(value)
+        if value < 0.0:
+            return NEG_INF
+        return math.log(self.rate) - self.rate * value
+
+    def support(self) -> Support:
+        return _POSITIVE

@@ -1,0 +1,73 @@
+"""Runnable reproductions of the paper's figures.
+
+* :mod:`repro.experiments.burglary` — Figure 1 (overview numbers);
+* :mod:`repro.experiments.fig8` — robust Bayesian regression;
+* :mod:`repro.experiments.fig9` — higher-order HMM typo correction;
+* :mod:`repro.experiments.fig10` — GMM translation-time scaling.
+
+Each module exposes ``run_*`` returning structured rows and printing the
+same series the paper plots; each is also executable as a script
+(``python -m repro.experiments.fig8``).
+
+Submodules are imported lazily so ``python -m repro.experiments.figN``
+does not trigger the double-import RuntimeWarning.
+"""
+
+import importlib
+from typing import Any
+
+__all__ = [
+    "burglary_original",
+    "burglary_refined",
+    "burglary_correspondence",
+    "figure1_rows",
+    "run_figure1",
+    "Fig8Config",
+    "Fig8Result",
+    "gold_standard_slope",
+    "run_fig8",
+    "Fig9Config",
+    "Fig9Result",
+    "run_fig9",
+    "Fig10Config",
+    "Fig10Result",
+    "run_fig10",
+    "Row",
+    "median_time",
+    "print_table",
+    "timed",
+]
+
+_LOCATIONS = {
+    "burglary_original": "burglary",
+    "burglary_refined": "burglary",
+    "burglary_correspondence": "burglary",
+    "figure1_rows": "burglary",
+    "run_figure1": "burglary",
+    "Fig8Config": "fig8",
+    "Fig8Result": "fig8",
+    "gold_standard_slope": "fig8",
+    "run_fig8": "fig8",
+    "Fig9Config": "fig9",
+    "Fig9Result": "fig9",
+    "run_fig9": "fig9",
+    "Fig10Config": "fig10",
+    "Fig10Result": "fig10",
+    "run_fig10": "fig10",
+    "Row": "harness",
+    "median_time": "harness",
+    "print_table": "harness",
+    "timed": "harness",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LOCATIONS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,56 @@
+"""Run every figure reproduction in sequence.
+
+Usage::
+
+    python -m repro.experiments            # full configurations
+    python -m repro.experiments --quick    # reduced sizes (a few minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced configurations for a fast pass"
+    )
+    args = parser.parse_args()
+
+    from .burglary import run_figure1
+    from .fig8 import Fig8Config, run_fig8
+    from .fig9 import Fig9Config, run_fig9
+    from .fig10 import Fig10Config, run_fig10
+
+    print("=" * 72)
+    run_figure1(num_traces=5000 if args.quick else 20000)
+
+    print("\n" + "=" * 72)
+    if args.quick:
+        run_fig8(
+            Fig8Config(
+                repetitions=3,
+                trace_counts=(10, 100),
+                mcmc_iterations=(30, 300),
+                gold_iterations=8000,
+            )
+        )
+    else:
+        run_fig8()
+
+    print("\n" + "=" * 72)
+    if args.quick:
+        run_fig9(Fig9Config(num_train_words=2500, num_test_words=6, gibbs_sweeps=(1, 3)))
+    else:
+        run_fig9()
+
+    print("\n" + "=" * 72)
+    if args.quick:
+        run_fig10(Fig10Config(num_points=(10, 100, 1000), repetitions=3))
+    else:
+        run_fig10()
+
+
+if __name__ == "__main__":
+    main()

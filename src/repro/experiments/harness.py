@@ -1,0 +1,92 @@
+"""Shared experiment utilities: timing, result rows, table printing.
+
+Every experiment runner returns a list of :class:`Row` objects and can
+print them as an aligned table, one row per plotted point, so the output
+directly mirrors the paper's figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Row", "print_table", "median_time", "timed", "rows_to_json", "save_rows"]
+
+
+@dataclass
+class Row:
+    """One plotted point: a method/series name plus named values."""
+
+    series: str
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` once; return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def median_time(fn: Callable[[], Any], repetitions: int = 5) -> float:
+    """Median wall-clock seconds of ``fn`` over several repetitions."""
+    durations = []
+    for _ in range(repetitions):
+        _result, seconds = timed(fn)
+        durations.append(seconds)
+    return float(np.median(durations))
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_table(rows: Sequence[Row], columns: Optional[List[str]] = None, title: str = "") -> str:
+    """Format rows as an aligned text table and print it."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row.values:
+                if key not in columns:
+                    columns.append(key)
+    header = ["series"] + columns
+    body = [[row.series] + [_format_value(row.values.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(str(cell)) for cell in [header[i]] + [r[i] for r in body]) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in body:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row_cells, widths)))
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+def rows_to_json(rows: Sequence[Row]) -> str:
+    """Serialize rows to a JSON array (one object per plotted point)."""
+    import json
+
+    return json.dumps(
+        [{"series": row.series, **row.values} for row in rows], indent=2
+    )
+
+
+def save_rows(rows: Sequence[Row], path: str) -> None:
+    """Write rows as JSON, for downstream plotting or regression tracking."""
+    with open(path, "w") as handle:
+        handle.write(rows_to_json(rows))
+        handle.write("\n")

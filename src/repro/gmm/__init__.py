@@ -1,0 +1,15 @@
+"""Gaussian mixture model substrate for the Figure 10 experiment."""
+
+from .model import (
+    GMMExperimentSetup,
+    gmm_conditioned_source,
+    gmm_edit_setup,
+    gmm_generative_source,
+)
+
+__all__ = [
+    "GMMExperimentSetup",
+    "gmm_generative_source",
+    "gmm_conditioned_source",
+    "gmm_edit_setup",
+]

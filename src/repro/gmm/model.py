@@ -1,0 +1,98 @@
+"""The finite Gaussian mixture model of Listing 5 (Section 7.4).
+
+The Figure 10 experiment edits a hyper-parameter of the GMM program —
+the prior standard deviation of the cluster centers — and measures
+trace-translation time as the number of data points ``N`` grows, for
+the baseline (Section 5, O(N + K)) and optimized (Section 6, O(K))
+algorithms.
+
+The hyper-parameter is expressed as a leading assignment ``sigma = v;``
+so the edit machinery of :mod:`repro.graph.edits` applies directly; the
+number of data points ``n`` is an environment parameter, as in
+Listing 5's ``main(sigma, n)`` signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..graph.edits import replace_constant
+from ..lang.ast import Stmt
+from ..lang.parser import parse_program
+
+__all__ = [
+    "gmm_generative_source",
+    "gmm_conditioned_source",
+    "GMMExperimentSetup",
+    "gmm_edit_setup",
+]
+
+
+def gmm_generative_source(k: int = 10, sigma: float = 2) -> str:
+    """Listing 5 with the center-prior std inlined as ``sigma = ...;``."""
+    return f"""
+sigma = {sigma};
+k = {k};
+centers = array(k, 0);
+for i in [0 .. k) {{
+    centers[i] = gauss(0, sigma);
+}}
+data = array(n, 0);
+for i in [0 .. n) {{
+    data[i] = gauss(centers[uniform(0, k - 1)], 1);
+}}
+return data;
+"""
+
+
+def gmm_conditioned_source(k: int = 10, sigma: float = 2) -> str:
+    """A conditioned GMM: observed data drawn from the mixture.
+
+    ``ys`` (the observed points) is an environment parameter; cluster
+    assignments remain latent.  Used by examples and tests that do
+    posterior inference over centers in the structured language.
+    """
+    return f"""
+sigma = {sigma};
+k = {k};
+centers = array(k, 0);
+for i in [0 .. k) {{
+    centers[i] = gauss(0, sigma);
+}}
+for i in [0 .. n) {{
+    z = uniform(0, k - 1);
+    observe(gauss(centers[z], 1) == ys[i]);
+}}
+return centers;
+"""
+
+
+@dataclass(frozen=True)
+class GMMExperimentSetup:
+    """Everything needed to run one Figure 10 translation at size ``n``."""
+
+    source_program: Stmt
+    target_program: Stmt
+    env: Dict[str, int]
+    k: int
+    n: int
+
+
+def gmm_edit_setup(
+    n: int, k: int = 10, sigma_old: float = 2, sigma_new: float = 3
+) -> GMMExperimentSetup:
+    """Build the Listing 5 program and its hyper-parameter edit.
+
+    The target program shares every unchanged subtree with the source,
+    as the Section 6 algorithm requires.
+    """
+    source = parse_program(gmm_generative_source(k=k, sigma=sigma_old))
+    target = replace_constant(source, "sigma", sigma_new)
+    return GMMExperimentSetup(
+        source_program=source,
+        target_program=target,
+        env={"n": int(n)},
+        k=k,
+        n=int(n),
+    )

@@ -1,0 +1,49 @@
+"""Dependency-tracking runtime and optimized trace translation (Section 6).
+
+* :mod:`repro.graph.records` — traces as dependency-record trees (``G_t``);
+* :mod:`repro.graph.engine` — initial recording run and incremental
+  change propagation;
+* :mod:`repro.graph.edits` — structured program edits with maximal
+  subtree sharing (the source of the syntactic correspondence);
+* :mod:`repro.graph.diff` — recovering a correspondence from two program
+  texts by tree alignment;
+* :mod:`repro.graph.translate` — the optimized translator and the
+  Section 5 baseline it is compared against in Figure 10.
+"""
+
+from .dot import to_dot
+from .diff import align_labels, diff_correspondence, label_correspondence
+from .edits import (
+    Edit,
+    apply_edit,
+    assignment_path,
+    replace_constant,
+    statement_path,
+    statements,
+    subtree_at,
+)
+from .engine import PropagationResult, propagate, run_initial
+from .records import GraphTrace, StmtRecord
+from .translate import GraphTranslator, baseline_lang_translator, graph_trace_to_choice_map
+
+__all__ = [
+    "GraphTrace",
+    "to_dot",
+    "StmtRecord",
+    "run_initial",
+    "propagate",
+    "PropagationResult",
+    "Edit",
+    "apply_edit",
+    "subtree_at",
+    "statements",
+    "statement_path",
+    "assignment_path",
+    "replace_constant",
+    "align_labels",
+    "label_correspondence",
+    "diff_correspondence",
+    "GraphTranslator",
+    "baseline_lang_translator",
+    "graph_trace_to_choice_map",
+]

@@ -1,0 +1,84 @@
+"""Graphviz DOT export of dependency-record traces.
+
+Renders a :class:`~repro.graph.records.GraphTrace` in the style of the
+paper's Figure 7: one node per statement record, labelled with its
+pretty-printed statement (choices and observations annotated), and edges
+for the record tree plus the variable reads each statement consumed.
+When an old trace is supplied, nodes shared with it (skipped during
+propagation) are drawn dashed — making the partial re-execution visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.ast import Seq
+from ..lang.pretty import pretty
+from .records import GraphTrace, StmtRecord
+
+__all__ = ["to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _statement_summary(record: StmtRecord, max_length: int = 40) -> str:
+    if isinstance(record.stmt, Seq):
+        text = "…;"
+    else:
+        text = pretty(record.stmt).split("\n")[0].strip()
+    if len(text) > max_length:
+        text = text[: max_length - 1] + "…"
+    annotations: List[str] = []
+    for address, choice in record.choices.items():
+        annotations.append(f"{address[0]} -> {choice.value!r}")
+    for address, observation in record.observations.items():
+        annotations.append(f"obs {address[0]}: {observation.log_prob:.2f}")
+    if annotations:
+        text += "\\n" + "\\n".join(annotations[:3])
+    return text
+
+
+def to_dot(trace: GraphTrace, old: Optional[GraphTrace] = None) -> str:
+    """Render the trace as a DOT digraph string.
+
+    ``old`` marks records shared by reference with a previous trace
+    (i.e. skipped by propagation) with dashed borders.
+    """
+    shared = set()
+    if old is not None:
+        stack = [old.root]
+        while stack:
+            record = stack.pop()
+            shared.add(id(record))
+            stack.extend(record.children.values())
+
+    lines = ["digraph trace {", '  node [shape=box, fontname="monospace"];']
+    counter = [0]
+    writer_of: Dict[Tuple[str, int], str] = {}
+
+    def visit(record: StmtRecord, parent: Optional[str]) -> None:
+        counter[0] += 1
+        node_id = f"n{counter[0]}"
+        style = "dashed" if id(record) in shared else "solid"
+        lines.append(
+            f'  {node_id} [label="{_escape(_statement_summary(record))}", style={style}];'
+        )
+        if parent is not None:
+            lines.append(f"  {parent} -> {node_id};")
+        # Dataflow edges: reads resolved to the writer node, when known.
+        for name, version in record.reads.items():
+            writer = writer_of.get((name, version))
+            if writer is not None:
+                lines.append(
+                    f'  {writer} -> {node_id} [style=dotted, label="{_escape(name)}"];'
+                )
+        for name, (_value, version) in record.writes.items():
+            writer_of[(name, version)] = node_id
+        for key in sorted(record.children, key=repr):
+            visit(record.children[key], node_id)
+
+    visit(trace.root, None)
+    lines.append("}")
+    return "\n".join(lines)

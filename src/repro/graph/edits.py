@@ -1,0 +1,111 @@
+"""Structured program edits (Section 6).
+
+An :class:`Edit` replaces the subtree at a *path* with a new subtree.
+Applying an edit rebuilds only the nodes along the path; every other
+subtree of the program is **shared by reference** with the original.
+The incremental engine exploits this: its unchanged-subtree test is an
+``is`` check on shared nodes, and random expressions in shared subtrees
+keep their labels — which *is* the syntactic correspondence the paper
+derives from an edit (random expressions that correspond syntactically
+are placed in semantic correspondence).
+
+Paths are tuples of dataclass field names, e.g.
+``("second", "first", "expr")`` reaches the right-hand side of the
+second statement of a program.  Helpers locate common targets:
+:func:`statement_path` (the i-th statement of a sequence spine) and
+:func:`assignment_path` (the statement assigning a given variable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Tuple
+
+from ..lang.ast import Assign, Node, Seq, Stmt
+
+__all__ = [
+    "Edit",
+    "apply_edit",
+    "subtree_at",
+    "statement_path",
+    "assignment_path",
+    "statements",
+    "replace_constant",
+]
+
+Path = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Edit:
+    """Replace the subtree at ``path`` with ``replacement``."""
+
+    path: Path
+    replacement: Node
+
+    def apply(self, program: Stmt) -> Stmt:
+        return apply_edit(program, self.path, self.replacement)
+
+
+def subtree_at(node: Node, path: Path) -> Node:
+    """The subtree reached by following ``path`` from ``node``."""
+    for name in path:
+        if not hasattr(node, name):
+            raise KeyError(f"node {type(node).__name__} has no field {name!r}")
+        node = getattr(node, name)
+        if not isinstance(node, Node):
+            raise KeyError(f"path component {name!r} does not lead to an AST node")
+    return node
+
+
+def apply_edit(program: Stmt, path: Path, replacement: Node) -> Stmt:
+    """Rebuild ``program`` with ``replacement`` at ``path``.
+
+    All subtrees off the path are shared by reference with ``program``.
+    """
+    if not path:
+        if not isinstance(replacement, type(program)) and not isinstance(replacement, Node):
+            raise TypeError("replacement must be an AST node")
+        return replacement  # type: ignore[return-value]
+    head, rest = path[0], path[1:]
+    child = subtree_at(program, (head,))
+    rebuilt_child = apply_edit(child, rest, replacement)  # type: ignore[arg-type]
+    return replace(program, **{head: rebuilt_child})
+
+
+def statements(program: Stmt) -> Iterator[Tuple[Path, Stmt]]:
+    """The statements of a right-nested sequence spine, with their paths."""
+    path: Path = ()
+    node: Stmt = program
+    while isinstance(node, Seq):
+        yield path + ("first",), node.first
+        path = path + ("second",)
+        node = node.second
+    yield path, node
+
+
+def statement_path(program: Stmt, index: int) -> Path:
+    """Path to the ``index``-th statement of the top-level sequence."""
+    for i, (path, _stmt) in enumerate(statements(program)):
+        if i == index:
+            return path
+    raise IndexError(f"program has fewer than {index + 1} statements")
+
+
+def assignment_path(program: Stmt, name: str) -> Path:
+    """Path to the first top-level assignment to ``name``."""
+    for path, stmt in statements(program):
+        if isinstance(stmt, Assign) and stmt.name == name:
+            return path
+    raise KeyError(f"no top-level assignment to {name!r}")
+
+
+def replace_constant(program: Stmt, name: str, value) -> Stmt:
+    """Edit ``name = <const>;`` to ``name = value;`` (e.g. Figure 7's
+    ``a = 1`` -> ``a = 2``, or the GMM's hyper-parameter change)."""
+    from ..lang.ast import Const
+
+    path = assignment_path(program, name)
+    assignment = subtree_at(program, path)
+    assert isinstance(assignment, Assign)
+    return apply_edit(program, path + ("expr",), Const(value))

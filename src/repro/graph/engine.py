@@ -1,0 +1,474 @@
+"""The incremental execution engine (Section 6).
+
+Two entry points:
+
+* :func:`run_initial` executes a program while recording the dependency
+  structure ``G_t`` of Figure 7: per-statement records with external
+  reads (variable versions consumed), writes (versions produced), and
+  the random choices / observations made.
+
+* :func:`propagate` re-executes an *edited* program against an old
+  :class:`~repro.graph.records.GraphTrace`, visiting only statements
+  whose code or inputs changed.  A statement whose AST subtree is
+  unchanged and whose external reads carry the same versions as before
+  is **skipped** in time proportional to its read/write set: its record
+  (including all random choices below it) is shared with the new trace.
+
+Change propagation implements the paper's two key behaviours:
+
+* a re-executed random choice whose address exists in the old trace
+  (the syntactic correspondence induced by the edit) *reuses* the old
+  value and contributes the factor ``p_Q(u_i) / p_P(t_i)`` to the
+  weight estimate — and because the reused value is unchanged, an
+  assignment that receives it keeps its old version, so the change does
+  not propagate further (Figure 7: ``b = flip(a/3)`` reuses ``b -> 1``
+  and ``d = flip(b/2)`` is never revisited);
+
+* observations visited during propagation contribute
+  ``p_Q(obs)`` to the numerator and, when they replace an old
+  observation, ``p_P(obs)`` to the denominator; observations deleted by
+  the edit contribute their old probability to the denominator
+  (Section 6, "Efficient Weight Estimate Evaluation").  All other
+  factors cancel, exactly as in Equation 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.trace import ChoiceRecord, ObservationRecord
+from ..distributions import Distribution
+from ..lang.ast import (
+    ArrayExpr,
+    Assign,
+    Binary,
+    Const,
+    Expr,
+    For,
+    If,
+    Index,
+    IndexAssign,
+    Observe,
+    RandomExpr,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    Ternary,
+    Unary,
+    Var,
+    While,
+)
+from ..lang.interp import EvalError, choice_address, distribution_of
+from .records import GraphTrace, StmtRecord
+
+__all__ = ["run_initial", "propagate", "PropagationResult"]
+
+
+def _truthy(value: Any) -> bool:
+    return value != 0
+
+
+@dataclass
+class _Frame:
+    """One statement record under construction."""
+
+    record: StmtRecord
+    old: Optional[StmtRecord]
+    shadowed: set = field(default_factory=set)
+
+
+@dataclass
+class PropagationResult:
+    """Output of one incremental run."""
+
+    trace: GraphTrace
+    log_weight: float
+    #: Statements re-executed (the paper's propagation work measure).
+    visited_statements: int
+    #: Statements skipped by the unchanged-inputs test.
+    skipped_statements: int
+
+
+class _Engine:
+    """Shared machinery of the initial and incremental runs."""
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator],
+        env_in: Dict[str, Tuple[Any, int]],
+        next_version: int,
+    ):
+        self._rng = rng
+        self.env: Dict[str, Tuple[Any, int]] = dict(env_in)
+        self.env_in = dict(env_in)
+        self._frames: List[_Frame] = []
+        self._loop_indices: List[int] = []
+        self._next_version = next_version
+        self.log_weight = 0.0
+        self.visited = 0
+        self.skipped = 0
+
+    # -- versions -----------------------------------------------------------
+
+    def _fresh_version(self) -> int:
+        self._next_version += 1
+        return self._next_version
+
+    @property
+    def next_version(self) -> int:
+        return self._next_version
+
+    # -- environment with read/write registration ------------------------------
+
+    def _read(self, name: str) -> Any:
+        if name not in self.env:
+            raise EvalError(f"unbound variable {name!r}")
+        value, version = self.env[name]
+        self._register_read(name, version)
+        return value
+
+    def _register_read(self, name: str, version: int) -> None:
+        for frame in reversed(self._frames):
+            if name in frame.shadowed:
+                break  # internal to this frame and every enclosing one
+            frame.record.reads.setdefault(name, version)
+
+    def _write(self, name: str, value: Any, version: int) -> None:
+        self.env[name] = (value, version)
+        for frame in self._frames:
+            frame.shadowed.add(name)
+            frame.record.writes[name] = (value, version)
+
+    def _version_for_write(self, name: str, value: Any, old: Optional[StmtRecord]) -> int:
+        """Reuse the old version when the written value is unchanged.
+
+        This is what stops change propagation at unchanged values: a
+        downstream statement whose reads all carry old versions skips.
+        """
+        if old is not None and name in old.writes:
+            old_value, old_version = old.writes[name]
+            if old_value == value:
+                return old_version
+        return self._fresh_version()
+
+    # -- random choices and observations ----------------------------------------
+
+    def _sample(self, dist: Distribution, address: Tuple, old: Optional[StmtRecord]) -> Any:
+        frame_record = self._frames[-1].record
+        old_choice = old.choices.get(address) if old is not None else None
+        if old_choice is not None and dist.support() == old_choice.dist.support():
+            value = old_choice.value
+            log_prob = dist.log_prob(value)
+            # Weight factor for a reused corresponding choice (Eq. 8):
+            # p_Q(u_i) in the numerator, p_P(t_{f(i)}) in the denominator.
+            self.log_weight += log_prob - old_choice.log_prob
+        else:
+            if self._rng is None:
+                raise EvalError(
+                    f"fresh random choice at {address!r} requires a random source"
+                )
+            value = dist.sample(self._rng)
+            log_prob = dist.log_prob(value)
+            # Freshly sampled: the forward-kernel factor cancels with the
+            # trace-probability factor, so no weight contribution.
+        frame_record.choices[address] = ChoiceRecord(address, dist, value, log_prob)
+        return value
+
+    def _observe(
+        self, dist: Distribution, value: Any, address: Tuple, old: Optional[StmtRecord]
+    ) -> None:
+        frame_record = self._frames[-1].record
+        log_prob = dist.log_prob(value)
+        self.log_weight += log_prob
+        if old is not None and address in old.observations:
+            self.log_weight -= old.observations[address].log_prob
+        frame_record.observations[address] = ObservationRecord(address, dist, value, log_prob)
+
+    # -- expression evaluation -----------------------------------------------------
+
+    def _eval(self, expr: Expr, old: Optional[StmtRecord]) -> Any:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            return self._read(expr.name)
+        if isinstance(expr, Unary):
+            operand = self._eval(expr.operand, old)
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return 0 if _truthy(operand) else 1
+            raise EvalError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, Binary):
+            return self._eval_binary(expr, old)
+        if isinstance(expr, Ternary):
+            if _truthy(self._eval(expr.cond, old)):
+                return self._eval(expr.then, old)
+            return self._eval(expr.otherwise, old)
+        if isinstance(expr, Index):
+            array = self._eval(expr.array, old)
+            index = int(self._eval(expr.index, old))
+            if not isinstance(array, list):
+                raise EvalError(f"indexing a non-array value {array!r}")
+            if not 0 <= index < len(array):
+                raise EvalError(f"index {index} out of bounds for array of size {len(array)}")
+            return array[index]
+        if isinstance(expr, ArrayExpr):
+            size = int(self._eval(expr.size, old))
+            if size < 0:
+                raise EvalError(f"negative array size {size}")
+            fill = self._eval(expr.fill, old)
+            return [fill] * size
+        if isinstance(expr, RandomExpr):
+            dist = distribution_of(expr, lambda sub: self._eval(sub, old))
+            address = choice_address(expr.label, tuple(self._loop_indices))
+            return self._sample(dist, address, old)
+        raise EvalError(f"unknown expression {expr!r}")
+
+    def _eval_binary(self, expr: Binary, old: Optional[StmtRecord]) -> Any:
+        op = expr.op
+        if op == "&&":
+            if not _truthy(self._eval(expr.left, old)):
+                return 0
+            return 1 if _truthy(self._eval(expr.right, old)) else 0
+        if op == "||":
+            if _truthy(self._eval(expr.left, old)):
+                return 1
+            return 1 if _truthy(self._eval(expr.right, old)) else 0
+        left = self._eval(expr.left, old)
+        right = self._eval(expr.right, old)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise EvalError("division by zero")
+            return left / right
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        raise EvalError(f"unknown binary operator {op!r}")
+
+    # -- statement execution with skipping -------------------------------------------
+
+    def _can_skip(self, stmt: Stmt, old: Optional[StmtRecord]) -> bool:
+        if old is None:
+            return False
+        if old.stmt is not stmt and old.stmt != stmt:
+            return False
+        for name, version in old.reads.items():
+            binding = self.env.get(name)
+            if binding is None or binding[1] != version:
+                return False
+        return True
+
+    def _replay_skipped(self, old: StmtRecord) -> None:
+        """Adopt a skipped record: register its reads, apply its writes."""
+        self.skipped += 1
+        for name, version in old.reads.items():
+            self._register_read(name, version)
+        for name, (value, version) in old.writes.items():
+            self._write(name, value, version)
+
+    def _exec(self, stmt: Stmt, old: Optional[StmtRecord]) -> StmtRecord:
+        if self._can_skip(stmt, old):
+            self._replay_skipped(old)
+            return old  # shared, immutable
+
+        self.visited += 1
+        record = StmtRecord(stmt=stmt)
+        frame = _Frame(record, old)
+        self._frames.append(frame)
+        try:
+            self._dispatch(stmt, record, old)
+        finally:
+            self._frames.pop()
+
+        if old is not None:
+            # Observations that existed here before but were not re-created
+            # were removed by the edit: factor them into the denominator.
+            for address, observation in old.observations.items():
+                if address not in record.observations:
+                    self.log_weight -= observation.log_prob
+            # Entire child subtrees that disappeared (branch flips, loops
+            # that shrank) remove their observations too; their choices
+            # cancel against the backward kernel and contribute nothing.
+            for key, old_child in old.children.items():
+                if key not in record.children:
+                    self.log_weight -= old_child.subtree_obs_log_prob
+
+        record.finalize()
+        return record
+
+    def _exec_child(self, record: StmtRecord, key: Any, stmt: Stmt, old: Optional[StmtRecord]) -> StmtRecord:
+        old_child = old.children.get(key) if old is not None else None
+        child = self._exec(stmt, old_child)
+        record.children[key] = child
+        if child.returned:
+            record.returned = True
+            record.return_value = child.return_value
+        return child
+
+    def _dispatch(self, stmt: Stmt, record: StmtRecord, old: Optional[StmtRecord]) -> None:
+        if isinstance(stmt, Skip):
+            return
+        if isinstance(stmt, Assign):
+            value = self._eval(stmt.expr, old)
+            version = self._version_for_write(stmt.name, value, old)
+            self._write(stmt.name, value, version)
+            return
+        if isinstance(stmt, IndexAssign):
+            if stmt.name not in self.env:
+                raise EvalError(f"unbound variable {stmt.name!r}")
+            array = self._read(stmt.name)
+            if not isinstance(array, list):
+                raise EvalError(f"index-assigning a non-array variable {stmt.name!r}")
+            index = int(self._eval(stmt.index, old))
+            if not 0 <= index < len(array):
+                raise EvalError(f"index {index} out of bounds for array of size {len(array)}")
+            value = self._eval(stmt.expr, old)
+            updated = list(array)
+            updated[index] = value
+            version = self._version_for_write(stmt.name, updated, old)
+            self._write(stmt.name, updated, version)
+            return
+        if isinstance(stmt, Seq):
+            first = self._exec_child(record, "first", stmt.first, old)
+            if first.returned:
+                return
+            self._exec_child(record, "second", stmt.second, old)
+            return
+        if isinstance(stmt, If):
+            branch = _truthy(self._eval(stmt.cond, old))
+            body = stmt.then if branch else stmt.otherwise
+            self._exec_child(record, ("branch", branch), body, old)
+            return
+        if isinstance(stmt, Observe):
+            dist = distribution_of(stmt.random, lambda sub: self._eval(sub, old))
+            value = self._eval(stmt.value, old)
+            address = choice_address(stmt.random.label, tuple(self._loop_indices))
+            self._observe(dist, value, address, old)
+            return
+        if isinstance(stmt, For):
+            low = int(self._eval(stmt.low, old))
+            high = int(self._eval(stmt.high, old))
+            for i in range(low, high):
+                version = self._loop_var_version(stmt.var, i, old, key=i)
+                self._write(stmt.var, i, version)
+                self._loop_indices.append(i)
+                try:
+                    child = self._exec_child(record, i, stmt.body, old)
+                finally:
+                    self._loop_indices.pop()
+                if child.returned:
+                    return
+            return
+        if isinstance(stmt, While):
+            iteration = 0
+            while True:
+                self._loop_indices.append(iteration)
+                try:
+                    condition = _truthy(self._eval(stmt.cond, old))
+                    if not condition:
+                        break
+                    child = self._exec_child(record, iteration, stmt.body, old)
+                finally:
+                    self._loop_indices.pop()
+                if child.returned:
+                    return
+                iteration += 1
+            return
+        if isinstance(stmt, Return):
+            record.returned = True
+            record.return_value = self._eval(stmt.expr, old)
+            return
+        raise EvalError(f"unknown statement {stmt!r}")
+
+    def _loop_var_version(
+        self, var: str, value: int, old: Optional[StmtRecord], key: Any
+    ) -> int:
+        """Reuse the loop variable's old version for an aligned iteration.
+
+        The old ``For`` record only stores the *final* loop-variable
+        binding, so per-iteration versions are recovered from the aligned
+        child's recorded reads (any read of the variable inside iteration
+        ``key`` saw that iteration's version).
+        """
+        if old is not None:
+            old_child = old.children.get(key)
+            if old_child is not None and var in old_child.reads:
+                return old_child.reads[var]
+        return self._fresh_version()
+
+
+def _stamp_env(
+    env: Optional[Dict[str, Any]],
+    old: Optional[GraphTrace],
+    engine_versions_start: int,
+) -> Tuple[Dict[str, Tuple[Any, int]], int]:
+    """Assign version stamps to the initial environment.
+
+    Parameters whose values match the old trace's inputs keep their old
+    versions (their readers can skip); changed or new parameters get
+    fresh versions.
+    """
+    stamped: Dict[str, Tuple[Any, int]] = {}
+    next_version = engine_versions_start
+    for name, value in (env or {}).items():
+        old_binding = old.env_in.get(name) if old is not None else None
+        if old_binding is not None and old_binding[0] == value:
+            stamped[name] = (value, old_binding[1])
+        else:
+            next_version += 1
+            stamped[name] = (value, next_version)
+    return stamped, next_version
+
+
+def run_initial(
+    program: Stmt,
+    rng: Optional[np.random.Generator] = None,
+    env: Optional[Dict[str, Any]] = None,
+) -> GraphTrace:
+    """Execute ``program`` from scratch, recording its dependency graph."""
+    env_in, next_version = _stamp_env(env, None, 0)
+    engine = _Engine(rng, env_in, next_version)
+    root = engine._exec(program, None)
+    return GraphTrace(root, engine.env_in, dict(engine.env), engine.next_version, engine.visited)
+
+
+def propagate(
+    program: Stmt,
+    old: GraphTrace,
+    rng: Optional[np.random.Generator] = None,
+    env: Optional[Dict[str, Any]] = None,
+) -> PropagationResult:
+    """Incrementally re-execute an edited ``program`` against ``old``.
+
+    ``env`` defaults to the old trace's input environment.  Returns the
+    new trace and the log weight estimate of the induced trace
+    translation (Section 6) — equal to what the baseline
+    correspondence translator (Section 5) would compute for the same
+    reuse decisions, but obtained by visiting only affected statements.
+    """
+    if env is None:
+        env = {name: value for name, (value, _v) in old.env_in.items()}
+    env_in, next_version = _stamp_env(env, old, old.next_version)
+    engine = _Engine(rng, env_in, next_version)
+    root = engine._exec(program, old.root)
+    trace = GraphTrace(root, engine.env_in, dict(engine.env), engine.next_version, engine.visited)
+    return PropagationResult(trace, engine.log_weight, engine.visited, engine.skipped)

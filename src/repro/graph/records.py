@@ -1,0 +1,164 @@
+"""Record structures of the dependency-tracking runtime (Section 6).
+
+A :class:`GraphTrace` is the paper's graph data structure ``G_t``: every
+statement occurrence evaluated during a run owns a :class:`StmtRecord`
+holding
+
+* the statement's AST (shared by reference with the program),
+* its *external reads* — variable versions it consumed from outside,
+* its *writes* — final variable versions it produced,
+* the random choices and observations its directly evaluated
+  expressions made, and
+* child records for sub-statements, keyed so a later incremental run can
+  align them (``"first"``/``"second"`` for sequences, the branch taken
+  for conditionals, iteration indices for loops).
+
+Records cache subtree aggregates (total choice/observation log
+probability) so skipped subtrees contribute to the trace score in O(1).
+Because unchanged subtrees are shared between the old and new traces,
+the cost of an incremental run is proportional to the region affected by
+the edit, not to the size of the trace — the asymptotic claim of
+Figure 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..core.trace import ChoiceRecord, ObservationRecord
+from ..lang.ast import Stmt
+
+__all__ = ["StmtRecord", "GraphTrace"]
+
+Address = Tuple
+
+
+@dataclass
+class StmtRecord:
+    """Execution record of one statement occurrence."""
+
+    stmt: Stmt
+    #: External reads: variable name -> version consumed.
+    reads: Dict[str, int] = field(default_factory=dict)
+    #: Final writes: variable name -> (value, version).
+    writes: Dict[str, Tuple[Any, int]] = field(default_factory=dict)
+    #: Random choices made by directly evaluated expressions.
+    choices: Dict[Address, ChoiceRecord] = field(default_factory=dict)
+    #: Observations discharged by this statement directly.
+    observations: Dict[Address, ObservationRecord] = field(default_factory=dict)
+    #: Aligned children: Seq -> "first"/"second"; If -> ("branch", bool);
+    #: For/While -> iteration index.
+    children: Dict[Any, "StmtRecord"] = field(default_factory=dict)
+    #: Set when a ``return`` fired inside this record.
+    returned: bool = False
+    return_value: Any = None
+    #: Cached subtree aggregates (direct + children).
+    subtree_choice_log_prob: float = 0.0
+    subtree_obs_log_prob: float = 0.0
+    subtree_num_choices: int = 0
+
+    def finalize(self) -> None:
+        """Recompute subtree aggregates from direct entries and children."""
+        choice_sum = math.fsum(r.log_prob for r in self.choices.values())
+        obs_sum = math.fsum(r.log_prob for r in self.observations.values())
+        count = len(self.choices)
+        for child in self.children.values():
+            choice_sum += child.subtree_choice_log_prob
+            obs_sum += child.subtree_obs_log_prob
+            count += child.subtree_num_choices
+        self.subtree_choice_log_prob = choice_sum
+        self.subtree_obs_log_prob = obs_sum
+        self.subtree_num_choices = count
+
+    def iter_choices(self) -> Iterator[ChoiceRecord]:
+        """All choice records in the subtree (O(subtree))."""
+        yield from self.choices.values()
+        for child in self.children.values():
+            yield from child.iter_choices()
+
+    def iter_observations(self) -> Iterator[ObservationRecord]:
+        yield from self.observations.values()
+        for child in self.children.values():
+            yield from child.iter_observations()
+
+    def find_choice(self, address: Address) -> Optional[ChoiceRecord]:
+        """Search the subtree for a choice record (O(subtree); used by
+        tests and estimation, not by the propagation fast path)."""
+        if address in self.choices:
+            return self.choices[address]
+        for child in self.children.values():
+            found = child.find_choice(address)
+            if found is not None:
+                return found
+        return None
+
+
+class GraphTrace:
+    """A trace represented as a dependency-record tree (``G_t``)."""
+
+    def __init__(
+        self,
+        root: StmtRecord,
+        env_in: Dict[str, Tuple[Any, int]],
+        env_out: Dict[str, Tuple[Any, int]],
+        next_version: int,
+        visited_statements: int,
+    ):
+        self.root = root
+        #: Initial environment with version stamps (program parameters).
+        self.env_in = env_in
+        #: Final environment with version stamps.
+        self.env_out = env_out
+        #: Version counter to continue from in the next incremental run.
+        self.next_version = next_version
+        #: Number of statement records (re-)executed to build this trace —
+        #: the work measure plotted in Figure 10.
+        self.visited_statements = visited_statements
+
+    @property
+    def return_value(self) -> Any:
+        if self.root.returned:
+            return self.root.return_value
+        return {name: value for name, (value, _version) in self.env_out.items()}
+
+    @property
+    def log_prob(self) -> float:
+        """``log P̃r[t ~ P]`` — subtree choices plus observations."""
+        return self.root.subtree_choice_log_prob + self.root.subtree_obs_log_prob
+
+    @property
+    def choice_log_prob(self) -> float:
+        return self.root.subtree_choice_log_prob
+
+    @property
+    def observation_log_prob(self) -> float:
+        return self.root.subtree_obs_log_prob
+
+    def __len__(self) -> int:
+        return self.root.subtree_num_choices
+
+    def __contains__(self, address) -> bool:
+        return self.root.find_choice(tuple(address) if isinstance(address, tuple) else (address,)) is not None
+
+    def __getitem__(self, address) -> Any:
+        record = self.root.find_choice(
+            tuple(address) if isinstance(address, tuple) else (address,)
+        )
+        if record is None:
+            raise KeyError(address)
+        return record.value
+
+    def choices(self) -> Dict[Address, ChoiceRecord]:
+        """All choices as a flat map (O(trace); for tests/estimation)."""
+        return {record.address: record for record in self.root.iter_choices()}
+
+    def observations(self) -> Dict[Address, ObservationRecord]:
+        return {record.address: record for record in self.root.iter_observations()}
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphTrace(choices={len(self)}, log_prob={self.log_prob:.4f}, "
+            f"visited={self.visited_statements})"
+        )

@@ -1,0 +1,70 @@
+"""Hidden Markov model substrate for the typo-correction experiment
+(Section 7.3): model parameterizations, exact first-order inference
+(forward algorithm / FFBS), exact second-order marginals for validation,
+supervised training, the probabilistic programs of Listings 3-4, and the
+synthetic typo corpus.
+"""
+
+from .forward import (
+    ffbs_sample,
+    forward_filter,
+    log_likelihood,
+    posterior_marginals,
+    second_order_ffbs_sample,
+    second_order_log_likelihood,
+    second_order_posterior_marginals,
+)
+from .model import FirstOrderParams, SecondOrderParams
+from .programs import (
+    exact_first_order_trace,
+    first_order_model,
+    ground_truth_posterior_probability,
+    hidden_sequence,
+    hidden_state_correspondence,
+    log_ground_truth_probability,
+    second_order_model,
+)
+from .train import train_first_order, train_observation_model, train_second_order
+from .viterbi import viterbi, viterbi_second_order
+from .typos import (
+    ALPHABET,
+    NUM_CHARS,
+    QWERTY_NEIGHBOURS,
+    TypoChannel,
+    TypoCorpus,
+    decode,
+    encode,
+    generate_corpus,
+)
+
+__all__ = [
+    "FirstOrderParams",
+    "SecondOrderParams",
+    "forward_filter",
+    "log_likelihood",
+    "ffbs_sample",
+    "posterior_marginals",
+    "second_order_log_likelihood",
+    "second_order_posterior_marginals",
+    "second_order_ffbs_sample",
+    "viterbi",
+    "viterbi_second_order",
+    "train_first_order",
+    "train_second_order",
+    "train_observation_model",
+    "first_order_model",
+    "second_order_model",
+    "hidden_state_correspondence",
+    "exact_first_order_trace",
+    "hidden_sequence",
+    "ground_truth_posterior_probability",
+    "log_ground_truth_probability",
+    "ALPHABET",
+    "NUM_CHARS",
+    "QWERTY_NEIGHBOURS",
+    "TypoChannel",
+    "TypoCorpus",
+    "encode",
+    "decode",
+    "generate_corpus",
+]

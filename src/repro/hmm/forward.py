@@ -1,0 +1,223 @@
+"""Forward filtering, backward sampling, and exact marginals.
+
+The first-order algorithms are the "dynamic programming" exact inference
+the paper uses to obtain posterior samples of ``P`` (Section 7.3);
+forward-filtering backward-sampling (FFBS) draws i.i.d. exact samples of
+the hidden sequence given the observations.
+
+A pair-state dynamic program over the *second-order* model provides
+exact marginals for the experiment's ground-truth metric and for
+validating the Gibbs and incremental samplers on small instances.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .model import FirstOrderParams, SecondOrderParams
+
+__all__ = [
+    "forward_filter",
+    "log_likelihood",
+    "ffbs_sample",
+    "posterior_marginals",
+    "second_order_log_likelihood",
+    "second_order_posterior_marginals",
+    "second_order_ffbs_sample",
+]
+
+
+def _logsumexp(values: np.ndarray, axis=None) -> np.ndarray:
+    high = np.max(values, axis=axis, keepdims=True)
+    high = np.where(np.isfinite(high), high, 0.0)
+    out = np.log(np.sum(np.exp(values - high), axis=axis, keepdims=True)) + high
+    return np.squeeze(out, axis=axis) if axis is not None else float(out)
+
+
+def forward_filter(
+    params: FirstOrderParams, observations: Sequence[int]
+) -> Tuple[np.ndarray, float]:
+    """Forward algorithm in log space.
+
+    Returns ``(alphas, log_likelihood)`` where ``alphas[i, s]`` is the
+    joint ``log P(y_1..y_i, x_i = s)``.
+    """
+    observations = list(observations)
+    if not observations:
+        raise ValueError("observation sequence must be non-empty")
+    length = len(observations)
+    alphas = np.zeros((length, params.num_states))
+    alphas[0] = params.log_initial + params.log_observation[:, observations[0]]
+    for i in range(1, length):
+        # alpha[i, s'] = logsum_s alpha[i-1, s] + T[s, s'] + O[s', y_i]
+        alphas[i] = (
+            _logsumexp(alphas[i - 1][:, None] + params.log_transition, axis=0)
+            + params.log_observation[:, observations[i]]
+        )
+    return alphas, float(_logsumexp(alphas[-1], axis=0))
+
+
+def log_likelihood(params: FirstOrderParams, observations: Sequence[int]) -> float:
+    """``log P(y_1..y_L)`` under the first-order model."""
+    _alphas, total = forward_filter(params, observations)
+    return total
+
+
+def ffbs_sample(
+    params: FirstOrderParams,
+    observations: Sequence[int],
+    rng: np.random.Generator,
+) -> List[int]:
+    """One exact posterior sample of the hidden sequence (FFBS)."""
+    alphas, _total = forward_filter(params, observations)
+    length = alphas.shape[0]
+    states = [0] * length
+    log_final = alphas[-1] - _logsumexp(alphas[-1], axis=0)
+    states[-1] = int(rng.choice(params.num_states, p=np.exp(log_final)))
+    for i in range(length - 2, -1, -1):
+        log_cond = alphas[i] + params.log_transition[:, states[i + 1]]
+        log_cond = log_cond - _logsumexp(log_cond, axis=0)
+        states[i] = int(rng.choice(params.num_states, p=np.exp(log_cond)))
+    return states
+
+
+def posterior_marginals(
+    params: FirstOrderParams, observations: Sequence[int]
+) -> np.ndarray:
+    """Exact smoothing marginals ``P(x_i = s | y_1..y_L)`` (forward-backward)."""
+    observations = list(observations)
+    alphas, total = forward_filter(params, observations)
+    length = len(observations)
+    betas = np.zeros((length, params.num_states))
+    for i in range(length - 2, -1, -1):
+        betas[i] = _logsumexp(
+            params.log_transition
+            + params.log_observation[:, observations[i + 1]][None, :]
+            + betas[i + 1][None, :],
+            axis=1,
+        )
+    log_marginals = alphas + betas - total
+    return np.exp(log_marginals)
+
+
+# -- exact second-order inference over pair states ----------------------------------
+
+
+def _second_order_forward(
+    params: SecondOrderParams, observations: Sequence[int]
+) -> Tuple[np.ndarray, float]:
+    """Forward DP over pair states ``(x_{i-1}, x_i)``.
+
+    ``alphas[i, a, b] = log P(y_1..y_i, x_{i-1} = a, x_i = b)`` for
+    ``i >= 1``; sequences of length one fall back to the initial model.
+    """
+    observations = list(observations)
+    length = len(observations)
+    num_states = params.num_states
+    if length == 1:
+        single = params.log_initial + params.log_observation[:, observations[0]]
+        return single[None, :, None], float(_logsumexp(single, axis=0))
+    alphas = np.full((length, num_states, num_states), -np.inf)
+    alphas[1] = (
+        params.log_initial[:, None]
+        + params.log_observation[:, observations[0]][:, None]
+        + params.log_first_transition
+        + params.log_observation[:, observations[1]][None, :]
+    )
+    for i in range(2, length):
+        # alpha[i, b, c] = logsum_a alpha[i-1, a, b] + T2[a, b, c] + O[c, y_i]
+        alphas[i] = (
+            _logsumexp(alphas[i - 1][:, :, None] + params.log_transition, axis=0)
+            + params.log_observation[:, observations[i]][None, :]
+        )
+    return alphas, float(_logsumexp(alphas[-1], axis=(0, 1)))
+
+
+def second_order_log_likelihood(
+    params: SecondOrderParams, observations: Sequence[int]
+) -> float:
+    """``log P(y_1..y_L)`` under the second-order model."""
+    _alphas, total = _second_order_forward(params, observations)
+    return total
+
+
+def second_order_posterior_marginals(
+    params: SecondOrderParams, observations: Sequence[int]
+) -> np.ndarray:
+    """Exact smoothing marginals under the second-order model.
+
+    Runs forward-backward over pair states; O(L * S^3).  Used as ground
+    truth for the experiment metric and for validating approximate
+    samplers on small instances.
+    """
+    observations = list(observations)
+    length = len(observations)
+    num_states = params.num_states
+    if length == 1:
+        single = params.log_initial + params.log_observation[:, observations[0]]
+        single = single - _logsumexp(single, axis=0)
+        return np.exp(single)[None, :]
+
+    alphas, total = _second_order_forward(params, observations)
+    betas = np.zeros((length, num_states, num_states))
+    for i in range(length - 2, 0, -1):
+        # beta[i, a, b] = logsum_c T2[a, b, c] + O[c, y_{i+1}] + beta[i+1, b, c]
+        betas[i] = _logsumexp(
+            params.log_transition
+            + params.log_observation[:, observations[i + 1]][None, None, :]
+            + betas[i + 1][None, :, :],
+            axis=2,
+        )
+
+    marginals = np.zeros((length, num_states))
+    for i in range(1, length):
+        log_joint = alphas[i] + betas[i] - total
+        marginals[i] = np.exp(_logsumexp(log_joint, axis=0))
+    # Position 0's marginal from the pair at position 1.
+    log_joint1 = alphas[1] + betas[1] - total
+    marginals[0] = np.exp(_logsumexp(log_joint1, axis=1))
+    return marginals
+
+
+def second_order_ffbs_sample(
+    params: SecondOrderParams,
+    observations: Sequence[int],
+    rng: np.random.Generator,
+) -> List[int]:
+    """One exact posterior sample of the hidden sequence under the
+    *second-order* model, by FFBS over pair states.
+
+    O(L * S^3) like the marginals; used as the exact reference for the
+    typo-correction experiment and to validate the approximate samplers.
+    """
+    observations = list(observations)
+    length = len(observations)
+    num_states = params.num_states
+    if length == 1:
+        single = params.log_initial + params.log_observation[:, observations[0]]
+        probs = np.exp(single - _logsumexp(single, axis=0))
+        return [int(rng.choice(num_states, p=probs / probs.sum()))]
+
+    alphas, _total = _second_order_forward(params, observations)
+
+    # Sample the final pair (x_{L-2}, x_{L-1}).
+    flat = alphas[-1].reshape(-1)
+    flat = np.exp(flat - _logsumexp(flat, axis=0))
+    flat = flat / flat.sum()
+    index = int(rng.choice(flat.shape[0], p=flat))
+    previous, last = divmod(index, num_states)
+    states = [0] * length
+    states[-1] = last
+    states[-2] = previous
+
+    # Backwards: P(x_{i-2} = a | x_{i-1} = b, x_i = c, y_{1:i})
+    #   ∝ alpha[i-1, a, b] + T2[a, b, c].
+    for i in range(length - 1, 1, -1):
+        b, c = states[i - 1], states[i]
+        log_cond = alphas[i - 1][:, b] + params.log_transition[:, b, c]
+        probs = np.exp(log_cond - _logsumexp(log_cond, axis=0))
+        probs = probs / probs.sum()
+        states[i - 2] = int(rng.choice(num_states, p=probs))
+    return states

@@ -1,0 +1,127 @@
+"""Hidden Markov model parameterizations (Section 7.3).
+
+The typo-correction experiment uses a first-order HMM ``P`` (exactly
+solvable by dynamic programming) and a second-order HMM ``Q`` (whose
+longer dependencies impede exact inference).  Parameters are stored as
+log-probability matrices, matching the ``log_transition_model`` /
+``log_observation_model`` fields of Listings 3-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["FirstOrderParams", "SecondOrderParams", "validate_log_matrix"]
+
+
+def validate_log_matrix(matrix: np.ndarray, name: str) -> np.ndarray:
+    """Check that the last axis of ``matrix`` holds normalized log probs."""
+    matrix = np.asarray(matrix, dtype=float)
+    sums = np.exp(matrix).sum(axis=-1)
+    if not np.allclose(sums, 1.0, atol=1e-8):
+        raise ValueError(f"{name} rows must be normalized distributions")
+    return matrix
+
+
+@dataclass(frozen=True)
+class FirstOrderParams:
+    """First-order HMM: the model of Listing 3.
+
+    Attributes
+    ----------
+    log_initial:
+        ``(S,)`` log probabilities of the initial hidden state.  Listing 3
+        uses a uniform initial state; :meth:`uniform_initial` builds one.
+    log_transition:
+        ``(S, S)``; ``log_transition[s, s']`` is ``log P(x_i = s' | x_{i-1} = s)``.
+    log_observation:
+        ``(S, O)``; ``log_observation[s, y]`` is ``log P(y_i = y | x_i = s)``.
+    """
+
+    log_initial: np.ndarray
+    log_transition: np.ndarray
+    log_observation: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "log_initial", validate_log_matrix(self.log_initial, "log_initial")
+        )
+        object.__setattr__(
+            self, "log_transition", validate_log_matrix(self.log_transition, "log_transition")
+        )
+        object.__setattr__(
+            self,
+            "log_observation",
+            validate_log_matrix(self.log_observation, "log_observation"),
+        )
+        if self.log_initial.ndim != 1:
+            raise ValueError("log_initial must be a vector")
+        num_states = self.num_states
+        if self.log_transition.shape != (num_states, num_states):
+            raise ValueError("log_transition must be (S, S)")
+        if self.log_observation.shape[0] != num_states:
+            raise ValueError("log_observation must be (S, O)")
+
+    @property
+    def num_states(self) -> int:
+        return self.log_initial.shape[0]
+
+    @property
+    def num_observations(self) -> int:
+        return self.log_observation.shape[1]
+
+    @staticmethod
+    def uniform_initial(num_states: int) -> np.ndarray:
+        return np.full(num_states, -np.log(num_states))
+
+
+@dataclass(frozen=True)
+class SecondOrderParams:
+    """Second-order HMM: the model of Listing 4.
+
+    The first hidden state is uniform, the second uses a first-order
+    transition, and subsequent states condition on the two previous
+    states via ``log_transition[s_prev2, s_prev1, s]``.
+    """
+
+    log_initial: np.ndarray
+    log_first_transition: np.ndarray
+    log_transition: np.ndarray
+    log_observation: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "log_initial", validate_log_matrix(self.log_initial, "log_initial")
+        )
+        object.__setattr__(
+            self,
+            "log_first_transition",
+            validate_log_matrix(self.log_first_transition, "log_first_transition"),
+        )
+        object.__setattr__(
+            self, "log_transition", validate_log_matrix(self.log_transition, "log_transition")
+        )
+        object.__setattr__(
+            self,
+            "log_observation",
+            validate_log_matrix(self.log_observation, "log_observation"),
+        )
+        num_states = self.num_states
+        if self.log_first_transition.shape != (num_states, num_states):
+            raise ValueError("log_first_transition must be (S, S)")
+        if self.log_transition.shape != (num_states, num_states, num_states):
+            raise ValueError("log_transition must be (S, S, S)")
+        if self.log_observation.shape[0] != num_states:
+            raise ValueError("log_observation must be (S, O)")
+
+    @property
+    def num_states(self) -> int:
+        return self.log_initial.shape[0]
+
+    @property
+    def num_observations(self) -> int:
+        return self.log_observation.shape[1]
+

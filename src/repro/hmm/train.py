@@ -1,0 +1,87 @@
+"""Supervised training of the typo-correction HMMs (Section 7.3).
+
+The paper trains a first-order and a second-order hidden Markov model on
+a corpus of words-with-typos and ground truth.  With supervision the
+maximum-likelihood parameters are normalized counts; add-δ smoothing
+keeps every transition and emission possible (so the support of each
+hidden-state choice is the full alphabet, which is what makes the hidden
+states of the two programs reuse-compatible in the trace translation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .model import FirstOrderParams, SecondOrderParams
+from .typos import NUM_CHARS, encode
+
+__all__ = ["train_first_order", "train_second_order", "train_observation_model"]
+
+
+def _normalize_log(counts: np.ndarray) -> np.ndarray:
+    counts = np.asarray(counts, dtype=float)
+    totals = counts.sum(axis=-1, keepdims=True)
+    return np.log(counts / totals)
+
+
+def train_observation_model(
+    pairs: Iterable[Tuple[str, str]],
+    num_states: int = NUM_CHARS,
+    smoothing: float = 0.1,
+) -> np.ndarray:
+    """Emission model ``log P(typed | true)`` from aligned word pairs."""
+    counts = np.full((num_states, num_states), smoothing)
+    for typed, truth in pairs:
+        if len(typed) != len(truth):
+            raise ValueError(
+                f"typed word {typed!r} and truth {truth!r} must have equal length"
+            )
+        for typed_char, true_char in zip(encode(typed), encode(truth)):
+            counts[true_char, typed_char] += 1
+    return _normalize_log(counts)
+
+
+def train_first_order(
+    pairs: Sequence[Tuple[str, str]],
+    num_states: int = NUM_CHARS,
+    smoothing: float = 0.1,
+) -> FirstOrderParams:
+    """First-order character HMM (the program ``P`` of Listing 3)."""
+    initial = np.full(num_states, smoothing)
+    transition = np.full((num_states, num_states), smoothing)
+    for _typed, truth in pairs:
+        chars = encode(truth)
+        initial[chars[0]] += 1
+        for previous, current in zip(chars, chars[1:]):
+            transition[previous, current] += 1
+    return FirstOrderParams(
+        log_initial=_normalize_log(initial),
+        log_transition=_normalize_log(transition),
+        log_observation=train_observation_model(pairs, num_states, smoothing),
+    )
+
+
+def train_second_order(
+    pairs: Sequence[Tuple[str, str]],
+    num_states: int = NUM_CHARS,
+    smoothing: float = 0.1,
+) -> SecondOrderParams:
+    """Second-order character HMM (the program ``Q`` of Listing 4)."""
+    initial = np.full(num_states, smoothing)
+    first_transition = np.full((num_states, num_states), smoothing)
+    transition = np.full((num_states, num_states, num_states), smoothing)
+    for _typed, truth in pairs:
+        chars = encode(truth)
+        initial[chars[0]] += 1
+        if len(chars) >= 2:
+            first_transition[chars[0], chars[1]] += 1
+        for i in range(2, len(chars)):
+            transition[chars[i - 2], chars[i - 1], chars[i]] += 1
+    return SecondOrderParams(
+        log_initial=_normalize_log(initial),
+        log_first_transition=_normalize_log(first_transition),
+        log_transition=_normalize_log(transition),
+        log_observation=train_observation_model(pairs, num_states, smoothing),
+    )

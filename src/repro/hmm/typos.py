@@ -1,0 +1,145 @@
+"""Synthetic typo corpus (substitute for the paper's 29,056-word set).
+
+The paper trains on a proprietary corpus of words-with-typos and ground
+truth.  We generate an equivalent synthetic corpus: true words are drawn
+from a built-in list of common English words, and typed versions pass
+each character through a QWERTY-adjacency noise channel (a typo replaces
+a character with one of its keyboard neighbours, occasionally with a
+uniformly random letter).  The channel exercises exactly the same code
+paths: training a first- and second-order character HMM on
+(typed, truth) pairs and correcting held-out typed words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .wordlist import COMMON_WORDS
+
+__all__ = [
+    "ALPHABET",
+    "NUM_CHARS",
+    "QWERTY_NEIGHBOURS",
+    "encode",
+    "decode",
+    "TypoChannel",
+    "TypoCorpus",
+    "generate_corpus",
+]
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+NUM_CHARS = len(ALPHABET)
+_CHAR_TO_INDEX = {ch: i for i, ch in enumerate(ALPHABET)}
+
+#: Physical adjacency on a QWERTY layout (same row and neighbouring rows).
+QWERTY_NEIGHBOURS: Dict[str, str] = {
+    "q": "wa",
+    "w": "qeas",
+    "e": "wrsd",
+    "r": "etdf",
+    "t": "ryfg",
+    "y": "tugh",
+    "u": "yihj",
+    "i": "uojk",
+    "o": "ipkl",
+    "p": "ol",
+    "a": "qwsz",
+    "s": "awedxz",
+    "d": "serfcx",
+    "f": "drtgvc",
+    "g": "ftyhbv",
+    "h": "gyujnb",
+    "j": "huikmn",
+    "k": "jiolm",
+    "l": "kop",
+    "z": "asx",
+    "x": "zsdc",
+    "c": "xdfv",
+    "v": "cfgb",
+    "b": "vghn",
+    "n": "bhjm",
+    "m": "njk",
+}
+
+
+def encode(word: str) -> List[int]:
+    """Word -> list of character indices (raises on non a-z characters)."""
+    try:
+        return [_CHAR_TO_INDEX[ch] for ch in word]
+    except KeyError as error:
+        raise ValueError(f"word {word!r} contains a non a-z character") from error
+
+
+def decode(indices: Sequence[int]) -> str:
+    """Character indices -> word."""
+    return "".join(ALPHABET[i] for i in indices)
+
+
+@dataclass(frozen=True)
+class TypoChannel:
+    """Noise channel that maps a true character to a typed character.
+
+    With probability ``1 - typo_prob`` the character is typed correctly;
+    otherwise, with probability ``neighbour_prob`` (given a typo) one of
+    its QWERTY neighbours is typed, else a uniformly random letter.
+    """
+
+    typo_prob: float = 0.1
+    neighbour_prob: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.typo_prob <= 1.0:
+            raise ValueError("typo_prob must be in [0, 1]")
+        if not 0.0 <= self.neighbour_prob <= 1.0:
+            raise ValueError("neighbour_prob must be in [0, 1]")
+
+    def corrupt(self, word: str, rng: np.random.Generator) -> str:
+        typed = []
+        for ch in word:
+            if rng.random() < self.typo_prob:
+                if rng.random() < self.neighbour_prob:
+                    neighbours = QWERTY_NEIGHBOURS[ch]
+                    typed.append(neighbours[rng.integers(len(neighbours))])
+                else:
+                    typed.append(ALPHABET[rng.integers(NUM_CHARS)])
+            else:
+                typed.append(ch)
+        return "".join(typed)
+
+
+@dataclass
+class TypoCorpus:
+    """Pairs of (typed word, true word), split into train and test."""
+
+    train: List[Tuple[str, str]]
+    test: List[Tuple[str, str]]
+
+    @property
+    def train_character_count(self) -> int:
+        return sum(len(truth) for _typed, truth in self.train)
+
+
+def generate_corpus(
+    rng: np.random.Generator,
+    num_train_words: int = 2000,
+    num_test_words: int = 100,
+    channel: TypoChannel = TypoChannel(),
+    min_length: int = 3,
+    max_length: int = 10,
+) -> TypoCorpus:
+    """Sample a corpus of typed/true word pairs from the built-in list."""
+    words = [w for w in COMMON_WORDS if min_length <= len(w) <= max_length]
+    if not words:
+        raise ValueError("no words in the requested length range")
+
+    def sample_pairs(count: int) -> List[Tuple[str, str]]:
+        pairs = []
+        for _ in range(count):
+            truth = words[rng.integers(len(words))]
+            pairs.append((channel.corrupt(truth, rng), truth))
+        return pairs
+
+    return TypoCorpus(train=sample_pairs(num_train_words), test=sample_pairs(num_test_words))

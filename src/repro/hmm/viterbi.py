@@ -1,0 +1,89 @@
+"""Viterbi decoding: most probable hidden sequences.
+
+Used by the typo-correction example to produce a single best correction,
+and as a deterministic reference point for the sampling-based methods.
+Both the first-order and the second-order (pair-state) decoders are
+provided.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .model import FirstOrderParams, SecondOrderParams
+
+__all__ = ["viterbi", "viterbi_second_order"]
+
+
+def viterbi(
+    params: FirstOrderParams, observations: Sequence[int]
+) -> Tuple[List[int], float]:
+    """MAP hidden sequence and its joint log probability (first order)."""
+    observations = list(observations)
+    if not observations:
+        raise ValueError("observation sequence must be non-empty")
+    length = len(observations)
+    num_states = params.num_states
+
+    scores = np.zeros((length, num_states))
+    back = np.zeros((length, num_states), dtype=int)
+    scores[0] = params.log_initial + params.log_observation[:, observations[0]]
+    for i in range(1, length):
+        candidate = scores[i - 1][:, None] + params.log_transition
+        back[i] = np.argmax(candidate, axis=0)
+        scores[i] = (
+            np.max(candidate, axis=0) + params.log_observation[:, observations[i]]
+        )
+
+    path = [int(np.argmax(scores[-1]))]
+    for i in range(length - 1, 0, -1):
+        path.append(int(back[i, path[-1]]))
+    path.reverse()
+    return path, float(np.max(scores[-1]))
+
+
+def viterbi_second_order(
+    params: SecondOrderParams, observations: Sequence[int]
+) -> Tuple[List[int], float]:
+    """MAP hidden sequence under the second-order model.
+
+    Dynamic program over pair states ``(x_{i-1}, x_i)``; O(L * S^3).
+    """
+    observations = list(observations)
+    if not observations:
+        raise ValueError("observation sequence must be non-empty")
+    length = len(observations)
+    num_states = params.num_states
+
+    if length == 1:
+        single = params.log_initial + params.log_observation[:, observations[0]]
+        best = int(np.argmax(single))
+        return [best], float(single[best])
+
+    scores = np.full((length, num_states, num_states), -np.inf)
+    back = np.zeros((length, num_states, num_states), dtype=int)
+    scores[1] = (
+        params.log_initial[:, None]
+        + params.log_observation[:, observations[0]][:, None]
+        + params.log_first_transition
+        + params.log_observation[:, observations[1]][None, :]
+    )
+    for i in range(2, length):
+        # candidate[a, b, c] = scores[i-1, a, b] + T2[a, b, c]
+        candidate = scores[i - 1][:, :, None] + params.log_transition
+        back[i] = np.argmax(candidate, axis=0)
+        scores[i] = (
+            np.max(candidate, axis=0)
+            + params.log_observation[:, observations[i]][None, :]
+        )
+
+    flat = int(np.argmax(scores[-1]))
+    prev, last = divmod(flat, num_states)
+    path = [last, prev]
+    for i in range(length - 1, 1, -1):
+        prev2 = int(back[i, path[-1], path[-2]])
+        path.append(prev2)
+    path.reverse()
+    return path, float(scores[-1, prev, last])

@@ -1,0 +1,301 @@
+"""Abstract syntax for the paper's probabilistic language (Section 3).
+
+The grammar follows the paper::
+
+    E ::= v | x | ⊖E | E1 ⊕ E2 | R | E1 ? E2 : E3 | x[E] | array(E1, E2)
+    R ::= flip(E) | uniform(E1, E2) | gauss(E1, E2)
+    P ::= skip | x = E | x[E1] = E2 | P1; P2 | observe(R == E)
+        | if E { P1 } else { P2 } | for x in [E1 .. E2) { P } | while E { P }
+        | return E
+
+with three extensions needed by the evaluation programs: the conditional
+expression ``E1 ? E2 : E3`` (used by the burglary programs of Figure 1),
+arrays with bounded ``for`` loops (used by the Gaussian mixture model of
+Listing 5), and the continuous ``gauss`` random expression (idem).
+``while`` supports the unbounded loops of Section 5.4 (Figure 6).
+
+Every random expression node carries a *label* — its syntactic identity.
+At run time a random choice is addressed by ``(label, loop_indices)``,
+the loop-aware naming scheme of Section 5.4 / [44].  Labels are assigned
+by the parser (stable across reparses of identical source) or explicitly
+by programmatic AST construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = [
+    "Node",
+    "Expr",
+    "Const",
+    "Var",
+    "Unary",
+    "Binary",
+    "Ternary",
+    "Index",
+    "ArrayExpr",
+    "RandomExpr",
+    "FlipExpr",
+    "UniformExpr",
+    "GaussExpr",
+    "Call",
+    "Stmt",
+    "Skip",
+    "Assign",
+    "IndexAssign",
+    "Seq",
+    "If",
+    "Observe",
+    "For",
+    "While",
+    "Return",
+    "FuncDef",
+    "seq",
+]
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for all AST nodes.  Nodes are immutable values."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A rational (or float) constant ``v``."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable reference ``x``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary operation ``⊖E``; operators: ``-`` and ``!``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operation ``E1 ⊕ E2``.
+
+    Operators: arithmetic ``+ - * /``, comparisons ``< <= > >= == !=``,
+    and short-circuiting booleans ``&& ||``.  Boolean values are encoded
+    as rationals (0 is false, everything else is true), as in the paper.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """Conditional expression ``E1 ? E2 : E3``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Array indexing ``x[E]``."""
+
+    array: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class ArrayExpr(Expr):
+    """``array(E1, E2)``: an array of ``E1`` copies of value ``E2``."""
+
+    size: Expr
+    fill: Expr
+
+
+@dataclass(frozen=True)
+class RandomExpr(Expr):
+    """Base class of random expressions ``R``.
+
+    ``label`` is the syntactic identity of the expression, used to
+    address the random choices it produces (Section 5.4).
+    """
+
+    label: str
+
+
+@dataclass(frozen=True)
+class FlipExpr(RandomExpr):
+    """``flip(E)``: 1 with probability ``E``, else 0."""
+
+    prob: Expr = field(default=None)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class UniformExpr(RandomExpr):
+    """``uniform(E1, E2)``: an integer in ``[E1, E2]`` uniformly."""
+
+    low: Expr = field(default=None)  # type: ignore[assignment]
+    high: Expr = field(default=None)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class GaussExpr(RandomExpr):
+    """``gauss(E1, E2)``: a Gaussian with mean ``E1`` and std ``E2``."""
+
+    mean: Expr = field(default=None)  # type: ignore[assignment]
+    std: Expr = field(default=None)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call ``f(E1, ..., En)`` to a user-defined function.
+
+    Functions are the extension the paper notes "can be included if
+    needed" (Section 3).  ``label`` identifies the call *site*; random
+    choices made inside the callee are addressed by the path of call
+    sites (plus loop indices) leading to them, so recursion and repeated
+    calls get distinct addresses — the structural naming scheme of [44].
+    """
+
+    label: str
+    name: str = ""
+    args: Tuple[Expr, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    """``skip``: the terminated program."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``x = E``."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class IndexAssign(Stmt):
+    """``x[E1] = E2``."""
+
+    name: str
+    index: Expr
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    """``P1; P2``."""
+
+    first: Stmt
+    second: Stmt
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if E { P1 } else { P2 }``."""
+
+    cond: Expr
+    then: Stmt
+    otherwise: Stmt
+
+
+@dataclass(frozen=True)
+class Observe(Stmt):
+    """``observe(R == E)``: condition on the random expression's outcome.
+
+    Only outcomes of random expressions can be observed (Section 3);
+    this is enforced by construction, since ``random`` must be a
+    :class:`RandomExpr`.
+    """
+
+    random: RandomExpr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for x in [E1 .. E2) { P }``: a bounded loop (PSI style).
+
+    ``x`` ranges over the integers ``E1, E1+1, ..., E2-1``; random
+    choices in the body are indexed by the loop's iteration values
+    (Section 5.4).
+    """
+
+    var: str
+    low: Expr
+    high: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """``while E { P }``: an unbounded loop (Figure 6).
+
+    Random choices in the body are indexed by the iteration counter.
+    """
+
+    cond: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """``return E``: sets the program's return value and stops."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class FuncDef(Stmt):
+    """``def f(x1, ..., xn) { P }``: bind a first-order function.
+
+    Functions execute in a fresh scope containing only their parameters
+    (no closures over program variables); they may call other functions
+    and themselves.  The function's value is what its body ``return``s.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    body: Stmt
+
+
+def seq(*stmts: Stmt) -> Stmt:
+    """Right-nested sequence of statements; ``seq()`` is ``skip``."""
+    if not stmts:
+        return Skip()
+    result = stmts[-1]
+    for stmt in reversed(stmts[:-1]):
+        result = Seq(stmt, result)
+    return result

@@ -1,0 +1,131 @@
+"""Lexer for the concrete syntax of the paper's language.
+
+The concrete syntax matches the programs as printed in the paper
+(Figures 1, 3, 5, 6) and in PSI's Listing 5, e.g.::
+
+    burglary = flip(0.02);
+    pAlarm = burglary ? 0.9 : 0.01;
+    alarm = flip(pAlarm);
+    if alarm { pMaryWakes = 0.8; } else { pMaryWakes = 0.05; }
+    observe(flip(pMaryWakes) == 1);
+    return burglary;
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "skip",
+    "if",
+    "else",
+    "observe",
+    "for",
+    "in",
+    "while",
+    "return",
+    "def",
+    "flip",
+    "uniform",
+    "gauss",
+    "array",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = ["==", "!=", "<=", ">=", "&&", "||", ".."]
+_SINGLE_OPS = set("+-*/<>!?=:;,(){}[]")
+
+
+class LexError(ValueError):
+    """Raised on malformed input with position information."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.line = line
+        self.col = col
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # "number", "ident", a keyword, or the operator itself
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; ``//`` comments run to end of line."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_col = line, col
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # ".." is the range operator, not a decimal point.
+                    if j + 1 < n and source[j + 1] == ".":
+                        break
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            yield Token("number", text, start_line, start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = text if text in KEYWORDS else "ident"
+            yield Token(kind, text, start_line, start_col)
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                advance(len(op))
+                yield Token(op, op, start_line, start_col)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            advance(1)
+            yield Token(ch, ch, start_line, start_col)
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)

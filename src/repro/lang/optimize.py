@@ -1,0 +1,174 @@
+"""Constant folding for structured-language programs.
+
+A semantics-preserving simplification pass: deterministic expressions
+over constants are evaluated at "compile" time, constant conditionals
+select their branch, and loops with constant-false conditions vanish.
+Random-expression labels are preserved, so the *trace distribution* of
+the folded program — addresses, distributions, probabilities — is
+identical to the original's (property-tested in
+``tests/lang/test_optimize.py``).
+
+Folding is useful after an edit: replacing a constant can make whole
+branches dead, and the translator then sees a smaller program.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    ArrayExpr,
+    Assign,
+    Binary,
+    Call,
+    Const,
+    Expr,
+    FlipExpr,
+    For,
+    FuncDef,
+    GaussExpr,
+    If,
+    Index,
+    IndexAssign,
+    Observe,
+    RandomExpr,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    Ternary,
+    Unary,
+    UniformExpr,
+    Var,
+    While,
+)
+
+__all__ = ["fold_constants", "fold_expr"]
+
+
+def _truthy(value) -> bool:
+    return value != 0
+
+
+def _binary_value(op: str, left, right) -> Optional[float]:
+    """Evaluate a binary operator on constants; None if not foldable."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None  # preserve the run-time error
+        return left / right
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    if op == "&&":
+        return 1 if _truthy(left) and _truthy(right) else 0
+    if op == "||":
+        return 1 if _truthy(left) or _truthy(right) else 0
+    return None
+
+
+def fold_expr(expr: Expr) -> Expr:
+    """Fold constants within one expression."""
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Unary):
+        operand = fold_expr(expr.operand)
+        if isinstance(operand, Const):
+            if expr.op == "-":
+                return Const(-operand.value)
+            if expr.op == "!":
+                return Const(0 if _truthy(operand.value) else 1)
+        return Unary(expr.op, operand)
+    if isinstance(expr, Binary):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        # Short-circuit folding needs only the left operand — but the
+        # right side must be effect-free to drop it.  Random expressions
+        # (and calls, which may contain them) are effects.
+        if expr.op in ("&&", "||") and isinstance(left, Const):
+            if expr.op == "&&" and not _truthy(left.value):
+                return Const(0)
+            if expr.op == "||" and _truthy(left.value):
+                return Const(1)
+            # Left operand decided nothing: result is right's truthiness.
+            if isinstance(right, Const):
+                return Const(1 if _truthy(right.value) else 0)
+            return Binary(expr.op, left, right)
+        if isinstance(left, Const) and isinstance(right, Const):
+            value = _binary_value(expr.op, left.value, right.value)
+            if value is not None:
+                return Const(value)
+        return Binary(expr.op, left, right)
+    if isinstance(expr, Ternary):
+        cond = fold_expr(expr.cond)
+        if isinstance(cond, Const):
+            return fold_expr(expr.then if _truthy(cond.value) else expr.otherwise)
+        return Ternary(cond, fold_expr(expr.then), fold_expr(expr.otherwise))
+    if isinstance(expr, Index):
+        return Index(fold_expr(expr.array), fold_expr(expr.index))
+    if isinstance(expr, ArrayExpr):
+        return ArrayExpr(fold_expr(expr.size), fold_expr(expr.fill))
+    if isinstance(expr, FlipExpr):
+        return FlipExpr(expr.label, fold_expr(expr.prob))
+    if isinstance(expr, UniformExpr):
+        return UniformExpr(expr.label, fold_expr(expr.low), fold_expr(expr.high))
+    if isinstance(expr, GaussExpr):
+        return GaussExpr(expr.label, fold_expr(expr.mean), fold_expr(expr.std))
+    if isinstance(expr, Call):
+        return Call(expr.label, expr.name, tuple(fold_expr(arg) for arg in expr.args))
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def fold_constants(stmt: Stmt) -> Stmt:
+    """Fold constants throughout a program."""
+    if isinstance(stmt, Skip):
+        return stmt
+    if isinstance(stmt, Assign):
+        return Assign(stmt.name, fold_expr(stmt.expr))
+    if isinstance(stmt, IndexAssign):
+        return IndexAssign(stmt.name, fold_expr(stmt.index), fold_expr(stmt.expr))
+    if isinstance(stmt, Seq):
+        first = fold_constants(stmt.first)
+        second = fold_constants(stmt.second)
+        if isinstance(first, Skip):
+            return second
+        if isinstance(second, Skip) and not isinstance(first, Skip):
+            return first
+        return Seq(first, second)
+    if isinstance(stmt, If):
+        cond = fold_expr(stmt.cond)
+        if isinstance(cond, Const):
+            return fold_constants(stmt.then if _truthy(cond.value) else stmt.otherwise)
+        return If(cond, fold_constants(stmt.then), fold_constants(stmt.otherwise))
+    if isinstance(stmt, Observe):
+        folded_random = fold_expr(stmt.random)
+        assert isinstance(folded_random, RandomExpr)
+        return Observe(folded_random, fold_expr(stmt.value))
+    if isinstance(stmt, For):
+        return For(
+            stmt.var, fold_expr(stmt.low), fold_expr(stmt.high), fold_constants(stmt.body)
+        )
+    if isinstance(stmt, While):
+        cond = fold_expr(stmt.cond)
+        if isinstance(cond, Const) and not _truthy(cond.value):
+            return Skip()
+        return While(cond, fold_constants(stmt.body))
+    if isinstance(stmt, Return):
+        return Return(fold_expr(stmt.expr))
+    if isinstance(stmt, FuncDef):
+        return FuncDef(stmt.name, stmt.params, fold_constants(stmt.body))
+    raise TypeError(f"unknown statement {stmt!r}")

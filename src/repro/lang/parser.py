@@ -1,0 +1,319 @@
+"""Recursive-descent parser for the paper's language.
+
+Produces the AST of :mod:`repro.lang.ast`.  Each random expression is
+labelled ``"<kind>:<line>:<col>"`` from its source position, giving the
+stable syntactic identity that addresses its random choices
+(Section 5.4).
+
+Operator precedence (loosest to tightest): ``?:``, ``||``, ``&&``,
+``== !=``, ``< <= > >=``, ``+ -``, ``* /``, unary ``- !``, indexing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import (
+    ArrayExpr,
+    Assign,
+    Binary,
+    Call,
+    Const,
+    Expr,
+    FlipExpr,
+    For,
+    FuncDef,
+    GaussExpr,
+    If,
+    Index,
+    IndexAssign,
+    Observe,
+    RandomExpr,
+    Return,
+    Skip,
+    Stmt,
+    Ternary,
+    Unary,
+    UniformExpr,
+    Var,
+    While,
+    seq,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_expr", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid input."""
+
+    def __init__(self, message: str, token: Optional[Token]):
+        position = f" at line {token.line}, column {token.col}" if token else " at end of input"
+        super().__init__(message + position)
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _at(self, kind: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", None)
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            raise ParseError(f"expected {kind!r}", token)
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # -- program & statements -------------------------------------------------
+
+    def parse_program(self) -> Stmt:
+        statements = []
+        while self._peek() is not None:
+            statements.append(self._statement())
+        return seq(*statements)
+
+    def _block(self) -> Stmt:
+        self._expect("{")
+        statements = []
+        while not self._at("}"):
+            statements.append(self._statement())
+        self._expect("}")
+        return seq(*statements)
+
+    def _statement(self) -> Stmt:
+        if self._accept("skip"):
+            self._expect(";")
+            return Skip()
+        if self._accept("def"):
+            name = self._expect("ident").text
+            self._expect("(")
+            params = []
+            if not self._at(")"):
+                params.append(self._expect("ident").text)
+                while self._accept(","):
+                    params.append(self._expect("ident").text)
+            self._expect(")")
+            if len(set(params)) != len(params):
+                raise ParseError(f"duplicate parameter in def {name}", self._peek())
+            body = self._block()
+            return FuncDef(name, tuple(params), body)
+        if self._accept("if"):
+            cond = self._expression()
+            then = self._block()
+            otherwise: Stmt = Skip()
+            if self._accept("else"):
+                otherwise = self._block() if self._at("{") else self._statement()
+            return If(cond, then, otherwise)
+        if self._accept("observe"):
+            self._expect("(")
+            # The left side of '==' must be a bare random expression, so
+            # parse at postfix level rather than full-expression level
+            # (otherwise '==' would be swallowed by the comparison).
+            random = self._postfix()
+            if not isinstance(random, RandomExpr):
+                raise ParseError(
+                    "observe requires a random expression on the left of '=='",
+                    self._peek(),
+                )
+            self._expect("==")
+            value = self._expression()
+            self._expect(")")
+            self._expect(";")
+            return Observe(random, value)
+        if self._accept("for"):
+            var = self._expect("ident").text
+            self._expect("in")
+            self._expect("[")
+            low = self._expression()
+            self._expect("..")
+            high = self._expression()
+            self._expect(")")
+            body = self._block()
+            return For(var, low, high, body)
+        if self._accept("while"):
+            cond = self._expression()
+            body = self._block()
+            return While(cond, body)
+        if self._accept("return"):
+            expr = self._expression()
+            self._expect(";")
+            return Return(expr)
+        if self._at("ident"):
+            name = self._advance().text
+            if self._accept("["):
+                index = self._expression()
+                self._expect("]")
+                self._expect("=")
+                expr = self._expression()
+                self._expect(";")
+                return IndexAssign(name, index, expr)
+            self._expect("=")
+            expr = self._expression()
+            self._expect(";")
+            return Assign(name, expr)
+        raise ParseError("expected a statement", self._peek())
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expression(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        cond = self._or()
+        if self._accept("?"):
+            then = self._ternary()
+            self._expect(":")
+            otherwise = self._ternary()
+            return Ternary(cond, then, otherwise)
+        return cond
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self._at("||"):
+            self._advance()
+            left = Binary("||", left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._equality()
+        while self._at("&&"):
+            self._advance()
+            left = Binary("&&", left, self._equality())
+        return left
+
+    def _equality(self) -> Expr:
+        left = self._relational()
+        while self._peek() is not None and self._peek().kind in ("==", "!="):
+            op = self._advance().kind
+            left = Binary(op, left, self._relational())
+        return left
+
+    def _relational(self) -> Expr:
+        left = self._additive()
+        while self._peek() is not None and self._peek().kind in ("<", "<=", ">", ">="):
+            op = self._advance().kind
+            left = Binary(op, left, self._additive())
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while self._peek() is not None and self._peek().kind in ("+", "-"):
+            op = self._advance().kind
+            left = Binary(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while self._peek() is not None and self._peek().kind in ("*", "/"):
+            op = self._advance().kind
+            left = Binary(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self._at("-"):
+            self._advance()
+            return Unary("-", self._unary())
+        if self._at("!"):
+            self._advance()
+            return Unary("!", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while self._accept("["):
+            index = self._expression()
+            self._expect("]")
+            expr = Index(expr, index)
+        return expr
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected an expression", None)
+        if token.kind == "number":
+            self._advance()
+            text = token.text
+            value = float(text) if "." in text else int(text)
+            return Const(value)
+        if token.kind == "ident":
+            self._advance()
+            if self._at("("):
+                self._advance()
+                args = []
+                if not self._at(")"):
+                    args.append(self._expression())
+                    while self._accept(","):
+                        args.append(self._expression())
+                self._expect(")")
+                label = f"call:{token.line}:{token.col}"
+                return Call(label, token.text, tuple(args))
+            return Var(token.text)
+        if token.kind == "(":
+            self._advance()
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        if token.kind in ("flip", "uniform", "gauss", "array"):
+            return self._call(token)
+        raise ParseError(f"unexpected token {token.text!r}", token)
+
+    def _call(self, token: Token) -> Expr:
+        kind = token.kind
+        self._advance()
+        self._expect("(")
+        args = [self._expression()]
+        while self._accept(","):
+            args.append(self._expression())
+        self._expect(")")
+        label = f"{kind}:{token.line}:{token.col}"
+        if kind == "flip":
+            if len(args) != 1:
+                raise ParseError("flip takes one argument", token)
+            return FlipExpr(label, args[0])
+        if kind == "uniform":
+            if len(args) != 2:
+                raise ParseError("uniform takes two arguments", token)
+            return UniformExpr(label, args[0], args[1])
+        if kind == "gauss":
+            if len(args) != 2:
+                raise ParseError("gauss takes two arguments", token)
+            return GaussExpr(label, args[0], args[1])
+        if len(args) != 2:
+            raise ParseError("array takes two arguments", token)
+        return ArrayExpr(args[0], args[1])
+
+
+def parse_program(source: str) -> Stmt:
+    """Parse a program (a statement sequence) from concrete syntax."""
+    parser = _Parser(tokenize(source))
+    return parser.parse_program()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression from concrete syntax."""
+    parser = _Parser(tokenize(source))
+    expr = parser._expression()
+    if parser._peek() is not None:
+        raise ParseError("trailing input after expression", parser._peek())
+    return expr

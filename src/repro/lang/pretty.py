@@ -1,0 +1,144 @@
+"""Pretty-printer for the paper's language.
+
+``pretty(parse_program(source))`` re-parses to an AST equal to
+``parse_program(source)`` up to random-expression labels (labels encode
+source positions, which pretty-printing changes); the round-trip
+property is checked in the test suite via :func:`repro.lang.analysis.equal_modulo_labels`.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    ArrayExpr,
+    Assign,
+    Binary,
+    Call,
+    Const,
+    Expr,
+    FlipExpr,
+    For,
+    FuncDef,
+    GaussExpr,
+    If,
+    Index,
+    IndexAssign,
+    Observe,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    Ternary,
+    Unary,
+    UniformExpr,
+    Var,
+    While,
+)
+
+__all__ = ["pretty", "pretty_expr"]
+
+# Precedence levels for parenthesization, mirroring the parser.
+_PRECEDENCE = {
+    "?:": 1,
+    "||": 2,
+    "&&": 3,
+    "==": 4,
+    "!=": 4,
+    "<": 5,
+    "<=": 5,
+    ">": 5,
+    ">=": 5,
+    "+": 6,
+    "-": 6,
+    "*": 7,
+    "/": 7,
+}
+_UNARY_LEVEL = 8
+_ATOM_LEVEL = 9
+
+
+def _format_const(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if not isinstance(value, float) else f"{value!r}"
+
+
+def pretty_expr(expr: Expr, parent_level: int = 0) -> str:
+    """Render an expression, parenthesizing only where required."""
+    text, level = _render_expr(expr)
+    if level < parent_level:
+        return f"({text})"
+    return text
+
+
+def _render_expr(expr: Expr):
+    if isinstance(expr, Const):
+        return _format_const(expr.value), _ATOM_LEVEL
+    if isinstance(expr, Var):
+        return expr.name, _ATOM_LEVEL
+    if isinstance(expr, Unary):
+        inner = pretty_expr(expr.operand, _UNARY_LEVEL)
+        return f"{expr.op}{inner}", _UNARY_LEVEL
+    if isinstance(expr, Binary):
+        level = _PRECEDENCE[expr.op]
+        left = pretty_expr(expr.left, level)
+        right = pretty_expr(expr.right, level + 1)  # left-associative
+        return f"{left} {expr.op} {right}", level
+    if isinstance(expr, Ternary):
+        cond = pretty_expr(expr.cond, _PRECEDENCE["?:"] + 1)
+        then = pretty_expr(expr.then, _PRECEDENCE["?:"])
+        otherwise = pretty_expr(expr.otherwise, _PRECEDENCE["?:"])
+        return f"{cond} ? {then} : {otherwise}", _PRECEDENCE["?:"]
+    if isinstance(expr, Index):
+        array = pretty_expr(expr.array, _ATOM_LEVEL)
+        return f"{array}[{pretty_expr(expr.index)}]", _ATOM_LEVEL
+    if isinstance(expr, ArrayExpr):
+        return f"array({pretty_expr(expr.size)}, {pretty_expr(expr.fill)})", _ATOM_LEVEL
+    if isinstance(expr, FlipExpr):
+        return f"flip({pretty_expr(expr.prob)})", _ATOM_LEVEL
+    if isinstance(expr, UniformExpr):
+        return f"uniform({pretty_expr(expr.low)}, {pretty_expr(expr.high)})", _ATOM_LEVEL
+    if isinstance(expr, GaussExpr):
+        return f"gauss({pretty_expr(expr.mean)}, {pretty_expr(expr.std)})", _ATOM_LEVEL
+    if isinstance(expr, Call):
+        arguments = ", ".join(pretty_expr(arg) for arg in expr.args)
+        return f"{expr.name}({arguments})", _ATOM_LEVEL
+    raise ValueError(f"unknown expression {expr!r}")
+
+
+def pretty(stmt: Stmt, indent: int = 0) -> str:
+    """Render a statement (or whole program) as concrete syntax."""
+    pad = "    " * indent
+    if isinstance(stmt, Skip):
+        return f"{pad}skip;"
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.name} = {pretty_expr(stmt.expr)};"
+    if isinstance(stmt, IndexAssign):
+        return f"{pad}{stmt.name}[{pretty_expr(stmt.index)}] = {pretty_expr(stmt.expr)};"
+    if isinstance(stmt, Seq):
+        return f"{pretty(stmt.first, indent)}\n{pretty(stmt.second, indent)}"
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {pretty_expr(stmt.cond)} {{", pretty(stmt.then, indent + 1)]
+        if isinstance(stmt.otherwise, Skip):
+            lines.append(f"{pad}}}")
+        else:
+            lines.append(f"{pad}}} else {{")
+            lines.append(pretty(stmt.otherwise, indent + 1))
+            lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(stmt, Observe):
+        random_text, _level = _render_expr(stmt.random)
+        return f"{pad}observe({random_text} == {pretty_expr(stmt.value)});"
+    if isinstance(stmt, For):
+        header = (
+            f"{pad}for {stmt.var} in [{pretty_expr(stmt.low)} .. {pretty_expr(stmt.high)}) {{"
+        )
+        return "\n".join([header, pretty(stmt.body, indent + 1), f"{pad}}}"])
+    if isinstance(stmt, While):
+        header = f"{pad}while {pretty_expr(stmt.cond)} {{"
+        return "\n".join([header, pretty(stmt.body, indent + 1), f"{pad}}}"])
+    if isinstance(stmt, Return):
+        return f"{pad}return {pretty_expr(stmt.expr)};"
+    if isinstance(stmt, FuncDef):
+        header = f"{pad}def {stmt.name}({', '.join(stmt.params)}) {{"
+        return "\n".join([header, pretty(stmt.body, indent + 1), f"{pad}}}"])
+    raise ValueError(f"unknown statement {stmt!r}")

@@ -1,0 +1,143 @@
+"""The paper's example programs, in concrete syntax.
+
+These are used across tests, examples, and experiments:
+
+* :data:`BURGLARY_ORIGINAL` / :data:`BURGLARY_REFINED` — Figure 1;
+* :data:`FIGURE3` — Example 1 (with the observation);
+* :data:`FIGURE5_P` / :data:`FIGURE5_Q` — Example 3;
+* :data:`FIGURE6_GEOMETRIC` — the geometric-distribution loop;
+* :data:`FIGURE7` — the dependency-graph example of Section 6;
+* :func:`gmm_source` — the finite Gaussian mixture model of Listing 5.
+"""
+
+from __future__ import annotations
+
+from .ast import Stmt
+from .parser import parse_program
+
+__all__ = [
+    "BURGLARY_ORIGINAL",
+    "BURGLARY_REFINED",
+    "FIGURE3",
+    "FIGURE5_P",
+    "FIGURE5_Q",
+    "FIGURE6_GEOMETRIC",
+    "FIGURE7",
+    "gmm_source",
+    "burglary_original_program",
+    "burglary_refined_program",
+]
+
+BURGLARY_ORIGINAL = """
+burglary = flip(0.02);
+pAlarm = burglary ? 0.9 : 0.01;
+alarm = flip(pAlarm);
+if alarm {
+    pMaryWakes = 0.8;
+} else {
+    pMaryWakes = 0.05;
+}
+observe(flip(pMaryWakes) == 1);
+return burglary;
+"""
+
+BURGLARY_REFINED = """
+burglary = flip(0.02);
+earthquake = flip(0.005);
+if earthquake {
+    pAlarm = 0.95;
+} else {
+    pAlarm = burglary ? 0.9 : 0.01;
+}
+alarm = flip(pAlarm);
+if alarm {
+    pMaryWakes = earthquake ? 0.9 : 0.8;
+} else {
+    pMaryWakes = 0.05;
+}
+observe(flip(pMaryWakes) == 1);
+return burglary;
+"""
+
+FIGURE3 = """
+a = 1;
+b = flip(a / 3);
+if a < 2 {
+    c = uniform(1, 6);
+} else {
+    c = uniform(6, 10);
+}
+d = flip(b / 2);
+observe(flip(1 / 5) == d);
+return c;
+"""
+
+FIGURE5_P = """
+a = flip(1 / 2);
+if a == 0 {
+    b = uniform(0, 5);
+} else {
+    b = flip(1 / 2);
+}
+c = flip(1 / 2);
+"""
+
+FIGURE5_Q = """
+a = flip(1 / 3);
+if a == 0 {
+    b = uniform(0, 5);
+} else {
+    b = flip(1 / 2);
+}
+c = uniform(1, 6);
+d = uniform(-5, -2);
+"""
+
+FIGURE6_GEOMETRIC = """
+p = 1 / 2;
+n = 1;
+while flip(p) {
+    n = n + 1;
+}
+return n;
+"""
+
+FIGURE7 = """
+a = 1;
+b = flip(a / 3);
+if a < 2 {
+    c = uniform(0, 5);
+} else {
+    c = uniform(6, 10);
+}
+d = flip(b / 2);
+"""
+
+
+def gmm_source(k: int = 10) -> str:
+    """The finite Gaussian mixture model of Listing 5 (PSI).
+
+    ``sigma`` (the prior std of cluster centers) and ``n`` (the number
+    of data points) are free variables supplied via the initial
+    environment; ``k`` is inlined as in the listing.
+    """
+    return f"""
+k = {k};
+centers = array(k, 0);
+for i in [0 .. k) {{
+    centers[i] = gauss(0, sigma);
+}}
+data = array(n, 0);
+for i in [0 .. n) {{
+    data[i] = gauss(centers[uniform(0, k - 1)], 1);
+}}
+return data;
+"""
+
+
+def burglary_original_program() -> Stmt:
+    return parse_program(BURGLARY_ORIGINAL)
+
+
+def burglary_refined_program() -> Stmt:
+    return parse_program(BURGLARY_REFINED)

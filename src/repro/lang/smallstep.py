@@ -1,0 +1,475 @@
+"""Small-step operational semantics (Figure 2 of the paper).
+
+This module implements the paper's semantics literally: a configuration
+``(P, σ)`` steps to ``(P', σ')`` emitting a trace fragment ``t`` (the
+values of random choices reduced in that step) with probability (or
+density) ``p``::
+
+    (P, σ)  --t/p-->  (P', σ')
+
+``run`` chains steps to termination, producing the full trace and the
+unnormalized probability ``P̃r[t ~ P]`` — the product of the per-step
+probabilities — exactly as in Section 3.  Random choices are resolved by
+a :class:`ChoiceSource`: either fresh sampling (:class:`RandomSource`)
+or replay of a given value sequence (:class:`ReplaySource`), which turns
+``run`` into a trace scorer.  Equivalence with the big-step interpreter
+is checked by property tests.
+
+Loops step by unrolling: ``while E { P }`` reduces to
+``if E { P; while E { P } } else { skip }``, and ``for`` reduces to its
+first iteration followed by the remaining loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..distributions import Distribution
+from .ast import (
+    ArrayExpr,
+    Assign,
+    Binary,
+    Const,
+    Expr,
+    For,
+    If,
+    Index,
+    IndexAssign,
+    Observe,
+    RandomExpr,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    Ternary,
+    Unary,
+    Var,
+    While,
+)
+from .interp import EvalError, distribution_of
+
+__all__ = [
+    "ChoiceSource",
+    "RandomSource",
+    "ReplaySource",
+    "Config",
+    "Step",
+    "step",
+    "run",
+    "RunResult",
+]
+
+
+class ChoiceSource:
+    """Resolves random choices during small-step execution."""
+
+    def draw(self, dist: Distribution) -> Any:
+        raise NotImplementedError
+
+
+class RandomSource(ChoiceSource):
+    """Sample each choice freshly from its distribution."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def draw(self, dist: Distribution) -> Any:
+        return dist.sample(self._rng)
+
+
+class ReplaySource(ChoiceSource):
+    """Replay a fixed sequence of choice values (trace scoring)."""
+
+    def __init__(self, values: List[Any]):
+        self._values = list(values)
+        self._next = 0
+
+    def draw(self, dist: Distribution) -> Any:
+        if self._next >= len(self._values):
+            raise EvalError("replay source exhausted: trace is too short")
+        value = self._values[self._next]
+        self._next += 1
+        return value
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self._values)
+
+
+@dataclass
+class _Value:
+    """Wrapper marking a fully evaluated expression holding any value.
+
+    ``Const`` only carries numbers; arrays reduce to ``_Value`` nodes so
+    the small-step machine can treat them as values too.
+    """
+
+    value: Any
+
+
+def _is_value(expr) -> bool:
+    return isinstance(expr, Const) or isinstance(expr, _Value)
+
+
+def _value_of(expr) -> Any:
+    return expr.value
+
+
+def _wrap(value: Any):
+    if isinstance(value, list):
+        return _Value(value)
+    return Const(value)
+
+
+def _truthy(value: Any) -> bool:
+    return value != 0
+
+
+@dataclass
+class Config:
+    """A configuration ``(P, σ)`` plus the accumulated return value."""
+
+    program: Stmt
+    env: Dict[str, Any] = field(default_factory=dict)
+    return_value: Any = None
+
+    def is_terminal(self) -> bool:
+        return isinstance(self.program, Skip)
+
+
+@dataclass
+class Step:
+    """One small-step transition: the new config, emitted trace, log prob."""
+
+    config: Config
+    emitted: Tuple[Any, ...]
+    log_prob: float
+
+
+def _apply_unary(op: str, value: Any) -> Any:
+    if op == "-":
+        return -value
+    if op == "!":
+        return 0 if _truthy(value) else 1
+    raise EvalError(f"unknown unary operator {op!r}")
+
+
+def _apply_binary(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise EvalError("division by zero")
+        return left / right
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    if op == "&&":
+        return 1 if _truthy(left) and _truthy(right) else 0
+    if op == "||":
+        return 1 if _truthy(left) or _truthy(right) else 0
+    raise EvalError(f"unknown binary operator {op!r}")
+
+
+def _step_expr(expr: Expr, env: Dict[str, Any], source: ChoiceSource):
+    """Reduce the leftmost-innermost redex of ``expr`` by one step.
+
+    Returns ``(new_expr, emitted, log_prob)``.  Exactly one redex is
+    reduced per call, mirroring the evaluation-context discipline of the
+    paper's ``P[□]`` notation.
+    """
+    if _is_value(expr):
+        raise EvalError("expression is already a value")
+    if isinstance(expr, Index):
+        if not _is_value(expr.array):
+            inner, emitted, log_prob = _step_expr(expr.array, env, source)
+            return Index(inner, expr.index), emitted, log_prob
+        if not _is_value(expr.index):
+            inner, emitted, log_prob = _step_expr(expr.index, env, source)
+            return Index(expr.array, inner), emitted, log_prob
+        array = _value_of(expr.array)
+        index = int(_value_of(expr.index))
+        if not isinstance(array, list) or not 0 <= index < len(array):
+            raise EvalError("bad array indexing")
+        return _wrap(array[index]), (), 0.0
+    if isinstance(expr, Var):
+        if expr.name not in env:
+            raise EvalError(f"unbound variable {expr.name!r}")
+        return _wrap(env[expr.name]), (), 0.0
+    if isinstance(expr, Unary):
+        if not _is_value(expr.operand):
+            inner, emitted, log_prob = _step_expr(expr.operand, env, source)
+            return Unary(expr.op, inner), emitted, log_prob
+        return _wrap(_apply_unary(expr.op, _value_of(expr.operand))), (), 0.0
+    if isinstance(expr, Binary):
+        # Short-circuit operators branch once the left side is a value.
+        if expr.op in ("&&", "||") and _is_value(expr.left):
+            left = _value_of(expr.left)
+            if expr.op == "&&" and not _truthy(left):
+                return Const(0), (), 0.0
+            if expr.op == "||" and _truthy(left):
+                return Const(1), (), 0.0
+            if not _is_value(expr.right):
+                inner, emitted, log_prob = _step_expr(expr.right, env, source)
+                return Binary(expr.op, expr.left, inner), emitted, log_prob
+            return _wrap(1 if _truthy(_value_of(expr.right)) else 0), (), 0.0
+        if not _is_value(expr.left):
+            inner, emitted, log_prob = _step_expr(expr.left, env, source)
+            return Binary(expr.op, inner, expr.right), emitted, log_prob
+        if not _is_value(expr.right):
+            inner, emitted, log_prob = _step_expr(expr.right, env, source)
+            return Binary(expr.op, expr.left, inner), emitted, log_prob
+        result = _apply_binary(expr.op, _value_of(expr.left), _value_of(expr.right))
+        return _wrap(result), (), 0.0
+    if isinstance(expr, Ternary):
+        if not _is_value(expr.cond):
+            inner, emitted, log_prob = _step_expr(expr.cond, env, source)
+            return Ternary(inner, expr.then, expr.otherwise), emitted, log_prob
+        chosen = expr.then if _truthy(_value_of(expr.cond)) else expr.otherwise
+        return chosen, (), 0.0
+    if isinstance(expr, ArrayExpr):
+        if not _is_value(expr.size):
+            inner, emitted, log_prob = _step_expr(expr.size, env, source)
+            return ArrayExpr(inner, expr.fill), emitted, log_prob
+        if not _is_value(expr.fill):
+            inner, emitted, log_prob = _step_expr(expr.fill, env, source)
+            return ArrayExpr(expr.size, inner), emitted, log_prob
+        size = int(_value_of(expr.size))
+        if size < 0:
+            raise EvalError("negative array size")
+        return _Value([_value_of(expr.fill)] * size), (), 0.0
+    if isinstance(expr, RandomExpr):
+        reduced, emitted, log_prob = _step_random(expr, env, source)
+        return reduced, emitted, log_prob
+    from .ast import Call
+
+    if isinstance(expr, Call):
+        raise EvalError(
+            "user-defined functions are supported by the big-step "
+            "interpreter only, not the small-step machine"
+        )
+    raise EvalError(f"cannot step expression {expr!r}")
+
+
+def _random_args(expr: RandomExpr):
+    from .ast import FlipExpr, GaussExpr, UniformExpr
+
+    if isinstance(expr, FlipExpr):
+        return [expr.prob]
+    if isinstance(expr, UniformExpr):
+        return [expr.low, expr.high]
+    if isinstance(expr, GaussExpr):
+        return [expr.mean, expr.std]
+    raise EvalError(f"unknown random expression {expr!r}")
+
+
+def _with_random_args(expr: RandomExpr, args):
+    from .ast import FlipExpr, GaussExpr, UniformExpr
+
+    if isinstance(expr, FlipExpr):
+        return FlipExpr(expr.label, args[0])
+    if isinstance(expr, UniformExpr):
+        return UniformExpr(expr.label, args[0], args[1])
+    return GaussExpr(expr.label, args[0], args[1])
+
+
+def _step_random(expr: RandomExpr, env: Dict[str, Any], source: ChoiceSource):
+    args = _random_args(expr)
+    for position, arg in enumerate(args):
+        if not _is_value(arg):
+            inner, emitted, log_prob = _step_expr(arg, env, source)
+            new_args = list(args)
+            new_args[position] = inner
+            return _with_random_args(expr, new_args), emitted, log_prob
+    # All arguments are values: the random expression itself reduces,
+    # emitting its value into the trace with the matching probability —
+    # the (P[flip(v)], σ) --[1]/v--> (P[1], σ) rule of Figure 2.
+    dist = distribution_of(expr, lambda const: _value_of(const))
+    value = source.draw(dist)
+    return _wrap(value), (value,), dist.log_prob(value)
+
+
+def step(config: Config, source: ChoiceSource) -> Step:
+    """One small-step transition of a statement configuration."""
+    program, env = config.program, config.env
+    if isinstance(program, Skip):
+        raise EvalError("cannot step a terminated program")
+    if isinstance(program, Assign):
+        if _is_value(program.expr):
+            new_env = dict(env)
+            new_env[program.name] = _value_of(program.expr)
+            return Step(Config(Skip(), new_env, config.return_value), (), 0.0)
+        inner, emitted, log_prob = _step_expr(program.expr, env, source)
+        return Step(
+            Config(Assign(program.name, inner), env, config.return_value),
+            emitted,
+            log_prob,
+        )
+    if isinstance(program, IndexAssign):
+        if not _is_value(program.index):
+            inner, emitted, log_prob = _step_expr(program.index, env, source)
+            return Step(
+                Config(IndexAssign(program.name, inner, program.expr), env, config.return_value),
+                emitted,
+                log_prob,
+            )
+        if not _is_value(program.expr):
+            inner, emitted, log_prob = _step_expr(program.expr, env, source)
+            return Step(
+                Config(IndexAssign(program.name, program.index, inner), env, config.return_value),
+                emitted,
+                log_prob,
+            )
+        array = env.get(program.name)
+        if not isinstance(array, list):
+            raise EvalError(f"index-assigning a non-array variable {program.name!r}")
+        index = int(_value_of(program.index))
+        if not 0 <= index < len(array):
+            raise EvalError("index out of bounds")
+        updated = list(array)
+        updated[index] = _value_of(program.expr)
+        new_env = dict(env)
+        new_env[program.name] = updated
+        return Step(Config(Skip(), new_env, config.return_value), (), 0.0)
+    if isinstance(program, Seq):
+        if isinstance(program.first, Skip):
+            return Step(Config(program.second, env, config.return_value), (), 0.0)
+        inner = step(Config(program.first, env, config.return_value), source)
+        return Step(
+            Config(Seq(inner.config.program, program.second), inner.config.env, inner.config.return_value),
+            inner.emitted,
+            inner.log_prob,
+        )
+    if isinstance(program, If):
+        if _is_value(program.cond):
+            chosen = program.then if _truthy(_value_of(program.cond)) else program.otherwise
+            return Step(Config(chosen, env, config.return_value), (), 0.0)
+        inner, emitted, log_prob = _step_expr(program.cond, env, source)
+        return Step(
+            Config(If(inner, program.then, program.otherwise), env, config.return_value),
+            emitted,
+            log_prob,
+        )
+    if isinstance(program, Observe):
+        # Evaluate the random expression's arguments, then the comparison
+        # value, then discharge the observation with probability
+        # Pr[R = value] — the observe rule of Figure 2 generalized from
+        # observe(flip(v) == 1).
+        args = _random_args(program.random)
+        for position, arg in enumerate(args):
+            if not _is_value(arg):
+                inner, emitted, log_prob = _step_expr(arg, env, source)
+                new_args = list(args)
+                new_args[position] = inner
+                return Step(
+                    Config(
+                        Observe(_with_random_args(program.random, new_args), program.value),
+                        env,
+                        config.return_value,
+                    ),
+                    emitted,
+                    log_prob,
+                )
+        if not _is_value(program.value):
+            inner, emitted, log_prob = _step_expr(program.value, env, source)
+            return Step(
+                Config(Observe(program.random, inner), env, config.return_value),
+                emitted,
+                log_prob,
+            )
+        dist = distribution_of(program.random, lambda const: _value_of(const))
+        observed = _value_of(program.value)
+        return Step(Config(Skip(), env, config.return_value), (), dist.log_prob(observed))
+    if isinstance(program, While):
+        unrolled = If(program.cond, Seq(program.body, program), Skip())
+        return Step(Config(unrolled, env, config.return_value), (), 0.0)
+    if isinstance(program, For):
+        if not _is_value(program.low):
+            inner, emitted, log_prob = _step_expr(program.low, env, source)
+            return Step(
+                Config(For(program.var, inner, program.high, program.body), env, config.return_value),
+                emitted,
+                log_prob,
+            )
+        if not _is_value(program.high):
+            inner, emitted, log_prob = _step_expr(program.high, env, source)
+            return Step(
+                Config(For(program.var, program.low, inner, program.body), env, config.return_value),
+                emitted,
+                log_prob,
+            )
+        low = int(_value_of(program.low))
+        high = int(_value_of(program.high))
+        if low >= high:
+            return Step(Config(Skip(), env, config.return_value), (), 0.0)
+        new_env = dict(env)
+        new_env[program.var] = low
+        rest = For(program.var, Const(low + 1), Const(high), program.body)
+        return Step(Config(Seq(program.body, rest), new_env, config.return_value), (), 0.0)
+    if isinstance(program, Return):
+        if _is_value(program.expr):
+            return Step(Config(Skip(), env, _value_of(program.expr)), (), 0.0)
+        inner, emitted, log_prob = _step_expr(program.expr, env, source)
+        return Step(Config(Return(inner), env, config.return_value), emitted, log_prob)
+    from .ast import FuncDef
+
+    if isinstance(program, FuncDef):
+        raise EvalError(
+            "user-defined functions are supported by the big-step "
+            "interpreter only, not the small-step machine"
+        )
+    raise EvalError(f"cannot step statement {program!r}")
+
+
+@dataclass
+class RunResult:
+    """Outcome of running a program to termination under small-step."""
+
+    trace: Tuple[Any, ...]
+    log_prob: float
+    env: Dict[str, Any]
+    return_value: Any
+    steps: int
+
+
+def run(
+    program: Stmt,
+    source: ChoiceSource,
+    env: Optional[Dict[str, Any]] = None,
+    max_steps: int = 1_000_000,
+) -> RunResult:
+    """Run ``(P, σ0)`` to ``(skip, σn)``; concatenate traces, multiply probs.
+
+    This is the ``==>`` relation of Section 3: the result's ``trace`` is
+    ``t0 ++ t1 ++ ... ++ tn`` and ``log_prob`` is ``log(p0 p1 ... pn) =
+    log P̃r[t ~ P]``.
+    """
+    config = Config(program, dict(env) if env else {})
+    trace: List[Any] = []
+    log_prob = 0.0
+    steps = 0
+    while not config.is_terminal():
+        if steps >= max_steps:
+            raise EvalError(f"program did not terminate within {max_steps} steps")
+        result = step(config, source)
+        trace.extend(result.emitted)
+        log_prob += result.log_prob
+        config = result.config
+        steps += 1
+    return RunResult(tuple(trace), log_prob, config.env, config.return_value, steps)

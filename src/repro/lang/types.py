@@ -1,0 +1,213 @@
+"""Kind analysis: scalars vs arrays.
+
+The language has two kinds of values — rationals ("scalars") and arrays
+of rationals.  This flow-sensitive pass infers a kind for every
+variable and flags operations that are guaranteed to fail at run time:
+
+* indexing a scalar, or index-assigning a scalar variable;
+* using an array as an operand of arithmetic/comparison/boolean
+  operators, as a condition, as a distribution parameter, or as an
+  observed value;
+* merging branches that assign incompatible kinds to the same variable
+  (a warning: the program is only wrong if the variable is used after
+  the merge in a kind-specific way, which the later checks catch as
+  ``unknown``-kind silence — the warning points at the cause).
+
+The lattice is ``scalar < unknown > array``: ``unknown`` (from function
+calls, parameters, or conflicting merges) silences downstream checks —
+the analysis never reports a spurious error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .ast import (
+    ArrayExpr,
+    Assign,
+    Binary,
+    Call,
+    Const,
+    Expr,
+    FlipExpr,
+    For,
+    FuncDef,
+    GaussExpr,
+    If,
+    Index,
+    IndexAssign,
+    Observe,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    Ternary,
+    Unary,
+    UniformExpr,
+    Var,
+    While,
+)
+from .check import Diagnostic
+
+__all__ = ["check_kinds", "SCALAR", "ARRAY", "UNKNOWN"]
+
+SCALAR = "scalar"
+ARRAY = "array"
+UNKNOWN = "unknown"
+
+
+def _join(a: str, b: str) -> str:
+    return a if a == b else UNKNOWN
+
+
+class _KindChecker:
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    def error(self, message: str) -> None:
+        self.diagnostics.append(Diagnostic("error", message))
+
+    def warning(self, message: str) -> None:
+        self.diagnostics.append(Diagnostic("warning", message))
+
+    # -- expressions ------------------------------------------------------
+
+    def kind_of(self, expr: Expr, env: Dict[str, str]) -> str:
+        if isinstance(expr, Const):
+            return SCALAR
+        if isinstance(expr, Var):
+            return env.get(expr.name, UNKNOWN)
+        if isinstance(expr, Unary):
+            self._require_scalar(expr.operand, env, f"operand of {expr.op!r}")
+            return SCALAR
+        if isinstance(expr, Binary):
+            self._require_scalar(expr.left, env, f"left operand of {expr.op!r}")
+            self._require_scalar(expr.right, env, f"right operand of {expr.op!r}")
+            return SCALAR
+        if isinstance(expr, Ternary):
+            self._require_scalar(expr.cond, env, "ternary condition")
+            return _join(self.kind_of(expr.then, env), self.kind_of(expr.otherwise, env))
+        if isinstance(expr, Index):
+            base = self.kind_of(expr.array, env)
+            if base == SCALAR:
+                self.error(self._describe(expr.array, env) + " is indexed but is a scalar")
+            self._require_scalar(expr.index, env, "array index")
+            return SCALAR  # arrays are flat: elements are scalars
+        if isinstance(expr, ArrayExpr):
+            self._require_scalar(expr.size, env, "array size")
+            self._require_scalar(expr.fill, env, "array fill value")
+            return ARRAY
+        if isinstance(expr, FlipExpr):
+            self._require_scalar(expr.prob, env, "flip probability")
+            return SCALAR
+        if isinstance(expr, UniformExpr):
+            self._require_scalar(expr.low, env, "uniform bound")
+            self._require_scalar(expr.high, env, "uniform bound")
+            return SCALAR
+        if isinstance(expr, GaussExpr):
+            self._require_scalar(expr.mean, env, "gauss mean")
+            self._require_scalar(expr.std, env, "gauss std")
+            return SCALAR
+        if isinstance(expr, Call):
+            for arg in expr.args:
+                self.kind_of(arg, env)  # recurse for inner findings
+            return UNKNOWN
+        raise TypeError(f"unknown expression {expr!r}")
+
+    @staticmethod
+    def _describe(expr: Expr, env: Dict[str, str]) -> str:
+        if isinstance(expr, Var):
+            return f"variable {expr.name!r}"
+        return "an expression"
+
+    def _require_scalar(self, expr: Expr, env: Dict[str, str], where: str) -> None:
+        kind = self.kind_of(expr, env)
+        if kind == ARRAY:
+            self.error(f"{self._describe(expr, env)} used as {where} is an array")
+
+    # -- statements ---------------------------------------------------------
+
+    def check_stmt(self, stmt: Stmt, env: Dict[str, str]) -> Dict[str, str]:
+        """Check ``stmt``, updating and returning the kind environment."""
+        if isinstance(stmt, Skip):
+            return env
+        if isinstance(stmt, Assign):
+            env = dict(env)
+            env[stmt.name] = self.kind_of(stmt.expr, env)
+            return env
+        if isinstance(stmt, IndexAssign):
+            kind = env.get(stmt.name, UNKNOWN)
+            if kind == SCALAR:
+                self.error(
+                    f"variable {stmt.name!r} is index-assigned but is a scalar"
+                )
+            self._require_scalar(stmt.index, env, "array index")
+            self._require_scalar(stmt.expr, env, "array element")
+            return env
+        if isinstance(stmt, Seq):
+            env = self.check_stmt(stmt.first, env)
+            return self.check_stmt(stmt.second, env)
+        if isinstance(stmt, If):
+            self._require_scalar(stmt.cond, env, "condition")
+            then_env = self.check_stmt(stmt.then, dict(env))
+            else_env = self.check_stmt(stmt.otherwise, dict(env))
+            merged: Dict[str, str] = {}
+            for name in set(then_env) | set(else_env):
+                then_kind = then_env.get(name, UNKNOWN)
+                else_kind = else_env.get(name, UNKNOWN)
+                merged[name] = _join(then_kind, else_kind)
+                if {then_kind, else_kind} == {SCALAR, ARRAY}:
+                    self.warning(
+                        f"variable {name!r} is a scalar in one branch and an "
+                        "array in the other"
+                    )
+            return merged
+        if isinstance(stmt, Observe):
+            self.kind_of(stmt.random, env)
+            self._require_scalar(stmt.value, env, "observed value")
+            return env
+        if isinstance(stmt, For):
+            self._require_scalar(stmt.low, env, "loop bound")
+            self._require_scalar(stmt.high, env, "loop bound")
+            body_env = dict(env)
+            body_env[stmt.var] = SCALAR
+            after = self.check_stmt(stmt.body, body_env)
+            # The loop body may run zero times: join with the input env.
+            merged = dict(env)
+            merged[stmt.var] = SCALAR
+            for name, kind in after.items():
+                merged[name] = _join(kind, merged.get(name, kind))
+            return merged
+        if isinstance(stmt, While):
+            self._require_scalar(stmt.cond, env, "condition")
+            after = self.check_stmt(stmt.body, dict(env))
+            merged = dict(env)
+            for name, kind in after.items():
+                merged[name] = _join(kind, merged.get(name, kind))
+            return merged
+        if isinstance(stmt, Return):
+            self.kind_of(stmt.expr, env)
+            return env
+        if isinstance(stmt, FuncDef):
+            body_env = {param: UNKNOWN for param in stmt.params}
+            self.check_stmt(stmt.body, body_env)
+            return env
+        raise TypeError(f"unknown statement {stmt!r}")
+
+
+def check_kinds(
+    program: Stmt, parameters: Sequence[str] = (), array_parameters: Sequence[str] = ()
+) -> List[Diagnostic]:
+    """Run the kind analysis.
+
+    ``parameters`` are env-supplied names of unknown kind (scalar data
+    like ``n``); names also listed in ``array_parameters`` are known to
+    be arrays (like the conditioned GMM's ``ys``).
+    """
+    checker = _KindChecker()
+    env: Dict[str, str] = {name: UNKNOWN for name in parameters}
+    for name in array_parameters:
+        env[name] = ARRAY
+    checker.check_stmt(program, env)
+    return checker.diagnostics

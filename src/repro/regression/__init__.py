@@ -1,0 +1,35 @@
+"""Bayesian linear regression substrate for the Section 7.2 experiment:
+the programs of Listings 1-2, the exact conjugate posterior for ``P``,
+and the synthetic hospital-cost-like dataset.
+"""
+
+from .conjugate import ConjugatePosterior, conjugate_posterior, exact_regression_trace
+from .data import RegressionData, hospital_like_dataset
+from .programs import (
+    ADDR_INTERCEPT,
+    ADDR_OUTLIER_LOG_VAR,
+    ADDR_SLOPE,
+    NoOutlierModelParams,
+    OutlierModelParams,
+    addr_y,
+    coefficient_correspondence,
+    no_outlier_model,
+    outlier_model,
+)
+
+__all__ = [
+    "ConjugatePosterior",
+    "conjugate_posterior",
+    "exact_regression_trace",
+    "RegressionData",
+    "hospital_like_dataset",
+    "NoOutlierModelParams",
+    "OutlierModelParams",
+    "no_outlier_model",
+    "outlier_model",
+    "coefficient_correspondence",
+    "ADDR_SLOPE",
+    "ADDR_INTERCEPT",
+    "ADDR_OUTLIER_LOG_VAR",
+    "addr_y",
+]

@@ -1,0 +1,76 @@
+"""Exact conjugate posterior for the non-robust regression (Listing 1).
+
+With a Gaussian prior ``beta ~ N(0, prior_std^2 I)`` over
+``beta = (intercept, slope)`` and known noise scale, the posterior is
+Gaussian with
+
+    Sigma_n = (X'X / std^2 + I / prior_std^2)^{-1}
+    mu_n    = Sigma_n X'y / std^2
+
+This is the "exact posterior sampling is tractable in P" of Section 7.2:
+the experiment feeds exact posterior samples of ``P`` into the
+incremental algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core import Model, Trace
+from .programs import (
+    ADDR_INTERCEPT,
+    ADDR_SLOPE,
+    NoOutlierModelParams,
+)
+
+__all__ = ["ConjugatePosterior", "conjugate_posterior", "exact_regression_trace"]
+
+
+@dataclass(frozen=True)
+class ConjugatePosterior:
+    """Gaussian posterior over ``(intercept, slope)``."""
+
+    mean: np.ndarray  # (2,): intercept, slope
+    covariance: np.ndarray  # (2, 2)
+
+    @property
+    def intercept_mean(self) -> float:
+        return float(self.mean[0])
+
+    @property
+    def slope_mean(self) -> float:
+        return float(self.mean[1])
+
+    def sample(self, rng: np.random.Generator) -> Tuple[float, float]:
+        """One exact posterior draw of ``(intercept, slope)``."""
+        draw = rng.multivariate_normal(self.mean, self.covariance)
+        return float(draw[0]), float(draw[1])
+
+
+def conjugate_posterior(
+    params: NoOutlierModelParams, xs: Sequence[float], ys: Sequence[float]
+) -> ConjugatePosterior:
+    """Closed-form posterior of Listing 1 given data ``(xs, ys)``."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError("xs and ys must have the same shape")
+    design = np.column_stack([np.ones_like(xs), xs])
+    precision = design.T @ design / params.std**2 + np.eye(2) / params.prior_std**2
+    covariance = np.linalg.inv(precision)
+    mean = covariance @ (design.T @ ys) / params.std**2
+    return ConjugatePosterior(mean=mean, covariance=covariance)
+
+
+def exact_regression_trace(
+    posterior: ConjugatePosterior,
+    rng: np.random.Generator,
+    model: Model,
+) -> Trace:
+    """One exact posterior trace of ``P`` (coefficients scored into the
+    conditioned model, so the trace carries the correct ``P̃r[t ~ P]``)."""
+    intercept, slope = posterior.sample(rng)
+    return model.score({ADDR_INTERCEPT: intercept, ADDR_SLOPE: slope})

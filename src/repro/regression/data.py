@@ -1,0 +1,80 @@
+"""Synthetic regression dataset (substitute for the Dartmouth Atlas data).
+
+The paper regresses hospital operating cost against a quality measure
+for 305 municipalities [43].  That dataset is not redistributable, so we
+generate a synthetic stand-in with the same statistical features the
+experiment depends on: a linear trend, Gaussian inlier noise, and a
+small fraction of gross outliers that bias the non-robust model's slope
+estimate — which is what makes the robust model ``Q`` worth moving to
+and the incremental transition informative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["RegressionData", "hospital_like_dataset"]
+
+
+@dataclass(frozen=True)
+class RegressionData:
+    """A regression dataset with generation metadata."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    true_intercept: float
+    true_slope: float
+    outlier_mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.xs.shape != self.ys.shape:
+            raise ValueError("xs and ys must have the same shape")
+
+    @property
+    def num_points(self) -> int:
+        return int(self.xs.shape[0])
+
+    @property
+    def num_outliers(self) -> int:
+        return int(self.outlier_mask.sum())
+
+
+def hospital_like_dataset(
+    rng: np.random.Generator,
+    num_points: int = 305,
+    intercept: float = 1.0,
+    slope: float = -0.8,
+    inlier_std: float = 0.5,
+    outlier_std: float = 5.0,
+    outlier_fraction: float = 0.1,
+) -> RegressionData:
+    """Generate the 305-point stand-in for the hospital-cost data.
+
+    Covariates are standardized (zero mean, unit scale); the response is
+    linear with heavy-tailed contamination.  Defaults give roughly 10%
+    outliers at 10x the inlier noise scale: enough to measurably shift
+    the non-robust posterior slope (so the weights of the trace
+    translator carry real information, and the no-weights ablation is
+    visibly biased), while keeping the posteriors of the non-robust and
+    robust programs close enough that incremental inference applies —
+    the regime in which the paper positions the method (Section 2,
+    Discussion).
+    """
+    if num_points < 2:
+        raise ValueError("need at least two data points")
+    if not 0.0 <= outlier_fraction < 1.0:
+        raise ValueError("outlier_fraction must be in [0, 1)")
+    xs = rng.normal(0.0, 1.0, size=num_points)
+    outlier_mask = rng.random(num_points) < outlier_fraction
+    noise_std = np.where(outlier_mask, outlier_std, inlier_std)
+    ys = intercept + slope * xs + rng.normal(0.0, 1.0, size=num_points) * noise_std
+    return RegressionData(
+        xs=xs,
+        ys=ys,
+        true_intercept=intercept,
+        true_slope=slope,
+        outlier_mask=outlier_mask,
+    )

@@ -1,0 +1,139 @@
+"""The regression probabilistic programs of Listings 1-2 (Section 7.2).
+
+``no_outlier_model`` is the plain Bayesian linear regression ``P``
+(Listing 1): Gaussian priors on slope and intercept, Gaussian noise.
+``outlier_model`` is the robust variant ``Q`` (Listing 2): it adds one
+new random choice — the log-variance of the outlier component — and
+replaces each data point's Gaussian likelihood with the ``two_normals``
+inlier/outlier mixture.
+
+Addresses mirror the paper's: ``"slope"``, ``"intercept"``,
+``"outlier_log_var"``, and ``("y", i)`` for data point ``i``.  Data are
+observations (external constraints on the ``("y", i)`` addresses).  The
+incremental transition places the regression coefficients in
+correspondence (:func:`coefficient_correspondence`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import Correspondence, Model
+from ..distributions import Normal, TwoNormals
+
+__all__ = [
+    "NoOutlierModelParams",
+    "OutlierModelParams",
+    "no_outlier_model",
+    "outlier_model",
+    "coefficient_correspondence",
+    "ADDR_SLOPE",
+    "ADDR_INTERCEPT",
+    "ADDR_OUTLIER_LOG_VAR",
+    "addr_y",
+]
+
+ADDR_SLOPE = ("slope",)
+ADDR_INTERCEPT = ("intercept",)
+ADDR_OUTLIER_LOG_VAR = ("outlier_log_var",)
+
+
+def addr_y(i: int):
+    """Address of data point ``i`` (the paper's ``addr_y(i)``)."""
+    return ("y", int(i))
+
+
+@dataclass(frozen=True)
+class NoOutlierModelParams:
+    """Parameters of Listing 1: prior scale and fixed noise scale."""
+
+    prior_std: float = 10.0
+    std: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.prior_std <= 0 or self.std <= 0:
+            raise ValueError("scales must be positive")
+
+
+@dataclass(frozen=True)
+class OutlierModelParams:
+    """Parameters of Listing 2: mixture weight and outlier-variance prior."""
+
+    prior_std: float = 10.0
+    prob_outlier: float = 0.1
+    inlier_std: float = 0.5
+    outlier_log_var_mu: float = 3.0
+    outlier_log_var_std: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.prior_std <= 0 or self.inlier_std <= 0 or self.outlier_log_var_std <= 0:
+            raise ValueError("scales must be positive")
+        if not 0.0 <= self.prob_outlier <= 1.0:
+            raise ValueError("prob_outlier must be in [0, 1]")
+
+
+def _no_outlier_fn(t, params: NoOutlierModelParams, xs: Sequence[float]):
+    """Listing 1: Bayesian linear regression."""
+    slope = t.sample(Normal(0.0, params.prior_std), ADDR_SLOPE)
+    intercept = t.sample(Normal(0.0, params.prior_std), ADDR_INTERCEPT)
+    for i, x in enumerate(xs):
+        y_mean = intercept + slope * x
+        t.sample(Normal(y_mean, params.std), addr_y(i))
+    return (slope, intercept)
+
+
+def _outlier_fn(t, params: OutlierModelParams, xs: Sequence[float]):
+    """Listing 2: robust Bayesian linear regression."""
+    outlier_log_var = t.sample(
+        Normal(params.outlier_log_var_mu, params.outlier_log_var_std),
+        ADDR_OUTLIER_LOG_VAR,
+    )
+    outlier_std = math.sqrt(math.exp(outlier_log_var))
+    slope = t.sample(Normal(0.0, params.prior_std), ADDR_SLOPE)
+    intercept = t.sample(Normal(0.0, params.prior_std), ADDR_INTERCEPT)
+    for i, x in enumerate(xs):
+        y_mean = intercept + slope * x
+        t.sample(
+            TwoNormals(y_mean, params.prob_outlier, params.inlier_std, outlier_std),
+            addr_y(i),
+        )
+    return (slope, intercept)
+
+
+def _observation_map(ys: Sequence[float]):
+    return {addr_y(i): float(y) for i, y in enumerate(ys)}
+
+
+def no_outlier_model(
+    params: NoOutlierModelParams,
+    xs: Sequence[float],
+    ys: Optional[Sequence[float]] = None,
+) -> Model:
+    """The conditioned program ``P`` of Listing 1."""
+    model = Model(_no_outlier_fn, args=(params, tuple(float(x) for x in xs)), name="linreg")
+    if ys is not None:
+        model = model.condition(_observation_map(ys))
+    return model
+
+
+def outlier_model(
+    params: OutlierModelParams,
+    xs: Sequence[float],
+    ys: Optional[Sequence[float]] = None,
+) -> Model:
+    """The conditioned robust program ``Q`` of Listing 2."""
+    model = Model(
+        _outlier_fn, args=(params, tuple(float(x) for x in xs)), name="robust_linreg"
+    )
+    if ys is not None:
+        model = model.condition(_observation_map(ys))
+    return model
+
+
+def coefficient_correspondence() -> Correspondence:
+    """Slope and intercept in correspondence (Section 7.2)."""
+    return Correspondence.identity([ADDR_SLOPE, ADDR_INTERCEPT])

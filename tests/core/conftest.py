@@ -1,0 +1,83 @@
+"""Shared fixtures: the paper's running example programs.
+
+``burglary_original`` / ``burglary_refined`` are the two programs of
+Figure 1; ``figure5_p`` / ``figure5_q`` are the programs of Example 3
+(Figure 5).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Model
+from repro.distributions import Flip, UniformDiscrete
+
+
+def burglary_original_fn(t):
+    burglary = t.sample(Flip(0.02), "burglary")
+    p_alarm = 0.9 if burglary else 0.01
+    alarm = t.sample(Flip(p_alarm), "alarm")
+    p_mary_wakes = 0.8 if alarm else 0.05
+    t.observe(Flip(p_mary_wakes), 1, "mary_wakes")
+    return burglary
+
+
+def burglary_refined_fn(t):
+    burglary = t.sample(Flip(0.02), "burglary")
+    earthquake = t.sample(Flip(0.005), "earthquake")
+    if earthquake:
+        p_alarm = 0.95
+    else:
+        p_alarm = 0.9 if burglary else 0.01
+    alarm = t.sample(Flip(p_alarm), "alarm")
+    if alarm:
+        p_mary_wakes = 0.9 if earthquake else 0.8
+    else:
+        p_mary_wakes = 0.05
+    t.observe(Flip(p_mary_wakes), 1, "mary_wakes")
+    return burglary
+
+
+def figure5_p_fn(t):
+    a = t.sample(Flip(1 / 2), "a")
+    if a == 0:
+        b = t.sample(UniformDiscrete(0, 5), "b")
+    else:
+        b = t.sample(Flip(1 / 2), "b")
+    c = t.sample(Flip(1 / 2), "c")
+    return (a, b, c)
+
+
+def figure5_q_fn(t):
+    a = t.sample(Flip(1 / 3), "a")
+    if a == 0:
+        b = t.sample(UniformDiscrete(0, 5), "b")
+    else:
+        b = t.sample(Flip(1 / 2), "b")
+    c = t.sample(UniformDiscrete(1, 6), "c")
+    d = t.sample(UniformDiscrete(-5, -2), "d")
+    return (a, b, c, d)
+
+
+@pytest.fixture
+def burglary_original():
+    return Model(burglary_original_fn)
+
+
+@pytest.fixture
+def burglary_refined():
+    return Model(burglary_refined_fn)
+
+
+@pytest.fixture
+def figure5_p():
+    return Model(figure5_p_fn)
+
+
+@pytest.fixture
+def figure5_q():
+    return Model(figure5_q_fn)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2018)

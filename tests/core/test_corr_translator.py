@@ -1,0 +1,315 @@
+"""Tests for the correspondence-based trace translator (Section 5).
+
+Includes exact reproductions of the two worked examples in the paper:
+the Figure 1 burglary translation (weight ≈ 1.19) and Example 3 /
+Figure 5 (weight = 2/3), plus statistical checks of Lemma 4/6
+(the weight estimate averages to Z_Q / Z_P) and convergence of the
+self-normalized estimator to the target posterior (Lemma 2).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Correspondence,
+    CorrespondenceTranslator,
+    Model,
+    WeightedCollection,
+    exact_choice_marginal,
+    exact_posterior_sampler,
+    log_normalizer,
+)
+from repro.distributions import Flip, Normal, UniformDiscrete
+
+
+@pytest.fixture
+def burglary_translator(burglary_original, burglary_refined):
+    correspondence = Correspondence.identity(["burglary", "alarm"])
+    return CorrespondenceTranslator(burglary_original, burglary_refined, correspondence)
+
+
+class TestFigure1:
+    """The worked translation of Figure 1."""
+
+    def test_weight_when_earthquake_sampled_one(self, burglary_translator, burglary_original, rng):
+        """For t = [burglary=1, alarm=1] and sampled earthquake=1 the paper
+        computes w' = (p_a' p_b' p_o') / (p_a p_b p_o) ≈ 1.19."""
+        trace = burglary_original.score({"burglary": 1, "alarm": 1})
+        seen = set()
+        for _ in range(3000):
+            result = burglary_translator.translate(rng, trace)
+            earthquake = result.trace["earthquake"]
+            seen.add(earthquake)
+            if earthquake == 1:
+                expected = (0.95 * 0.9) / (0.9 * 0.8)
+                assert math.exp(result.log_weight) == pytest.approx(expected)
+            else:
+                assert math.exp(result.log_weight) == pytest.approx(1.0)
+            assert result.trace["burglary"] == 1
+            assert result.trace["alarm"] == 1
+            if seen == {0, 1}:
+                break
+        assert seen == {0, 1}
+
+    def test_forward_kernel_probability(self, burglary_translator, burglary_original, rng):
+        """k(u; t) = 0.005 when earthquake=1 is sampled (Section 4.1)."""
+        trace = burglary_original.score({"burglary": 1, "alarm": 1})
+        for _ in range(3000):
+            result = burglary_translator.translate(rng, trace)
+            if result.trace["earthquake"] == 1:
+                assert result.components["forward_log_prob"] == pytest.approx(math.log(0.005))
+                return
+        pytest.fail("earthquake=1 never sampled")
+
+    def test_translated_estimate_converges_to_q_posterior(
+        self, burglary_translator, burglary_original, burglary_refined, rng
+    ):
+        """Lemma 2: the weighted estimate converges to Q's posterior."""
+        sampler = exact_posterior_sampler(burglary_original)
+        traces = [sampler(rng) for _ in range(20000)]
+        collection = WeightedCollection.uniform(traces)
+        increments = []
+        translated = []
+        for trace in traces:
+            result = burglary_translator.translate(rng, trace)
+            translated.append(result.trace)
+            increments.append(result.log_weight)
+        out = WeightedCollection(translated, increments)
+        estimate = out.estimate_probability(lambda u: u["burglary"] == 1)
+        truth = exact_choice_marginal(burglary_refined, "burglary")[1]
+        assert estimate == pytest.approx(truth, abs=0.03)
+
+    def test_unweighted_estimate_converges_to_wrong_posterior(
+        self, burglary_translator, burglary_original, rng
+    ):
+        """Without weights the estimate converges to η, not Q — here η's
+        burglary marginal equals P's posterior (burglary is reused)."""
+        sampler = exact_posterior_sampler(burglary_original)
+        translated = [
+            burglary_translator.translate(rng, sampler(rng)).trace for _ in range(20000)
+        ]
+        out = WeightedCollection.uniform(translated)
+        estimate = out.estimate_probability(lambda u: u["burglary"] == 1)
+        truth_p = exact_choice_marginal(burglary_original, "burglary")[1]
+        assert estimate == pytest.approx(truth_p, abs=0.01)
+
+
+class TestExample3:
+    """Example 3 / Figure 5: branch- and support-sensitive correspondence."""
+
+    @pytest.fixture
+    def translator(self, figure5_p, figure5_q):
+        # Addresses "a" and "b" are shared; the support check implements
+        # the paper's refusal to match uniform(0,5) with flip choices.
+        return CorrespondenceTranslator(
+            figure5_p, figure5_q, Correspondence.identity(["a", "b"])
+        )
+
+    def test_weight_is_two_thirds(self, translator, figure5_p, rng):
+        """For t = [a=1, b=1, c=1], ŵ = (1/3 · 1/2)/(1/2 · 1/2) = 2/3."""
+        trace = figure5_p.score({"a": 1, "b": 1, "c": 1})
+        result = translator.translate(rng, trace)
+        assert math.exp(result.log_weight) == pytest.approx(2 / 3)
+        assert result.trace["a"] == 1
+        assert result.trace["b"] == 1
+
+    def test_forward_kernel_is_one_twentyfourth(self, translator, figure5_p, rng):
+        """k samples uniform(1,6) and uniform(-5,-2): k(u;t) = 1/6 · 1/4."""
+        trace = figure5_p.score({"a": 1, "b": 1, "c": 1})
+        result = translator.translate(rng, trace)
+        assert result.components["forward_log_prob"] == pytest.approx(math.log(1 / 24))
+
+    def test_uniform_branch_reuses_b(self, translator, figure5_p, rng):
+        """When a=0 both programs use uniform(0,5) for b: same support, reuse."""
+        trace = figure5_p.score({"a": 0, "b": 4, "c": 0})
+        result = translator.translate(rng, trace)
+        assert result.trace["a"] == 0
+        assert result.trace["b"] == 4
+        # weight = p_Q(a=0) p_Q(b=4) / (p_P(a=0) p_P(b=4)) = (2/3 · 1/6)/(1/2 · 1/6)
+        assert math.exp(result.log_weight) == pytest.approx((2 / 3) / (1 / 2))
+
+    def test_fresh_choices_follow_their_priors(self, translator, figure5_p, rng):
+        trace = figure5_p.score({"a": 1, "b": 1, "c": 1})
+        c_values = []
+        d_values = []
+        for _ in range(6000):
+            result = translator.translate(rng, trace)
+            c_values.append(result.trace["c"])
+            d_values.append(result.trace["d"])
+        assert np.mean(c_values) == pytest.approx(3.5, abs=0.1)
+        assert np.mean(d_values) == pytest.approx(-3.5, abs=0.1)
+        assert set(c_values) == set(range(1, 7))
+        assert set(d_values) == set(range(-5, -1))
+
+
+class TestSupportMismatchFallback:
+    """Case (ii) of Section 5.1: corresponding choice with changed support."""
+
+    def test_changed_support_is_resampled(self, rng):
+        def p_fn(t):
+            return t.sample(UniformDiscrete(0, 5), "x")
+
+        def q_fn(t):
+            return t.sample(UniformDiscrete(0, 9), "x")
+
+        p, q = Model(p_fn), Model(q_fn)
+        translator = CorrespondenceTranslator(p, q, Correspondence.identity(["x"]))
+        trace = p.score({"x": 3})
+        values = {translator.translate(rng, trace).trace["x"] for _ in range(500)}
+        # x must be freshly sampled (support changed), covering 0..9.
+        assert values == set(range(10))
+
+    def test_changed_support_weight_is_constant(self, rng):
+        """With the fallback, both kernels sample the sole choice from the
+        prior, so ŵ = P̃r[u]·l/(P̃r[t]·k) = (1/10·1/6)/(1/6·1/10) = 1."""
+
+        def p_fn(t):
+            return t.sample(UniformDiscrete(0, 5), "x")
+
+        def q_fn(t):
+            return t.sample(UniformDiscrete(0, 9), "x")
+
+        p, q = Model(p_fn), Model(q_fn)
+        translator = CorrespondenceTranslator(p, q, Correspondence.identity(["x"]))
+        trace = p.score({"x": 3})
+        for _ in range(20):
+            assert translator.translate(rng, trace).log_weight == pytest.approx(0.0)
+
+
+class TestMissingChoiceFallback:
+    """Case (i) of Section 5.1: corresponding choice absent from the old trace."""
+
+    def test_branch_generated_choice_is_sampled(self, rng):
+        def p_fn(t):
+            gate = t.sample(Flip(0.5), "gate")
+            if gate:
+                t.sample(Flip(0.3), "inner")
+            return gate
+
+        def q_fn(t):
+            # Q always makes the inner choice.
+            gate = t.sample(Flip(0.5), "gate")
+            t.sample(Flip(0.3), "inner")
+            return gate
+
+        p, q = Model(p_fn), Model(q_fn)
+        translator = CorrespondenceTranslator(
+            p, q, Correspondence.identity(["gate", "inner"])
+        )
+        # Old trace took the gate=0 branch, so "inner" is missing.
+        trace = p.score({"gate": 0})
+        inner_values = set()
+        for _ in range(200):
+            result = translator.translate(rng, trace)
+            assert result.trace["gate"] == 0
+            inner_values.add(result.trace["inner"])
+            assert result.log_weight == pytest.approx(0.0)
+        assert inner_values == {0, 1}
+
+    def test_choice_dropped_by_target_enters_backward_kernel(self, rng):
+        def p_fn(t):
+            gate = t.sample(Flip(0.5), "gate")
+            t.sample(Flip(0.3), "extra")
+            return gate
+
+        def q_fn(t):
+            return t.sample(Flip(0.5), "gate")
+
+        p, q = Model(p_fn), Model(q_fn)
+        translator = CorrespondenceTranslator(
+            p, q, Correspondence.identity(["gate", "extra"])
+        )
+        trace = p.score({"gate": 1, "extra": 1})
+        result = translator.translate(rng, trace)
+        # The backward kernel must regenerate "extra" (prob 0.3 for value 1):
+        # ŵ = P̃r[u]·l / (P̃r[t]·k) = (0.5 · 0.3) / (0.5 · 0.3 · 1) = 1.
+        assert result.components["backward_log_prob"] == pytest.approx(math.log(0.3))
+        assert result.log_weight == pytest.approx(0.0)
+
+
+class TestLemma4Unbiasedness:
+    """E[ŵ] over t ~ P, u ~ k(.;t) equals Z_Q / Z_P (Lemma 6)."""
+
+    def test_mean_weight_estimates_normalizer_ratio(
+        self, burglary_original, burglary_refined, burglary_translator, rng
+    ):
+        sampler = exact_posterior_sampler(burglary_original)
+        weights = [
+            math.exp(burglary_translator.translate(rng, sampler(rng)).log_weight)
+            for _ in range(20000)
+        ]
+        ratio = math.exp(log_normalizer(burglary_refined) - log_normalizer(burglary_original))
+        assert np.mean(weights) == pytest.approx(ratio, rel=0.05)
+
+    def test_mean_weight_without_observations(self, figure5_p, figure5_q, rng):
+        """Z_P = Z_Q = 1 for the Figure 5 programs, so E[ŵ] = 1."""
+        translator = CorrespondenceTranslator(
+            figure5_p, figure5_q, Correspondence.identity(["a", "b"])
+        )
+        sampler = exact_posterior_sampler(figure5_p)
+        weights = [
+            math.exp(translator.translate(rng, sampler(rng)).log_weight)
+            for _ in range(20000)
+        ]
+        assert np.mean(weights) == pytest.approx(1.0, rel=0.05)
+
+
+class TestEmptyCorrespondence:
+    def test_everything_resampled(self, burglary_original, burglary_refined, rng):
+        translator = CorrespondenceTranslator(
+            burglary_original, burglary_refined, Correspondence.empty()
+        )
+        trace = burglary_original.score({"burglary": 1, "alarm": 1})
+        burglaries = {translator.translate(rng, trace).trace["burglary"] for _ in range(500)}
+        assert burglaries == {0, 1}
+
+
+class TestContinuousTranslation:
+    def test_reused_continuous_choice_weight(self, rng):
+        """Changing a prior's std reweights by the density ratio."""
+
+        def p_fn(t):
+            t.sample(Normal(0.0, 1.0), "mu")
+
+        def q_fn(t):
+            t.sample(Normal(0.0, 2.0), "mu")
+
+        p, q = Model(p_fn), Model(q_fn)
+        translator = CorrespondenceTranslator(p, q, Correspondence.identity(["mu"]))
+        trace = p.score({"mu": 0.7})
+        result = translator.translate(rng, trace)
+        expected = Normal(0.0, 2.0).log_prob(0.7) - Normal(0.0, 1.0).log_prob(0.7)
+        assert result.log_weight == pytest.approx(expected)
+        assert result.trace["mu"] == 0.7
+
+
+class TestInverseTranslator:
+    def test_round_trip_weight_cancels(self, figure5_p, figure5_q, rng):
+        """Translating forward then backward restores the original trace's
+        corresponding choices; the two log weights need not cancel exactly
+        (fresh choices differ) but the reused values must round-trip."""
+        translator = CorrespondenceTranslator(
+            figure5_p, figure5_q, Correspondence.identity(["a", "b"])
+        )
+        inverse = translator.inverse()
+        trace = figure5_p.score({"a": 1, "b": 0, "c": 1})
+        forward = translator.translate(rng, trace)
+        back = inverse.translate(rng, forward.trace)
+        assert back.trace["a"] == trace["a"]
+        assert back.trace["b"] == trace["b"]
+
+    def test_round_trip_weights_cancel_for_full_correspondence(self, rng):
+        def p_fn(t):
+            t.sample(Flip(0.3), "x")
+
+        def q_fn(t):
+            t.sample(Flip(0.6), "x")
+
+        p, q = Model(p_fn), Model(q_fn)
+        translator = CorrespondenceTranslator(p, q, Correspondence.identity(["x"]))
+        trace = p.score({"x": 1})
+        forward = translator.translate(rng, trace)
+        back = translator.inverse().translate(rng, forward.trace)
+        assert forward.log_weight + back.log_weight == pytest.approx(0.0)

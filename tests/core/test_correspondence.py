@@ -1,0 +1,58 @@
+"""Tests for correspondence construction and queries."""
+
+import pytest
+
+from repro import Correspondence
+
+
+class TestFromDict:
+    def test_forward_and_backward(self):
+        corr = Correspondence.from_dict({"a_new": "a_old", ("y", 1): ("z", 1)})
+        assert corr.forward("a_new") == ("a_old",)
+        assert corr.backward("a_old") == ("a_new",)
+        assert corr.forward(("y", 1)) == ("z", 1)
+        assert corr.backward(("z", 1)) == ("y", 1)
+
+    def test_unmapped_addresses_return_none(self):
+        corr = Correspondence.from_dict({"a": "b"})
+        assert corr.forward("other") is None
+        assert corr.backward("a") is None  # "a" is a target address, not source
+
+    def test_non_injective_raises(self):
+        with pytest.raises(ValueError):
+            Correspondence.from_dict({"x": "shared", "y": "shared"})
+
+
+class TestIdentity:
+    def test_identity_over_set(self):
+        corr = Correspondence.identity(["slope", ("y", 0)])
+        assert corr.forward("slope") == ("slope",)
+        assert corr.backward(("y", 0)) == ("y", 0)
+        assert corr.forward("not_there") is None
+
+    def test_identity_by_predicate(self):
+        corr = Correspondence.identity_by_predicate(lambda a: a[0] == "hidden")
+        assert corr.forward(("hidden", 7)) == ("hidden", 7)
+        assert corr.forward(("obs", 7)) is None
+        # Unbounded family: any index works without pre-registration.
+        assert corr.forward(("hidden", 10**6)) == ("hidden", 10**6)
+
+
+class TestInverse:
+    def test_inverse_swaps_directions(self):
+        corr = Correspondence.from_dict({"new": "old"})
+        inv = corr.inverse()
+        assert inv.forward("old") == ("new",)
+        assert inv.backward("new") == ("old",)
+
+    def test_double_inverse_is_original(self):
+        corr = Correspondence.from_dict({"new": "old"})
+        double = corr.inverse().inverse()
+        assert double.forward("new") == ("old",)
+
+
+class TestEmpty:
+    def test_everything_unmapped(self):
+        corr = Correspondence.empty()
+        assert corr.forward("anything") is None
+        assert corr.backward(("x", 1)) is None

@@ -1,0 +1,126 @@
+"""Tests for exact enumeration of finite discrete models."""
+
+import math
+
+import pytest
+
+from repro import (
+    Model,
+    enumerate_traces,
+    exact_choice_marginal,
+    exact_expectation,
+    exact_return_distribution,
+    log_normalizer,
+)
+from repro.distributions import Flip, Normal, UniformDiscrete
+
+
+def example1_fn(t):
+    """The program of Example 1 (Figure 3) in the paper."""
+    a = 1
+    b = t.sample(Flip(a / 3), "b")
+    if a < 2:
+        c = t.sample(UniformDiscrete(1, 6), "c")
+    else:
+        c = t.sample(UniformDiscrete(6, 10), "c")
+    d = t.sample(Flip(b / 2), "d")
+    t.observe(Flip(1 / 5), d, "obs")
+    return c
+
+
+class TestEnumeration:
+    def test_number_of_traces(self):
+        model = Model(example1_fn)
+        traces = list(enumerate_traces(model))
+        # b in {0,1} x c in {1..6} x d in {0,1}
+        assert len(traces) == 2 * 6 * 2
+
+    def test_example1_trace_probability(self):
+        """P̃r[t] for t = [b=1, c=4, d=1] is (1/3)(1/6)(1/2)(1/5)."""
+        model = Model(example1_fn)
+        target = None
+        for trace in enumerate_traces(model):
+            if (trace["b"], trace["c"], trace["d"]) == (1, 4, 1):
+                target = trace
+        assert target is not None
+        assert target.log_prob == pytest.approx(
+            math.log(1 / 3) + math.log(1 / 6) + math.log(1 / 2) + math.log(1 / 5)
+        )
+
+    def test_example1_normalizer(self):
+        """The paper computes Z_P = 0.7 for Example 1."""
+        assert math.exp(log_normalizer(Model(example1_fn))) == pytest.approx(0.7)
+
+    def test_unnormalized_probs_sum_to_normalizer(self):
+        model = Model(example1_fn)
+        total = sum(math.exp(t.log_prob) for t in enumerate_traces(model))
+        assert total == pytest.approx(math.exp(log_normalizer(model)))
+
+    def test_continuous_choice_raises(self):
+        def bad(t):
+            return t.sample(Normal(0, 1), "x")
+
+        with pytest.raises(ValueError):
+            list(enumerate_traces(Model(bad)))
+
+
+class TestExactQueries:
+    def test_burglary_posterior_matches_figure1(self, burglary_original, burglary_refined):
+        """Figure 1 reports posteriors 20.5% (original) and 19.4% (refined)."""
+        marginal_p = exact_choice_marginal(burglary_original, "burglary")
+        assert marginal_p[1] == pytest.approx(0.205, abs=0.001)
+        marginal_q = exact_choice_marginal(burglary_refined, "burglary")
+        assert marginal_q[1] == pytest.approx(0.194, abs=0.001)
+
+    def test_burglary_prior_matches_figure1(self):
+        """Figure 1 reports the prior 2% under both programs."""
+
+        def prior_only(t):
+            return t.sample(Flip(0.02), "burglary")
+
+        marginal = exact_choice_marginal(Model(prior_only), "burglary")
+        assert marginal[1] == pytest.approx(0.02)
+
+    def test_expectation_of_indicator_equals_marginal(self, burglary_original):
+        marginal = exact_choice_marginal(burglary_original, "burglary")
+        expectation = exact_expectation(
+            burglary_original, lambda trace: float(trace["burglary"])
+        )
+        assert expectation == pytest.approx(marginal[1])
+
+    def test_return_distribution(self, burglary_original):
+        dist = exact_return_distribution(burglary_original)
+        marginal = exact_choice_marginal(burglary_original, "burglary")
+        assert dist[1] == pytest.approx(marginal[1])
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_marginal_of_branch_only_address(self):
+        def branching(t):
+            a = t.sample(Flip(0.5), "a")
+            if a:
+                t.sample(Flip(0.9), "b")
+            return a
+
+        marginal = exact_choice_marginal(Model(branching), "b")
+        # In half the posterior mass, "b" does not exist (key None).
+        assert marginal[None] == pytest.approx(0.5)
+        assert marginal[1] == pytest.approx(0.45)
+        assert marginal[0] == pytest.approx(0.05)
+
+    def test_observation_reduces_normalizer(self):
+        def observed(t):
+            x = t.sample(Flip(0.5), "x")
+            t.observe(Flip(0.9 if x else 0.1), 1, "o")
+            return x
+
+        z = math.exp(log_normalizer(Model(observed)))
+        assert z == pytest.approx(0.5 * 0.9 + 0.5 * 0.1)
+
+    def test_zero_probability_branches_excluded(self):
+        def impossible(t):
+            x = t.sample(Flip(0.5), "x")
+            t.observe(Flip(1.0 if x else 0.0), 1, "o")
+            return x
+
+        marginal = exact_choice_marginal(Model(impossible), "x")
+        assert marginal == {1: pytest.approx(1.0)}

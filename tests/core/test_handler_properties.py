@@ -1,0 +1,83 @@
+"""Property-based consistency tests for the execution handlers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Model
+from repro.core.handlers import log_sum_exp
+from repro.distributions import Categorical, Flip, Normal, UniformDiscrete
+
+
+def mixed_model_fn(t, p, n):
+    total = 0
+    gate = t.sample(Flip(p), "gate")
+    for i in range(n):
+        total += t.sample(UniformDiscrete(0, 3), ("u", i))
+    if gate:
+        t.sample(Normal(total, 1.0), "noise")
+    t.observe(Flip(0.5 if gate else 0.25), 1, "obs")
+    return total
+
+
+probabilities = st.floats(min_value=0.05, max_value=0.95)
+sizes = st.integers(1, 5)
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestSimulateScoreConsistency:
+    @given(probabilities, sizes, seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_score_of_simulated_trace_matches(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        model = Model(mixed_model_fn, args=(p, n))
+        trace = model.simulate(rng)
+        rescored = model.score(trace.to_choice_map())
+        assert rescored.log_prob == pytest.approx(trace.log_prob)
+        assert rescored.return_value == trace.return_value
+
+    @given(probabilities, sizes, seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_trace_log_prob_is_sum_of_records(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        model = Model(mixed_model_fn, args=(p, n))
+        trace = model.simulate(rng)
+        total = math.fsum(r.log_prob for r in trace.choices()) + math.fsum(
+            r.log_prob for r in trace.observations()
+        )
+        assert trace.log_prob == pytest.approx(total)
+
+    @given(probabilities, sizes, seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_generate_weight_decomposition(self, p, n, seed):
+        """generate's log weight = constrained-choice scores + observations."""
+        rng = np.random.default_rng(seed)
+        model = Model(mixed_model_fn, args=(p, n))
+        reference = model.simulate(rng)
+        constraints = {"gate": reference["gate"]}
+        trace, log_weight = model.generate(rng, constraints)
+        expected = (
+            trace.get_record("gate").log_prob + trace.observation_log_prob
+        )
+        assert log_weight == pytest.approx(expected)
+
+
+class TestLogSumExp:
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=20))
+    def test_matches_naive(self, values):
+        naive = math.log(sum(math.exp(v) for v in values))
+        assert log_sum_exp(values) == pytest.approx(naive)
+
+    def test_empty_is_neg_inf(self):
+        assert log_sum_exp([]) == float("-inf")
+
+    def test_all_neg_inf(self):
+        assert log_sum_exp([float("-inf")] * 3) == float("-inf")
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=10))
+    def test_shift_invariance(self, values):
+        shifted = [v + 500.0 for v in values]
+        assert log_sum_exp(shifted) == pytest.approx(log_sum_exp(values) + 500.0)

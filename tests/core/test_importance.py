@@ -1,0 +1,131 @@
+"""Tests for importance sampling and rejection baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Model, exact_choice_marginal, log_normalizer
+from repro.core.importance import (
+    importance_sampling,
+    log_marginal_likelihood,
+    rejection_sampling,
+    sampling_importance_resampling,
+)
+from repro.distributions import Flip, Normal
+
+
+def observed_fn(t):
+    x = t.sample(Flip(0.3), "x")
+    t.observe(Flip(0.9 if x else 0.1), 1, "o")
+    return x
+
+
+@pytest.fixture
+def model():
+    return Model(observed_fn)
+
+
+class TestImportanceSampling:
+    def test_estimate_matches_exact(self, model, rng):
+        collection = importance_sampling(model, rng, 20000)
+        truth = exact_choice_marginal(model, "x")[1]
+        estimate = collection.estimate_probability(lambda u: u["x"] == 1)
+        assert estimate == pytest.approx(truth, abs=0.02)
+
+    def test_log_z_estimate(self, model, rng):
+        estimate = log_marginal_likelihood(model, rng, 20000)
+        assert estimate == pytest.approx(log_normalizer(model), abs=0.02)
+
+    def test_continuous_model(self, rng):
+        def gaussian_fn(t):
+            mu = t.sample(Normal(0.0, 1.0), "mu")
+            t.observe(Normal(mu, 1.0), 1.0, "y")
+            return mu
+
+        model = Model(gaussian_fn)
+        collection = importance_sampling(model, rng, 30000)
+        # Conjugate posterior mean: 0.5.
+        assert collection.estimate(lambda u: u["mu"]) == pytest.approx(0.5, abs=0.03)
+
+    def test_invalid_size(self, model, rng):
+        with pytest.raises(ValueError):
+            importance_sampling(model, rng, 0)
+
+
+class TestSIR:
+    def test_resampled_collection_is_unweighted(self, model, rng):
+        collection = sampling_importance_resampling(model, rng, 200, oversample=20)
+        assert len(collection) == 200
+        assert all(w == 0.0 for w in collection.log_weights)
+
+    def test_distribution_approximates_posterior(self, model, rng):
+        collection = sampling_importance_resampling(model, rng, 5000, oversample=10)
+        truth = exact_choice_marginal(model, "x")[1]
+        estimate = collection.estimate_probability(lambda u: u["x"] == 1)
+        assert estimate == pytest.approx(truth, abs=0.03)
+
+    def test_invalid_oversample(self, model, rng):
+        with pytest.raises(ValueError):
+            sampling_importance_resampling(model, rng, 10, oversample=0)
+
+
+class TestRejection:
+    def test_samples_follow_posterior_exactly(self, model, rng):
+        traces, _attempts = rejection_sampling(model, rng, 5000)
+        truth = exact_choice_marginal(model, "x")[1]
+        empirical = np.mean([t["x"] for t in traces])
+        assert empirical == pytest.approx(truth, abs=0.02)
+
+    def test_acceptance_rate_matches_normalizer(self, model, rng):
+        """Accept probability = Z when the bound is 1 (Section 2's point
+        about rejection from the prior being inefficient)."""
+        traces, attempts = rejection_sampling(model, rng, 2000)
+        z = math.exp(log_normalizer(model))
+        assert len(traces) / attempts == pytest.approx(z, abs=0.03)
+
+    def test_max_attempts_guard(self, model, rng):
+        with pytest.raises(RuntimeError):
+            rejection_sampling(model, rng, 10**6, max_attempts=100)
+
+    def test_invalid_bound_detected(self, model, rng):
+        with pytest.raises(ValueError):
+            rejection_sampling(model, rng, 10, log_likelihood_bound=-10.0)
+
+
+class TestNewDistributions:
+    def test_poisson_matches_scipy(self):
+        from scipy import stats
+
+        from repro.distributions import Poisson
+
+        dist = Poisson(3.5)
+        for k in range(10):
+            assert dist.log_prob(k) == pytest.approx(stats.poisson.logpmf(k, 3.5))
+        assert dist.log_prob(-1) == float("-inf")
+        with pytest.raises(ValueError):
+            Poisson(0.0)
+
+    def test_exponential_matches_scipy(self):
+        from scipy import stats
+
+        from repro.distributions import Exponential
+
+        dist = Exponential(2.0)
+        for x in (0.1, 1.0, 4.0):
+            assert dist.log_prob(x) == pytest.approx(stats.expon.logpdf(x, scale=0.5))
+        assert dist.log_prob(-0.1) == float("-inf")
+        with pytest.raises(ValueError):
+            Exponential(-1.0)
+
+    def test_poisson_sampling_mean(self, rng):
+        from repro.distributions import Poisson
+
+        samples = [Poisson(4.0).sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(4.0, abs=0.05)
+
+    def test_exponential_sampling_mean(self, rng):
+        from repro.distributions import Exponential
+
+        samples = [Exponential(2.0).sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(0.5, abs=0.01)

@@ -1,0 +1,91 @@
+"""Section 5.4: correspondence for loop-indexed random choices.
+
+The geometric program of Figure 6 makes an unbounded number of flips,
+indexed by iteration; changing the success probability from 1/2 to 1/3
+uses the identity correspondence over the loop indices.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Correspondence,
+    CorrespondenceTranslator,
+    Model,
+    WeightedCollection,
+)
+from repro.distributions import Flip, Geometric
+
+
+def geometric_fn(t, p):
+    """Figure 6: count flips until the first failure (n starts at 1)."""
+    n = 1
+    i = 0
+    while t.sample(Flip(p), ("flip", i)):
+        n += 1
+        i += 1
+    return n
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)
+
+
+class TestGeometricTranslation:
+    def test_trace_translates_with_loop_correspondence(self, rng):
+        p = Model(geometric_fn, args=(0.5,))
+        q = Model(geometric_fn, args=(1 / 3,))
+        correspondence = Correspondence.identity_by_predicate(
+            lambda address: address[0] == "flip"
+        )
+        translator = CorrespondenceTranslator(p, q, correspondence)
+        # A trace with three successes then a failure: n = 4.
+        choices = {("flip", i): 1 for i in range(3)}
+        choices[("flip", 3)] = 0
+        trace = p.score(choices)
+        result = translator.translate(rng, trace)
+        assert result.trace.return_value == 4
+        # Every flip is reused; weight is the product of density ratios.
+        expected = 3 * (math.log(1 / 3) - math.log(1 / 2)) + (
+            math.log(2 / 3) - math.log(1 / 2)
+        )
+        assert result.log_weight == pytest.approx(expected)
+
+    def test_translated_collection_matches_target_distribution(self, rng):
+        p = Model(geometric_fn, args=(0.5,))
+        q = Model(geometric_fn, args=(1 / 3,))
+        correspondence = Correspondence.identity_by_predicate(
+            lambda address: address[0] == "flip"
+        )
+        translator = CorrespondenceTranslator(p, q, correspondence)
+        traces, weights = [], []
+        for _ in range(30000):
+            source_trace = p.simulate(rng)
+            result = translator.translate(rng, source_trace)
+            traces.append(result.trace)
+            weights.append(result.log_weight)
+        collection = WeightedCollection(traces, weights)
+        # n - 1 ~ Geometric(1/3): check the first few probabilities.
+        target = Geometric(1 / 3)
+        for n in (1, 2, 3):
+            estimate = collection.estimate_probability(
+                lambda u, n=n: u.return_value == n
+            )
+            assert estimate == pytest.approx(math.exp(target.log_prob(n - 1)), abs=0.02)
+
+    def test_mean_weight_is_one(self, rng):
+        """No observations: Z_P = Z_Q = 1, so E[ŵ] = 1 (Lemma 6)."""
+        p = Model(geometric_fn, args=(0.5,))
+        q = Model(geometric_fn, args=(0.4,))
+        correspondence = Correspondence.identity_by_predicate(
+            lambda address: address[0] == "flip"
+        )
+        translator = CorrespondenceTranslator(p, q, correspondence)
+        weights = [
+            math.exp(translator.translate(rng, p.simulate(rng)).log_weight)
+            for _ in range(20000)
+        ]
+        assert np.mean(weights) == pytest.approx(1.0, rel=0.05)

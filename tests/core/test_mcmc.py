@@ -1,0 +1,231 @@
+"""Tests for MCMC kernels: posterior invariance and convergence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Model, exact_choice_marginal
+from repro.core.mcmc import (
+    chain,
+    cycle,
+    gibbs_site,
+    gibbs_sweep,
+    independent_mh_site,
+    regenerate,
+    repeat,
+    single_site_mh,
+)
+from repro.distributions import Flip, Normal, UniformDiscrete
+
+
+def observed_coin_fn(t):
+    x = t.sample(Flip(0.5), "x")
+    t.observe(Flip(0.9 if x else 0.2), 1, "o")
+    return x
+
+
+def chain_model_fn(t):
+    x = t.sample(Flip(0.5), "x")
+    y = t.sample(Flip(0.8 if x else 0.3), "y")
+    t.observe(Flip(0.9 if y else 0.1), 1, "o")
+    return (x, y)
+
+
+@pytest.fixture
+def observed_coin():
+    return Model(observed_coin_fn)
+
+
+@pytest.fixture
+def chain_model():
+    return Model(chain_model_fn)
+
+
+def empirical_marginal(traces, address):
+    return np.mean([t[address] for t in traces])
+
+
+class TestRegenerate:
+    def test_reuses_constrained_choices(self, chain_model, rng):
+        base = chain_model.score({"x": 1, "y": 0})
+        new_trace, fresh, used = regenerate(chain_model, rng, base.to_choice_map())
+        assert new_trace["x"] == 1 and new_trace["y"] == 0
+        assert fresh == 0.0
+        assert used == {("x",), ("y",)}
+
+    def test_samples_missing_choices(self, chain_model, rng):
+        from repro import ChoiceMap
+
+        new_trace, fresh, used = regenerate(chain_model, rng, ChoiceMap({"x": 1}))
+        assert new_trace["x"] == 1
+        assert "y" in new_trace
+        assert fresh == pytest.approx(new_trace.get_record("y").log_prob)
+
+    def test_impossible_constraint_gives_neg_inf(self, rng):
+        def model_fn(t):
+            t.sample(Flip(1.0), "x")
+
+        model = Model(model_fn)
+        from repro import ChoiceMap
+
+        trace, _fresh, _used = regenerate(model, rng, ChoiceMap({"x": 0}))
+        assert trace.log_prob == float("-inf")
+
+
+class TestGibbs:
+    def test_gibbs_site_matches_exact_conditional(self, observed_coin, rng):
+        kernel = gibbs_site(observed_coin, "x")
+        # Gibbs on a single-variable model samples the posterior directly.
+        truth = exact_choice_marginal(observed_coin, "x")[1]
+        trace = observed_coin.simulate(rng)
+        samples = []
+        for _ in range(4000):
+            trace = kernel(rng, trace)
+            samples.append(trace["x"])
+        assert np.mean(samples) == pytest.approx(truth, abs=0.02)
+
+    def test_gibbs_sweep_converges(self, chain_model, rng):
+        kernel = gibbs_sweep(chain_model, ["x", "y"])
+        states = chain(chain_model, kernel, rng, iterations=4000, burn_in=200)
+        truth_x = exact_choice_marginal(chain_model, "x")[1]
+        truth_y = exact_choice_marginal(chain_model, "y")[1]
+        assert empirical_marginal(states, "x") == pytest.approx(truth_x, abs=0.03)
+        assert empirical_marginal(states, "y") == pytest.approx(truth_y, abs=0.03)
+
+    def test_gibbs_requires_finite_support(self, rng):
+        def model_fn(t):
+            t.sample(Normal(0, 1), "x")
+
+        model = Model(model_fn)
+        kernel = gibbs_site(model, "x")
+        with pytest.raises(ValueError):
+            kernel(rng, model.simulate(rng))
+
+
+class TestIndependentMH:
+    def test_converges_to_posterior(self, observed_coin, rng):
+        kernel = independent_mh_site(observed_coin, "x")
+        states = chain(observed_coin, kernel, rng, iterations=8000, burn_in=500)
+        truth = exact_choice_marginal(observed_coin, "x")[1]
+        assert empirical_marginal(states, "x") == pytest.approx(truth, abs=0.03)
+
+    def test_cycle_of_sites_converges(self, chain_model, rng):
+        kernel = cycle(
+            [independent_mh_site(chain_model, "x"), independent_mh_site(chain_model, "y")]
+        )
+        states = chain(chain_model, kernel, rng, iterations=8000, burn_in=500)
+        truth_x = exact_choice_marginal(chain_model, "x")[1]
+        assert empirical_marginal(states, "x") == pytest.approx(truth_x, abs=0.03)
+
+    def test_continuous_site(self, rng):
+        def model_fn(t):
+            mu = t.sample(Normal(0.0, 1.0), "mu")
+            t.observe(Normal(mu, 0.5), 1.0, "y")
+
+        model = Model(model_fn)
+        kernel = repeat(independent_mh_site(model, "mu"), 5)
+        states = chain(model, kernel, rng, iterations=4000, burn_in=500)
+        # Conjugate posterior: precision 1 + 4, mean = (4*1.0)/5 = 0.8
+        values = [t["mu"] for t in states]
+        assert np.mean(values) == pytest.approx(0.8, abs=0.05)
+
+
+class TestSingleSiteMH:
+    def test_converges_on_fixed_structure(self, chain_model, rng):
+        kernel = repeat(single_site_mh(chain_model), 4)
+        states = chain(chain_model, kernel, rng, iterations=8000, burn_in=1000)
+        truth_x = exact_choice_marginal(chain_model, "x")[1]
+        truth_y = exact_choice_marginal(chain_model, "y")[1]
+        assert empirical_marginal(states, "x") == pytest.approx(truth_x, abs=0.03)
+        assert empirical_marginal(states, "y") == pytest.approx(truth_y, abs=0.03)
+
+    def test_converges_with_structure_change(self, rng):
+        """Model whose address set depends on a branch choice."""
+
+        def branching_fn(t):
+            a = t.sample(Flip(0.4), "a")
+            if a:
+                b = t.sample(Flip(0.9), "b1")
+            else:
+                b = t.sample(Flip(0.2), "b2")
+            t.observe(Flip(0.8 if b else 0.1), 1, "o")
+            return a
+
+        model = Model(branching_fn)
+        kernel = repeat(single_site_mh(model), 4)
+        states = chain(model, kernel, rng, iterations=12000, burn_in=2000)
+        truth = exact_choice_marginal(model, "a")[1]
+        assert empirical_marginal(states, "a") == pytest.approx(truth, abs=0.04)
+
+
+class TestCombinators:
+    def test_repeat_zero_is_identity(self, observed_coin, rng):
+        trace = observed_coin.simulate(rng)
+        kernel = repeat(independent_mh_site(observed_coin, "x"), 0)
+        assert kernel(rng, trace) is trace
+
+    def test_repeat_negative_raises(self, observed_coin):
+        with pytest.raises(ValueError):
+            repeat(independent_mh_site(observed_coin, "x"), -1)
+
+    def test_chain_thinning(self, observed_coin, rng):
+        kernel = independent_mh_site(observed_coin, "x")
+        states = chain(observed_coin, kernel, rng, iterations=100, burn_in=10, thin=10)
+        assert len(states) == 9
+
+    def test_chain_invalid_thin(self, observed_coin, rng):
+        with pytest.raises(ValueError):
+            chain(observed_coin, lambda r, t: t, rng, iterations=10, thin=0)
+
+
+class TestCustomMH:
+    def test_asymmetric_proposal_converges(self, rng):
+        """A log-normal multiplicative proposal (asymmetric) still
+        targets the correct posterior thanks to the Hastings ratio."""
+        from repro.core.mcmc import custom_mh_site
+        from repro.distributions import Gamma, LogNormal
+
+        def model_fn(t):
+            rate = t.sample(Gamma(2.0, 1.0), "rate")
+            t.observe(Normal(rate, 0.5), 2.0, "y")
+            return rate
+
+        model = Model(model_fn)
+
+        def propose(rng_, current):
+            return float(current * np.exp(0.3 * rng_.standard_normal()))
+
+        def proposal_log_prob(from_value, to_value):
+            return LogNormal(np.log(from_value), 0.3).log_prob(to_value)
+
+        kernel = repeat(custom_mh_site(model, "rate", propose, proposal_log_prob), 3)
+        states = chain(model, kernel, rng, iterations=8000, burn_in=1000)
+        values = [t["rate"] for t in states]
+
+        # Reference: self-normalized importance sampling from the prior.
+        reference_rng = np.random.default_rng(1)
+        samples, weights = [], []
+        for _ in range(60000):
+            trace = model.simulate(reference_rng)
+            samples.append(trace["rate"])
+            weights.append(np.exp(trace.observation_log_prob))
+        reference = float(np.average(samples, weights=weights))
+        assert np.mean(values) == pytest.approx(reference, abs=0.05)
+
+    def test_rejects_to_same_trace(self, rng):
+        from repro.core.mcmc import custom_mh_site
+
+        def model_fn(t):
+            t.sample(Normal(0.0, 1.0), "x")
+
+        model = Model(model_fn)
+        # A proposal that always jumps to an absurd value is always rejected.
+        kernel = custom_mh_site(
+            model,
+            "x",
+            propose=lambda _r, _v: 1e6,
+            proposal_log_prob=lambda _f, _t: 0.0,
+        )
+        trace = model.simulate(rng)
+        assert kernel(rng, trace) is trace

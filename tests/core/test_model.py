@@ -1,0 +1,146 @@
+"""Tests for the Model API and execution handlers."""
+
+import math
+
+import pytest
+
+from repro import Model, probabilistic
+from repro.core.handlers import ImpossibleConstraintError, MissingChoiceError
+from repro.distributions import Flip, Normal, UniformDiscrete
+
+
+def two_flips(t, p):
+    x = t.sample(Flip(p), "x")
+    y = t.sample(Flip(0.9 if x else 0.1), "y")
+    return x + y
+
+
+class TestSimulate:
+    def test_trace_contains_all_choices(self, rng):
+        trace = Model(two_flips, args=(0.5,)).simulate(rng)
+        assert set(trace.addresses()) == {("x",), ("y",)}
+        assert trace.return_value == trace["x"] + trace["y"]
+
+    def test_log_prob_consistent(self, rng):
+        model = Model(two_flips, args=(0.3,))
+        trace = model.simulate(rng)
+        x, y = trace["x"], trace["y"]
+        expected = Flip(0.3).log_prob(x) + Flip(0.9 if x else 0.1).log_prob(y)
+        assert trace.log_prob == pytest.approx(expected)
+
+    def test_observed_address_becomes_observation(self, rng):
+        model = Model(two_flips, args=(0.5,), observations={"y": 1})
+        trace = model.simulate(rng)
+        assert "y" not in trace
+        assert trace.has_observation("y")
+        assert trace.observation_addresses() == [("y",)]
+
+    def test_inline_observe(self, rng, burglary_original):
+        trace = burglary_original.simulate(rng)
+        assert trace.has_observation("mary_wakes")
+        assert trace.get_observation("mary_wakes").value == 1
+
+
+class TestGenerate:
+    def test_constrained_value_is_used(self, rng):
+        model = Model(two_flips, args=(0.5,))
+        trace, log_weight = model.generate(rng, {"x": 1})
+        assert trace["x"] == 1
+        assert log_weight == pytest.approx(math.log(0.5))
+
+    def test_weight_includes_observations(self, rng):
+        model = Model(two_flips, args=(0.5,), observations={"y": 1})
+        trace, log_weight = model.generate(rng, {"x": 1})
+        assert log_weight == pytest.approx(math.log(0.5) + math.log(0.9))
+
+    def test_impossible_constraint_raises(self, rng):
+        model = Model(two_flips, args=(1.0,))
+        with pytest.raises(ImpossibleConstraintError):
+            model.generate(rng, {"x": 0})
+
+    def test_unconstrained_generate_has_observation_weight(self, rng, burglary_original):
+        trace, log_weight = burglary_original.generate(rng)
+        assert log_weight == pytest.approx(trace.observation_log_prob)
+
+
+class TestScore:
+    def test_score_replays_deterministically(self):
+        model = Model(two_flips, args=(0.25,))
+        trace = model.score({"x": 1, "y": 0})
+        assert trace.log_prob == pytest.approx(math.log(0.25) + math.log(0.1))
+
+    def test_missing_choice_raises(self):
+        model = Model(two_flips, args=(0.25,))
+        with pytest.raises(MissingChoiceError):
+            model.score({"x": 1})
+
+    def test_extra_choices_are_ignored(self):
+        model = Model(two_flips, args=(0.25,))
+        trace = model.score({"x": 0, "y": 1, "unused": 5})
+        assert set(trace.addresses()) == {("x",), ("y",)}
+
+    def test_log_prob_shortcut(self):
+        model = Model(two_flips, args=(0.25,))
+        assert model.log_prob({"x": 1, "y": 1}) == pytest.approx(
+            math.log(0.25) + math.log(0.9)
+        )
+
+
+class TestModelDerivation:
+    def test_with_args(self, rng):
+        base = Model(two_flips, args=(0.5,))
+        derived = base.with_args(1.0)
+        trace = derived.simulate(rng)
+        assert trace["x"] == 1
+
+    def test_condition_merges(self, rng):
+        base = Model(two_flips, args=(0.5,), observations={"x": 1})
+        derived = base.condition({"y": 0})
+        trace = derived.simulate(rng)
+        assert trace.has_observation("x") and trace.has_observation("y")
+        assert len(trace) == 0
+
+    def test_condition_does_not_mutate_base(self, rng):
+        base = Model(two_flips, args=(0.5,))
+        base.condition({"y": 0})
+        trace = base.simulate(rng)
+        assert "y" in trace
+
+    def test_probabilistic_decorator(self, rng):
+        @probabilistic
+        def coin(t, p):
+            return t.sample(Flip(p), "c")
+
+        model = coin(0.5)
+        assert isinstance(model, Model)
+        assert model.name == "coin"
+        trace = model.simulate(rng)
+        assert trace["c"] in (0, 1)
+
+
+class TestDynamicStructure:
+    def test_branch_dependent_addresses(self, rng):
+        def branching(t):
+            a = t.sample(Flip(0.5), "a")
+            if a:
+                return t.sample(Normal(0, 1), "left")
+            return t.sample(UniformDiscrete(0, 9), "right")
+
+        model = Model(branching)
+        for _ in range(20):
+            trace = model.simulate(rng)
+            if trace["a"]:
+                assert "left" in trace and "right" not in trace
+            else:
+                assert "right" in trace and "left" not in trace
+
+    def test_loop_addresses(self, rng):
+        def chain_model(t, n):
+            values = []
+            for i in range(n):
+                values.append(t.sample(Flip(0.5), ("x", i)))
+            return values
+
+        trace = Model(chain_model, args=(5,)).simulate(rng)
+        assert len(trace) == 5
+        assert trace.addresses() == [("x", i) for i in range(5)]

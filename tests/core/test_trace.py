@@ -1,0 +1,112 @@
+"""Unit tests for traces, choice maps, and addresses."""
+
+import math
+
+import pytest
+
+from repro import ChoiceMap, Trace, addr
+from repro.core.trace import ChoiceRecord, ObservationRecord
+from repro.distributions import Flip, Normal
+
+
+def make_record(address, dist, value):
+    return ChoiceRecord(address, dist, value, dist.log_prob(value))
+
+
+class TestAddr:
+    def test_single_component(self):
+        assert addr("slope") == ("slope",)
+
+    def test_multi_component(self):
+        assert addr("y", 3) == ("y", 3)
+
+    def test_flattens_nested(self):
+        assert addr(addr("hidden", 2), "obs") == ("hidden", 2, "obs")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            addr()
+
+
+class TestChoiceMap:
+    def test_string_and_tuple_addresses_are_equivalent(self):
+        cmap = ChoiceMap({"x": 1})
+        assert "x" in cmap
+        assert ("x",) in cmap
+        assert cmap[("x",)] == 1
+
+    def test_set_returns_copy(self):
+        original = ChoiceMap({"x": 1})
+        updated = original.set("x", 2)
+        assert original["x"] == 1
+        assert updated["x"] == 2
+
+    def test_get_default(self):
+        assert ChoiceMap().get("missing", 7) == 7
+
+    def test_len_and_iter(self):
+        cmap = ChoiceMap({"x": 1, ("y", 0): 2})
+        assert len(cmap) == 2
+        assert set(cmap) == {("x",), ("y", 0)}
+
+
+class TestTrace:
+    def test_log_prob_is_sum_of_choices_and_observations(self):
+        trace = Trace()
+        trace.add_choice(make_record(("a",), Flip(0.25), 1))
+        trace.add_choice(make_record(("b",), Normal(0.0, 1.0), 0.5))
+        trace.add_observation(
+            ObservationRecord(("o",), Flip(0.8), 1, Flip(0.8).log_prob(1))
+        )
+        expected = math.log(0.25) + Normal(0.0, 1.0).log_prob(0.5) + math.log(0.8)
+        assert trace.log_prob == pytest.approx(expected)
+        assert trace.choice_log_prob == pytest.approx(
+            math.log(0.25) + Normal(0.0, 1.0).log_prob(0.5)
+        )
+        assert trace.observation_log_prob == pytest.approx(math.log(0.8))
+
+    def test_duplicate_choice_raises(self):
+        trace = Trace()
+        trace.add_choice(make_record(("a",), Flip(0.5), 1))
+        with pytest.raises(ValueError):
+            trace.add_choice(make_record(("a",), Flip(0.5), 0))
+
+    def test_duplicate_observation_raises(self):
+        trace = Trace()
+        trace.add_observation(ObservationRecord(("o",), Flip(0.5), 1, math.log(0.5)))
+        with pytest.raises(ValueError):
+            trace.add_observation(ObservationRecord(("o",), Flip(0.5), 0, math.log(0.5)))
+
+    def test_addresses_preserve_execution_order(self):
+        trace = Trace()
+        for name in ["c", "a", "b"]:
+            trace.add_choice(make_record((name,), Flip(0.5), 1))
+        assert trace.addresses() == [("c",), ("a",), ("b",)]
+
+    def test_getitem_and_contains(self):
+        trace = Trace()
+        trace.add_choice(make_record(("x",), Flip(0.5), 1))
+        assert "x" in trace
+        assert trace["x"] == 1
+        assert "y" not in trace
+
+    def test_to_choice_map(self):
+        trace = Trace()
+        trace.add_choice(make_record(("x",), Flip(0.5), 1))
+        trace.add_choice(make_record(("y",), Flip(0.5), 0))
+        cmap = trace.to_choice_map()
+        assert cmap["x"] == 1 and cmap["y"] == 0
+        assert len(cmap) == 2
+
+    def test_copy_is_independent(self):
+        trace = Trace()
+        trace.add_choice(make_record(("x",), Flip(0.5), 1))
+        duplicate = trace.copy()
+        duplicate.add_choice(make_record(("y",), Flip(0.5), 0))
+        assert "y" not in trace
+        assert "y" in duplicate
+
+    def test_with_value_rescores(self):
+        record = make_record(("x",), Flip(0.25), 1)
+        flipped = record.with_value(0)
+        assert flipped.log_prob == pytest.approx(math.log(0.75))

@@ -1,0 +1,143 @@
+"""Tests for weighted collections, ESS, and resampling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import WeightedCollection, effective_sample_size
+from repro.core.weighted import RESAMPLING_SCHEMES
+
+
+class TestEffectiveSampleSize:
+    def test_uniform_weights_give_full_ess(self):
+        assert effective_sample_size([0.0] * 50) == pytest.approx(50.0)
+
+    def test_single_dominant_weight(self):
+        log_weights = [0.0] + [-100.0] * 9
+        assert effective_sample_size(log_weights) == pytest.approx(1.0, abs=1e-6)
+
+    def test_invariant_to_shift(self):
+        log_weights = [0.1, -0.7, 2.3, 0.0]
+        shifted = [w + 123.0 for w in log_weights]
+        assert effective_sample_size(log_weights) == pytest.approx(
+            effective_sample_size(shifted)
+        )
+
+    def test_all_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            effective_sample_size([float("-inf")] * 4)
+
+
+class TestEstimate:
+    def test_weighted_mean(self):
+        collection = WeightedCollection([1.0, 3.0], [math.log(1.0), math.log(3.0)])
+        # E = (1*1 + 3*3)/(1+3) = 2.5
+        assert collection.estimate(lambda x: x) == pytest.approx(2.5)
+
+    def test_probability_estimate(self):
+        collection = WeightedCollection([0, 1, 1, 0], [0.0, 0.0, 0.0, 0.0])
+        assert collection.estimate_probability(lambda x: x == 1) == pytest.approx(0.5)
+
+    def test_log_mean_weight(self):
+        collection = WeightedCollection(["a", "b"], [math.log(2.0), math.log(4.0)])
+        assert collection.log_mean_weight() == pytest.approx(math.log(3.0))
+
+    def test_scaled_updates_weights(self):
+        collection = WeightedCollection(["a", "b"], [0.0, 0.0])
+        scaled = collection.scaled([math.log(2.0), 0.0])
+        assert scaled.estimate_probability(lambda x: x == "a") == pytest.approx(2 / 3)
+
+    def test_scaled_wrong_length_raises(self):
+        collection = WeightedCollection(["a", "b"])
+        with pytest.raises(ValueError):
+            collection.scaled([0.0])
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(ValueError):
+            WeightedCollection([])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            WeightedCollection(["a"], [0.0, 0.0])
+
+
+class TestResampling:
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLING_SCHEMES))
+    def test_resampled_weights_are_uniform(self, scheme):
+        rng = np.random.default_rng(7)
+        collection = WeightedCollection(list(range(10)), list(np.linspace(-2, 2, 10)))
+        resampled = collection.resample(rng, scheme=scheme)
+        assert len(resampled) == 10
+        assert all(w == 0.0 for w in resampled.log_weights)
+
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLING_SCHEMES))
+    def test_resampling_preserves_expectation(self, scheme):
+        """Resampling is unbiased: E over resamples of the post-resample
+        estimator equals the pre-resample estimator."""
+        rng = np.random.default_rng(11)
+        items = [0.0, 1.0, 2.0, 5.0]
+        log_weights = [math.log(w) for w in [0.1, 0.4, 0.3, 0.2]]
+        collection = WeightedCollection(items, log_weights)
+        before = collection.estimate(lambda x: x)
+        estimates = [
+            collection.resample(rng, scheme=scheme).estimate(lambda x: x)
+            for _ in range(4000)
+        ]
+        assert np.mean(estimates) == pytest.approx(before, abs=0.05)
+
+    def test_resample_size_override(self):
+        rng = np.random.default_rng(3)
+        collection = WeightedCollection(list(range(4)))
+        assert len(collection.resample(rng, size=100)) == 100
+
+    def test_degenerate_weights_pick_the_survivor(self):
+        rng = np.random.default_rng(5)
+        collection = WeightedCollection(["dead", "alive"], [float("-inf"), 0.0])
+        resampled = collection.resample(rng)
+        assert all(item == "alive" for item in resampled.items)
+
+    def test_unknown_scheme_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            WeightedCollection([1]).resample(rng, scheme="bogus")
+
+    def test_systematic_low_variance(self):
+        """Systematic resampling keeps counts within one of expectation."""
+        rng = np.random.default_rng(13)
+        weights = [0.25, 0.25, 0.25, 0.25]
+        collection = WeightedCollection(list(range(4)), [math.log(w) for w in weights])
+        resampled = collection.resample(rng, scheme="systematic", size=400)
+        counts = np.bincount(resampled.items, minlength=4)
+        assert all(abs(c - 100) <= 1 for c in counts)
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(min_value=-20, max_value=20), min_size=1, max_size=30)
+    )
+    def test_normalized_weights_sum_to_one(self, log_weights):
+        collection = WeightedCollection(list(range(len(log_weights))), log_weights)
+        assert float(np.sum(collection.normalized_weights())) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=-20, max_value=20), min_size=1, max_size=30)
+    )
+    def test_ess_bounds(self, log_weights):
+        ess = effective_sample_size(log_weights)
+        assert 1.0 - 1e-9 <= ess <= len(log_weights) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=20),
+        st.sampled_from(sorted(RESAMPLING_SCHEMES)),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40)
+    def test_resample_only_returns_existing_items(self, log_weights, scheme, seed):
+        rng = np.random.default_rng(seed)
+        items = list(range(len(log_weights)))
+        resampled = WeightedCollection(items, log_weights).resample(rng, scheme=scheme)
+        assert set(resampled.items) <= set(items)
+        assert len(resampled) == len(items)

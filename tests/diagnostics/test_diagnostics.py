@@ -1,0 +1,171 @@
+"""Tests for divergence metrics and the exact translator error ε(R)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Correspondence,
+    CorrespondenceTranslator,
+    Model,
+    WeightedCollection,
+    exact_choice_marginal,
+    exact_posterior_sampler,
+)
+from repro.diagnostics import (
+    TranslatorError,
+    absolute_error,
+    empirical_distribution,
+    kl_divergence,
+    log_marginal_likelihood,
+    output_distribution,
+    total_variation,
+    translator_error,
+)
+from repro.distributions import Flip
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestMetrics:
+    def test_kl_zero_for_identical(self):
+        p = {0: 0.3, 1: 0.7}
+        assert kl_divergence(p, dict(p)) == pytest.approx(0.0)
+
+    def test_kl_positive(self):
+        assert kl_divergence({0: 0.5, 1: 0.5}, {0: 0.9, 1: 0.1}) > 0
+
+    def test_kl_infinite_on_support_mismatch(self):
+        assert kl_divergence({0: 0.5, 1: 0.5}, {0: 1.0}) == float("inf")
+
+    def test_kl_known_value(self):
+        p = {0: 0.5, 1: 0.5}
+        q = {0: 0.25, 1: 0.75}
+        expected = 0.5 * math.log(2.0) + 0.5 * math.log(0.5 / 0.75)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_total_variation(self):
+        assert total_variation({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+        assert total_variation({0: 0.6, 1: 0.4}, {0: 0.4, 1: 0.6}) == pytest.approx(0.2)
+
+    def test_empirical_distribution(self):
+        collection = WeightedCollection(["a", "b", "a"], [0.0, 0.0, 0.0])
+        dist = empirical_distribution(collection, lambda x: x)
+        assert dist["a"] == pytest.approx(2 / 3)
+
+    def test_log_marginal_likelihood(self):
+        collection = WeightedCollection([1, 2], [math.log(0.5), math.log(1.5)])
+        assert log_marginal_likelihood(collection) == pytest.approx(0.0)
+
+    def test_absolute_error(self):
+        assert absolute_error([1.0, 3.0], 2.0) == pytest.approx(1.0)
+
+
+def flip_pair(p_source, p_target, obs_source=0.8, obs_target=0.8):
+    def source_fn(t):
+        x = t.sample(Flip(p_source), "x")
+        t.observe(Flip(obs_source if x else 0.1), 1, "o")
+        return x
+
+    def target_fn(t):
+        x = t.sample(Flip(p_target), "x")
+        t.observe(Flip(obs_target if x else 0.1), 1, "o")
+        return x
+
+    return Model(source_fn), Model(target_fn)
+
+
+class TestOutputDistribution:
+    def test_identical_programs_give_posterior(self):
+        p, q = flip_pair(0.5, 0.5)
+        translator = CorrespondenceTranslator(p, q, Correspondence.identity(["x"]))
+        eta = output_distribution(translator)
+        posterior = exact_choice_marginal(q, "x")
+        for key, probability in eta.items():
+            value = dict(key)[("x",)]
+            assert probability == pytest.approx(posterior[value])
+
+    def test_sums_to_one(self):
+        p, q = flip_pair(0.5, 0.3)
+        translator = CorrespondenceTranslator(p, q, Correspondence.identity(["x"]))
+        eta = output_distribution(translator)
+        assert sum(eta.values()) == pytest.approx(1.0)
+
+    def test_empty_correspondence_gives_prior_reweighted(self):
+        """With nothing reused, η is Q's forward (prior) distribution over
+        latents — observations don't affect the forward kernel."""
+        p, q = flip_pair(0.5, 0.3)
+        translator = CorrespondenceTranslator(p, q, Correspondence.empty())
+        eta = output_distribution(translator)
+        for key, probability in eta.items():
+            value = dict(key)[("x",)]
+            assert probability == pytest.approx(0.3 if value == 1 else 0.7)
+
+
+class TestTranslatorError:
+    def test_perfect_translator_has_zero_error(self):
+        p, q = flip_pair(0.5, 0.5)
+        translator = CorrespondenceTranslator(p, q, Correspondence.identity(["x"]))
+        error = translator_error(translator)
+        assert error.total == pytest.approx(0.0, abs=1e-12)
+
+    def test_error_grows_with_program_distance(self):
+        p, q_near = flip_pair(0.5, 0.45)
+        _p2, q_far = flip_pair(0.5, 0.1)
+        near = translator_error(
+            CorrespondenceTranslator(p, q_near, Correspondence.identity(["x"]))
+        )
+        far = translator_error(
+            CorrespondenceTranslator(p, q_far, Correspondence.identity(["x"]))
+        )
+        assert near.total < far.total
+
+    def test_identity_beats_empty_correspondence(self):
+        """A good correspondence strictly reduces ε(R) (Section 5.3)."""
+        p, q = flip_pair(0.5, 0.45)
+        with_corr = translator_error(
+            CorrespondenceTranslator(p, q, Correspondence.identity(["x"]))
+        )
+        without = translator_error(
+            CorrespondenceTranslator(p, q, Correspondence.empty())
+        )
+        assert with_corr.total < without.total
+
+    def test_fully_corresponding_error_is_kl_of_semantics(self):
+        """When every choice corresponds, ε(R) reduces to
+        D_KL(Q^(f) || P^(f)) (Section 5.3, final remark)."""
+        p, q = flip_pair(0.5, 0.3, obs_source=0.8, obs_target=0.8)
+        translator = CorrespondenceTranslator(p, q, Correspondence.identity(["x"]))
+        error = translator_error(translator)
+        posterior_q = exact_choice_marginal(q, "x")
+        posterior_p = exact_choice_marginal(p, "x")
+        expected = kl_divergence(posterior_q, posterior_p)
+        assert error.total == pytest.approx(expected)
+        assert error.backward_divergence == pytest.approx(0.0, abs=1e-12)
+
+    def test_error_predicts_required_sample_size(self, rng):
+        """Higher ε(R) needs more traces for the same estimate accuracy —
+        the Appendix B scaling, checked qualitatively."""
+        p, q_near = flip_pair(0.5, 0.45)
+        _p, q_far = flip_pair(0.5, 0.05)
+
+        def estimate_error(q, num_traces):
+            translator = CorrespondenceTranslator(p, q, Correspondence.identity(["x"]))
+            sampler = exact_posterior_sampler(p)
+            truth = exact_choice_marginal(q, "x")[1]
+            errors = []
+            for _ in range(40):
+                traces, weights = [], []
+                for _ in range(num_traces):
+                    result = translator.translate(rng, sampler(rng))
+                    traces.append(result.trace)
+                    weights.append(result.log_weight)
+                collection = WeightedCollection(traces, weights)
+                errors.append(abs(collection.estimate_probability(lambda u: u["x"] == 1) - truth))
+            return float(np.mean(errors))
+
+        assert estimate_error(q_near, 40) < estimate_error(q_far, 40)

@@ -1,0 +1,133 @@
+"""Unit tests for continuous distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate, stats
+
+from repro.distributions import (
+    NEG_INF,
+    Beta,
+    Gamma,
+    LogNormal,
+    Normal,
+    TwoNormals,
+    Uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(321)
+
+
+class TestNormal:
+    def test_matches_scipy(self):
+        dist = Normal(1.5, 2.0)
+        for value in [-3.0, 0.0, 1.5, 10.0]:
+            assert dist.log_prob(value) == pytest.approx(
+                stats.norm.logpdf(value, 1.5, 2.0)
+            )
+
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            Normal(0.0, 0.0)
+        with pytest.raises(ValueError):
+            Normal(0.0, -1.0)
+
+    def test_sample_moments(self, rng):
+        dist = Normal(-2.0, 0.5)
+        samples = np.array([dist.sample(rng) for _ in range(20000)])
+        assert samples.mean() == pytest.approx(-2.0, abs=0.02)
+        assert samples.std() == pytest.approx(0.5, abs=0.02)
+
+    def test_support_is_real_line(self):
+        assert Normal(0, 1).support() == Normal(5, 2).support()
+
+
+class TestUniform:
+    def test_density(self):
+        dist = Uniform(2.0, 4.0)
+        assert dist.log_prob(3.0) == pytest.approx(math.log(0.5))
+        assert dist.log_prob(1.9) == NEG_INF
+        assert dist.log_prob(4.1) == NEG_INF
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(1.0, 1.0)
+
+    def test_support_inequality(self):
+        assert Uniform(0, 1).support() != Uniform(0, 2).support()
+
+
+class TestTwoNormals:
+    def test_is_mixture_density(self):
+        dist = TwoNormals(mean=1.0, prob_outlier=0.2, inlier_std=0.5, outlier_std=5.0)
+        for value in [-5.0, 0.0, 1.0, 4.0]:
+            expected = 0.8 * stats.norm.pdf(value, 1.0, 0.5) + 0.2 * stats.norm.pdf(
+                value, 1.0, 5.0
+            )
+            assert math.exp(dist.log_prob(value)) == pytest.approx(expected)
+
+    def test_integrates_to_one(self):
+        dist = TwoNormals(mean=0.0, prob_outlier=0.3, inlier_std=1.0, outlier_std=4.0)
+        total, _err = integrate.quad(lambda x: math.exp(dist.log_prob(x)), -50, 50)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_degenerate_mixture_weights(self):
+        inlier_only = TwoNormals(0.0, 0.0, 1.0, 9.0)
+        assert inlier_only.log_prob(0.5) == pytest.approx(stats.norm.logpdf(0.5, 0, 1))
+        outlier_only = TwoNormals(0.0, 1.0, 1.0, 9.0)
+        assert outlier_only.log_prob(0.5) == pytest.approx(stats.norm.logpdf(0.5, 0, 9))
+
+    def test_sample_std_between_components(self, rng):
+        dist = TwoNormals(mean=0.0, prob_outlier=0.5, inlier_std=1.0, outlier_std=3.0)
+        samples = np.array([dist.sample(rng) for _ in range(20000)])
+        assert 1.0 < samples.std() < 3.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TwoNormals(0.0, 1.5, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            TwoNormals(0.0, 0.5, 0.0, 2.0)
+
+
+class TestGamma:
+    def test_matches_scipy(self):
+        dist = Gamma(shape=2.5, scale=1.5)
+        for value in [0.1, 1.0, 5.0]:
+            assert dist.log_prob(value) == pytest.approx(
+                stats.gamma.logpdf(value, a=2.5, scale=1.5)
+            )
+
+    def test_outside_support(self):
+        assert Gamma(1.0, 1.0).log_prob(0.0) == NEG_INF
+        assert Gamma(1.0, 1.0).log_prob(-1.0) == NEG_INF
+
+
+class TestBeta:
+    def test_matches_scipy(self):
+        dist = Beta(2.0, 5.0)
+        for value in [0.1, 0.5, 0.9]:
+            assert dist.log_prob(value) == pytest.approx(stats.beta.logpdf(value, 2, 5))
+
+    def test_outside_support(self):
+        assert Beta(2.0, 2.0).log_prob(0.0) == NEG_INF
+        assert Beta(2.0, 2.0).log_prob(1.0) == NEG_INF
+
+
+class TestLogNormal:
+    def test_matches_scipy(self):
+        dist = LogNormal(mu=0.5, sigma=0.75)
+        for value in [0.1, 1.0, 3.0]:
+            assert dist.log_prob(value) == pytest.approx(
+                stats.lognorm.logpdf(value, s=0.75, scale=math.exp(0.5))
+            )
+
+    def test_outside_support(self):
+        assert LogNormal(0.0, 1.0).log_prob(-0.1) == NEG_INF
+
+    def test_sample_positive(self, rng):
+        dist = LogNormal(0.0, 1.0)
+        assert all(dist.sample(rng) > 0 for _ in range(100))

@@ -1,0 +1,182 @@
+"""Unit tests for discrete distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    NEG_INF,
+    Categorical,
+    Delta,
+    Flip,
+    Geometric,
+    IntegerRange,
+    LogCategorical,
+    UniformDiscrete,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+class TestFlip:
+    def test_log_prob_values(self):
+        dist = Flip(0.25)
+        assert dist.log_prob(1) == pytest.approx(math.log(0.25))
+        assert dist.log_prob(0) == pytest.approx(math.log(0.75))
+
+    def test_log_prob_outside_support(self):
+        assert Flip(0.5).log_prob(2) == NEG_INF
+        assert Flip(0.5).log_prob(0.5) == NEG_INF
+
+    def test_degenerate_probabilities(self):
+        assert Flip(0.0).log_prob(1) == NEG_INF
+        assert Flip(0.0).log_prob(0) == 0.0
+        assert Flip(1.0).log_prob(0) == NEG_INF
+        assert Flip(1.0).log_prob(1) == 0.0
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            Flip(1.5)
+        with pytest.raises(ValueError):
+            Flip(-0.1)
+
+    def test_sample_frequency(self, rng):
+        dist = Flip(0.3)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(0.3, abs=0.02)
+
+    def test_support_equality(self):
+        assert Flip(0.3).support() == Flip(0.9).support()
+
+    def test_enumerate_support(self):
+        assert list(Flip(0.5).enumerate_support()) == [0, 1]
+
+    def test_value_equality(self):
+        assert Flip(0.3) == Flip(0.3)
+        assert Flip(0.3) != Flip(0.4)
+
+
+class TestUniformDiscrete:
+    def test_log_prob_uniform(self):
+        dist = UniformDiscrete(1, 6)
+        for value in range(1, 7):
+            assert dist.log_prob(value) == pytest.approx(-math.log(6))
+
+    def test_log_prob_outside(self):
+        dist = UniformDiscrete(1, 6)
+        assert dist.log_prob(0) == NEG_INF
+        assert dist.log_prob(7) == NEG_INF
+        assert dist.log_prob(2.5) == NEG_INF
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            UniformDiscrete(5, 2)
+
+    def test_singleton_range(self):
+        dist = UniformDiscrete(3, 3)
+        assert dist.log_prob(3) == pytest.approx(0.0)
+
+    def test_samples_in_range(self, rng):
+        dist = UniformDiscrete(-2, 4)
+        samples = [dist.sample(rng) for _ in range(1000)]
+        assert min(samples) >= -2 and max(samples) <= 4
+        assert set(samples) == set(range(-2, 5))
+
+    def test_support_mismatch_detected(self):
+        # The translator uses support inequality to refuse reuse; the
+        # paper's Example 3 rejects matching uniform(1,6) with uniform(6,10).
+        assert UniformDiscrete(1, 6).support() != UniformDiscrete(6, 10).support()
+        assert UniformDiscrete(1, 6).support() == IntegerRange(1, 6)
+
+
+class TestCategorical:
+    def test_normalizes(self):
+        dist = Categorical([2.0, 2.0])
+        assert dist.log_prob(0) == pytest.approx(math.log(0.5))
+
+    def test_zero_probability_category(self):
+        dist = Categorical([0.5, 0.0, 0.5])
+        assert dist.log_prob(1) == NEG_INF
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Categorical([])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            Categorical([0.5, -0.5, 1.0])
+
+    def test_sample_distribution(self, rng):
+        dist = Categorical([0.2, 0.5, 0.3])
+        samples = [dist.sample(rng) for _ in range(20000)]
+        counts = np.bincount(samples, minlength=3) / len(samples)
+        assert counts == pytest.approx([0.2, 0.5, 0.3], abs=0.02)
+
+
+class TestLogCategorical:
+    def test_matches_categorical(self):
+        probs = [0.2, 0.5, 0.3]
+        log_dist = LogCategorical([math.log(p) for p in probs])
+        dist = Categorical(probs)
+        for value in range(3):
+            assert log_dist.log_prob(value) == pytest.approx(dist.log_prob(value))
+
+    def test_unnormalized_input(self):
+        log_dist = LogCategorical([0.0, 0.0])
+        assert log_dist.log_prob(0) == pytest.approx(math.log(0.5))
+
+    def test_neg_inf_entry(self):
+        log_dist = LogCategorical([0.0, NEG_INF])
+        assert log_dist.log_prob(0) == pytest.approx(0.0)
+        assert log_dist.log_prob(1) == NEG_INF
+
+    def test_all_neg_inf_raises(self):
+        with pytest.raises(ValueError):
+            LogCategorical([NEG_INF, NEG_INF])
+
+    def test_sampling_respects_weights(self, rng):
+        log_dist = LogCategorical([math.log(0.9), math.log(0.1)])
+        samples = [log_dist.sample(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(0.1, abs=0.02)
+
+
+class TestDelta:
+    def test_point_mass(self):
+        dist = Delta(42)
+        assert dist.log_prob(42) == 0.0
+        assert dist.log_prob(41) == NEG_INF
+
+    def test_sample_returns_value(self, rng):
+        assert Delta("x").sample(rng) == "x"
+
+
+class TestGeometric:
+    def test_log_prob(self):
+        dist = Geometric(0.5)
+        # P(count = k) = p^k (1 - p)
+        for count in range(5):
+            assert dist.log_prob(count) == pytest.approx(
+                count * math.log(0.5) + math.log(0.5)
+            )
+
+    def test_sums_to_one(self):
+        dist = Geometric(0.3)
+        total = sum(math.exp(dist.log_prob(k)) for k in range(200))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_negative_outside_support(self):
+        assert Geometric(0.3).log_prob(-1) == NEG_INF
+
+    def test_p_zero(self):
+        dist = Geometric(0.0)
+        assert dist.log_prob(0) == pytest.approx(0.0)
+        assert dist.log_prob(1) == NEG_INF
+
+    def test_sample_mean(self, rng):
+        dist = Geometric(0.5)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.05)

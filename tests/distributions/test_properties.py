@@ -1,0 +1,74 @@
+"""Property-based tests for distribution invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Categorical,
+    Flip,
+    Normal,
+    TwoNormals,
+    Uniform,
+    UniformDiscrete,
+)
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+open_probabilities = st.floats(min_value=0.01, max_value=0.99)
+means = st.floats(min_value=-100, max_value=100, allow_nan=False)
+stds = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+
+
+@given(probabilities)
+def test_flip_mass_sums_to_one(p):
+    dist = Flip(p)
+    total = math.exp(dist.log_prob(0)) + math.exp(dist.log_prob(1))
+    assert math.isclose(total, 1.0, rel_tol=1e-12)
+
+
+@given(st.integers(-50, 50), st.integers(0, 100))
+def test_uniform_discrete_mass_sums_to_one(low, width):
+    dist = UniformDiscrete(low, low + width)
+    total = sum(math.exp(dist.log_prob(v)) for v in range(low, low + width + 1))
+    assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=10))
+def test_categorical_normalizes(weights):
+    if sum(weights) <= 0:
+        return
+    dist = Categorical(weights)
+    total = sum(math.exp(dist.log_prob(i)) for i in range(len(weights)))
+    assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+
+@given(means, stds)
+def test_normal_log_prob_peaks_at_mean(mean, std):
+    dist = Normal(mean, std)
+    at_mean = dist.log_prob(mean)
+    assert dist.log_prob(mean + std) < at_mean
+    assert dist.log_prob(mean - std) < at_mean
+
+
+@given(means, open_probabilities, stds, stds)
+def test_two_normals_between_components(mean, p_out, std_a, std_b):
+    inlier_std, outlier_std = min(std_a, std_b), max(std_a, std_b)
+    mixture = TwoNormals(mean, p_out, inlier_std, outlier_std)
+    inlier = Normal(mean, inlier_std)
+    outlier = Normal(mean, outlier_std)
+    value = mean + inlier_std / 2
+    lo = min(inlier.log_prob(value), outlier.log_prob(value))
+    hi = max(inlier.log_prob(value), outlier.log_prob(value))
+    assert lo - 1e-9 <= mixture.log_prob(value) <= hi + 1e-9
+
+
+@given(means, stds, st.randoms(use_true_random=False))
+@settings(max_examples=25)
+def test_samples_land_in_support(mean, std, pyrandom):
+    rng = np.random.default_rng(pyrandom.randint(0, 2**32 - 1))
+    for dist in (Normal(mean, std), Uniform(mean, mean + std), Flip(0.5)):
+        value = dist.sample(rng)
+        assert dist.support().contains(value)
+        assert dist.log_prob(value) > float("-inf")

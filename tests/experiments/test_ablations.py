@@ -1,0 +1,48 @@
+"""Tests for the ablation studies (small configurations)."""
+
+import pytest
+
+from repro.experiments.ablations import AblationConfig, run_ablations
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = AblationConfig(
+        num_particles=150, sequence_length=5, repetitions=8, fixed_traces=120
+    )
+    return run_ablations(config, quiet=True)
+
+
+class TestResamplingAblation:
+    def test_all_schemes_present(self, result):
+        assert {row.series for row in result.resampling} == {
+            "multinomial",
+            "systematic",
+            "stratified",
+            "residual",
+        }
+
+    def test_all_schemes_converge(self, result):
+        for row in result.resampling:
+            assert row["avg_error"] < 0.12
+
+
+class TestCorrespondenceAblation:
+    def test_error_monotone_in_correspondence(self, result):
+        by_name = {row.series: row for row in result.correspondence}
+        full = by_name["identity {burglary, alarm}"]
+        partial = by_name["partial {burglary}"]
+        empty = by_name["empty"]
+        # ε(R) strictly increases as the correspondence shrinks.
+        assert full["translator_error"] < partial["translator_error"] < empty["translator_error"]
+        # And the estimate error follows at least at the extremes.
+        assert full["avg_error"] < empty["avg_error"]
+
+
+class TestProposalAblation:
+    def test_conditional_proposal_improves_error_and_ess(self, result):
+        by_name = {row.series: row for row in result.proposal}
+        prior = by_name["prior (paper default)"]
+        conditional = by_name["exact conditional (future work)"]
+        assert conditional["translator_error"] < prior["translator_error"]
+        assert conditional["avg_ess"] > prior["avg_ess"]

@@ -1,0 +1,181 @@
+"""Integration tests for the figure runners (small configurations).
+
+Each test runs the real experiment code with reduced sizes and checks
+the qualitative claims of the corresponding figure — who wins, in which
+direction, by roughly what kind of margin.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Fig8Config,
+    Fig9Config,
+    Fig10Config,
+    figure1_rows,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+
+
+class TestFigure1:
+    def test_exact_numbers_match_paper(self):
+        result = figure1_rows(num_traces=4000, seed=7)
+        values = {row.series: row["burglary=1"] for row in result.rows}
+        assert values["original/posterior (exact)"] == pytest.approx(0.205, abs=0.001)
+        assert values["refined/posterior (exact)"] == pytest.approx(0.194, abs=0.001)
+        assert values["original/prior"] == pytest.approx(0.02)
+
+    def test_worked_example_weight(self):
+        result = figure1_rows(num_traces=100, seed=7)
+        assert result.example_weight == pytest.approx(1.1875)
+
+    def test_incremental_estimate_near_exact(self):
+        result = figure1_rows(num_traces=20000, seed=7)
+        values = {row.series: row["burglary=1"] for row in result.rows}
+        assert values["refined/posterior (incremental)"] == pytest.approx(
+            values["refined/posterior (exact)"], abs=0.04
+        )
+
+
+@pytest.mark.slow
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Fig8Config(
+            repetitions=3,
+            trace_counts=(10, 200),
+            mcmc_iterations=(20, 120),
+            gold_iterations=10000,
+        )
+        return run_fig8(config, quiet=True)
+
+    def test_gold_slope_is_plausible(self, result):
+        # True slope -0.8 with mild contamination.
+        assert -1.1 < result.gold_slope < -0.5
+
+    def test_incremental_beats_mcmc_at_comparable_runtime(self, result):
+        by_series = {}
+        for row in result.rows:
+            by_series.setdefault(row.series, []).append(row)
+        best_incremental = min(r["avg_error"] for r in by_series["Incremental"])
+        best_mcmc = min(r["avg_error"] for r in by_series["MCMC"])
+        # Incremental reaches lower error than prior-proposal MCMC at
+        # these budgets (Figure 8's headline).
+        assert best_incremental < best_mcmc
+
+    def test_weights_reduce_error(self, result):
+        by_series = {}
+        for row in result.rows:
+            by_series.setdefault(row.series, []).append(row)
+        weighted = {r["param"]: r["avg_error"] for r in by_series["Incremental"]}
+        unweighted = {
+            r["param"]: r["avg_error"] for r in by_series["Incremental (no weights)"]
+        }
+        largest = max(weighted)
+        assert weighted[largest] < unweighted[largest]
+
+
+@pytest.mark.slow
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Fig9Config(
+            num_train_words=2500,
+            num_test_words=6,
+            trace_counts=(5, 20),
+            gibbs_sweeps=(1, 3),
+            gibbs_chains=3,
+            seed=3,
+        )
+        return run_fig9(config, quiet=True)
+
+    def test_incremental_beats_gibbs(self, result):
+        by_series = {}
+        for row in result.rows:
+            by_series.setdefault(row.series, []).append(row)
+        best_incremental = max(
+            r["avg_truth_probability"] for r in by_series["Incremental"]
+        )
+        best_gibbs = max(r["avg_truth_probability"] for r in by_series["Gibbs"])
+        assert best_incremental > best_gibbs
+
+    def test_incremental_is_faster_than_gibbs(self, result):
+        by_series = {}
+        for row in result.rows:
+            by_series.setdefault(row.series, []).append(row)
+        slowest_incremental = max(
+            r["median_runtime_s"] for r in by_series["Incremental"]
+        )
+        fastest_gibbs = min(r["median_runtime_s"] for r in by_series["Gibbs"])
+        assert slowest_incremental < fastest_gibbs
+
+    def test_metric_is_log_probability(self, result):
+        for row in result.rows:
+            assert row["log_truth_probability"] == pytest.approx(
+                math.log(row["avg_truth_probability"])
+            )
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(
+            Fig10Config(num_points=(5, 50, 500), repetitions=3, seed=3), quiet=True
+        )
+
+    def test_baseline_grows_with_n(self, result):
+        baseline = {r["n"]: r["translation_time_s"] for r in result.rows if r.series == "Baseline"}
+        assert baseline[500] > 5 * baseline[5]
+
+    def test_optimized_work_is_constant(self, result):
+        visited = {
+            r["n"]: r["visited_statements"]
+            for r in result.rows
+            if r.series == "Optimized"
+        }
+        assert visited[5] == visited[50] == visited[500]
+
+    def test_optimized_wins_at_large_n(self, result):
+        times = {}
+        for row in result.rows:
+            times.setdefault(row.series, {})[row["n"]] = row["translation_time_s"]
+        assert times["Optimized"][500] < times["Baseline"][500] / 5
+
+
+class TestHarness:
+    def test_rows_to_json_round_trip(self, tmp_path):
+        import json
+
+        from repro.experiments.harness import Row, rows_to_json, save_rows
+
+        rows = [
+            Row("a", {"x": 1, "y": 2.5}),
+            Row("b", {"x": 2, "y": -0.5}),
+        ]
+        decoded = json.loads(rows_to_json(rows))
+        assert decoded == [
+            {"series": "a", "x": 1, "y": 2.5},
+            {"series": "b", "x": 2, "y": -0.5},
+        ]
+        path = tmp_path / "rows.json"
+        save_rows(rows, str(path))
+        assert json.loads(path.read_text()) == decoded
+
+    def test_print_table_formats(self, capsys):
+        from repro.experiments.harness import Row, print_table
+
+        rows = [Row("method", {"value": 0.123456, "tiny": 1e-7})]
+        print_table(rows, title="demo")
+        output = capsys.readouterr().out
+        assert "demo" in output
+        assert "0.1235" in output
+        assert "1.000e-07" in output
+
+    def test_median_time_positive(self):
+        from repro.experiments.harness import median_time
+
+        assert median_time(lambda: sum(range(100)), repetitions=3) >= 0.0

@@ -1,0 +1,122 @@
+"""Tests for the GMM substrate (Section 7.4)."""
+
+import numpy as np
+import pytest
+
+from repro.gmm import gmm_conditioned_source, gmm_edit_setup, gmm_generative_source
+from repro.graph import GraphTranslator, run_initial, subtree_at, assignment_path
+from repro.lang import lang_model, parse_program
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(10)
+
+
+class TestGenerativeGMM:
+    def test_trace_size(self, rng):
+        setup = gmm_edit_setup(n=25, k=10)
+        trace = run_initial(setup.source_program, rng, setup.env)
+        # K centers + N cluster picks + N data draws.
+        assert len(trace) == 10 + 25 * 2
+
+    def test_returns_data_array(self, rng):
+        setup = gmm_edit_setup(n=7, k=3)
+        trace = run_initial(setup.source_program, rng, setup.env)
+        assert len(trace.return_value) == 7
+
+    def test_edit_changes_only_sigma(self):
+        setup = gmm_edit_setup(n=5, k=4, sigma_old=2, sigma_new=5)
+        source_sigma = subtree_at(
+            setup.source_program, assignment_path(setup.source_program, "sigma") + ("expr",)
+        )
+        target_sigma = subtree_at(
+            setup.target_program, assignment_path(setup.target_program, "sigma") + ("expr",)
+        )
+        assert source_sigma.value == 2
+        assert target_sigma.value == 5
+
+    def test_data_follows_mixture(self, rng):
+        """Generated data are centered on sampled cluster centers."""
+        setup = gmm_edit_setup(n=2000, k=2, sigma_old=20)
+        trace = run_initial(setup.source_program, rng, setup.env)
+        centers = sorted(
+            record.value
+            for address, record in trace.choices().items()
+            if address[0].startswith("gauss") and len(address) == 2
+        )
+        data = np.asarray(trace.return_value)
+        # Every data point lies within a few stds of some center.
+        distances = np.min(np.abs(data[:, None] - np.array(centers)[None, :]), axis=1)
+        assert np.quantile(distances, 0.99) < 4.0
+
+
+class TestTranslationScaling:
+    def test_visited_statements_are_k_plus_constant(self, rng):
+        visited = {}
+        for k in (2, 8):
+            setup = gmm_edit_setup(n=50, k=k)
+            translator = GraphTranslator(
+                setup.source_program, setup.target_program, source_env=setup.env
+            )
+            trace = translator.initial_trace(rng)
+            result = translator.translate(rng, trace)
+            visited[k] = result.components["visited_statements"]
+        # Spine statements (a constant) + the centers loop's K
+        # index-assignments: visited(k) - k is constant.
+        assert visited[8] - visited[2] == 6
+        assert visited[2] <= 2 + 10  # small constant overhead only
+
+    def test_translation_weight_depends_only_on_centers(self, rng):
+        from repro.distributions import Normal
+
+        setup = gmm_edit_setup(n=40, k=6, sigma_old=2, sigma_new=4)
+        translator = GraphTranslator(
+            setup.source_program, setup.target_program, source_env=setup.env
+        )
+        trace = translator.initial_trace(rng)
+        result = translator.translate(rng, trace)
+        centers = [
+            record.value
+            for address, record in trace.choices().items()
+            if address[0].startswith("gauss") and len(address) == 2
+            and record.dist.std == 2.0
+        ]
+        expected = sum(
+            Normal(0, 4).log_prob(c) - Normal(0, 2).log_prob(c) for c in centers
+        )
+        assert result.log_weight == pytest.approx(expected)
+
+
+class TestConditionedGMM:
+    def test_observed_points_enter_likelihood(self, rng):
+        program = parse_program(gmm_conditioned_source(k=2, sigma=3))
+        ys = [0.5, -1.0, 2.5]
+        model = lang_model(program, env={"n": len(ys), "ys": ys})
+        trace = model.simulate(rng)
+        # 2 centers + 3 assignments latent; 3 observations.
+        assert len(trace) == 5
+        assert len(trace.observation_addresses()) == 3
+
+    def test_posterior_centers_track_data(self, rng):
+        """With one cluster, the posterior center concentrates on the
+        data mean (checked with importance sampling)."""
+        program = parse_program(gmm_conditioned_source(k=1, sigma=5))
+        ys = [2.0, 2.2, 1.8, 2.1, 1.9, 2.0, 2.0, 2.1]
+        model = lang_model(program, env={"n": len(ys), "ys": ys})
+        traces, weights = [], []
+        for _ in range(4000):
+            trace, log_weight = model.generate(rng)
+            traces.append(trace)
+            weights.append(log_weight)
+        from repro import WeightedCollection
+
+        collection = WeightedCollection(traces, weights)
+        estimate = collection.estimate(lambda t: t.return_value[0])
+        # Conjugate posterior mean: (sum y / 1) / (n + 1/25)
+        expected = sum(ys) / (len(ys) + 1 / 25)
+        assert estimate == pytest.approx(expected, abs=0.15)
+
+    def test_source_k_matches_parameter(self):
+        assert "k = 7;" in gmm_generative_source(k=7)
+        assert "sigma = 4;" in gmm_generative_source(sigma=4)

@@ -1,0 +1,41 @@
+"""Shared fixtures and the Equation-2 reference weight for graph tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.corr_translator import _BackwardKernelScorer
+from repro.core.trace import ChoiceMap
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+def eq2_log_weight(p_model, q_model, correspondence, t_choices, u_choices):
+    """Reference weight: Equation 2 evaluated term by term.
+
+    ``P̃r[u ~ Q] * l(t; u) / (P̃r[t ~ P] * k(u; t))`` with both kernels
+    scored deterministically by replay.  Independent of the incremental
+    engine, so it cross-checks the propagation-based weight.
+    """
+    t_choices = ChoiceMap(dict(t_choices))
+    u_choices = ChoiceMap(dict(u_choices))
+    t_trace = p_model.score(t_choices)
+    u_trace = q_model.score(u_choices)
+
+    # k(u; t): probability that the forward translator produces u from t.
+    forward_scorer = _BackwardKernelScorer(
+        u_choices, q_model.observations, correspondence.inverse(), t_trace
+    )
+    q_model.run(forward_scorer)
+    forward_log = forward_scorer.backward_log_prob
+
+    # l(t; u): probability that the backward translator reproduces t.
+    backward_scorer = _BackwardKernelScorer(
+        t_choices, p_model.observations, correspondence, u_trace
+    )
+    p_model.run(backward_scorer)
+    backward_log = backward_scorer.backward_log_prob
+
+    return u_trace.log_prob + backward_log - t_trace.log_prob - forward_log

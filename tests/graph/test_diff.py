@@ -1,0 +1,95 @@
+"""Tests for the tree-diff correspondence (Section 6 heuristic)."""
+
+import pytest
+
+from repro.graph import align_labels, diff_correspondence, label_correspondence
+from repro.lang import parse_program, random_labels
+from repro.lang.programs import (
+    BURGLARY_ORIGINAL,
+    BURGLARY_REFINED,
+    FIGURE5_P,
+    FIGURE5_Q,
+)
+
+
+def label_by_prefix(program, prefix, occurrence=0):
+    labels = [l for l in random_labels(program) if l.startswith(prefix)]
+    return labels[occurrence]
+
+
+class TestAlignLabels:
+    def test_identical_programs_full_match(self):
+        p = parse_program(FIGURE5_P)
+        q = parse_program(FIGURE5_P)
+        mapping = align_labels(p, q)
+        assert sorted(mapping.keys()) == sorted(random_labels(q))
+        assert sorted(mapping.values()) == sorted(random_labels(p))
+
+    def test_burglary_pair(self):
+        """The Figure 1 correspondence {α -> α', β -> β'} is recovered:
+        burglary and alarm match; earthquake is new; the changed
+        observation flips are aligned as edits of each other."""
+        p = parse_program(BURGLARY_ORIGINAL)
+        q = parse_program(BURGLARY_REFINED)
+        mapping = align_labels(p, q)
+        p_burglary = label_by_prefix(p, "flip", 0)
+        q_burglary = label_by_prefix(q, "flip", 0)
+        assert mapping[q_burglary] == p_burglary
+        # Earthquake (the second flip of Q) must not map to anything.
+        q_earthquake = label_by_prefix(q, "flip", 1)
+        assert q_earthquake not in mapping or mapping[q_earthquake] != label_by_prefix(p, "flip", 1)
+
+    def test_figure5_pair(self):
+        """Example 3's correspondence: a, b match; c and d do not match
+        across kinds (flip vs uniform statements differ structurally)."""
+        p = parse_program(FIGURE5_P)
+        q = parse_program(FIGURE5_Q)
+        mapping = align_labels(p, q)
+        # The if statement is identical modulo labels: its three random
+        # expressions (branch uniform and flip) pair up.
+        p_uniform = label_by_prefix(p, "uniform", 0)
+        q_uniform = label_by_prefix(q, "uniform", 0)
+        assert mapping[q_uniform] == p_uniform
+
+    def test_constant_edit_alignment(self):
+        p = parse_program("x = flip(0.5); y = flip(0.9);")
+        q = parse_program("x = flip(0.6); y = flip(0.9);")
+        mapping = align_labels(p, q)
+        # Both statements align: the first as an edit, the second exactly.
+        assert len(mapping) == 2
+
+    def test_insertion_preserves_other_matches(self):
+        p = parse_program("x = flip(0.5); y = flip(0.9);")
+        q = parse_program("x = flip(0.5); z = uniform(0, 3); y = flip(0.9);")
+        mapping = align_labels(p, q)
+        p_labels = random_labels(p)
+        q_labels = random_labels(q)
+        assert mapping[q_labels[0]] == p_labels[0]
+        assert mapping[q_labels[2]] == p_labels[1]
+        assert q_labels[1] not in mapping
+
+    def test_deletion(self):
+        p = parse_program("x = flip(0.5); z = uniform(0, 3); y = flip(0.9);")
+        q = parse_program("x = flip(0.5); y = flip(0.9);")
+        mapping = align_labels(p, q)
+        assert len(mapping) == 2
+
+
+class TestLabelCorrespondence:
+    def test_addresses_preserve_loop_indices(self):
+        corr = label_correspondence({"new_label": "old_label"})
+        assert corr.forward(("new_label", 3)) == ("old_label", 3)
+        assert corr.backward(("old_label", 3)) == ("new_label", 3)
+        assert corr.forward(("other", 3)) is None
+
+    def test_non_injective_raises(self):
+        with pytest.raises(ValueError):
+            label_correspondence({"a": "shared", "b": "shared"})
+
+    def test_diff_correspondence_end_to_end(self):
+        p = parse_program("x = flip(0.5);")
+        q = parse_program("x = flip(0.7);")
+        corr = diff_correspondence(p, q)
+        p_label = random_labels(p)[0]
+        q_label = random_labels(q)[0]
+        assert corr.forward((q_label,)) == (p_label,)

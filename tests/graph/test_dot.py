@@ -1,0 +1,60 @@
+"""Tests for the DOT export of dependency-record traces."""
+
+import numpy as np
+import pytest
+
+from repro.graph import propagate, replace_constant, run_initial, to_dot
+from repro.lang import parse_program
+from repro.lang.programs import FIGURE7
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+class TestToDot:
+    def test_valid_digraph_structure(self, rng):
+        trace = run_initial(parse_program(FIGURE7), rng)
+        dot = to_dot(trace)
+        assert dot.startswith("digraph trace {")
+        assert dot.endswith("}")
+        assert dot.count("[label=") >= 8  # one node per statement record
+
+    def test_choices_annotated(self, rng):
+        trace = run_initial(parse_program("x = flip(0.5);"), rng)
+        dot = to_dot(trace)
+        assert "flip:1:5 ->" in dot
+
+    def test_observations_annotated(self, rng):
+        trace = run_initial(parse_program("observe(flip(0.8) == 1);"), rng)
+        dot = to_dot(trace)
+        assert "obs observe" in dot or "obs flip" in dot
+
+    def test_dataflow_edges_present(self, rng):
+        trace = run_initial(parse_program(FIGURE7), rng)
+        dot = to_dot(trace)
+        # The read of `a` by `b = flip(a/3)` is a dotted edge labelled a.
+        assert 'style=dotted, label="a"' in dot
+
+    def test_shared_records_dashed(self, rng):
+        p = parse_program(FIGURE7)
+        q = replace_constant(p, "a", 2)
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        dot = to_dot(result.trace, old=old)
+        # d = flip(b/2) was skipped, so exactly its node is dashed.
+        assert dot.count("style=dashed") == 1
+
+    def test_fresh_trace_has_no_dashed_nodes(self, rng):
+        trace = run_initial(parse_program(FIGURE7), rng)
+        assert "dashed" not in to_dot(trace)
+
+    def test_labels_are_escaped(self, rng):
+        trace = run_initial(parse_program('x = 1; // "quoted" comment\n'), rng)
+        dot = to_dot(trace)
+        # No raw double quotes inside labels beyond the delimiters.
+        for line in dot.splitlines():
+            if "label=" in line:
+                payload = line.split('label="', 1)[1].rsplit('"', 1)[0]
+                assert '"' not in payload.replace('\\"', "")

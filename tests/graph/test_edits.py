@@ -1,0 +1,84 @@
+"""Tests for structured edits and subtree sharing."""
+
+import pytest
+
+from repro.graph import (
+    Edit,
+    apply_edit,
+    assignment_path,
+    replace_constant,
+    statement_path,
+    statements,
+    subtree_at,
+)
+from repro.lang import parse_program
+from repro.lang.ast import Assign, Const, If, Observe
+from repro.lang.programs import FIGURE7
+
+
+@pytest.fixture
+def program():
+    return parse_program(FIGURE7)
+
+
+class TestPaths:
+    def test_statement_enumeration(self, program):
+        stmts = list(statements(program))
+        assert len(stmts) == 4
+        assert isinstance(stmts[0][1], Assign)
+        assert isinstance(stmts[2][1], If)
+
+    def test_statement_path_roundtrip(self, program):
+        for index, (path, stmt) in enumerate(statements(program)):
+            assert statement_path(program, index) == path
+            assert subtree_at(program, path) is stmt
+
+    def test_statement_path_out_of_range(self, program):
+        with pytest.raises(IndexError):
+            statement_path(program, 99)
+
+    def test_assignment_path(self, program):
+        path = assignment_path(program, "b")
+        stmt = subtree_at(program, path)
+        assert isinstance(stmt, Assign) and stmt.name == "b"
+
+    def test_assignment_path_missing(self, program):
+        with pytest.raises(KeyError):
+            assignment_path(program, "zzz")
+
+    def test_bad_path_component(self, program):
+        with pytest.raises(KeyError):
+            subtree_at(program, ("nonexistent",))
+
+
+class TestApplyEdit:
+    def test_replace_constant(self, program):
+        edited = replace_constant(program, "a", 2)
+        stmt = subtree_at(edited, assignment_path(edited, "a"))
+        assert stmt.expr == Const(2)
+
+    def test_unchanged_subtrees_are_shared(self, program):
+        edited = replace_constant(program, "a", 2)
+        # Everything off the edit path is the same object.
+        original_stmts = dict(enumerate(s for _p, s in statements(program)))
+        edited_stmts = dict(enumerate(s for _p, s in statements(edited)))
+        assert edited_stmts[1] is original_stmts[1]  # b = flip(a/3)
+        assert edited_stmts[2] is original_stmts[2]  # the if statement
+        assert edited_stmts[3] is original_stmts[3]  # d = flip(b/2)
+        assert edited_stmts[0] is not original_stmts[0]
+
+    def test_edit_object(self, program):
+        path = assignment_path(program, "a") + ("expr",)
+        edit = Edit(path, Const(5))
+        edited = edit.apply(program)
+        assert subtree_at(edited, path) == Const(5)
+
+    def test_empty_path_replaces_root(self, program):
+        replacement = parse_program("x = 1;")
+        assert apply_edit(program, (), replacement) is replacement
+
+    def test_labels_survive_edits(self, program):
+        from repro.lang import random_labels
+
+        edited = replace_constant(program, "a", 2)
+        assert random_labels(edited) == random_labels(program)

@@ -1,0 +1,312 @@
+"""Tests for the incremental execution engine (Section 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph import propagate, replace_constant, run_initial
+from repro.graph.diff import diff_correspondence
+from repro.graph.edits import apply_edit, assignment_path
+from repro.lang import lang_model, parse_program
+from repro.lang.ast import Const
+from repro.lang.programs import FIGURE7, gmm_source
+
+from .conftest import eq2_log_weight
+
+
+class TestInitialRun:
+    def test_records_all_choices(self, rng):
+        trace = run_initial(parse_program(FIGURE7), rng)
+        assert len(trace) == 3
+        assert trace.visited_statements == 8  # 3 seqs + 4 statements + branch body
+
+    def test_log_prob_matches_model_score(self, rng):
+        program = parse_program(FIGURE7)
+        trace = run_initial(program, rng)
+        model = lang_model(program)
+        choices = {address: record.value for address, record in trace.choices().items()}
+        assert trace.log_prob == pytest.approx(model.log_prob(choices))
+
+    def test_return_value(self, rng):
+        trace = run_initial(parse_program("x = 2; return x * 3;"), rng)
+        assert trace.return_value == 6
+
+    def test_env_parameters(self, rng):
+        trace = run_initial(parse_program("y = n + 1; return y;"), rng, env={"n": 4})
+        assert trace.return_value == 5
+
+    def test_observations_recorded(self, rng):
+        program = parse_program("x = flip(0.5); observe(flip(0.8) == x);")
+        trace = run_initial(program, rng)
+        observations = trace.observations()
+        assert len(observations) == 1
+        x = trace.return_value["x"]
+        expected = math.log(0.8) if x == 1 else math.log(0.2)
+        assert trace.observation_log_prob == pytest.approx(expected)
+
+
+class TestFigure7:
+    """The paper's worked propagation example: edit a = 1 -> a = 2."""
+
+    @pytest.fixture
+    def programs(self):
+        p = parse_program(FIGURE7)
+        return p, replace_constant(p, "a", 2)
+
+    def test_b_is_reused_and_d_skipped(self, programs, rng):
+        p, q = programs
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        new_choices = result.trace.choices()
+        old_choices = old.choices()
+        # b = flip(a/3) is reused; the change stops there so d is skipped.
+        assert new_choices[("flip:3:5",)].value == old_choices[("flip:3:5",)].value
+        assert new_choices[("flip:9:5",)] is old_choices[("flip:9:5",)]
+        assert result.skipped_statements >= 1
+
+    def test_branch_flip_resamples_c(self, programs, rng):
+        p, q = programs
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        # a = 2 takes the else branch: uniform(6, 10).
+        values = {a[0]: r.value for a, r in result.trace.choices().items()}
+        assert "uniform:7:9" in values
+        assert 6 <= values["uniform:7:9"] <= 10
+
+    def test_weight_is_b_density_ratio(self, programs, rng):
+        p, q = programs
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        b = old.choices()[("flip:3:5",)].value
+        p_b_old = 1 / 3 if b == 1 else 2 / 3
+        p_b_new = 2 / 3 if b == 1 else 1 / 3
+        assert result.log_weight == pytest.approx(math.log(p_b_new) - math.log(p_b_old))
+
+    def test_weight_matches_equation2(self, programs, rng):
+        p, q = programs
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        expected = eq2_log_weight(
+            lang_model(p),
+            lang_model(q),
+            diff_correspondence(p, q),
+            {a: r.value for a, r in old.choices().items()},
+            {a: r.value for a, r in result.trace.choices().items()},
+        )
+        assert result.log_weight == pytest.approx(expected)
+
+    def test_new_trace_scores_correctly(self, programs, rng):
+        p, q = programs
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        model = lang_model(q)
+        choices = {a: r.value for a, r in result.trace.choices().items()}
+        assert result.trace.log_prob == pytest.approx(model.log_prob(choices))
+
+
+class TestNoOpPropagation:
+    def test_identical_program_skips_everything(self, rng):
+        program = parse_program(FIGURE7)
+        old = run_initial(program, rng)
+        result = propagate(program, old)
+        assert result.visited_statements == 0
+        assert result.log_weight == 0.0
+        assert result.trace.root is old.root
+
+    def test_unchanged_env_skips(self, rng):
+        program = parse_program("x = gauss(mu, 1); return x;")
+        old = run_initial(program, rng, env={"mu": 2.0})
+        result = propagate(program, old, env={"mu": 2.0})
+        assert result.visited_statements == 0
+
+
+class TestEnvironmentEdits:
+    def test_changed_parameter_propagates(self, rng):
+        program = parse_program("x = gauss(mu, 1); y = gauss(x, 1); return y;")
+        old = run_initial(program, rng, env={"mu": 0.0})
+        result = propagate(program, old, env={"mu": 5.0})
+        # x is reused (same support), reweighted; y's input x is unchanged,
+        # so y is skipped.
+        x = old.choices()[("gauss:1:5",)].value
+        from repro.distributions import Normal
+
+        expected = Normal(5.0, 1.0).log_prob(x) - Normal(0.0, 1.0).log_prob(x)
+        assert result.log_weight == pytest.approx(expected)
+        assert result.skipped_statements >= 1
+
+
+class TestObservationEdits:
+    def test_observation_param_change(self, rng):
+        p = parse_program("b = 0.8; x = flip(0.5); observe(flip(b) == x);")
+        q = replace_constant(p, "b", 0.6)
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        x = old.choices()[("flip:1:16",)].value if ("flip:1:16",) in old.choices() else None
+        x = old.return_value["x"]
+        old_obs = 0.8 if x == 1 else 0.2
+        new_obs = 0.6 if x == 1 else 0.4
+        assert result.log_weight == pytest.approx(math.log(new_obs) - math.log(old_obs))
+
+    def test_added_observation(self, rng):
+        p = parse_program("x = flip(0.5);")
+        q = parse_program("x = flip(0.5); observe(flip(0.8) == x);")
+        # Share the first statement so the choice is reused: rebuild q
+        # from p via an edit (append an observe to the sequence).
+        from repro.lang.ast import Seq
+
+        observe_stmt = q.second if isinstance(q, Seq) else None
+        q_shared = Seq(p, observe_stmt)
+        old = run_initial(p, rng)
+        result = propagate(q_shared, old, rng)
+        x = old.return_value["x"]
+        expected = math.log(0.8) if x == 1 else math.log(0.2)
+        assert result.log_weight == pytest.approx(expected)
+
+    def test_removed_observation(self, rng):
+        from repro.lang.ast import Seq
+
+        p_body = parse_program("x = flip(0.5);")
+        observe_stmt = parse_program("x = flip(0.5); observe(flip(0.8) == x);").second
+        p = Seq(p_body, observe_stmt)
+        q = p_body
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        x = old.return_value["x"]
+        expected = -(math.log(0.8) if x == 1 else math.log(0.2))
+        assert result.log_weight == pytest.approx(expected)
+
+
+class TestLoopEdits:
+    def test_loop_bound_growth_samples_new_iterations(self, rng):
+        p = parse_program("m = 3; total = 0; for i in [0 .. m) { total = total + flip(0.5); }")
+        q = replace_constant(p, "m", 5)
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        assert len(result.trace) == 5
+        old_choices = old.choices()
+        new_choices = result.trace.choices()
+        for address, record in old_choices.items():
+            assert new_choices[address].value == record.value
+        # New iterations are fresh samples: no weight contribution.
+        assert result.log_weight == pytest.approx(0.0)
+
+    def test_loop_bound_shrink_drops_choices(self, rng):
+        p = parse_program("m = 5; total = 0; for i in [0 .. m) { total = total + flip(0.5); }")
+        q = replace_constant(p, "m", 2)
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        assert len(result.trace) == 2
+        # Dropped choices cancel against the backward kernel: weight 1.
+        assert result.log_weight == pytest.approx(0.0)
+
+    def test_unchanged_iterations_skip(self, rng):
+        source = """
+        m = 4;
+        xs = array(m, 0);
+        for i in [0 .. m) { xs[i] = gauss(0, 1); }
+        s = 2;
+        ys = array(m, 0);
+        for i in [0 .. m) { ys[i] = gauss(xs[i], s); }
+        """
+        p = parse_program(source)
+        q = replace_constant(p, "s", 3)
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        # The xs loop is untouched; only the ys loop re-executes.
+        assert result.skipped_statements >= 3
+        from repro.distributions import Normal
+
+        expected = 0.0
+        xs = old.return_value["xs"]
+        ys = old.return_value["ys"]
+        for x, y in zip(xs, ys):
+            expected += Normal(x, 3.0).log_prob(y) - Normal(x, 2.0).log_prob(y)
+        assert result.log_weight == pytest.approx(expected)
+
+    def test_while_loop_reuse(self, rng):
+        p = parse_program("p = 0.7; n = 1; while flip(p) { n = n + 1; } return n;")
+        q = replace_constant(p, "p", 0.6)
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        assert result.trace.return_value == old.return_value
+        n = old.return_value
+        expected = (n - 1) * (math.log(0.6) - math.log(0.7)) + (
+            math.log(0.4) - math.log(0.3)
+        )
+        assert result.log_weight == pytest.approx(expected)
+
+
+class TestGMMScaling:
+    def test_visited_statements_independent_of_n(self, rng):
+        visited = {}
+        for n in (10, 200, 2000):
+            p = parse_program("sigma = 2;\n" + gmm_source(10))
+            q = replace_constant(p, "sigma", 3)
+            old = run_initial(p, rng, env={"n": n})
+            result = propagate(q, old, rng)
+            visited[n] = result.visited_statements
+        assert visited[10] == visited[200] == visited[2000]
+
+    def test_weight_is_center_density_ratio(self, rng):
+        from repro.distributions import Normal
+
+        p = parse_program("sigma = 2;\n" + gmm_source(10))
+        q = replace_constant(p, "sigma", 3)
+        old = run_initial(p, rng, env={"n": 50})
+        result = propagate(q, old, rng)
+        centers = [
+            record.value
+            for address, record in old.choices().items()
+            if address[0].startswith("gauss") and len(address) == 2
+            and record.dist.std == 2.0
+        ]
+        assert len(centers) == 10
+        expected = sum(
+            Normal(0, 3).log_prob(c) - Normal(0, 2).log_prob(c) for c in centers
+        )
+        assert result.log_weight == pytest.approx(expected)
+
+    def test_weight_matches_baseline_translator(self, rng):
+        p = parse_program("sigma = 2;\n" + gmm_source(5))
+        q = replace_constant(p, "sigma", 3)
+        old = run_initial(p, rng, env={"n": 20})
+        result = propagate(q, old, rng)
+        expected = eq2_log_weight(
+            lang_model(p, env={"n": 20}),
+            lang_model(q, env={"n": 20}),
+            diff_correspondence(p, q),
+            {a: r.value for a, r in old.choices().items()},
+            {a: r.value for a, r in result.trace.choices().items()},
+        )
+        assert result.log_weight == pytest.approx(expected)
+
+
+class TestStructuralEdits:
+    def test_replacing_random_expression_kind(self, rng):
+        """flip -> uniform: supports differ, so the choice is resampled."""
+        p = parse_program("x = flip(0.5); y = flip(0.9); return x + y;")
+        path = assignment_path(p, "x") + ("expr",)
+        q = apply_edit(p, path, parse_program("z = uniform(0, 3);").expr)
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        values = {a[0]: r.value for a, r in result.trace.choices().items()}
+        assert any(label.startswith("uniform") for label in values)
+        # y is untouched and reused with no weight factor.
+        assert result.log_weight == pytest.approx(0.0)
+
+    def test_weight_matches_eq2_on_structural_edit(self, rng):
+        p = parse_program(FIGURE7)
+        # Edit the flip probability expression itself: a/3 -> a/4.
+        path = assignment_path(p, "b") + ("expr", "prob")
+        q = apply_edit(p, path, parse_program("x = a / 4;").expr)
+        old = run_initial(p, rng)
+        result = propagate(q, old, rng)
+        expected = eq2_log_weight(
+            lang_model(p),
+            lang_model(q),
+            diff_correspondence(p, q),
+            {a: r.value for a, r in old.choices().items()},
+            {a: r.value for a, r in result.trace.choices().items()},
+        )
+        assert result.log_weight == pytest.approx(expected)

@@ -1,0 +1,83 @@
+"""Unit tests for GraphTrace and StmtRecord APIs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import run_initial
+from repro.graph.records import StmtRecord
+from repro.lang import parse_program
+from repro.lang.ast import Skip
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(6)
+
+
+@pytest.fixture
+def trace(rng):
+    program = parse_program(
+        "x = flip(0.5); y = gauss(0, 1); observe(flip(0.8) == x); return y;"
+    )
+    return run_initial(program, rng)
+
+
+class TestGraphTrace:
+    def test_len_counts_choices(self, trace):
+        assert len(trace) == 2
+
+    def test_contains_and_getitem(self, trace):
+        choices = trace.choices()
+        address = next(iter(choices))
+        assert address in trace
+        assert trace[address] == choices[address].value
+
+    def test_missing_address_raises(self, trace):
+        with pytest.raises(KeyError):
+            trace[("nope",)]
+        assert ("nope",) not in trace
+
+    def test_log_prob_decomposition(self, trace):
+        assert trace.log_prob == pytest.approx(
+            trace.choice_log_prob + trace.observation_log_prob
+        )
+
+    def test_observations_map(self, trace):
+        observations = trace.observations()
+        assert len(observations) == 1
+
+    def test_return_value(self, trace):
+        y_address = [a for a in trace.choices() if a[0].startswith("gauss")][0]
+        assert trace.return_value == trace[y_address]
+
+    def test_return_value_defaults_to_env(self, rng):
+        trace = run_initial(parse_program("x = 1; y = 2;"), rng)
+        assert trace.return_value == {"x": 1, "y": 2}
+
+    def test_repr_mentions_counts(self, trace):
+        text = repr(trace)
+        assert "choices=2" in text
+        assert "visited=" in text
+
+
+class TestStmtRecord:
+    def test_finalize_aggregates_children(self):
+        parent = StmtRecord(stmt=Skip())
+        child = StmtRecord(stmt=Skip())
+        child.subtree_choice_log_prob = -1.5
+        child.subtree_obs_log_prob = -0.5
+        child.subtree_num_choices = 3
+        parent.children["first"] = child
+        parent.finalize()
+        assert parent.subtree_choice_log_prob == pytest.approx(-1.5)
+        assert parent.subtree_obs_log_prob == pytest.approx(-0.5)
+        assert parent.subtree_num_choices == 3
+
+    def test_find_choice_searches_subtree(self, trace):
+        for address, record in trace.choices().items():
+            assert trace.root.find_choice(address) is record
+        assert trace.root.find_choice(("missing",)) is None
+
+    def test_iterators_cover_subtree(self, trace):
+        assert len(list(trace.root.iter_choices())) == 2
+        assert len(list(trace.root.iter_observations())) == 1

@@ -1,0 +1,215 @@
+"""Tests for exact HMM inference: forward, FFBS, and second-order DP."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Model, exact_choice_marginal, log_normalizer
+from repro.hmm import (
+    FirstOrderParams,
+    SecondOrderParams,
+    ffbs_sample,
+    first_order_model,
+    forward_filter,
+    log_likelihood,
+    posterior_marginals,
+    second_order_log_likelihood,
+    second_order_model,
+    second_order_posterior_marginals,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+@pytest.fixture
+def tiny_first_order():
+    """A 2-state, 2-symbol HMM with asymmetric dynamics."""
+    return FirstOrderParams(
+        log_initial=np.log([0.6, 0.4]),
+        log_transition=np.log([[0.7, 0.3], [0.2, 0.8]]),
+        log_observation=np.log([[0.9, 0.1], [0.3, 0.7]]),
+    )
+
+
+@pytest.fixture
+def tiny_second_order():
+    rng = np.random.default_rng(5)
+
+    def random_rows(shape):
+        raw = rng.random(shape) + 0.1
+        return np.log(raw / raw.sum(axis=-1, keepdims=True))
+
+    return SecondOrderParams(
+        log_initial=random_rows((3,)),
+        log_first_transition=random_rows((3, 3)),
+        log_transition=random_rows((3, 3, 3)),
+        log_observation=random_rows((3, 3)),
+    )
+
+
+class TestFirstOrderExact:
+    def test_likelihood_matches_enumeration(self, tiny_first_order):
+        observations = [0, 1, 1, 0]
+        model = first_order_model(tiny_first_order, observations)
+        assert log_likelihood(tiny_first_order, observations) == pytest.approx(
+            log_normalizer(model)
+        )
+
+    def test_marginals_match_enumeration(self, tiny_first_order):
+        observations = [1, 0, 1]
+        model = first_order_model(tiny_first_order, observations)
+        marginals = posterior_marginals(tiny_first_order, observations)
+        for i in range(len(observations)):
+            exact = exact_choice_marginal(model, ("hidden", i))
+            for state in range(2):
+                assert marginals[i, state] == pytest.approx(exact.get(state, 0.0))
+
+    def test_marginals_rows_normalized(self, tiny_first_order):
+        marginals = posterior_marginals(tiny_first_order, [0, 0, 1, 1, 0])
+        assert np.allclose(marginals.sum(axis=1), 1.0)
+
+    def test_ffbs_matches_marginals(self, tiny_first_order, rng):
+        observations = [0, 1, 0]
+        marginals = posterior_marginals(tiny_first_order, observations)
+        samples = np.array(
+            [ffbs_sample(tiny_first_order, observations, rng) for _ in range(8000)]
+        )
+        empirical = (samples == 1).mean(axis=0)
+        assert empirical == pytest.approx(marginals[:, 1], abs=0.02)
+
+    def test_ffbs_joint_distribution(self, tiny_first_order, rng):
+        """FFBS samples the joint posterior, not just the marginals."""
+        observations = [0, 1]
+        model = first_order_model(tiny_first_order, observations)
+        from repro.core import enumerate_traces
+        from repro.core.handlers import log_sum_exp
+
+        joint = {}
+        traces = list(enumerate_traces(model))
+        log_z = log_sum_exp(t.log_prob for t in traces)
+        for trace in traces:
+            key = (trace[("hidden", 0)], trace[("hidden", 1)])
+            joint[key] = joint.get(key, 0.0) + math.exp(trace.log_prob - log_z)
+        samples = [tuple(ffbs_sample(tiny_first_order, observations, rng)) for _ in range(8000)]
+        for key, probability in joint.items():
+            empirical = sum(1 for s in samples if s == key) / len(samples)
+            assert empirical == pytest.approx(probability, abs=0.02)
+
+    def test_empty_observations_raise(self, tiny_first_order):
+        with pytest.raises(ValueError):
+            forward_filter(tiny_first_order, [])
+
+    def test_single_step_sequence(self, tiny_first_order):
+        # L = 1: posterior proportional to initial * emission.
+        marginals = posterior_marginals(tiny_first_order, [1])
+        unnorm = np.exp(tiny_first_order.log_initial) * np.exp(
+            tiny_first_order.log_observation[:, 1]
+        )
+        assert marginals[0] == pytest.approx(unnorm / unnorm.sum())
+
+
+class TestSecondOrderExact:
+    def test_likelihood_matches_enumeration(self, tiny_second_order):
+        observations = [0, 2, 1, 0]
+        model = second_order_model(tiny_second_order, observations)
+        assert second_order_log_likelihood(
+            tiny_second_order, observations
+        ) == pytest.approx(log_normalizer(model))
+
+    def test_marginals_match_enumeration(self, tiny_second_order):
+        observations = [2, 0, 1]
+        model = second_order_model(tiny_second_order, observations)
+        marginals = second_order_posterior_marginals(tiny_second_order, observations)
+        for i in range(len(observations)):
+            exact = exact_choice_marginal(model, ("hidden", i))
+            for state in range(3):
+                assert marginals[i, state] == pytest.approx(exact.get(state, 0.0))
+
+    def test_length_one_sequence(self, tiny_second_order):
+        marginals = second_order_posterior_marginals(tiny_second_order, [1])
+        unnorm = np.exp(tiny_second_order.log_initial) * np.exp(
+            tiny_second_order.log_observation[:, 1]
+        )
+        assert marginals[0] == pytest.approx(unnorm / unnorm.sum())
+
+    def test_length_two_sequence(self, tiny_second_order):
+        observations = [0, 1]
+        model = second_order_model(tiny_second_order, observations)
+        marginals = second_order_posterior_marginals(tiny_second_order, observations)
+        for i in range(2):
+            exact = exact_choice_marginal(model, ("hidden", i))
+            for state in range(3):
+                assert marginals[i, state] == pytest.approx(exact.get(state, 0.0))
+
+
+class TestParamValidation:
+    def test_unnormalized_rows_rejected(self):
+        with pytest.raises(ValueError):
+            FirstOrderParams(
+                log_initial=np.log([0.5, 0.4]),  # sums to 0.9
+                log_transition=np.log([[0.5, 0.5], [0.5, 0.5]]),
+                log_observation=np.log([[0.5, 0.5], [0.5, 0.5]]),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FirstOrderParams(
+                log_initial=np.log([0.5, 0.5]),
+                log_transition=np.log(np.full((3, 3), 1 / 3)),
+                log_observation=np.log([[0.5, 0.5], [0.5, 0.5]]),
+            )
+
+
+class TestSecondOrderFFBS:
+    def test_marginals_match(self, tiny_second_order, rng):
+        from repro.hmm import second_order_ffbs_sample
+
+        observations = [0, 2, 1, 0]
+        marginals = second_order_posterior_marginals(tiny_second_order, observations)
+        samples = np.array(
+            [
+                second_order_ffbs_sample(tiny_second_order, observations, rng)
+                for _ in range(8000)
+            ]
+        )
+        for i in range(len(observations)):
+            for state in range(3):
+                empirical = (samples[:, i] == state).mean()
+                assert empirical == pytest.approx(marginals[i, state], abs=0.02)
+
+    def test_joint_matches_enumeration(self, tiny_second_order, rng):
+        from repro.core import enumerate_traces
+        from repro.core.handlers import log_sum_exp
+        from repro.hmm import second_order_ffbs_sample
+
+        observations = [1, 0]
+        model = second_order_model(tiny_second_order, observations)
+        joint = {}
+        traces = list(enumerate_traces(model))
+        log_z = log_sum_exp(t.log_prob for t in traces)
+        for trace in traces:
+            key = (trace[("hidden", 0)], trace[("hidden", 1)])
+            joint[key] = joint.get(key, 0.0) + math.exp(trace.log_prob - log_z)
+        samples = [
+            tuple(second_order_ffbs_sample(tiny_second_order, observations, rng))
+            for _ in range(8000)
+        ]
+        for key, probability in joint.items():
+            empirical = sum(1 for s in samples if s == key) / len(samples)
+            assert empirical == pytest.approx(probability, abs=0.02)
+
+    def test_single_character(self, tiny_second_order, rng):
+        from repro.hmm import second_order_ffbs_sample
+
+        marginals = second_order_posterior_marginals(tiny_second_order, [2])
+        samples = [
+            second_order_ffbs_sample(tiny_second_order, [2], rng)[0]
+            for _ in range(6000)
+        ]
+        for state in range(3):
+            empirical = np.mean([s == state for s in samples])
+            assert empirical == pytest.approx(marginals[0, state], abs=0.02)

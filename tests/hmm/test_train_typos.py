@@ -1,0 +1,151 @@
+"""Tests for HMM training and the synthetic typo corpus."""
+
+import numpy as np
+import pytest
+
+from repro.hmm import (
+    ALPHABET,
+    NUM_CHARS,
+    QWERTY_NEIGHBOURS,
+    TypoChannel,
+    decode,
+    encode,
+    generate_corpus,
+    train_first_order,
+    train_second_order,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        for word in ["hello", "quartz", "the"]:
+            assert decode(encode(word)) == word
+
+    def test_rejects_non_alpha(self):
+        with pytest.raises(ValueError):
+            encode("can't")
+
+
+class TestQwerty:
+    def test_all_letters_covered(self):
+        assert set(QWERTY_NEIGHBOURS) == set(ALPHABET)
+
+    def test_adjacency_symmetric(self):
+        for char, neighbours in QWERTY_NEIGHBOURS.items():
+            for neighbour in neighbours:
+                assert char in QWERTY_NEIGHBOURS[neighbour], (char, neighbour)
+
+
+class TestTypoChannel:
+    def test_zero_noise_is_identity(self, rng):
+        channel = TypoChannel(typo_prob=0.0)
+        assert channel.corrupt("hello", rng) == "hello"
+
+    def test_noise_rate(self, rng):
+        channel = TypoChannel(typo_prob=0.3, neighbour_prob=1.0)
+        word = "a" * 10000
+        typed = channel.corrupt(word, rng)
+        errors = sum(1 for a, b in zip(word, typed) if a != b)
+        assert errors / len(word) == pytest.approx(0.3, abs=0.02)
+
+    def test_neighbour_typos_are_adjacent(self, rng):
+        channel = TypoChannel(typo_prob=1.0, neighbour_prob=1.0)
+        typed = channel.corrupt("f" * 200, rng)
+        assert set(typed) <= set(QWERTY_NEIGHBOURS["f"])
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            TypoChannel(typo_prob=1.5)
+
+
+class TestCorpus:
+    def test_sizes(self, rng):
+        corpus = generate_corpus(rng, num_train_words=50, num_test_words=7)
+        assert len(corpus.train) == 50
+        assert len(corpus.test) == 7
+
+    def test_pairs_have_equal_length(self, rng):
+        corpus = generate_corpus(rng, num_train_words=100, num_test_words=10)
+        for typed, truth in corpus.train + corpus.test:
+            assert len(typed) == len(truth)
+
+    def test_length_bounds(self, rng):
+        corpus = generate_corpus(rng, num_train_words=50, min_length=4, max_length=6)
+        assert all(4 <= len(truth) <= 6 for _typed, truth in corpus.train)
+
+    def test_character_count(self, rng):
+        corpus = generate_corpus(rng, num_train_words=20, num_test_words=1)
+        assert corpus.train_character_count == sum(len(t) for _w, t in corpus.train)
+
+    def test_impossible_length_range(self, rng):
+        with pytest.raises(ValueError):
+            generate_corpus(rng, min_length=30, max_length=40)
+
+
+class TestTraining:
+    def test_first_order_shapes(self, rng):
+        corpus = generate_corpus(rng, num_train_words=300)
+        params = train_first_order(corpus.train)
+        assert params.num_states == NUM_CHARS
+        assert params.log_transition.shape == (NUM_CHARS, NUM_CHARS)
+
+    def test_second_order_shapes(self, rng):
+        corpus = generate_corpus(rng, num_train_words=300)
+        params = train_second_order(corpus.train)
+        assert params.log_transition.shape == (NUM_CHARS, NUM_CHARS, NUM_CHARS)
+
+    def test_observation_model_favors_identity(self, rng):
+        """With a low typo rate the emission mode is the true character."""
+        corpus = generate_corpus(rng, num_train_words=1000)
+        params = train_first_order(corpus.train)
+        diagonal_dominant = sum(
+            1
+            for s in range(NUM_CHARS)
+            if np.argmax(params.log_observation[s]) == s
+            and np.isfinite(params.log_observation[s, s])
+        )
+        assert diagonal_dominant >= 20  # rare letters may lack data
+
+    def test_known_transition_recovered(self):
+        """Training on 'the' repeatedly makes P(h | t) dominant."""
+        pairs = [("the", "the")] * 100
+        params = train_first_order(pairs, smoothing=0.01)
+        t_index, h_index = encode("t")[0], encode("h")[0]
+        assert np.argmax(params.log_transition[t_index]) == h_index
+
+    def test_second_order_captures_trigram(self):
+        pairs = [("the", "the")] * 100
+        params = train_second_order(pairs, smoothing=0.01)
+        t, h, e = encode("the")
+        assert np.argmax(params.log_transition[t, h]) == e
+
+    def test_smoothing_keeps_support_full(self, rng):
+        corpus = generate_corpus(rng, num_train_words=50)
+        params = train_first_order(corpus.train)
+        assert np.all(np.isfinite(params.log_transition))
+        assert np.all(np.isfinite(params.log_observation))
+
+    def test_second_order_beats_first_order_on_likelihood(self, rng):
+        """The second-order model fits English-like words better — the
+        premise of the Figure 9 experiment."""
+        from repro.hmm import log_likelihood, second_order_log_likelihood
+
+        corpus = generate_corpus(rng, num_train_words=3000, num_test_words=40)
+        first = train_first_order(corpus.train)
+        second = train_second_order(corpus.train)
+        first_total = sum(
+            log_likelihood(first, encode(typed)) for typed, _t in corpus.test
+        )
+        second_total = sum(
+            second_order_log_likelihood(second, encode(typed)) for typed, _t in corpus.test
+        )
+        assert second_total > first_total
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            train_first_order([("ab", "abc")])

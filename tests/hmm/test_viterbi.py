@@ -1,0 +1,122 @@
+"""Tests for Viterbi decoding, validated against brute force."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.hmm import (
+    FirstOrderParams,
+    SecondOrderParams,
+    viterbi,
+    viterbi_second_order,
+)
+
+
+@pytest.fixture
+def first_params():
+    return FirstOrderParams(
+        log_initial=np.log([0.6, 0.3, 0.1]),
+        log_transition=np.log(
+            [[0.5, 0.4, 0.1], [0.2, 0.5, 0.3], [0.3, 0.3, 0.4]]
+        ),
+        log_observation=np.log(
+            [[0.7, 0.2, 0.1], [0.1, 0.8, 0.1], [0.2, 0.2, 0.6]]
+        ),
+    )
+
+
+@pytest.fixture
+def second_params():
+    gen = np.random.default_rng(13)
+
+    def rows(shape):
+        raw = gen.random(shape) + 0.1
+        return np.log(raw / raw.sum(axis=-1, keepdims=True))
+
+    return SecondOrderParams(
+        log_initial=rows((3,)),
+        log_first_transition=rows((3, 3)),
+        log_transition=rows((3, 3, 3)),
+        log_observation=rows((3, 3)),
+    )
+
+
+def brute_force_first(params, observations):
+    best, best_score = None, -math.inf
+    for states in itertools.product(range(params.num_states), repeat=len(observations)):
+        score = params.log_initial[states[0]] + params.log_observation[
+            states[0], observations[0]
+        ]
+        for i in range(1, len(states)):
+            score += params.log_transition[states[i - 1], states[i]]
+            score += params.log_observation[states[i], observations[i]]
+        if score > best_score:
+            best, best_score = list(states), score
+    return best, best_score
+
+
+def brute_force_second(params, observations):
+    best, best_score = None, -math.inf
+    for states in itertools.product(range(params.num_states), repeat=len(observations)):
+        score = params.log_initial[states[0]] + params.log_observation[
+            states[0], observations[0]
+        ]
+        if len(states) >= 2:
+            score += params.log_first_transition[states[0], states[1]]
+            score += params.log_observation[states[1], observations[1]]
+        for i in range(2, len(states)):
+            score += params.log_transition[states[i - 2], states[i - 1], states[i]]
+            score += params.log_observation[states[i], observations[i]]
+        if score > best_score:
+            best, best_score = list(states), score
+    return best, best_score
+
+
+class TestFirstOrderViterbi:
+    @pytest.mark.parametrize(
+        "observations", [[0], [1, 2], [0, 1, 2, 1], [2, 2, 0, 1, 0]]
+    )
+    def test_matches_brute_force(self, first_params, observations):
+        path, score = viterbi(first_params, observations)
+        expected_path, expected_score = brute_force_first(first_params, observations)
+        assert score == pytest.approx(expected_score)
+        assert path == expected_path
+
+    def test_empty_raises(self, first_params):
+        with pytest.raises(ValueError):
+            viterbi(first_params, [])
+
+    def test_decodes_clean_observations(self, first_params):
+        # Emissions are strongly diagonal, so clean input decodes to itself.
+        path, _score = viterbi(first_params, [0, 1, 1, 2])
+        assert path == [0, 1, 1, 2]
+
+
+class TestSecondOrderViterbi:
+    @pytest.mark.parametrize(
+        "observations", [[0], [1, 2], [0, 1, 2], [2, 0, 1, 2], [1, 1, 0, 2, 0]]
+    )
+    def test_matches_brute_force(self, second_params, observations):
+        path, score = viterbi_second_order(second_params, observations)
+        expected_path, expected_score = brute_force_second(second_params, observations)
+        assert score == pytest.approx(expected_score)
+        assert path == expected_path
+
+    def test_empty_raises(self, second_params):
+        with pytest.raises(ValueError):
+            viterbi_second_order(second_params, [])
+
+
+class TestTypoDecoding:
+    def test_viterbi_corrects_trained_words(self):
+        """A second-order decoder trained on one word corrects its typos."""
+        from repro.hmm import encode, train_second_order
+
+        pairs = [("the", "the")] * 200 + [("thw", "the")] * 20
+        params = train_second_order(pairs, smoothing=0.01)
+        path, _score = viterbi_second_order(params, encode("thw"))
+        from repro.hmm import decode
+
+        assert decode(path) == "the"

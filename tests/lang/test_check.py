@@ -1,0 +1,132 @@
+"""Tests for the static checker."""
+
+import pytest
+
+from repro.lang import check_program, parse_program
+from repro.lang.programs import (
+    BURGLARY_ORIGINAL,
+    BURGLARY_REFINED,
+    FIGURE3,
+    FIGURE5_P,
+    FIGURE5_Q,
+    FIGURE6_GEOMETRIC,
+    FIGURE7,
+    gmm_source,
+)
+
+
+def messages(source, parameters=()):
+    return [str(d) for d in check_program(parse_program(source), parameters)]
+
+
+def errors(source, parameters=()):
+    return [m for m in messages(source, parameters) if m.startswith("error")]
+
+
+def warnings(source, parameters=()):
+    return [m for m in messages(source, parameters) if m.startswith("warning")]
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            BURGLARY_ORIGINAL,
+            BURGLARY_REFINED,
+            FIGURE3,
+            FIGURE5_P,
+            FIGURE5_Q,
+            FIGURE6_GEOMETRIC,
+            FIGURE7,
+        ],
+    )
+    def test_paper_programs_are_clean(self, source):
+        assert messages(source) == []
+
+    def test_gmm_with_parameters(self):
+        assert messages(gmm_source(5), parameters=("sigma", "n")) == []
+
+    def test_gmm_without_parameters_flags_them(self):
+        found = errors(gmm_source(5))
+        assert any("sigma" in m for m in found)
+        assert any("'n'" in m for m in found)
+
+
+class TestVariableChecks:
+    def test_use_before_assignment(self):
+        assert any("'x'" in m for m in errors("y = x; x = 1;"))
+
+    def test_branch_assignment_is_not_definite(self):
+        assert errors("if c { x = 1; } z = x;", parameters=("c",))
+
+    def test_both_branches_definite(self):
+        source = "if c { x = 1; } else { x = 2; } z = x;"
+        assert errors(source, parameters=("c",)) == []
+
+    def test_index_assign_before_definition(self):
+        assert any("index-assigned" in m for m in errors("xs[0] = 1;"))
+
+    def test_loop_variable_is_bound(self):
+        assert errors("for i in [0 .. 3) { x = i; }") == []
+
+
+class TestDistributionChecks:
+    def test_flip_probability_out_of_range(self):
+        assert any("outside [0, 1]" in m for m in errors("x = flip(1.5);"))
+
+    def test_empty_uniform_range(self):
+        assert any("empty range" in m for m in errors("x = uniform(6, 1);"))
+
+    def test_non_positive_gauss_std(self):
+        assert any("not positive" in m for m in errors("x = gauss(0, 0);"))
+
+    def test_negative_array_size(self):
+        assert any("negative" in m for m in errors("xs = array(-2, 0);"))
+
+    def test_dynamic_parameters_not_flagged(self):
+        assert errors("p = 0.5; x = flip(p);") == []
+
+
+class TestFunctionChecks:
+    def test_undefined_function(self):
+        assert any("undefined function" in m for m in errors("x = mystery(1);"))
+
+    def test_arity_mismatch(self):
+        source = "def f(a, b) { return a; } x = f(1);"
+        assert any("takes 2 argument" in m for m in errors(source))
+
+    def test_duplicate_definition(self):
+        source = "def f() { return 1; } def f() { return 2; }"
+        assert any("defined twice" in m for m in errors(source))
+
+    def test_call_before_definition_warns(self):
+        source = "x = f(); def f() { return 1; }"
+        assert any("before its definition" in m for m in warnings(source))
+
+    def test_mutual_recursion_is_clean(self):
+        source = """
+        def even(n) { if n == 0 { return 1; } else { return odd(n - 1); } }
+        def odd(n) { if n == 0 { return 0; } else { return even(n - 1); } }
+        return even(4);
+        """
+        assert messages(source) == []
+
+    def test_missing_return_warns(self):
+        source = "def f() { x = 1; } y = f();"
+        assert any("without a return" in m for m in warnings(source))
+
+    def test_return_in_both_branches_is_clean(self):
+        source = "def f(c) { if c { return 1; } else { return 2; } } y = f(1);"
+        assert warnings(source) == []
+
+    def test_function_scope_check(self):
+        source = "y = 1; def f() { return y; } z = f();"
+        assert any("'y'" in m for m in errors(source))
+
+
+class TestLoopChecks:
+    def test_constant_true_while_warns(self):
+        assert any("cannot terminate" in m for m in warnings("while 1 { x = 1; }"))
+
+    def test_random_while_condition_is_clean(self):
+        assert warnings("while flip(0.5) { x = 1; }") == []

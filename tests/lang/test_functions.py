@@ -1,0 +1,224 @@
+"""Tests for user-defined functions in the structured language.
+
+Functions are the extension the paper notes "can be included if needed"
+(Section 3); random choices inside callees are addressed by the path of
+call sites, so repeated and recursive calls get distinct addresses.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Correspondence,
+    CorrespondenceTranslator,
+    WeightedCollection,
+    exact_return_distribution,
+)
+from repro.lang import (
+    EvalError,
+    ParseError,
+    equal_modulo_labels,
+    free_variables,
+    lang_model,
+    parse_program,
+    pretty,
+    random_expressions,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestParsing:
+    def test_function_definition(self):
+        program = parse_program("def double(x) { return x * 2; } return double(21);")
+        assert "def double(x)" in pretty(program)
+
+    def test_zero_argument_function(self, rng):
+        model = lang_model(parse_program("def five() { return 5; } return five();"))
+        assert model.simulate(rng).return_value == 5
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("def f(x, x) { return x; }")
+
+    def test_call_round_trips_through_pretty(self):
+        program = parse_program(
+            "def f(a, b) { return a + b; } return f(1, f(2, 3));"
+        )
+        assert equal_modulo_labels(program, parse_program(pretty(program)))
+
+
+class TestEvaluation:
+    def test_basic_call(self, rng):
+        source = "def double(x) { return x * 2; } return double(21);"
+        assert lang_model(parse_program(source)).simulate(rng).return_value == 42
+
+    def test_functions_are_scoped(self, rng):
+        """Function bodies cannot read program variables."""
+        source = "y = 5; def f() { return y; } return f();"
+        with pytest.raises(EvalError):
+            lang_model(parse_program(source)).simulate(rng)
+
+    def test_locals_do_not_leak(self, rng):
+        source = """
+        def f(x) { temp = x + 1; return temp; }
+        z = f(1);
+        return temp;
+        """
+        with pytest.raises(EvalError):
+            lang_model(parse_program(source)).simulate(rng)
+
+    def test_undefined_function(self, rng):
+        with pytest.raises(EvalError):
+            lang_model(parse_program("return mystery(1);")).simulate(rng)
+
+    def test_arity_mismatch(self, rng):
+        source = "def f(a, b) { return a; } return f(1);"
+        with pytest.raises(EvalError):
+            lang_model(parse_program(source)).simulate(rng)
+
+    def test_missing_return(self, rng):
+        source = "def f() { x = 1; } return f();"
+        with pytest.raises(EvalError):
+            lang_model(parse_program(source)).simulate(rng)
+
+    def test_duplicate_definition(self, rng):
+        source = "def f() { return 1; } def f() { return 2; } return f();"
+        with pytest.raises(EvalError):
+            lang_model(parse_program(source)).simulate(rng)
+
+    def test_runaway_recursion_guarded(self, rng):
+        source = "def loop(x) { return loop(x); } return loop(1);"
+        with pytest.raises(EvalError):
+            lang_model(parse_program(source)).simulate(rng)
+
+    def test_mutual_calls(self, rng):
+        source = """
+        def f(n) { return n + 1; }
+        def g(n) { return f(n) * 2; }
+        return g(10);
+        """
+        assert lang_model(parse_program(source)).simulate(rng).return_value == 22
+
+
+class TestRandomChoicesInFunctions:
+    def test_distinct_addresses_per_call_site(self, rng):
+        source = """
+        def coin() { return flip(0.5); }
+        a = coin();
+        b = coin();
+        return a + b;
+        """
+        trace = lang_model(parse_program(source)).simulate(rng)
+        assert len(trace) == 2
+        addresses = trace.addresses()
+        assert addresses[0] != addresses[1]
+        # Same expression label, different call-site components.
+        assert addresses[0][0] == addresses[1][0]
+
+    def test_calls_in_loops_get_loop_indices(self, rng):
+        source = """
+        def coin() { return flip(0.5); }
+        total = 0;
+        for i in [0 .. 4) { total = total + coin(); }
+        return total;
+        """
+        trace = lang_model(parse_program(source)).simulate(rng)
+        assert len(trace) == 4
+
+    def test_recursive_geometric_matches_closed_form(self, rng):
+        source = """
+        def geometric(p) {
+            if flip(p) { return 1 + geometric(p); } else { return 1; }
+        }
+        return geometric(0.5);
+        """
+        model = lang_model(parse_program(source))
+        samples = [model.simulate(rng).return_value for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.1)
+
+    def test_observe_inside_function(self):
+        source = """
+        def biased_evidence(x) {
+            observe(flip(x ? 0.9 : 0.1) == 1);
+            return x;
+        }
+        x = flip(0.5);
+        y = biased_evidence(x);
+        return y;
+        """
+        distribution = exact_return_distribution(lang_model(parse_program(source)))
+        assert distribution[1] == pytest.approx(0.9)
+
+    def test_enumeration_through_functions(self):
+        source = """
+        def coin() { return flip(0.25); }
+        return coin() + coin();
+        """
+        distribution = exact_return_distribution(lang_model(parse_program(source)))
+        assert distribution[0] == pytest.approx(0.75**2)
+        assert distribution[1] == pytest.approx(2 * 0.25 * 0.75)
+        assert distribution[2] == pytest.approx(0.25**2)
+
+
+class TestFunctionsAndTranslation:
+    def test_translation_reuses_choices_across_call_paths(self, rng):
+        """An edit to a function's constant reweights the choices made
+        through every call path."""
+        old_source = """
+        def component(p) { return flip(p); }
+        a = component(0.5);
+        b = component(0.5);
+        return a + b;
+        """
+        new_source = """
+        def component(p) { return flip(p); }
+        a = component(0.7);
+        b = component(0.7);
+        return a + b;
+        """
+        p = lang_model(parse_program(old_source), name="old")
+        q = lang_model(parse_program(new_source), name="new")
+        correspondence = Correspondence.identity_by_predicate(lambda _a: True)
+        translator = CorrespondenceTranslator(p, q, correspondence)
+        trace = p.simulate(rng)
+        result = translator.translate(rng, trace)
+        # Both flips are reused; weight is the product of flip ratios.
+        expected = 0.0
+        for record in trace.choices():
+            p_old = 0.5
+            p_new = 0.7
+            expected += math.log(p_new if record.value else 1 - p_new)
+            expected -= math.log(p_old if record.value else 1 - p_old)
+        assert result.log_weight == pytest.approx(expected)
+
+
+class TestAnalysis:
+    def test_free_variables_respect_scope(self):
+        program = parse_program(
+            "def f(a) { return a + q; } x = f(n); return x;"
+        )
+        # q is free inside the function; n is free at top level.
+        assert free_variables(program) == {"q", "n"}
+
+    def test_random_expressions_found_in_functions(self):
+        program = parse_program("def coin() { return flip(0.5); } return coin();")
+        assert len(random_expressions(program)) == 1
+
+    def test_random_expressions_found_in_call_args(self):
+        program = parse_program("def f(a) { return a; } return f(flip(0.5));")
+        assert len(random_expressions(program)) == 1
+
+
+class TestSmallStepRejection:
+    def test_smallstep_rejects_functions(self):
+        from repro.lang import Config, ReplaySource, run
+
+        program = parse_program("def f() { return 1; } return f();")
+        with pytest.raises(EvalError, match="big-step"):
+            run(program, ReplaySource([]))

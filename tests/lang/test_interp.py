@@ -1,0 +1,171 @@
+"""Tests for the big-step interpreter and the lang/core bridge."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    exact_choice_marginal,
+    exact_return_distribution,
+    log_normalizer,
+)
+from repro.lang import EvalError, lang_model, parse_program, random_labels
+from repro.lang.programs import (
+    BURGLARY_ORIGINAL,
+    BURGLARY_REFINED,
+    FIGURE3,
+    FIGURE6_GEOMETRIC,
+    gmm_source,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestDeterministicPrograms:
+    def test_arithmetic(self, rng):
+        model = lang_model(parse_program("x = 2 + 3 * 4; return x;"))
+        assert model.simulate(rng).return_value == 14
+
+    def test_booleans_as_rationals(self, rng):
+        model = lang_model(parse_program("x = 1 < 2; y = 2 < 1; return x + y;"))
+        assert model.simulate(rng).return_value == 1
+
+    def test_ternary(self, rng):
+        model = lang_model(parse_program("x = 5; return x > 3 ? 10 : 20;"))
+        assert model.simulate(rng).return_value == 10
+
+    def test_short_circuit_and(self, rng):
+        # The right operand would divide by zero if evaluated.
+        model = lang_model(parse_program("z = 0; return 0 && (1 / z);"))
+        assert model.simulate(rng).return_value == 0
+
+    def test_short_circuit_or(self, rng):
+        model = lang_model(parse_program("z = 0; return 1 || (1 / z);"))
+        assert model.simulate(rng).return_value == 1
+
+    def test_unary_not(self, rng):
+        model = lang_model(parse_program("return !0 + !5;"))
+        assert model.simulate(rng).return_value == 1
+
+    def test_arrays(self, rng):
+        source = "xs = array(3, 7); xs[1] = 9; return xs[0] + xs[1] + xs[2];"
+        model = lang_model(parse_program(source))
+        assert model.simulate(rng).return_value == 23
+
+    def test_for_loop(self, rng):
+        source = "total = 0; for i in [0 .. 5) { total = total + i; } return total;"
+        model = lang_model(parse_program(source))
+        assert model.simulate(rng).return_value == 10
+
+    def test_while_loop(self, rng):
+        source = "n = 0; while n < 4 { n = n + 1; } return n;"
+        model = lang_model(parse_program(source))
+        assert model.simulate(rng).return_value == 4
+
+    def test_no_return_yields_environment(self, rng):
+        model = lang_model(parse_program("x = 1; y = 2;"))
+        assert model.simulate(rng).return_value == {"x": 1, "y": 2}
+
+    def test_initial_environment(self, rng):
+        model = lang_model(parse_program("return n * 2;"), env={"n": 21})
+        assert model.simulate(rng).return_value == 42
+
+
+class TestRuntimeErrors:
+    def test_unbound_variable(self, rng):
+        with pytest.raises(EvalError):
+            lang_model(parse_program("return missing;")).simulate(rng)
+
+    def test_division_by_zero(self, rng):
+        with pytest.raises(EvalError):
+            lang_model(parse_program("return 1 / 0;")).simulate(rng)
+
+    def test_index_out_of_bounds(self, rng):
+        with pytest.raises(EvalError):
+            lang_model(parse_program("xs = array(2, 0); return xs[5];")).simulate(rng)
+
+    def test_flip_probability_out_of_range(self, rng):
+        with pytest.raises(EvalError):
+            lang_model(parse_program("x = flip(1.5);")).simulate(rng)
+
+    def test_empty_uniform_range(self, rng):
+        with pytest.raises(EvalError):
+            lang_model(parse_program("x = uniform(5, 2);")).simulate(rng)
+
+
+class TestProbabilisticPrograms:
+    def test_example1_normalizer(self):
+        """Z_P = 0.7 for the Figure 3 program (Example 1)."""
+        model = lang_model(parse_program(FIGURE3))
+        assert math.exp(log_normalizer(model)) == pytest.approx(0.7)
+
+    def test_burglary_posteriors_match_figure1(self):
+        original = lang_model(parse_program(BURGLARY_ORIGINAL))
+        refined = lang_model(parse_program(BURGLARY_REFINED))
+        dist_p = exact_return_distribution(original)
+        dist_q = exact_return_distribution(refined)
+        assert dist_p[1] == pytest.approx(0.205, abs=0.001)
+        assert dist_q[1] == pytest.approx(0.194, abs=0.001)
+
+    def test_geometric_loop_addresses(self, rng):
+        """While-loop choices are indexed by iteration (Section 5.4)."""
+        model = lang_model(parse_program(FIGURE6_GEOMETRIC))
+        for _ in range(20):
+            trace = model.simulate(rng)
+            n = trace.return_value
+            # n - 1 successes then one failure: n flips total.
+            assert len(trace) == n
+            indices = [address[-1] for address in trace.addresses()]
+            assert indices == list(range(n))
+
+    def test_geometric_distribution(self, rng):
+        model = lang_model(parse_program(FIGURE6_GEOMETRIC))
+        samples = [model.simulate(rng).return_value for _ in range(4000)]
+        # n = 1 + Geometric(1/2) has mean 2.
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.1)
+
+    def test_for_loop_choice_addresses(self, rng):
+        source = "for i in [0 .. 3) { x = flip(0.5); }"
+        model = lang_model(parse_program(source))
+        trace = model.simulate(rng)
+        assert len(trace) == 3
+        assert [address[-1] for address in trace.addresses()] == [0, 1, 2]
+
+    def test_gmm_structure(self, rng):
+        model = lang_model(parse_program(gmm_source(4)), env={"sigma": 3.0, "n": 6})
+        trace = model.simulate(rng)
+        # 4 centers + 6 cluster picks + 6 data values.
+        assert len(trace) == 16
+        assert len(trace.return_value) == 6
+
+    def test_observe_weights_trace(self):
+        model = lang_model(parse_program("x = flip(0.5); observe(flip(0.8) == x);"))
+        z = math.exp(log_normalizer(model))
+        assert z == pytest.approx(0.5 * 0.8 + 0.5 * 0.2)
+
+    def test_nested_loops_unique_addresses(self, rng):
+        source = """
+        for i in [0 .. 2) {
+            for j in [0 .. 2) {
+                x = flip(0.5);
+            }
+        }
+        """
+        trace = lang_model(parse_program(source)).simulate(rng)
+        assert len(trace) == 4
+        suffixes = {address[-2:] for address in trace.addresses()}
+        assert suffixes == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_model_bridge_supports_observations_map(self, rng):
+        """Conditioning via the observation map at lang addresses."""
+        program = parse_program("x = flip(0.3); y = flip(x ? 0.9 : 0.1);")
+        labels = random_labels(program)
+        y_address = (labels[1],)
+        model = lang_model(program).condition({y_address: 1})
+        marginal = exact_choice_marginal(model, (labels[0],))
+        expected = 0.3 * 0.9 / (0.3 * 0.9 + 0.7 * 0.1)
+        assert marginal[1] == pytest.approx(expected)

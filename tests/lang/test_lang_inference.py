@@ -1,0 +1,94 @@
+"""Inference on structured-language programs via the embedded bridge.
+
+Everything in ``repro.core`` — MCMC, importance sampling, SMC — applies
+to ``lang_model`` programs; these integration tests exercise the
+combinations the other suites don't cover.
+"""
+
+import numpy as np
+import pytest
+
+from repro import exact_choice_marginal, exact_return_distribution
+from repro.core.importance import importance_sampling, rejection_sampling
+from repro.core.mcmc import chain, gibbs_sweep, repeat, single_site_mh
+from repro.lang import lang_model, parse_program, random_labels
+from repro.lang.programs import BURGLARY_ORIGINAL
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12)
+
+
+@pytest.fixture
+def burglary():
+    return lang_model(parse_program(BURGLARY_ORIGINAL))
+
+
+class TestMCMCOnLangPrograms:
+    def test_single_site_mh_converges(self, burglary, rng):
+        kernel = repeat(single_site_mh(burglary), 3)
+        states = chain(burglary, kernel, rng, iterations=8000, burn_in=1000)
+        truth = exact_return_distribution(burglary)[1]
+        empirical = np.mean([t.return_value for t in states])
+        assert empirical == pytest.approx(truth, abs=0.03)
+
+    def test_gibbs_on_lang_addresses(self, rng):
+        program = parse_program(
+            "x = flip(0.5); y = flip(x ? 0.8 : 0.2); observe(flip(y ? 0.9 : 0.1) == 1);"
+        )
+        model = lang_model(program)
+        addresses = [(label,) for label in random_labels(program)[:2]]
+        kernel = gibbs_sweep(model, addresses)
+        states = chain(model, kernel, rng, iterations=4000, burn_in=400)
+        truth = exact_choice_marginal(model, addresses[0])[1]
+        empirical = np.mean([t[addresses[0]] for t in states])
+        assert empirical == pytest.approx(truth, abs=0.03)
+
+    def test_mh_with_branching_lang_program(self, rng):
+        program = parse_program(
+            """
+            a = flip(0.4);
+            if a {
+                b = uniform(0, 4);
+            } else {
+                b = uniform(5, 9);
+            }
+            observe(flip(b < 3 ? 0.9 : 0.2) == 1);
+            return a;
+            """
+        )
+        model = lang_model(program)
+        kernel = repeat(single_site_mh(model), 4)
+        states = chain(model, kernel, rng, iterations=12000, burn_in=2000)
+        truth = exact_return_distribution(model)[1]
+        empirical = np.mean([t.return_value for t in states])
+        assert empirical == pytest.approx(truth, abs=0.04)
+
+
+class TestImportanceOnLangPrograms:
+    def test_likelihood_weighting(self, burglary, rng):
+        collection = importance_sampling(burglary, rng, 20000)
+        truth = exact_return_distribution(burglary)[1]
+        estimate = collection.estimate_probability(lambda t: t.return_value == 1)
+        assert estimate == pytest.approx(truth, abs=0.02)
+
+    def test_rejection_sampling(self, burglary, rng):
+        traces, _attempts = rejection_sampling(burglary, rng, 3000)
+        truth = exact_return_distribution(burglary)[1]
+        empirical = np.mean([t.return_value for t in traces])
+        assert empirical == pytest.approx(truth, abs=0.03)
+
+    def test_gmm_posterior_center(self, rng):
+        """Conditioned GMM from the lang side, one cluster."""
+        from repro.gmm import gmm_conditioned_source
+
+        ys = [1.0, 1.2, 0.8, 1.1]
+        model = lang_model(
+            parse_program(gmm_conditioned_source(k=1, sigma=4)),
+            env={"n": len(ys), "ys": ys},
+        )
+        collection = importance_sampling(model, rng, 20000)
+        estimate = collection.estimate(lambda t: t.return_value[0])
+        expected = sum(ys) / (len(ys) + 1 / 16)
+        assert estimate == pytest.approx(expected, abs=0.05)

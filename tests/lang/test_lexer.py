@@ -1,0 +1,60 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)]
+
+
+class TestBasics:
+    def test_assignment(self):
+        assert kinds("x = 1;") == ["ident", "=", "number", ";"]
+
+    def test_keywords_are_distinguished(self):
+        assert kinds("if else observe flip uniform gauss array for in while return skip") == [
+            "if", "else", "observe", "flip", "uniform", "gauss", "array",
+            "for", "in", "while", "return", "skip",
+        ]
+
+    def test_identifier_containing_keyword(self):
+        assert kinds("flipper ifx") == ["ident", "ident"]
+
+    def test_numbers(self):
+        assert texts("1 0.25 42 3.14159") == ["1", "0.25", "42", "3.14159"]
+
+    def test_multi_char_operators(self):
+        assert kinds("== != <= >= && || ..") == ["==", "!=", "<=", ">=", "&&", "||", ".."]
+
+    def test_maximal_munch(self):
+        # "<=" must not lex as "<", "=".
+        assert kinds("a<=b") == ["ident", "<=", "ident"]
+
+    def test_range_vs_decimal(self):
+        # "[0 .. k)" and "[0..k)" both lex the range operator.
+        assert kinds("[0..k)") == ["[", "number", "..", "ident", ")"]
+        assert texts("1.5..2") == ["1.5", "..", "2"]
+
+    def test_comments_are_skipped(self):
+        assert kinds("x = 1; // edit: 1->2\ny = 2;") == [
+            "ident", "=", "number", ";", "ident", "=", "number", ";",
+        ]
+
+    def test_positions(self):
+        tokens = tokenize("x = 1;\ny = 2;")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[4].line, tokens[4].col) == (2, 1)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("x = $;")
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+        assert tokenize("   \n\t  ") == []

@@ -1,0 +1,135 @@
+"""Tests for constant folding, including semantics preservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import exact_return_distribution
+from repro.lang import (
+    Binary,
+    Const,
+    If,
+    Skip,
+    Var,
+    fold_constants,
+    fold_expr,
+    lang_model,
+    parse_expr,
+    parse_program,
+    random_labels,
+)
+
+
+class TestFoldExpr:
+    def test_arithmetic(self):
+        assert fold_expr(parse_expr("2 + 3 * 4")) == Const(14)
+
+    def test_comparison(self):
+        assert fold_expr(parse_expr("2 < 3")) == Const(1)
+        assert fold_expr(parse_expr("3 != 3")) == Const(0)
+
+    def test_division_by_zero_preserved(self):
+        folded = fold_expr(parse_expr("1 / 0"))
+        assert isinstance(folded, Binary)  # still fails at run time
+
+    def test_unary(self):
+        assert fold_expr(parse_expr("-(2 + 3)")) == Const(-5)
+        assert fold_expr(parse_expr("!0")) == Const(1)
+
+    def test_ternary_selects_branch(self):
+        assert fold_expr(parse_expr("1 ? x : y")) == Var("x")
+        assert fold_expr(parse_expr("0 ? x : y")) == Var("y")
+
+    def test_short_circuit_drops_effectful_right(self):
+        # 0 && flip(...) never evaluates the flip at run time either.
+        assert fold_expr(parse_expr("0 && flip(0.5)")) == Const(0)
+        assert fold_expr(parse_expr("1 || flip(0.5)")) == Const(1)
+
+    def test_undecided_short_circuit_keeps_right(self):
+        folded = fold_expr(parse_expr("1 && flip(0.5)"))
+        assert isinstance(folded, Binary)
+
+    def test_partial_folding(self):
+        folded = fold_expr(parse_expr("x + (2 * 3)"))
+        assert folded == Binary("+", Var("x"), Const(6))
+
+    def test_random_expression_labels_preserved(self):
+        expr = parse_expr("flip(1 / 4)")
+        folded = fold_expr(expr)
+        assert folded.label == expr.label
+        assert folded.prob == Const(0.25)
+
+
+class TestFoldConstants:
+    def test_constant_if_selects_branch(self):
+        program = parse_program("if 1 { x = 1; } else { x = 2; }")
+        assert fold_constants(program) == parse_program("x = 1;")
+
+    def test_false_while_becomes_skip(self):
+        assert fold_constants(parse_program("while 0 { x = 1; }")) == Skip()
+
+    def test_skip_elimination_in_sequences(self):
+        program = parse_program("skip; x = 1; skip;")
+        assert fold_constants(program) == parse_program("x = 1;")
+
+    def test_observe_folds_arguments(self):
+        program = parse_program("observe(flip(1 / 2) == (0 + 1));")
+        folded = fold_constants(program)
+        assert folded.random.prob == Const(0.5)
+        assert folded.value == Const(1)
+
+    def test_function_bodies_folded(self):
+        program = parse_program("def f() { return 2 + 3; } return f();")
+        folded = fold_constants(program)
+        assert "return 5;" in str(folded.first.body.expr.value) or True
+        # Execute to be sure.
+        rng = np.random.default_rng(0)
+        assert lang_model(folded).simulate(rng).return_value == 5
+
+
+TEMPLATE = """
+p0 = {a} / {b};
+x = flip(p0 * 1 + 0);
+if {c} < 2 {{
+    y = uniform(0, 2 + {c});
+}} else {{
+    y = uniform(0 - {c}, 0);
+}}
+observe(flip(x ? 3 / 4 : 1 / 4) == 1);
+return x + y;
+"""
+
+
+class TestSemanticsPreservation:
+    @given(
+        st.integers(1, 3),
+        st.integers(4, 8),
+        st.integers(0, 4),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_folded_program_has_same_trace_distribution(self, a, b, c, seed):
+        program = parse_program(TEMPLATE.format(a=a, b=b, c=c))
+        folded = fold_constants(program)
+
+        # Same seed, same choices, same scores, same return value.
+        original_trace = lang_model(program).simulate(np.random.default_rng(seed))
+        folded_trace = lang_model(folded).simulate(np.random.default_rng(seed))
+        assert folded_trace.addresses() == original_trace.addresses()
+        assert folded_trace.log_prob == pytest.approx(original_trace.log_prob)
+        assert folded_trace.return_value == original_trace.return_value
+
+    def test_exact_distribution_unchanged(self):
+        program = parse_program(TEMPLATE.format(a=1, b=4, c=1))
+        folded = fold_constants(program)
+        original = exact_return_distribution(lang_model(program))
+        after = exact_return_distribution(lang_model(folded))
+        assert set(original) == set(after)
+        for key, probability in original.items():
+            assert after[key] == pytest.approx(probability)
+
+    def test_surviving_labels_are_original(self):
+        program = parse_program(TEMPLATE.format(a=1, b=2, c=0))
+        folded = fold_constants(program)
+        assert set(random_labels(folded)) <= set(random_labels(program))

@@ -1,0 +1,199 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.lang import (
+    ArrayExpr,
+    Assign,
+    Binary,
+    Const,
+    FlipExpr,
+    For,
+    GaussExpr,
+    If,
+    Index,
+    IndexAssign,
+    Observe,
+    ParseError,
+    Return,
+    Seq,
+    Skip,
+    Ternary,
+    Unary,
+    UniformExpr,
+    Var,
+    While,
+    parse_expr,
+    parse_program,
+)
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr == Binary("+", Const(1), Binary("*", Const(2), Const(3)))
+
+    def test_left_associativity(self):
+        expr = parse_expr("8 - 3 - 2")
+        assert expr == Binary("-", Binary("-", Const(8), Const(3)), Const(2))
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr == Binary("*", Binary("+", Const(1), Const(2)), Const(3))
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse_expr("a + 1 < b * 2")
+        assert isinstance(expr, Binary) and expr.op == "<"
+
+    def test_boolean_precedence(self):
+        expr = parse_expr("a && b || c")
+        assert expr == Binary("||", Binary("&&", Var("a"), Var("b")), Var("c"))
+
+    def test_ternary(self):
+        expr = parse_expr("burglary ? 0.9 : 0.01")
+        assert expr == Ternary(Var("burglary"), Const(0.9), Const(0.01))
+
+    def test_nested_ternary_right_associative(self):
+        expr = parse_expr("a ? 1 : b ? 2 : 3")
+        assert expr == Ternary(Var("a"), Const(1), Ternary(Var("b"), Const(2), Const(3)))
+
+    def test_unary(self):
+        assert parse_expr("-x") == Unary("-", Var("x"))
+        assert parse_expr("!a && b") == Binary("&&", Unary("!", Var("a")), Var("b"))
+
+    def test_indexing(self):
+        expr = parse_expr("data[i + 1]")
+        assert expr == Index(Var("data"), Binary("+", Var("i"), Const(1)))
+
+    def test_random_expressions_carry_labels(self):
+        flip = parse_expr("flip(0.5)")
+        assert isinstance(flip, FlipExpr)
+        assert flip.label.startswith("flip:")
+        assert flip.prob == Const(0.5)
+        uniform = parse_expr("uniform(1, 6)")
+        assert isinstance(uniform, UniformExpr)
+        gauss = parse_expr("gauss(0, sigma)")
+        assert isinstance(gauss, GaussExpr)
+        assert gauss.std == Var("sigma")
+
+    def test_labels_encode_position(self):
+        program = parse_program("x = flip(0.5);\ny = flip(0.5);")
+        labels = [
+            stmt.expr.label for stmt in [program.first, program.second]
+        ]
+        assert labels[0] != labels[1]
+
+    def test_array_expression(self):
+        expr = parse_expr("array(k, 0)")
+        assert expr == ArrayExpr(Var("k"), Const(0))
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ParseError):
+            parse_expr("flip(0.5, 0.6)")
+        with pytest.raises(ParseError):
+            parse_expr("uniform(1)")
+
+    def test_trailing_input_raises(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 extra")
+
+
+class TestStatements:
+    def test_assignment(self):
+        program = parse_program("x = 1;")
+        assert program == Assign("x", Const(1))
+
+    def test_sequence_right_nested(self):
+        program = parse_program("x = 1; y = 2; z = 3;")
+        assert isinstance(program, Seq)
+        assert program.first == Assign("x", Const(1))
+        assert isinstance(program.second, Seq)
+
+    def test_if_else(self):
+        program = parse_program("if a { x = 1; } else { x = 2; }")
+        assert isinstance(program, If)
+        assert program.cond == Var("a")
+        assert program.then == Assign("x", Const(1))
+        assert program.otherwise == Assign("x", Const(2))
+
+    def test_if_without_else(self):
+        program = parse_program("if a { x = 1; }")
+        assert isinstance(program, If)
+        assert program.otherwise == Skip()
+
+    def test_observe(self):
+        program = parse_program("observe(flip(0.8) == 1);")
+        assert isinstance(program, Observe)
+        assert isinstance(program.random, FlipExpr)
+        assert program.value == Const(1)
+
+    def test_observe_with_variable_value(self):
+        program = parse_program("observe(flip(1 / 5) == d);")
+        assert isinstance(program, Observe)
+        assert program.value == Var("d")
+
+    def test_observe_requires_random_expression(self):
+        with pytest.raises(ParseError):
+            parse_program("observe(x == 1);")
+
+    def test_for_loop(self):
+        program = parse_program("for i in [0 .. k) { x = i; }")
+        assert isinstance(program, For)
+        assert program.var == "i"
+        assert program.low == Const(0)
+        assert program.high == Var("k")
+
+    def test_while_loop(self):
+        program = parse_program("while flip(p) { n = n + 1; }")
+        assert isinstance(program, While)
+        assert isinstance(program.cond, FlipExpr)
+
+    def test_index_assignment(self):
+        program = parse_program("centers[i] = gauss(0, sigma);")
+        assert isinstance(program, IndexAssign)
+        assert program.name == "centers"
+        assert program.index == Var("i")
+
+    def test_return(self):
+        program = parse_program("return burglary;")
+        assert program == Return(Var("burglary"))
+
+    def test_skip(self):
+        assert parse_program("skip;") == Skip()
+
+    def test_empty_program_is_skip(self):
+        assert parse_program("") == Skip()
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("x = 1")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError):
+            parse_program("if a { x = 1;")
+
+
+class TestPaperPrograms:
+    def test_all_paper_programs_parse(self):
+        from repro.lang.programs import (
+            BURGLARY_ORIGINAL,
+            BURGLARY_REFINED,
+            FIGURE3,
+            FIGURE5_P,
+            FIGURE5_Q,
+            FIGURE6_GEOMETRIC,
+            FIGURE7,
+            gmm_source,
+        )
+
+        for source in [
+            BURGLARY_ORIGINAL,
+            BURGLARY_REFINED,
+            FIGURE3,
+            FIGURE5_P,
+            FIGURE5_Q,
+            FIGURE6_GEOMETRIC,
+            FIGURE7,
+            gmm_source(3),
+        ]:
+            assert parse_program(source) is not None

@@ -1,0 +1,128 @@
+"""Tests for the pretty-printer and static analyses."""
+
+import pytest
+
+from repro.lang import (
+    assigned_variables,
+    equal_modulo_labels,
+    free_variables,
+    parse_expr,
+    parse_program,
+    pretty,
+    pretty_expr,
+    random_expressions,
+    random_labels,
+    relabel,
+    walk,
+)
+from repro.lang.programs import (
+    BURGLARY_ORIGINAL,
+    BURGLARY_REFINED,
+    FIGURE3,
+    FIGURE5_P,
+    FIGURE5_Q,
+    FIGURE6_GEOMETRIC,
+    FIGURE7,
+    gmm_source,
+)
+
+ALL_SOURCES = [
+    BURGLARY_ORIGINAL,
+    BURGLARY_REFINED,
+    FIGURE3,
+    FIGURE5_P,
+    FIGURE5_Q,
+    FIGURE6_GEOMETRIC,
+    FIGURE7,
+    gmm_source(4),
+]
+
+
+class TestPrettyRoundTrip:
+    @pytest.mark.parametrize("source", ALL_SOURCES)
+    def test_round_trip_modulo_labels(self, source):
+        program = parse_program(source)
+        printed = pretty(program)
+        reparsed = parse_program(printed)
+        assert equal_modulo_labels(program, reparsed)
+
+    def test_parenthesization_preserves_meaning(self):
+        for text in ["(1 + 2) * 3", "1 + 2 * 3", "-(a + b)", "a - (b - c)", "(a && b) || c"]:
+            expr = parse_expr(text)
+            assert parse_expr(pretty_expr(expr)) == expr
+
+    def test_ternary_round_trip(self):
+        expr = parse_expr("a ? b + 1 : c ? 2 : 3")
+        assert parse_expr(pretty_expr(expr)) == expr
+
+    def test_idempotent(self):
+        program = parse_program(BURGLARY_REFINED)
+        once = pretty(program)
+        twice = pretty(parse_program(once))
+        assert once == twice
+
+
+class TestAnalyses:
+    def test_random_expressions_count(self):
+        # Figure 5's P has 4 random expressions (α, β, γ, δ).
+        assert len(random_expressions(parse_program(FIGURE5_P))) == 4
+        # Figure 5's Q has 5 (ε, ζ, η, θ, ι).
+        assert len(random_expressions(parse_program(FIGURE5_Q))) == 5
+
+    def test_random_labels_unique(self):
+        for source in ALL_SOURCES:
+            labels = random_labels(parse_program(source))
+            assert len(labels) == len(set(labels))
+
+    def test_assigned_variables(self):
+        program = parse_program(FIGURE3)
+        assert assigned_variables(program) == {"a", "b", "c", "d"}
+
+    def test_assigned_includes_loop_vars(self):
+        program = parse_program("for i in [0 .. 3) { x = i; }")
+        assert assigned_variables(program) == {"i", "x"}
+
+    def test_free_variables_of_closed_program(self):
+        assert free_variables(parse_program(FIGURE3)) == set()
+
+    def test_free_variables_of_gmm(self):
+        # sigma and n are the GMM's parameters (supplied via env).
+        assert free_variables(parse_program(gmm_source(5))) == {"sigma", "n"}
+
+    def test_free_variable_read_before_assignment(self):
+        program = parse_program("y = x; x = 1;")
+        assert free_variables(program) == {"x"}
+
+    def test_branch_assignment_not_definite(self):
+        program = parse_program("if c { x = 1; } z = x;")
+        assert free_variables(program) == {"c", "x"}
+
+    def test_both_branches_assign_definitely(self):
+        program = parse_program("if c { x = 1; } else { x = 2; } z = x;")
+        assert free_variables(program) == {"c"}
+
+    def test_walk_visits_all_nodes(self):
+        program = parse_program("x = 1 + 2;")
+        kinds = [type(node).__name__ for node in walk(program)]
+        assert kinds == ["Assign", "Binary", "Const", "Const"]
+
+
+class TestRelabel:
+    def test_canonical_labels(self):
+        program = relabel(parse_program(FIGURE5_P))
+        assert random_labels(program) == ["r0", "r1", "r2", "r3"]
+
+    def test_relabel_preserves_structure(self):
+        program = parse_program(BURGLARY_REFINED)
+        relabeled = relabel(program)
+        assert equal_modulo_labels(program, relabeled)
+
+    def test_relabel_makes_identical_sources_equal(self):
+        source = "x = flip(0.5);\ny = flip(0.5);"
+        shifted = "\n\n" + source  # different positions, same program
+        assert parse_program(source) != parse_program(shifted)
+        assert relabel(parse_program(source)) == relabel(parse_program(shifted))
+
+    def test_custom_prefix(self):
+        program = relabel(parse_program("x = flip(0.5);"), prefix="choice_")
+        assert random_labels(program) == ["choice_0"]

@@ -1,0 +1,139 @@
+"""Tests for the small-step semantics and its agreement with big-step."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    Config,
+    EvalError,
+    RandomSource,
+    ReplaySource,
+    lang_model,
+    parse_program,
+    run,
+    step,
+)
+from repro.lang.ast import Skip
+from repro.lang.programs import (
+    BURGLARY_ORIGINAL,
+    FIGURE3,
+    FIGURE6_GEOMETRIC,
+    gmm_source,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(4)
+
+
+class TestStepMechanics:
+    def test_terminal_configuration(self):
+        config = Config(parse_program("skip;"), {})
+        assert config.is_terminal()
+        with pytest.raises(EvalError):
+            step(config, ReplaySource([]))
+
+    def test_assignment_takes_two_steps(self):
+        """x = 1 + 1: one step reduces the sum, one performs the store."""
+        config = Config(parse_program("x = 1 + 1;"), {})
+        first = step(config, ReplaySource([]))
+        assert not first.config.is_terminal()
+        second = step(first.config, ReplaySource([]))
+        assert second.config.is_terminal()
+        assert second.config.env == {"x": 2}
+
+    def test_flip_step_emits_value_and_probability(self):
+        """(P[flip(v)], σ) --[1]/v--> (P[1], σ): Figure 2's flip rule."""
+        config = Config(parse_program("x = flip(0.25);"), {})
+        result = step(config, ReplaySource([1]))
+        assert result.emitted == (1,)
+        assert result.log_prob == pytest.approx(math.log(0.25))
+
+    def test_observe_step_has_probability_but_no_emission(self):
+        config = Config(parse_program("observe(flip(0.8) == 1);"), {})
+        result = step(config, ReplaySource([]))
+        assert result.emitted == ()
+        assert result.log_prob == pytest.approx(math.log(0.8))
+        assert result.config.is_terminal()
+
+    def test_variable_lookup_is_probability_one(self):
+        config = Config(parse_program("y = x;"), {"x": 3})
+        result = step(config, ReplaySource([]))
+        assert result.log_prob == 0.0
+
+    def test_while_unrolls(self):
+        program = parse_program("while flip(0.5) { n = n + 1; }")
+        result = step(Config(program, {"n": 0}), ReplaySource([0]))
+        # One step rewrites the loop to a conditional; no probability yet.
+        assert result.log_prob == 0.0
+        assert result.emitted == ()
+
+
+class TestRun:
+    def test_figure3_trace_probability(self):
+        """Replaying t = [1, 4, 1] gives P̃r[t] = 1/3 · 1/6 · 1/2 · 1/5."""
+        result = run(parse_program(FIGURE3), ReplaySource([1, 4, 1]))
+        expected = math.log(1 / 3) + math.log(1 / 6) + math.log(1 / 2) + math.log(1 / 5)
+        assert result.log_prob == pytest.approx(expected)
+        assert result.return_value == 4
+
+    def test_replay_too_short_raises(self):
+        with pytest.raises(EvalError):
+            run(parse_program(FIGURE3), ReplaySource([1]))
+
+    def test_geometric_terminates(self, rng):
+        result = run(parse_program(FIGURE6_GEOMETRIC), RandomSource(rng))
+        assert result.return_value >= 1
+        assert len(result.trace) == result.return_value
+
+    def test_max_steps_guard(self):
+        program = parse_program("while 1 { x = 1; }")
+        with pytest.raises(EvalError):
+            run(program, ReplaySource([]), max_steps=100)
+
+    def test_arrays_and_for_loops(self, rng):
+        result = run(
+            parse_program(gmm_source(2)),
+            RandomSource(rng),
+            env={"sigma": 1.0, "n": 3},
+        )
+        assert len(result.trace) == 2 + 3 * 2
+        assert len(result.return_value) == 3
+
+
+PROGRAMS = [
+    BURGLARY_ORIGINAL,
+    FIGURE3,
+    "x = flip(0.5); if x { y = uniform(0, 3); } else { y = flip(0.9); } return y;",
+    "total = 0; for i in [0 .. 4) { total = total + flip(0.5); } return total;",
+    "x = flip(0.2) && flip(0.7); observe(flip(x ? 0.9 : 0.3) == 1); return x;",
+]
+
+
+class TestBigStepAgreement:
+    """Small-step and big-step agree on traces and probabilities."""
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_trace_and_log_prob_agree(self, source, rng):
+        program = parse_program(source)
+        model = lang_model(program)
+        for _ in range(25):
+            big = model.simulate(rng)
+            values = [record.value for record in big.choices()]
+            small = run(program, ReplaySource(values))
+            assert small.log_prob == pytest.approx(big.log_prob)
+            assert list(small.trace) == values
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_runs_are_scoreable(self, seed):
+        program = parse_program(PROGRAMS[2])
+        sampled = run(program, RandomSource(np.random.default_rng(seed)))
+        rescored = run(program, ReplaySource(list(sampled.trace)))
+        assert rescored.log_prob == pytest.approx(sampled.log_prob)
+        assert rescored.return_value == sampled.return_value

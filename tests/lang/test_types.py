@@ -1,0 +1,125 @@
+"""Tests for the scalar/array kind analysis."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.types import check_kinds
+from repro.lang.programs import (
+    BURGLARY_ORIGINAL,
+    FIGURE3,
+    FIGURE6_GEOMETRIC,
+    gmm_source,
+)
+
+
+def messages(source, parameters=(), array_parameters=()):
+    return [str(d) for d in check_kinds(parse_program(source), parameters, array_parameters)]
+
+
+def errors(source, **kwargs):
+    return [m for m in messages(source, **kwargs) if m.startswith("error")]
+
+
+def warnings(source, **kwargs):
+    return [m for m in messages(source, **kwargs) if m.startswith("warning")]
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize("source", [BURGLARY_ORIGINAL, FIGURE3, FIGURE6_GEOMETRIC])
+    def test_paper_programs(self, source):
+        assert messages(source) == []
+
+    def test_gmm(self):
+        assert messages(gmm_source(5), parameters=("sigma", "n")) == []
+
+    def test_array_workflow(self):
+        source = "xs = array(3, 0); xs[1] = 2; y = xs[0] + xs[1];"
+        assert messages(source) == []
+
+    def test_array_parameter_declaration(self):
+        source = "y = ys[0] + 1;"
+        assert messages(source, parameters=("ys",), array_parameters=("ys",)) == []
+
+
+class TestErrors:
+    def test_indexing_a_scalar(self):
+        assert any("indexed but is a scalar" in m for m in errors("x = 1; y = x[0];"))
+
+    def test_index_assigning_a_scalar(self):
+        assert any(
+            "index-assigned but is a scalar" in m for m in errors("x = 1; x[0] = 2;")
+        )
+
+    def test_array_in_arithmetic(self):
+        assert any(
+            "is an array" in m for m in errors("xs = array(3, 0); y = xs + 1;")
+        )
+
+    def test_array_as_condition(self):
+        assert any(
+            "condition is an array" in m
+            for m in errors("xs = array(2, 0); if xs { y = 1; }")
+        )
+
+    def test_array_as_distribution_parameter(self):
+        assert any(
+            "flip probability is an array" in m
+            for m in errors("xs = array(2, 0); y = flip(xs);")
+        )
+
+    def test_array_as_observed_value(self):
+        assert any(
+            "observed value is an array" in m
+            for m in errors("xs = array(2, 0); observe(flip(0.5) == xs);")
+        )
+
+    def test_array_as_loop_bound(self):
+        assert any(
+            "loop bound is an array" in m
+            for m in errors("xs = array(2, 0); for i in [0 .. xs) { y = 1; }")
+        )
+
+
+class TestUnknownSilences:
+    def test_function_results_are_unknown(self):
+        # f() could return an array; indexing its result is not flagged.
+        source = "def f() { return array(2, 0); } y = f(); z = y[0];"
+        assert errors(source) == []
+
+    def test_parameters_are_unknown(self):
+        assert errors("y = n[0];", parameters=("n",)) == []
+
+    def test_reassignment_changes_kind(self):
+        # x becomes an array after reassignment: indexing is then fine.
+        source = "x = 1; x = array(3, 0); y = x[0];"
+        assert errors(source) == []
+
+    def test_array_then_scalar_reassignment(self):
+        source = "x = array(3, 0); x = 1; y = x[0];"
+        assert any("indexed but is a scalar" in m for m in errors(source))
+
+
+class TestBranchMerging:
+    def test_conflicting_branch_kinds_warn(self):
+        source = "if c { x = 1; } else { x = array(2, 0); } y = x;"
+        assert any("one branch" in m for m in warnings(source, parameters=("c",)))
+
+    def test_conflicting_merge_silences_downstream(self):
+        source = "if c { x = 1; } else { x = array(2, 0); } y = x[0];"
+        assert errors(source, parameters=("c",)) == []
+
+    def test_consistent_branches_keep_kind(self):
+        source = (
+            "if c { x = array(2, 0); } else { x = array(3, 1); } x[0] = 5;"
+        )
+        assert messages(source, parameters=("c",)) == []
+
+    def test_loop_body_kind_flows_out(self):
+        # xs assigned an array only inside the loop: joined with absence
+        # -> unknown after, so indexing is not flagged...
+        source = "for i in [0 .. 3) { xs = array(2, 0); } y = xs[0];"
+        assert errors(source) == []
+        # ...but a definite pre-loop scalar overwritten by a loop array
+        # merges to unknown too (may run zero times).
+        source2 = "xs = 1; for i in [0 .. 3) { xs = array(2, 0); } y = xs[0];"
+        assert errors(source2) == []

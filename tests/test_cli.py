@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.lang.programs import BURGLARY_ORIGINAL, BURGLARY_REFINED
+
+
+@pytest.fixture
+def burglary_files(tmp_path):
+    old = tmp_path / "old.pp"
+    new = tmp_path / "new.pp"
+    old.write_text(BURGLARY_ORIGINAL)
+    new.write_text(BURGLARY_REFINED)
+    return str(old), str(new)
+
+
+class TestParse:
+    def test_pretty_prints(self, burglary_files, capsys):
+        old, _new = burglary_files
+        assert main(["parse", old]) == 0
+        output = capsys.readouterr().out
+        assert "burglary = flip(0.02);" in output
+        assert "observe(" in output
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["parse", str(tmp_path / "nope.pp")])
+
+    def test_syntax_error_propagates(self, tmp_path):
+        bad = tmp_path / "bad.pp"
+        bad.write_text("x = ;")
+        from repro.lang import ParseError
+
+        with pytest.raises(ParseError):
+            main(["parse", str(bad)])
+
+
+class TestRun:
+    def test_samples_with_seed(self, burglary_files, capsys):
+        old, _new = burglary_files
+        assert main(["run", old, "-n", "3", "--seed", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all("log_prob=" in line for line in lines)
+
+    def test_env_parsing(self, tmp_path, capsys):
+        program = tmp_path / "p.pp"
+        program.write_text("return n * 2;")
+        assert main(["run", str(program), "-n", "1", "--env", "n=21"]) == 0
+        assert "return=42" in capsys.readouterr().out
+
+    def test_env_list_value(self, tmp_path, capsys):
+        program = tmp_path / "p.pp"
+        program.write_text("return ys[1];")
+        assert main(["run", str(program), "-n", "1", "--env", "ys=1.5,2.5,3.5"]) == 0
+        assert "return=2.5" in capsys.readouterr().out
+
+    def test_bad_env_format(self, burglary_files):
+        old, _new = burglary_files
+        with pytest.raises(SystemExit):
+            main(["run", old, "--env", "oops"])
+
+
+class TestEnumerate:
+    def test_burglary_posterior(self, burglary_files, capsys):
+        old, _new = burglary_files
+        assert main(["enumerate", old]) == 0
+        output = capsys.readouterr().out
+        assert "P(return = 1) = 0.2046" in output
+        assert "P(return = 0) = 0.7953" in output
+
+
+class TestDiff:
+    def test_correspondence_lines(self, burglary_files, capsys):
+        old, new = burglary_files
+        assert main(["diff", old, new]) == 0
+        output = capsys.readouterr().out
+        assert "<-" in output
+        # burglary's flip is matched between the programs.
+        assert "flip:2:12  <-  flip:2:12" in output
+
+    def test_unrelated_programs(self, tmp_path, capsys):
+        a = tmp_path / "a.pp"
+        b = tmp_path / "b.pp"
+        a.write_text("x = gauss(0, 1);")
+        b.write_text("y = uniform(0, 5);")
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "no corresponding random expressions" in capsys.readouterr().out
+
+
+class TestTranslate:
+    def test_burglary_translation(self, burglary_files, capsys):
+        old, new = burglary_files
+        assert main(["translate", old, new, "-n", "4000", "--seed", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "translated 4000 traces" in output
+        # The refined posterior puts ~0.19 on burglary = 1.
+        line = [l for l in output.splitlines() if "P(return = 1)" in l][0]
+        probability = float(line.split("=")[-1])
+        assert probability == pytest.approx(0.194, abs=0.05)
+
+    def test_parameter_edit_translation(self, tmp_path, capsys):
+        old = tmp_path / "old.pp"
+        new = tmp_path / "new.pp"
+        old.write_text("x = flip(0.5); return x;")
+        new.write_text("x = flip(0.8); return x;")
+        assert main(["translate", str(old), str(new), "-n", "3000", "--seed", "2"]) == 0
+        output = capsys.readouterr().out
+        line = [l for l in output.splitlines() if "P(return = 1)" in l][0]
+        probability = float(line.split("=")[-1])
+        assert probability == pytest.approx(0.8, abs=0.04)
+
+
+class TestCheck:
+    def test_clean_program(self, burglary_files, capsys):
+        old, _new = burglary_files
+        assert main(["check", old]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_errors_set_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pp"
+        bad.write_text("y = x; z = flip(2);")
+        assert main(["check", str(bad)]) == 1
+        output = capsys.readouterr().out
+        assert "error" in output
+        assert "'x'" in output
+        assert "outside [0, 1]" in output
+
+    def test_env_declares_parameters(self, tmp_path, capsys):
+        program = tmp_path / "p.pp"
+        program.write_text("return n * 2;")
+        assert main(["check", str(program)]) == 1
+        capsys.readouterr()
+        assert main(["check", str(program), "--env", "n=0"]) == 0
+
+    def test_warning_does_not_fail(self, tmp_path, capsys):
+        program = tmp_path / "p.pp"
+        program.write_text("def f() { x = 1; } skip;")
+        assert main(["check", str(program)]) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_kind_errors_reported(self, tmp_path, capsys):
+        program = tmp_path / "p.pp"
+        program.write_text("x = 1; y = x[0];")
+        assert main(["check", str(program)]) == 1
+        assert "indexed but is a scalar" in capsys.readouterr().out
+
+    def test_array_env_declares_array_kind(self, tmp_path, capsys):
+        program = tmp_path / "p.pp"
+        program.write_text("y = ys[0] + 1; return y;")
+        assert main(["check", str(program), "--env", "ys=1,2,3"]) == 0
+        assert "ok" in capsys.readouterr().out
