@@ -53,14 +53,24 @@ Quickstart::
 """
 
 from .core import (
+    RECOVERABLE_ERRORS,
     Address,
     ChoiceMap,
     Correspondence,
     CorrespondenceTranslator,
+    DegeneracyError,
+    FaultPolicy,
+    ImpossibleConstraintError,
     Kernel,
+    MissingChoiceError,
     Model,
+    ModelExecutionError,
+    NumericalError,
+    ReproError,
     SMCStats,
     SMCStep,
+    SupportError,
+    TranslationError,
     Trace,
     TraceTranslator,
     TranslationResult,
@@ -81,14 +91,24 @@ from .core import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "RECOVERABLE_ERRORS",
     "Address",
     "ChoiceMap",
     "Correspondence",
     "CorrespondenceTranslator",
+    "DegeneracyError",
+    "FaultPolicy",
+    "ImpossibleConstraintError",
     "Kernel",
+    "MissingChoiceError",
     "Model",
+    "ModelExecutionError",
+    "NumericalError",
+    "ReproError",
     "SMCStats",
     "SMCStep",
+    "SupportError",
+    "TranslationError",
     "Trace",
     "TraceTranslator",
     "TranslationResult",

@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from .core import CorrespondenceTranslator, WeightedCollection
+from .core import CorrespondenceTranslator, FaultPolicy, WeightedCollection, infer
 from .core.enumerate import exact_return_distribution
 from .graph import align_labels, diff_correspondence
 from .lang import lang_model, parse_program, pretty
@@ -137,15 +137,19 @@ def _cmd_translate(args: argparse.Namespace) -> int:
         log_weights.append(log_weight)
     collection = WeightedCollection(traces, log_weights).resample(rng)
 
-    translated, increments = [], []
-    for trace in collection.items:
-        result = translator.translate(rng, trace)
-        translated.append(result.trace)
-        increments.append(result.log_weight)
-    output = WeightedCollection(translated, increments)
+    try:
+        policy = FaultPolicy(mode=args.fault_policy, max_retries=args.max_retries)
+    except ValueError as error:
+        raise SystemExit(f"repro translate: error: {error}")
+    step = infer(translator, collection, rng, fault_policy=policy)
+    output = step.collection
+    stats = step.stats
 
     print(f"translated {len(output)} traces "
           f"(effective sample size {output.effective_sample_size():.1f})")
+    if stats.total_faults:
+        print(f"faults: failed={stats.failed} retried={stats.retried} "
+              f"dropped={stats.dropped} regenerated={stats.regenerated}")
     values: Dict[Any, float] = {}
     weights = output.normalized_weights()
     for trace, weight in zip(output.items, weights):
@@ -208,6 +212,15 @@ def build_parser() -> argparse.ArgumentParser:
     translate_cmd.add_argument("--seed", type=int, default=None)
     translate_cmd.add_argument("--top", type=int, default=10,
                                help="show the top-K return values")
+    translate_cmd.add_argument("--fault-policy", choices=FaultPolicy.MODES,
+                               default="fail_fast",
+                               help="what a failed particle translation does: "
+                                    "crash (fail_fast), lose the particle (drop), "
+                                    "or retry and resample it from the prior "
+                                    "(regenerate)")
+    translate_cmd.add_argument("--max-retries", type=int, default=2,
+                               help="translation retries per particle before "
+                                    "'regenerate' falls back to the prior")
     translate_cmd.set_defaults(handler=_cmd_translate)
 
     return parser

@@ -14,6 +14,15 @@ lightweight embedded language:
   models (ground truth in tests and the overview experiment).
 """
 
+from ..errors import (
+    RECOVERABLE_ERRORS,
+    DegeneracyError,
+    ModelExecutionError,
+    NumericalError,
+    ReproError,
+    SupportError,
+    TranslationError,
+)
 from .address import Address, addr
 from .annealing import (
     annealed_importance_sampling,
@@ -60,12 +69,19 @@ from .mcmc import (
     single_site_mh,
 )
 from .model import Model, probabilistic
-from .smc import SMCStats, SMCStep, infer, infer_sequence
+from .smc import FaultPolicy, SMCStats, SMCStep, infer, infer_sequence
 from .trace import ChoiceMap, ChoiceRecord, ObservationRecord, Trace
-from .translator import TraceTranslator, TranslationResult
+from .translator import TraceTranslator, TranslationResult, validate_result
 from .weighted import RESAMPLING_SCHEMES, WeightedCollection, effective_sample_size
 
 __all__ = [
+    "RECOVERABLE_ERRORS",
+    "DegeneracyError",
+    "ModelExecutionError",
+    "NumericalError",
+    "ReproError",
+    "SupportError",
+    "TranslationError",
     "Address",
     "addr",
     "annealed_importance_sampling",
@@ -106,6 +122,7 @@ __all__ = [
     "single_site_mh",
     "Model",
     "probabilistic",
+    "FaultPolicy",
     "SMCStats",
     "SMCStep",
     "infer",
@@ -116,6 +133,7 @@ __all__ = [
     "Trace",
     "TraceTranslator",
     "TranslationResult",
+    "validate_result",
     "RESAMPLING_SCHEMES",
     "WeightedCollection",
     "effective_sample_size",

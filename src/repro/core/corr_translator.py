@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 import numpy as np
 
 from ..distributions import Distribution
+from ..errors import ModelExecutionError, NumericalError, ReproError
 from .address import Address, normalize_address
 from .correspondence import Correspondence
 from .handlers import MissingChoiceError, TraceHandler
@@ -213,7 +214,7 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
             trace,
             self.forward_proposals,
         )
-        target_trace = self._target.run(forward)
+        target_trace = _run_kernel_program(self._target, forward, "forward kernel")
 
         backward = _BackwardKernelScorer(
             trace.to_choice_map(),
@@ -222,7 +223,7 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
             target_trace,
             self.backward_proposals,
         )
-        replayed_source = self._source.run(backward)
+        replayed_source = _run_kernel_program(self._source, backward, "backward kernel")
 
         components = {
             "target_log_prob": target_trace.log_prob,
@@ -232,6 +233,19 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
         }
         log_weight = _combine(components)
         return TranslationResult(target_trace, log_weight, components)
+
+    def regenerate(self, rng: np.random.Generator):
+        """Importance-sample a fresh target trace from the prior.
+
+        The fallback used by the ``regenerate`` fault policy of
+        :func:`repro.core.smc.infer`: when a particle's translation
+        cannot be salvaged, the particle is replaced by a likelihood-
+        weighted prior sample of ``Q``, which is properly weighted for
+        the target posterior (so Lemma 2's guarantee degrades to plain
+        importance sampling for that particle instead of failing).
+        Returns ``(trace, log_weight)``.
+        """
+        return self._target.generate(rng)
 
     def inverse(self) -> "CorrespondenceTranslator":
         """The symmetric translator from ``Q`` back to ``P``."""
@@ -244,14 +258,37 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
         )
 
 
+def _run_kernel_program(model: Model, handler, role: str) -> Trace:
+    """Run one side of Algorithm 1, structuring unexpected failures.
+
+    Errors already in the :mod:`repro.errors` taxonomy (missing choices,
+    impossible constraints, ``EvalError`` from the structured language)
+    pass through unchanged; anything else the model function raises is
+    wrapped in :class:`~repro.errors.ModelExecutionError` so the SMC
+    fault policies can contain it to the affected particle.
+    """
+    try:
+        return model.run(handler)
+    except ReproError:
+        raise
+    except Exception as error:
+        raise ModelExecutionError(
+            f"{role} execution of {model.name!r} failed: {error!r}"
+        ) from error
+
+
 def _combine(components: dict) -> float:
     """``log ŵ`` from the four log terms of Equation 2."""
     numerator = components["target_log_prob"] + components["backward_log_prob"]
     denominator = components["source_log_prob"] + components["forward_log_prob"]
+    if math.isnan(numerator):
+        raise NumericalError(
+            f"trace translation produced a NaN weight numerator: {components!r}"
+        )
     if numerator == NEG_INF:
         return NEG_INF
     if denominator == NEG_INF or math.isnan(denominator):
-        raise ValueError(
+        raise NumericalError(
             "input trace has zero probability under the source program; "
             "it cannot have come from the source posterior"
         )

@@ -28,6 +28,7 @@ from typing import Any, Optional
 import numpy as np
 
 from ..distributions import Distribution
+from ..errors import ModelExecutionError, TranslationError
 from .address import Address, normalize_address
 from .trace import ChoiceMap, ChoiceRecord, ObservationRecord, Trace
 
@@ -41,11 +42,17 @@ __all__ = [
 ]
 
 
-class MissingChoiceError(KeyError):
-    """Raised when scoring a trace that lacks a required random choice."""
+class MissingChoiceError(TranslationError, KeyError):
+    """Raised when scoring a trace that lacks a required random choice.
+
+    During trace translation this signals a bad correspondence (the
+    backward kernel cannot reproduce the old trace), which is why the
+    class sits under :class:`~repro.errors.TranslationError`; ``KeyError``
+    is kept as a base for pre-existing ``except`` clauses.
+    """
 
 
-class ImpossibleConstraintError(ValueError):
+class ImpossibleConstraintError(ModelExecutionError, ValueError):
     """Raised when a constrained value has probability zero."""
 
 

@@ -26,6 +26,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..distributions import Distribution
+from ..errors import DegeneracyError, SupportError
 from .address import normalize_address
 from .handlers import TraceHandler, log_sum_exp
 from .model import Model
@@ -262,7 +263,7 @@ def gibbs_site(model: Model, address) -> Kernel:
         record = trace.get_record(address)
         support = record.dist.support()
         if not support.is_finite():
-            raise ValueError(f"gibbs_site requires finite support at {address!r}")
+            raise SupportError(f"gibbs_site requires finite support at {address!r}")
         values = list(support.enumerate())  # type: ignore[attr-defined]
         base = trace.to_choice_map()
         candidate_traces: List[Trace] = []
@@ -273,7 +274,9 @@ def gibbs_site(model: Model, address) -> Kernel:
             log_scores.append(candidate.log_prob)
         log_total = log_sum_exp(log_scores)
         if log_total == NEG_INF:
-            raise ValueError(f"all conditional values at {address!r} have probability zero")
+            raise DegeneracyError(
+                f"all conditional values at {address!r} have probability zero"
+            )
         probs = np.exp(np.asarray(log_scores) - log_total)
         probs = probs / probs.sum()
         index = int(rng.choice(len(values), p=probs))

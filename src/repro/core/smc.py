@@ -9,28 +9,120 @@ whose invariant distribution is the target posterior.
 :func:`infer_sequence` iterates Algorithm 2 across a sequence of
 programs, which is how the paper proposes to follow an iterative
 model-editing session while retaining the guarantee of Lemma 2.
+
+Fault isolation
+---------------
+
+The paper assumes every translation succeeds; in practice translations
+fail in structured ways (see :mod:`repro.errors`).  A
+:class:`FaultPolicy` decides what one failed particle does to the
+collection:
+
+* ``fail_fast`` (default) — re-raise immediately, preserving the
+  pre-policy behaviour exactly;
+* ``drop`` — assign the particle ``-inf`` weight (it contributes
+  nothing to estimates and disappears at the next resampling);
+* ``regenerate`` — retry the translation up to ``max_retries`` times,
+  then replace the particle with a fresh importance sample of the
+  target posterior drawn from the prior (``translator.regenerate`` or
+  ``FaultPolicy.regenerate_fn``).  The regenerated particle's weight is
+  its importance weight, so the collection remains a mixture of two
+  properly weighted populations and self-normalized estimates
+  (Equation 5) stay consistent — Lemma 2's guarantee degrades to plain
+  importance sampling for the affected particle instead of failing.
+
+Independent of the policy, a collection-level degeneracy guard rejects
+``NaN``/``+inf`` weights and total weight collapse *before* they reach
+resampling, raising :class:`~repro.errors.NumericalError` or
+:class:`~repro.errors.DegeneracyError` with the offending step context.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..errors import RECOVERABLE_ERRORS, DegeneracyError, NumericalError
 from .handlers import log_sum_exp
 from .mcmc import Kernel
-from .translator import TraceTranslator
-from .weighted import WeightedCollection
+from .translator import TraceTranslator, validate_result
+from .weighted import RESAMPLING_SCHEMES, WeightedCollection
 
-__all__ = ["SMCStep", "infer", "infer_sequence", "SMCStats"]
+__all__ = ["SMCStep", "infer", "infer_sequence", "SMCStats", "FaultPolicy"]
+
+NEG_INF = float("-inf")
+
+#: A from-scratch sampler for the target posterior: ``fn(rng) ->
+#: (trace, log_weight)`` with the trace properly weighted by
+#: ``log_weight`` (e.g. likelihood weighting from the prior).
+RegenerateFn = Callable[[np.random.Generator], Tuple[Any, float]]
+
+
+@dataclass
+class FaultPolicy:
+    """What :func:`infer` does when translating one particle fails.
+
+    Parameters
+    ----------
+    mode:
+        ``"fail_fast"`` re-raises the first recoverable error (exactly
+        the pre-policy behaviour); ``"drop"`` gives the failed particle
+        ``-inf`` weight; ``"regenerate"`` retries and then falls back to
+        importance sampling the particle from the prior.
+    max_retries:
+        Extra translation attempts per particle before ``regenerate``
+        falls back to prior regeneration (ignored by the other modes —
+        ``drop`` never retries, ``fail_fast`` never catches).
+    regenerate_fn:
+        Override for the from-scratch sampler used by ``regenerate``;
+        defaults to the translator's own ``regenerate`` method.
+    """
+
+    MODES = ("fail_fast", "drop", "regenerate")
+
+    mode: str = "fail_fast"
+    max_retries: int = 2
+    regenerate_fn: Optional[RegenerateFn] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise ValueError(
+                f"unknown fault-policy mode {self.mode!r}; "
+                f"choose from {list(self.MODES)}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    @classmethod
+    def coerce(cls, value: Union[str, "FaultPolicy", None]) -> "FaultPolicy":
+        """Accept a policy object, a mode name, or None (= fail_fast)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        raise TypeError(f"fault_policy must be a FaultPolicy or mode name, got {value!r}")
+
+    @property
+    def contains_faults(self) -> bool:
+        return self.mode != "fail_fast"
 
 
 @dataclass
 class SMCStats:
-    """Diagnostics from one Algorithm-2 step."""
+    """Diagnostics from one Algorithm-2 step.
+
+    The fault counters are all zero under ``fail_fast`` (any fault
+    raises instead of being counted).  ``failed`` counts translation
+    *attempts* that raised a recoverable error or produced an invalid
+    weight, so ``failed >= dropped + regenerated`` whenever retries are
+    enabled; ``retried`` counts the re-attempts among them.
+    """
 
     num_traces: int
     ess_before_resample: float
@@ -39,14 +131,30 @@ class SMCStats:
     log_mean_weight_increment: float
     translate_seconds: float
     mcmc_seconds: float
+    failed: int = 0
+    retried: int = 0
+    dropped: int = 0
+    regenerated: int = 0
+    mcmc_failed: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return self.failed + self.mcmc_failed
 
     def __str__(self) -> str:
         resampled = "yes" if self.resampled else "no"
-        return (
+        text = (
             f"SMC step: M={self.num_traces} ess={self.ess_before_resample:.1f}"
             f" resampled={resampled} logZ-increment={self.log_mean_weight_increment:+.3f}"
             f" translate={self.translate_seconds:.3f}s mcmc={self.mcmc_seconds:.3f}s"
         )
+        if self.total_faults:
+            text += (
+                f" faults[failed={self.failed} retried={self.retried}"
+                f" dropped={self.dropped} regenerated={self.regenerated}"
+                f" mcmc_failed={self.mcmc_failed}]"
+            )
+        return text
 
 
 @dataclass
@@ -55,6 +163,129 @@ class SMCStep:
 
     collection: WeightedCollection
     stats: SMCStats
+
+
+def _validate_parameters(resample: str, ess_threshold: float, resampling_scheme: str) -> None:
+    """Up-front validation with actionable messages.
+
+    Catching a bad ``ess_threshold`` or scheme here — rather than deep
+    inside ``resample`` after minutes of translation — is the difference
+    between an instant traceback and a wasted run.
+    """
+    if resample not in ("never", "always", "adaptive"):
+        raise ValueError(
+            f"unknown resample policy {resample!r}; "
+            "choose 'never', 'always', or 'adaptive'"
+        )
+    threshold = float(ess_threshold)
+    if math.isnan(threshold) or not 0.0 < threshold <= 1.0:
+        raise ValueError(
+            f"ess_threshold must be in (0, 1], got {ess_threshold!r}; it is the "
+            "fraction of the particle count below which adaptive resampling triggers"
+        )
+    if resampling_scheme not in RESAMPLING_SCHEMES:
+        raise ValueError(
+            f"unknown resampling scheme {resampling_scheme!r}; "
+            f"choose from {sorted(RESAMPLING_SCHEMES)}"
+        )
+
+
+def _resolve_regenerate(policy: FaultPolicy, translator: TraceTranslator) -> Optional[RegenerateFn]:
+    if policy.mode != "regenerate":
+        return None
+    if policy.regenerate_fn is not None:
+        return policy.regenerate_fn
+    regenerate = getattr(translator, "regenerate", None)
+    if regenerate is None:
+        raise ValueError(
+            f"fault policy 'regenerate' needs a from-scratch sampler, but "
+            f"{type(translator).__name__} has no regenerate(rng) method; "
+            "pass FaultPolicy(mode='regenerate', regenerate_fn=...) instead"
+        )
+    return regenerate
+
+
+def _degeneracy_guard(log_weights: Sequence[float], context: str) -> None:
+    """Reject NaN / +inf weights and total collapse before resampling."""
+    weights = np.asarray(log_weights, dtype=float)
+    if np.isnan(weights).any():
+        raise NumericalError(
+            f"NaN particle weights {context} at indices "
+            f"{np.flatnonzero(np.isnan(weights)).tolist()}"
+        )
+    if np.isposinf(weights).any():
+        raise NumericalError(
+            f"+inf particle weights {context} at indices "
+            f"{np.flatnonzero(np.isposinf(weights)).tolist()}"
+        )
+    if bool(np.all(weights == NEG_INF)):
+        raise DegeneracyError(
+            f"every particle weight collapsed to zero {context}; the collection "
+            "carries no information (consider the 'regenerate' fault policy, "
+            "more particles, or a better correspondence)",
+            num_particles=len(weights),
+        )
+
+
+def _translate_particle(
+    translator: TraceTranslator,
+    item: Any,
+    rng: np.random.Generator,
+    policy: FaultPolicy,
+    regenerate_fn: Optional[RegenerateFn],
+    counters: "_FaultCounters",
+) -> Tuple[str, Any, float]:
+    """Translate one particle under the fault policy.
+
+    Returns ``(outcome, trace, log_weight_increment_or_weight)`` where
+    outcome is ``"ok"`` (increment), ``"dropped"`` (increment is
+    ``-inf``), or ``"regenerated"`` (the value is the particle's new
+    *absolute* log weight, not an increment).
+    """
+    if policy.mode == "fail_fast":
+        result = validate_result(translator.translate(rng, item))
+        return "ok", result.trace, result.log_weight
+
+    attempts_left = policy.max_retries if policy.mode == "regenerate" else 0
+    first_attempt = True
+    while True:
+        try:
+            if not first_attempt:
+                counters.retried += 1
+            result = validate_result(translator.translate(rng, item))
+            return "ok", result.trace, result.log_weight
+        except RECOVERABLE_ERRORS:
+            counters.failed += 1
+            first_attempt = False
+            if attempts_left > 0:
+                attempts_left -= 1
+                continue
+            break
+
+    if policy.mode == "drop":
+        counters.dropped += 1
+        return "dropped", item, NEG_INF
+
+    assert regenerate_fn is not None  # resolved up front for this mode
+    try:
+        trace, log_weight = regenerate_fn(rng)
+    except RECOVERABLE_ERRORS:
+        # Even the fallback failed: degrade to dropping so one particle
+        # still cannot take down the collection.
+        counters.failed += 1
+        counters.dropped += 1
+        return "dropped", item, NEG_INF
+    counters.regenerated += 1
+    return "regenerated", trace, float(log_weight)
+
+
+@dataclass
+class _FaultCounters:
+    failed: int = 0
+    retried: int = 0
+    dropped: int = 0
+    regenerated: int = 0
+    mcmc_failed: int = 0
 
 
 def infer(
@@ -66,6 +297,7 @@ def infer(
     ess_threshold: float = 0.5,
     resampling_scheme: str = "multinomial",
     use_weights: bool = True,
+    fault_policy: Union[str, FaultPolicy, None] = "fail_fast",
 ) -> SMCStep:
     """One step of SMC for probabilistic programs (Algorithm 2).
 
@@ -79,6 +311,8 @@ def infer(
     mcmc_kernel:
         Optional rejuvenation kernel for ``Q`` (must leave the posterior
         of ``Q`` invariant); applied once per trace after translation.
+        Under a containing fault policy, zero-weight particles are
+        skipped and a kernel failure keeps the pre-kernel trace.
     resample:
         ``"never"``, ``"always"``, or ``"adaptive"`` (resample when the
         normalized ESS falls below ``ess_threshold``).
@@ -87,33 +321,56 @@ def infer(
         discarded — the paper's "Incremental (no weights)" ablation,
         which converges to the *wrong* posterior (the output distribution
         ``η`` rather than ``Q``) and is included for Figures 8-9.
+    fault_policy:
+        A :class:`FaultPolicy` or mode name deciding what a failed
+        particle translation does to the collection; see the module
+        docstring.
     """
-    if resample not in ("never", "always", "adaptive"):
-        raise ValueError(f"unknown resample policy {resample!r}")
+    _validate_parameters(resample, ess_threshold, resampling_scheme)
+    policy = FaultPolicy.coerce(fault_policy)
+    regenerate_fn = _resolve_regenerate(policy, translator)
+    counters = _FaultCounters()
 
     start = time.perf_counter()
-    new_items = []
-    increments: List[float] = []
-    for item in traces.items:
-        result = translator.translate(rng, item)
-        new_items.append(result.trace)
-        increments.append(result.log_weight)
+    new_items: List[Any] = []
+    new_log_weights: List[float] = []
+    #: Per-particle evidence increment; None excludes the particle from
+    #: the logZ estimate (regenerated particles carry no increment).
+    increments: List[Optional[float]] = []
+    for item, old_log_weight in zip(traces.items, traces.log_weights):
+        outcome, trace, value = _translate_particle(
+            translator, item, rng, policy, regenerate_fn, counters
+        )
+        new_items.append(trace)
+        if outcome == "regenerated":
+            # An absolute importance weight for the target posterior:
+            # the particle's history (and increment) no longer applies.
+            new_log_weights.append(value)
+            increments.append(None)
+        elif outcome == "dropped":
+            new_log_weights.append(NEG_INF)
+            increments.append(NEG_INF)
+        else:
+            increments.append(value)
+            new_log_weights.append(old_log_weight + value if use_weights else old_log_weight)
     translate_seconds = time.perf_counter() - start
 
-    if use_weights:
-        collection = WeightedCollection(new_items, traces.log_weights).scaled(increments)
-    else:
-        collection = WeightedCollection(new_items, list(traces.log_weights))
+    collection: WeightedCollection = WeightedCollection(new_items, new_log_weights)
+
     # Incremental evidence estimate: sum_j W_j * ŵ_j with W the input's
     # normalized weights (estimates Z_Q / Z_P; chains across steps into
-    # the standard SMC marginal-likelihood estimator).
+    # the standard SMC marginal-likelihood estimator).  Regenerated
+    # particles are excluded: they have no translation increment.
     input_weights = traces.normalized_weights()
     log_mean_increment = float(
         log_sum_exp(
-            math.log(w) + d for w, d in zip(input_weights, increments) if w > 0.0
+            math.log(w) + d
+            for w, d in zip(input_weights, increments)
+            if w > 0.0 and d is not None
         )
     )
 
+    _degeneracy_guard(collection.log_weights, "after translation")
     ess_before = collection.effective_sample_size()
     should_resample = resample == "always" or (
         resample == "adaptive" and ess_before < ess_threshold * len(collection)
@@ -123,7 +380,20 @@ def infer(
 
     mcmc_start = time.perf_counter()
     if mcmc_kernel is not None:
-        collection = collection.map(lambda trace: mcmc_kernel(rng, trace))
+        if policy.contains_faults:
+            rejuvenated: List[Any] = []
+            for item, log_weight in zip(collection.items, collection.log_weights):
+                if log_weight == NEG_INF:
+                    rejuvenated.append(item)  # dead particle; don't waste MCMC on it
+                    continue
+                try:
+                    rejuvenated.append(mcmc_kernel(rng, item))
+                except RECOVERABLE_ERRORS:
+                    counters.mcmc_failed += 1
+                    rejuvenated.append(item)  # keep the pre-kernel trace
+            collection = WeightedCollection(rejuvenated, list(collection.log_weights))
+        else:
+            collection = collection.map(lambda trace: mcmc_kernel(rng, trace))
     mcmc_seconds = time.perf_counter() - mcmc_start
 
     stats = SMCStats(
@@ -134,6 +404,11 @@ def infer(
         log_mean_weight_increment=log_mean_increment,
         translate_seconds=translate_seconds,
         mcmc_seconds=mcmc_seconds,
+        failed=counters.failed,
+        retried=counters.retried,
+        dropped=counters.dropped,
+        regenerated=counters.regenerated,
+        mcmc_failed=counters.mcmc_failed,
     )
     return SMCStep(collection, stats)
 
@@ -146,6 +421,7 @@ def infer_sequence(
     resample: str = "adaptive",
     ess_threshold: float = 0.5,
     resampling_scheme: str = "multinomial",
+    fault_policy: Union[str, FaultPolicy, None] = "fail_fast",
 ) -> List[SMCStep]:
     """Iterate Algorithm 2 across a sequence of programs.
 
@@ -153,7 +429,13 @@ def infer_sequence(
     ``translators[k-1]`` (programs are modified iteratively, Section 4.2
     "Multiple Steps and resample").  Returns the per-step results; the
     final collection is ``steps[-1].collection``.
+
+    All parameters are validated before the first translation, and a
+    :class:`~repro.errors.DegeneracyError` raised mid-sequence is
+    annotated with the index of the offending step.
     """
+    _validate_parameters(resample, ess_threshold, resampling_scheme)
+    FaultPolicy.coerce(fault_policy)
     if mcmc_kernels is None:
         mcmc_kernels = [None] * len(translators)
     if len(mcmc_kernels) != len(translators):
@@ -161,16 +443,22 @@ def infer_sequence(
 
     steps: List[SMCStep] = []
     collection = initial
-    for translator, kernel in zip(translators, mcmc_kernels):
-        step = infer(
-            translator,
-            collection,
-            rng,
-            mcmc_kernel=kernel,
-            resample=resample,
-            ess_threshold=ess_threshold,
-            resampling_scheme=resampling_scheme,
-        )
+    for step_index, (translator, kernel) in enumerate(zip(translators, mcmc_kernels)):
+        try:
+            step = infer(
+                translator,
+                collection,
+                rng,
+                mcmc_kernel=kernel,
+                resample=resample,
+                ess_threshold=ess_threshold,
+                resampling_scheme=resampling_scheme,
+                fault_policy=fault_policy,
+            )
+        except DegeneracyError as error:
+            if error.step is None:
+                error.step = step_index
+            raise
         steps.append(step)
         collection = step.collection
     return steps

@@ -12,13 +12,16 @@ which is, in expectation, proportional to the importance weight
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Generic, Tuple, TypeVar
 
 import numpy as np
 
-__all__ = ["TraceTranslator", "TranslationResult"]
+from ..errors import NumericalError
+
+__all__ = ["TraceTranslator", "TranslationResult", "validate_result"]
 
 TraceT = TypeVar("TraceT")
 
@@ -44,8 +47,34 @@ class TranslationResult(Generic[TraceT]):
     components: dict
 
 
+def validate_result(result: "TranslationResult") -> "TranslationResult":
+    """Numerical guardrail over a translation result.
+
+    ``-inf`` is a legitimate log weight (the translated trace has zero
+    probability); ``NaN`` and ``+inf`` never are and would silently
+    poison weight normalization downstream, so they are converted into a
+    :class:`~repro.errors.NumericalError` here, where the fault-isolated
+    SMC loop can contain them to the affected particle.
+    """
+    log_weight = result.log_weight
+    if math.isnan(log_weight) or log_weight == float("inf"):
+        raise NumericalError(
+            f"trace translation produced an invalid log weight {log_weight!r} "
+            f"(components: {result.components!r})"
+        )
+    return result
+
+
 class TraceTranslator(ABC, Generic[TraceT]):
-    """Adapts traces of a source program into traces of a target program."""
+    """Adapts traces of a source program into traces of a target program.
+
+    Subclasses may additionally implement ``regenerate(rng) ->
+    (trace, log_weight)``, returning a properly weighted importance
+    sample of the *target* posterior drawn from scratch; the
+    ``regenerate`` fault policy of :func:`repro.core.smc.infer` uses it
+    as a graceful-degradation fallback for particles whose translation
+    keeps failing.
+    """
 
     @property
     @abstractmethod

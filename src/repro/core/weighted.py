@@ -19,20 +19,36 @@ from typing import Callable, Generic, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from ..errors import DegeneracyError, NumericalError
 from .handlers import log_sum_exp
 
 __all__ = ["WeightedCollection", "effective_sample_size", "RESAMPLING_SCHEMES"]
 
 T = TypeVar("T")
 
+NEG_INF = float("-inf")
+
 
 def _normalized_weights(log_weights: Sequence[float]) -> np.ndarray:
     log_weights = np.asarray(log_weights, dtype=float)
     if len(log_weights) == 0:
         raise ValueError("empty weight vector")
+    if np.isnan(log_weights).any():
+        raise NumericalError(
+            f"weight vector contains NaN at indices "
+            f"{np.flatnonzero(np.isnan(log_weights)).tolist()}"
+        )
+    if np.isposinf(log_weights).any():
+        raise NumericalError(
+            f"weight vector contains +inf at indices "
+            f"{np.flatnonzero(np.isposinf(log_weights)).tolist()}"
+        )
     total = log_sum_exp(log_weights)
-    if total == float("-inf"):
-        raise ValueError("all weights are zero; the collection carries no information")
+    if total == NEG_INF:
+        raise DegeneracyError(
+            "all weights are zero; the collection carries no information",
+            num_particles=len(log_weights),
+        )
     return np.exp(log_weights - total)
 
 
@@ -131,15 +147,30 @@ class WeightedCollection(Generic[T]):
 
         When the input collection came from exact posterior samples of
         ``P`` with weight one, this estimates ``log(Z_Q / Z_P)`` (Lemma 6).
+        ``-inf``-weight particles (e.g. ones dropped by the fault-isolated
+        SMC loop) contribute zero mass, so the result stays finite and
+        NaN-free as long as one particle's weight is.
         """
         return log_sum_exp(self.log_weights) - math.log(len(self))
 
     # -- estimation (Equation 5) -------------------------------------------------
 
     def estimate(self, phi: Callable[[T], float]) -> float:
-        """Self-normalized estimate of ``E_{u~Q}[phi(u)]`` (Equation 5)."""
+        """Self-normalized estimate of ``E_{u~Q}[phi(u)]`` (Equation 5).
+
+        ``phi`` is only evaluated on particles with nonzero weight:
+        zero-weight items contribute nothing to the estimator, and a
+        dropped particle may not even be a valid trace of the target
+        program (the fault-isolated SMC loop keeps the untranslated
+        source trace in the slot), so calling ``phi`` on it could raise
+        or return ``NaN`` that would then poison the dot product.
+        """
         weights = self.normalized_weights()
-        return float(np.dot(weights, [float(phi(item)) for item in self.items]))
+        total = 0.0
+        for weight, item in zip(weights, self.items):
+            if weight > 0.0:
+                total += float(weight) * float(phi(item))
+        return total
 
     def estimate_probability(self, event: Callable[[T], bool]) -> float:
         """Estimate ``Pr[event]`` using the indicator of the event."""

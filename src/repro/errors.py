@@ -1,0 +1,128 @@
+"""Structured exception taxonomy for the inference engine.
+
+The paper's Algorithm 2 assumes every trace translation succeeds, but in
+practice translation fails in structured ways: a bad correspondence
+leaves the backward kernel without a required choice
+(:class:`~repro.core.handlers.MissingChoiceError`), supports turn out to
+be incompatible in a way that cannot be repaired by fresh sampling
+(Section 5.1), the dependency-graph engine hits an evaluation error, or
+the arithmetic collapses (``NaN``/``-inf`` weights, total ESS
+degeneracy).
+
+This module gives every failure mode a place in one hierarchy rooted at
+:class:`ReproError`, so callers — most importantly the fault-isolated
+SMC loop in :mod:`repro.core.smc` — can distinguish *recoverable*
+per-particle failures from *fatal* collection-level ones:
+
+* :class:`TranslationError` — a single trace translation failed; the
+  rest of the particle collection is unaffected.
+* :class:`SupportError` — a support incompatibility that the dynamic
+  fallback of Section 5.1 cannot absorb (e.g. a Gibbs update over an
+  infinite support).
+* :class:`ModelExecutionError` — the model program itself raised while
+  executing (unbound variable, impossible constraint, division by
+  zero in the structured language, ...).
+* :class:`NumericalError` — a ``NaN`` or unexpected ``±inf`` appeared in
+  a weight or log probability.
+* :class:`DegeneracyError` — a weight vector carries no information:
+  every entry is zero.  Raised per-particle (e.g. a Gibbs conditional
+  with no mass) it is contained like any :class:`NumericalError`;
+  raised by the collection-level guard in :mod:`repro.core.smc` it is
+  fatal, because no per-particle policy can recover a fully collapsed
+  collection.
+
+Several classes also inherit from the builtin exception previously
+raised at the same call sites (``ValueError``, ``KeyError``,
+``RuntimeError``), so pre-existing ``except`` clauses keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "TranslationError",
+    "SupportError",
+    "ModelExecutionError",
+    "NumericalError",
+    "DegeneracyError",
+    "RECOVERABLE_ERRORS",
+]
+
+
+class ReproError(Exception):
+    """Root of every structured error raised by this package."""
+
+
+class TranslationError(ReproError):
+    """One trace translation (Algorithm 1) failed.
+
+    Recoverable: the SMC loop can drop or regenerate the affected
+    particle without touching the rest of the collection.
+    """
+
+
+class SupportError(ReproError, ValueError):
+    """A support incompatibility that cannot be repaired dynamically.
+
+    The Section 5.1 fallback (sample the choice fresh) absorbs support
+    *mismatches* between corresponding choices; this error is for the
+    cases where no fallback exists — e.g. enumerating an infinite
+    support, or a proposal whose support does not cover the prior's.
+    """
+
+
+class ModelExecutionError(ReproError):
+    """The model program raised while executing.
+
+    Covers impossible constraints in the embedded PPL and evaluation
+    errors (unbound variables, bad indexing, division by zero) in the
+    structured language / dependency-graph engine.
+    """
+
+
+class NumericalError(ReproError, ValueError):
+    """A ``NaN`` or unexpected ``±inf`` appeared in a weight or log prob.
+
+    ``-inf`` log weights are legitimate (a zero-probability trace);
+    ``NaN`` and ``+inf`` never are, and this error stops them from
+    silently poisoning normalization and resampling downstream.
+    """
+
+
+class DegeneracyError(NumericalError):
+    """Total weight collapse: every particle carries zero weight.
+
+    Attributes
+    ----------
+    num_particles:
+        Size of the degenerate collection, when known.
+    step:
+        Index of the Algorithm-2 step at which the collapse was
+        detected, when raised from :func:`repro.core.smc.infer_sequence`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        num_particles: Optional[int] = None,
+        step: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.num_particles = num_particles
+        self.step = step
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.step is not None:
+            return f"{base} (at SMC step {self.step})"
+        return base
+
+
+#: Failure classes the SMC loop may contain to a single particle.  The
+#: collection-level :class:`DegeneracyError` raised by the degeneracy
+#: guard is emitted *outside* any per-particle containment, so it always
+#: propagates even though the class inherits from ``NumericalError``.
+RECOVERABLE_ERRORS = (TranslationError, SupportError, ModelExecutionError, NumericalError)

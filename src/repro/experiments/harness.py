@@ -7,6 +7,7 @@ directly mirrors the paper's figures.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -76,12 +77,48 @@ def print_table(rows: Sequence[Row], columns: Optional[List[str]] = None, title:
     return output
 
 
+def _json_safe(value: Any) -> Any:
+    """Convert a value into something every JSON parser accepts.
+
+    Python's ``json.dumps`` emits bare ``NaN``/``Infinity`` tokens by
+    default, which are not JSON and crash strict parsers (browsers,
+    ``jq``, most plotting stacks).  Experiment rows legitimately contain
+    such values — a degenerate run's ESS, a ``-inf`` log weight — so
+    NaN maps to ``null`` and the infinities to explicit strings that
+    survive a round trip unambiguously.
+    """
+    if isinstance(value, (np.floating, np.integer)):
+        value = value.item()
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if value == math.inf:
+            return "Infinity"
+        if value == -math.inf:
+            return "-Infinity"
+        return value
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_json_safe(item) for item in value.tolist()]
+    return value
+
+
 def rows_to_json(rows: Sequence[Row]) -> str:
-    """Serialize rows to a JSON array (one object per plotted point)."""
+    """Serialize rows to a strict-JSON array (one object per point).
+
+    Non-finite floats are sanitized by :func:`_json_safe`;
+    ``allow_nan=False`` guarantees the output never contains the bare
+    ``NaN``/``Infinity`` tokens that strict parsers reject.
+    """
     import json
 
     return json.dumps(
-        [{"series": row.series, **row.values} for row in rows], indent=2
+        [_json_safe({"series": row.series, **row.values}) for row in rows],
+        indent=2,
+        allow_nan=False,
     )
 
 

@@ -34,6 +34,7 @@ Change propagation implements the paper's two key behaviours:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -41,6 +42,7 @@ import numpy as np
 
 from ..core.trace import ChoiceRecord, ObservationRecord
 from ..distributions import Distribution
+from ..errors import NumericalError
 from ..lang.ast import (
     ArrayExpr,
     Assign,
@@ -471,4 +473,9 @@ def propagate(
     engine = _Engine(rng, env_in, next_version)
     root = engine._exec(program, old.root)
     trace = GraphTrace(root, engine.env_in, dict(engine.env), engine.next_version, engine.visited)
+    if math.isnan(engine.log_weight):
+        raise NumericalError(
+            "change propagation produced a NaN weight estimate "
+            f"(visited {engine.visited} statements)"
+        )
     return PropagationResult(trace, engine.log_weight, engine.visited, engine.skipped)

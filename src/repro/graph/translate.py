@@ -76,6 +76,19 @@ class GraphTranslator(TraceTranslator[GraphTrace]):
         """Run the source program from scratch, recording ``G_t``."""
         return run_initial(self._source_program, rng, self.source_env)
 
+    def regenerate(self, rng: np.random.Generator):
+        """Importance-sample a fresh target trace from the prior.
+
+        Fallback for the ``regenerate`` fault policy of
+        :func:`repro.core.smc.infer`: a from-scratch run of the target
+        program weighted by its observation likelihood is a properly
+        weighted importance sample for the target posterior.  Returns
+        ``(trace, log_weight)``.
+        """
+        env = self.target_env if self.target_env is not None else self.source_env
+        trace = run_initial(self._target_program, rng, env)
+        return trace, trace.observation_log_prob
+
     def translate(self, rng: np.random.Generator, trace: GraphTrace) -> TranslationResult:
         result = propagate(self._target_program, trace, rng, env=self.target_env)
         self.last_result = result

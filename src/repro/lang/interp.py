@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.handlers import TraceHandler
 from ..core.model import Model
 from ..core.trace import Trace
+from ..errors import ModelExecutionError
 from ..distributions import Distribution, Flip, Normal, UniformDiscrete
 from .ast import (
     ArrayExpr,
@@ -57,8 +58,12 @@ __all__ = [
 ]
 
 
-class EvalError(RuntimeError):
-    """Raised on runtime errors: unbound variables, bad indices, etc."""
+class EvalError(ModelExecutionError, RuntimeError):
+    """Raised on runtime errors: unbound variables, bad indices, etc.
+
+    Part of the :mod:`repro.errors` taxonomy (a model-execution failure),
+    with ``RuntimeError`` kept as a base for pre-existing handlers.
+    """
 
 
 class _ReturnSignal(Exception):

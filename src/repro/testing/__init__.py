@@ -1,0 +1,20 @@
+"""Deterministic fault injection for chaos-testing the inference engine.
+
+See :mod:`repro.testing.faults`.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultyDistribution,
+    FaultyTranslator,
+    faulty_kernel,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultyDistribution",
+    "FaultyTranslator",
+    "faulty_kernel",
+]

@@ -7,8 +7,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import WeightedCollection, effective_sample_size
+from repro import DegeneracyError, NumericalError, WeightedCollection, effective_sample_size
 from repro.core.weighted import RESAMPLING_SCHEMES
+
+NEG_INF = float("-inf")
 
 
 class TestEffectiveSampleSize:
@@ -112,6 +114,102 @@ class TestResampling:
         resampled = collection.resample(rng, scheme="systematic", size=400)
         counts = np.bincount(resampled.items, minlength=4)
         assert all(abs(c - 100) <= 1 for c in counts)
+
+
+class TestExtremeWeightVectors:
+    """Every resampling scheme against the weight vectors that break
+    naive implementations: one dominant particle, many dead (``-inf``)
+    particles, and near-uniform weights."""
+
+    EXTREMES = {
+        "one_dominant": [0.0] + [-80.0] * 15,
+        "many_neg_inf": [NEG_INF] * 12 + [0.0, math.log(2.0), NEG_INF, -1.0],
+        "near_uniform": [1e-12 * i for i in range(16)],
+    }
+
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLING_SCHEMES))
+    @pytest.mark.parametrize("vector", sorted(EXTREMES))
+    def test_resampling_stays_well_formed(self, scheme, vector):
+        log_weights = self.EXTREMES[vector]
+        rng = np.random.default_rng(29)
+        collection = WeightedCollection(list(range(len(log_weights))), log_weights)
+        resampled = collection.resample(rng, scheme=scheme)
+        assert len(resampled) == len(collection)
+        assert all(w == 0.0 for w in resampled.log_weights)
+        assert set(resampled.items) <= set(collection.items)
+
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLING_SCHEMES))
+    def test_dead_particles_never_survive_resampling(self, scheme):
+        log_weights = self.EXTREMES["many_neg_inf"]
+        alive = {i for i, w in enumerate(log_weights) if w > NEG_INF}
+        rng = np.random.default_rng(31)
+        collection = WeightedCollection(list(range(len(log_weights))), log_weights)
+        resampled = collection.resample(rng, scheme=scheme, size=200)
+        assert set(resampled.items) <= alive
+
+    @pytest.mark.parametrize("scheme", sorted(RESAMPLING_SCHEMES))
+    def test_one_dominant_particle_takes_over(self, scheme):
+        rng = np.random.default_rng(37)
+        collection = WeightedCollection(
+            list(range(16)), self.EXTREMES["one_dominant"]
+        )
+        resampled = collection.resample(rng, scheme=scheme, size=100)
+        counts = np.bincount(resampled.items, minlength=16)
+        assert counts[0] == 100
+
+    @pytest.mark.parametrize("vector", sorted(EXTREMES))
+    def test_normalization_is_exact(self, vector):
+        log_weights = self.EXTREMES[vector]
+        collection = WeightedCollection(list(range(len(log_weights))), log_weights)
+        weights = collection.normalized_weights()
+        assert float(np.sum(weights)) == pytest.approx(1.0)
+        assert not np.isnan(weights).any()
+
+
+class TestNumericalGuardrails:
+    def test_mixed_neg_inf_estimate_is_nan_free(self):
+        collection = WeightedCollection([1.0, 2.0, 10.0], [0.0, 0.0, NEG_INF])
+        assert collection.estimate(lambda x: x) == pytest.approx(1.5)
+
+    def test_estimate_never_evaluates_dead_particles(self):
+        """A dropped particle may hold a trace ``phi`` cannot process
+        (it still belongs to the source program); estimate must not
+        touch it."""
+
+        def phi(x):
+            if x == "dead":
+                raise AssertionError("phi evaluated a zero-weight particle")
+            return 1.0 if x == "hit" else 0.0
+
+        collection = WeightedCollection(["hit", "miss", "dead"], [0.0, 0.0, NEG_INF])
+        assert collection.estimate(phi) == pytest.approx(0.5)
+
+    def test_log_mean_weight_with_neg_inf_entries(self):
+        collection = WeightedCollection(
+            ["a", "b", "c", "d"],
+            [math.log(2.0), NEG_INF, math.log(4.0), NEG_INF],
+        )
+        # mean weight = (2 + 0 + 4 + 0) / 4
+        assert collection.log_mean_weight() == pytest.approx(math.log(6.0 / 4.0))
+        assert not math.isnan(collection.log_mean_weight())
+
+    def test_all_neg_inf_raises_degeneracy_error(self):
+        collection = WeightedCollection(["a", "b"], [NEG_INF, NEG_INF])
+        with pytest.raises(DegeneracyError) as excinfo:
+            collection.normalized_weights()
+        assert isinstance(excinfo.value, ValueError)
+        assert excinfo.value.num_particles == 2
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_nan_and_posinf_weights_raise_numerical_error(self, bad):
+        collection = WeightedCollection(["a", "b", "c"], [0.0, bad, 0.0])
+        with pytest.raises(NumericalError, match="1"):
+            collection.normalized_weights()
+
+    def test_numerical_error_is_a_value_error(self):
+        collection = WeightedCollection(["a"], [float("nan")])
+        with pytest.raises(ValueError):
+            collection.normalized_weights()
 
 
 class TestProperties:

@@ -165,6 +165,43 @@ class TestHarness:
         save_rows(rows, str(path))
         assert json.loads(path.read_text()) == decoded
 
+    def test_non_finite_floats_emit_strict_json(self, tmp_path):
+        """NaN/±Inf in experiment rows (degenerate ESS, -inf log weights)
+        must serialize to strict JSON, not Python's bare NaN tokens."""
+        import json
+
+        import numpy as np
+
+        from repro.experiments.harness import Row, rows_to_json, save_rows
+
+        rows = [
+            Row("degenerate", {
+                "ess": float("nan"),
+                "log_weight": float("-inf"),
+                "bound": float("inf"),
+                "count": np.int64(3),
+                "score": np.float64(0.5),
+                "weights": [0.5, float("nan")],
+                "nested": {"logZ": float("-inf")},
+            }),
+        ]
+        text = rows_to_json(rows)
+        # Bare (unquoted) non-finite tokens are not JSON.
+        for token in ("NaN", "Infinity", "-Infinity"):
+            assert f": {token}" not in text
+        decoded = json.loads(text)  # strict parse: bare tokens would fail
+        record = decoded[0]
+        assert record["ess"] is None
+        assert record["log_weight"] == "-Infinity"
+        assert record["bound"] == "Infinity"
+        assert record["count"] == 3
+        assert record["score"] == 0.5
+        assert record["weights"] == [0.5, None]
+        assert record["nested"] == {"logZ": "-Infinity"}
+        path = tmp_path / "rows.json"
+        save_rows(rows, str(path))
+        assert json.loads(path.read_text()) == decoded
+
     def test_print_table_formats(self, capsys):
         from repro.experiments.harness import Row, print_table
 

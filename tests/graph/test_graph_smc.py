@@ -77,6 +77,39 @@ class TestGraphSMC:
         estimate = final.estimate_probability(lambda u, a=x_label: u[a] == 1)
         assert estimate == pytest.approx(truth, abs=0.03)
 
+    def test_regenerate_is_properly_weighted(self, programs, rng):
+        """GraphTranslator.regenerate importance-samples the target
+        posterior: self-normalized estimates over regenerated traces
+        match exact enumeration."""
+        source, target = programs
+        translator = GraphTranslator(source, target)
+        traces, weights = [], []
+        for _ in range(4000):
+            trace, log_weight = translator.regenerate(rng)
+            traces.append(trace)
+            weights.append(log_weight)
+        collection = WeightedCollection(traces, weights)
+        x_label = [a for a in traces[0].choices() if a[0].startswith("flip:3")][0]
+        truth = exact_choice_marginal(lang_model(target), x_label)[1]
+        estimate = collection.estimate_probability(lambda u, a=x_label: u[a] == 1)
+        assert estimate == pytest.approx(truth, abs=0.03)
+
+    def test_regenerate_fault_policy_over_graph_traces(self, programs, rng):
+        """The regenerate policy composes with the graph engine: faults
+        injected into graph translation are absorbed without bias."""
+        from repro.testing import FaultInjector, FaultyTranslator
+
+        source, target = programs
+        injector = FaultInjector(seed=41, error_rate=0.2)
+        translator = FaultyTranslator(GraphTranslator(source, target), injector)
+        collection = graph_posterior_input(source, rng, 4000)
+        step = infer(translator, collection, rng, fault_policy="regenerate")
+        assert step.stats.failed > 0
+        x_label = [a for a in step.collection.items[0].choices() if a[0].startswith("flip:3")][0]
+        truth = exact_choice_marginal(lang_model(target), x_label)[1]
+        estimate = step.collection.estimate_probability(lambda u, a=x_label: u[a] == 1)
+        assert estimate == pytest.approx(truth, abs=0.03)
+
     def test_translated_graph_traces_share_unchanged_records(self, programs, rng):
         source, target = programs
         translator = GraphTranslator(source, target)

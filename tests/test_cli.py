@@ -111,6 +111,21 @@ class TestTranslate:
         probability = float(line.split("=")[-1])
         assert probability == pytest.approx(0.8, abs=0.04)
 
+    @pytest.mark.parametrize("policy", ["fail_fast", "drop", "regenerate"])
+    def test_fault_policy_flag_accepted(self, burglary_files, capsys, policy):
+        old, new = burglary_files
+        assert main(["translate", old, new, "-n", "200", "--seed", "0",
+                     "--fault-policy", policy]) == 0
+        output = capsys.readouterr().out
+        assert "translated 200 traces" in output
+        # Clean translators produce no faults, so no fault line is shown.
+        assert "faults:" not in output
+
+    def test_unknown_fault_policy_rejected(self, burglary_files):
+        old, new = burglary_files
+        with pytest.raises(SystemExit):
+            main(["translate", old, new, "--fault-policy", "sometimes"])
+
 
 class TestCheck:
     def test_clean_program(self, burglary_files, capsys):

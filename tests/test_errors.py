@@ -1,0 +1,102 @@
+"""The structured exception taxonomy (repro.errors).
+
+The taxonomy must satisfy two contracts at once: every repro failure is
+a :class:`ReproError` (so ``except ReproError`` is a complete safety
+net), and each subclass keeps inheriting the builtin exception it
+historically was (so pre-taxonomy ``except ValueError`` / ``KeyError``
+call sites keep working).
+"""
+
+import pytest
+
+from repro import (
+    RECOVERABLE_ERRORS,
+    DegeneracyError,
+    ImpossibleConstraintError,
+    MissingChoiceError,
+    ModelExecutionError,
+    NumericalError,
+    ReproError,
+    SupportError,
+    TranslationError,
+)
+from repro.lang.interp import EvalError
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            TranslationError,
+            SupportError,
+            NumericalError,
+            DegeneracyError,
+            ModelExecutionError,
+            MissingChoiceError,
+            ImpossibleConstraintError,
+            EvalError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, subclass):
+        assert issubclass(subclass, ReproError)
+
+    def test_backwards_compatible_builtin_bases(self):
+        # Pre-taxonomy except clauses must keep catching these.
+        assert issubclass(SupportError, ValueError)
+        assert issubclass(NumericalError, ValueError)
+        assert issubclass(DegeneracyError, ValueError)
+        assert issubclass(MissingChoiceError, KeyError)
+        assert issubclass(ImpossibleConstraintError, ValueError)
+        assert issubclass(EvalError, RuntimeError)
+
+    def test_degeneracy_is_numerical(self):
+        assert issubclass(DegeneracyError, NumericalError)
+
+    def test_missing_choice_is_a_translation_error(self):
+        assert issubclass(MissingChoiceError, TranslationError)
+
+    def test_impossible_constraint_is_a_model_execution_error(self):
+        assert issubclass(ImpossibleConstraintError, ModelExecutionError)
+
+
+class TestRecoverableErrors:
+    def test_contents(self):
+        assert set(RECOVERABLE_ERRORS) == {
+            TranslationError,
+            SupportError,
+            ModelExecutionError,
+            NumericalError,
+        }
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            TranslationError("x"),
+            SupportError("x"),
+            NumericalError("x"),
+            ModelExecutionError("x"),
+            MissingChoiceError("x"),
+            ImpossibleConstraintError("x"),
+            EvalError("x"),
+        ],
+    )
+    def test_catches_per_particle_failures(self, error):
+        assert isinstance(error, RECOVERABLE_ERRORS)
+
+    def test_does_not_catch_unrelated_errors(self):
+        assert not isinstance(KeyError("x"), RECOVERABLE_ERRORS)
+        assert not isinstance(RuntimeError("x"), RECOVERABLE_ERRORS)
+
+
+class TestDegeneracyError:
+    def test_carries_context(self):
+        error = DegeneracyError("collapse", num_particles=64, step=3)
+        assert error.num_particles == 64
+        assert error.step == 3
+        assert "collapse" in str(error)
+        assert "step 3" in str(error)
+
+    def test_step_is_optional(self):
+        error = DegeneracyError("collapse", num_particles=8)
+        assert error.step is None
+        assert "step" not in str(error)
