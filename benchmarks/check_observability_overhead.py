@@ -1,0 +1,135 @@
+"""Benchmark-regression guard: observability must stay nearly free.
+
+Runs the burglary Algorithm-2 step (the workload of
+``benchmarks/test_bench_burglary.py``) twice — once with the null
+instrumentation and once with a full ``Tracer`` + ``MetricsRegistry`` +
+``Hooks`` attached — and fails if the instrumented median is more than
+``--threshold`` (default 10%) slower. Optionally writes the
+instrumented run's span tree so CI can upload it as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_observability_overhead.py \
+        [--particles 1000] [--repetitions 20] [--threshold 0.10] \
+        [--trace-out trace.json]
+
+Exit status 0 when within the threshold, 1 otherwise.
+"""
+
+import argparse
+import gc
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    CorrespondenceTranslator,
+    InferenceConfig,
+    WeightedCollection,
+    exact_posterior_sampler,
+    infer,
+)
+from repro.experiments import (
+    burglary_correspondence,
+    burglary_original,
+    burglary_refined,
+)
+from repro.observability import Hooks, MetricsRegistry, Tracer, dump_json
+
+
+def build_workload(num_particles):
+    original = burglary_original()
+    refined = burglary_refined()
+    translator = CorrespondenceTranslator(
+        original, refined, burglary_correspondence()
+    )
+    sampler = exact_posterior_sampler(original)
+    rng = np.random.default_rng(0)
+    collection = WeightedCollection.uniform(
+        [sampler(rng) for _ in range(num_particles)]
+    )
+    return translator, collection
+
+
+def timed_run(translator, collection, config, seed):
+    """One GC-quiesced run (collection allocations otherwise leak GC
+    pauses from one variant's span trees into the other's timing)."""
+    rng = np.random.default_rng(seed)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        infer(translator, collection, rng, config=config)
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def paired_medians(translator, collection, make_plain, make_full, repetitions):
+    """Interleave the two variants so clock drift hits both equally."""
+    plain, full = [], []
+    for repetition in range(repetitions):
+        plain.append(
+            timed_run(translator, collection, make_plain(), repetition)
+        )
+        full.append(
+            timed_run(translator, collection, make_full(), repetition)
+        )
+    return statistics.median(plain), statistics.median(full)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--particles", type=int, default=1000)
+    parser.add_argument("--repetitions", type=int, default=20)
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="maximum tolerated relative overhead")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the instrumented run's span tree here")
+    args = parser.parse_args(argv)
+
+    translator, collection = build_workload(args.particles)
+
+    last_tracer = {}
+
+    def instrumented_config():
+        tracer = Tracer()
+        last_tracer["tracer"] = tracer
+        return InferenceConfig(
+            tracer=tracer, metrics=MetricsRegistry(), hooks=Hooks()
+        )
+
+    # Warm-up: JIT-free Python, but imports, allocators, and branch
+    # caches still deserve throwaway runs per variant.
+    paired_medians(
+        translator, collection, InferenceConfig, instrumented_config, 3
+    )
+
+    plain, instrumented = paired_medians(
+        translator, collection, InferenceConfig, instrumented_config,
+        args.repetitions,
+    )
+
+    overhead = (instrumented - plain) / plain
+    print(f"particles:            {args.particles}")
+    print(f"repetitions:          {args.repetitions}")
+    print(f"null instrumentation: {plain * 1e3:9.3f} ms median")
+    print(f"full instrumentation: {instrumented * 1e3:9.3f} ms median")
+    print(f"overhead:             {overhead:+9.2%} (threshold {args.threshold:.0%})")
+
+    if args.trace_out:
+        dump_json(last_tracer["tracer"].to_dict(), args.trace_out)
+        print(f"trace written to {args.trace_out}")
+
+    if overhead > args.threshold:
+        print("FAIL: observability overhead exceeds the threshold",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

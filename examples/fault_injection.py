@@ -25,6 +25,7 @@ from repro import (
     Correspondence,
     CorrespondenceTranslator,
     FaultPolicy,
+    InferenceConfig,
     Model,
     ReproError,
     WeightedCollection,
@@ -58,7 +59,7 @@ def run_policy(translator, collection, policy):
     # Same injector seed every time: each policy faces identical faults.
     faulty = FaultyTranslator(translator, FaultInjector(seed=13, error_rate=0.2))
     rng = np.random.default_rng(2018)
-    return infer(faulty, collection, rng, fault_policy=policy)
+    return infer(faulty, collection, rng, config=InferenceConfig(fault_policy=policy))
 
 
 def main():

@@ -14,7 +14,7 @@ Run with::
 
 import numpy as np
 
-from repro import WeightedCollection, infer
+from repro import InferenceConfig, WeightedCollection, infer
 from repro.core.enumerate import exact_return_distribution
 from repro.graph import GraphTranslator, replace_constant, run_initial
 from repro.lang import lang_model, parse_program
@@ -62,7 +62,9 @@ def main():
     descriptions = ["edit 1: pBias 0.3 -> 0.5", "edit 2: pHeadsBiased 0.9 -> 0.75"]
     for old, new, description in zip(history, history[1:], descriptions):
         translator = GraphTranslator(old, new)
-        step = infer(translator, collection, rng, resample="adaptive")
+        step = infer(
+            translator, collection, rng, config=InferenceConfig(resample="adaptive")
+        )
         collection = step.collection
         print(f"\n{description}")
         print(f"  exact posterior:      {posterior_of(new):.4f}")

@@ -15,6 +15,7 @@ import numpy as np
 from repro import (
     Correspondence,
     CorrespondenceTranslator,
+    InferenceConfig,
     Model,
     WeightedCollection,
     exact_choice_marginal,
@@ -72,7 +73,9 @@ def main():
     print(step.stats)
 
     # The weights matter: discarding them converges to the wrong answer.
-    unweighted = infer(translator, traces, rng, use_weights=False)
+    unweighted = infer(
+        translator, traces, rng, config=InferenceConfig(use_weights=False)
+    )
     wrong = unweighted.collection.estimate_probability(lambda u: u["burglary"] == 1)
     print(f"without weights (biased towards P's posterior):  {wrong:.4f}")
 

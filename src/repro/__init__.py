@@ -61,6 +61,7 @@ from .core import (
     DegeneracyError,
     FaultPolicy,
     ImpossibleConstraintError,
+    InferenceConfig,
     Kernel,
     MissingChoiceError,
     Model,
@@ -99,6 +100,7 @@ __all__ = [
     "DegeneracyError",
     "FaultPolicy",
     "ImpossibleConstraintError",
+    "InferenceConfig",
     "Kernel",
     "MissingChoiceError",
     "Model",

@@ -10,7 +10,13 @@ Subcommands (``python -m repro.cli <cmd>`` or the ``repro`` script):
   recovers between two programs (Section 6's heuristic);
 * ``translate OLD NEW`` — incremental inference across an edit: sample
   traces of OLD, translate each to NEW with the diff correspondence,
-  and print the weighted return-value distribution with diagnostics.
+  and print the weighted return-value distribution with diagnostics;
+* ``experiment NAME`` — run a figure reproduction (fig8/fig9).
+
+Observability: ``translate`` and ``experiment`` accept ``--trace-out
+PATH`` (span-tree JSON), ``--metrics-out PATH`` (metrics snapshot JSON,
+strict — no bare NaN/Infinity tokens), and ``translate`` additionally
+``--verbose`` (a one-line summary per SMC step).
 
 Environment parameters are passed as ``--env name=value`` (repeatable);
 values parse as int, then float, then a comma-separated list of numbers.
@@ -24,12 +30,54 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from .core import CorrespondenceTranslator, FaultPolicy, WeightedCollection, infer
+from .core import (
+    CorrespondenceTranslator,
+    FaultPolicy,
+    InferenceConfig,
+    WeightedCollection,
+    infer,
+)
 from .core.enumerate import exact_return_distribution
 from .graph import align_labels, diff_correspondence
 from .lang import lang_model, parse_program, pretty
+from .observability import (
+    NULL_HOOKS,
+    NULL_METRICS,
+    NULL_TRACER,
+    Hooks,
+    MetricsRegistry,
+    Tracer,
+    dump_json,
+)
 
 __all__ = ["main", "build_parser"]
+
+
+class _StepTableHooks(Hooks):
+    """Prints one summary line per SMC step (``--verbose``)."""
+
+    HEADER = (
+        f"{'step':>4}  {'particles':>9}  {'ess':>8}  {'resampled':>9}  "
+        f"{'translate_s':>11}  {'mcmc_s':>8}  {'faults':>6}"
+    )
+
+    def __init__(self) -> None:
+        self._step: Optional[int] = None
+        self._printed_header = False
+
+    def on_step_start(self, step_index: Optional[int], num_particles: int) -> None:
+        self._step = step_index
+
+    def on_step_end(self, stats: Any) -> None:
+        if not self._printed_header:
+            print(self.HEADER)
+            self._printed_header = True
+        step = "-" if self._step is None else str(self._step)
+        print(
+            f"{step:>4}  {stats.num_traces:>9}  {stats.ess_before_resample:>8.1f}  "
+            f"{'yes' if stats.resampled else 'no':>9}  {stats.translate_seconds:>11.4f}  "
+            f"{stats.mcmc_seconds:>8.4f}  {stats.total_faults:>6}"
+        )
 
 
 def _parse_env_value(text: str) -> Any:
@@ -141,9 +189,21 @@ def _cmd_translate(args: argparse.Namespace) -> int:
         policy = FaultPolicy(mode=args.fault_policy, max_retries=args.max_retries)
     except ValueError as error:
         raise SystemExit(f"repro translate: error: {error}")
-    step = infer(translator, collection, rng, fault_policy=policy)
+    tracer = Tracer() if args.trace_out else NULL_TRACER
+    metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
+    hooks = _StepTableHooks() if args.verbose else NULL_HOOKS
+    config = InferenceConfig(
+        fault_policy=policy, tracer=tracer, metrics=metrics, hooks=hooks
+    )
+    step = infer(translator, collection, rng, config=config)
     output = step.collection
     stats = step.stats
+    if args.trace_out:
+        dump_json(tracer.to_dict(), args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out:
+        dump_json(metrics.to_dict(), args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
 
     print(f"translated {len(output)} traces "
           f"(effective sample size {output.effective_sample_size():.1f})")
@@ -162,6 +222,53 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     top = sorted(values.items(), key=lambda kv: -kv[1])[: args.top]
     for value, probability in top:
         print(f"P(return = {value!r}) = {probability:.4f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments.harness import save_rows
+
+    tracer = Tracer() if args.trace_out else None
+    metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
+
+    if args.name == "fig8":
+        from .experiments.fig8 import Fig8Config, run_fig8
+
+        config = (
+            Fig8Config(
+                repetitions=2,
+                trace_counts=(3, 10),
+                mcmc_iterations=(10, 30),
+                gold_iterations=2000,
+            )
+            if args.quick
+            else Fig8Config()
+        )
+        result = run_fig8(config, tracer=tracer, metrics=metrics)
+    else:
+        from .experiments.fig9 import Fig9Config, run_fig9
+
+        config = (
+            Fig9Config(
+                num_train_words=1500,
+                num_test_words=4,
+                trace_counts=(1, 3),
+                gibbs_sweeps=(1,),
+            )
+            if args.quick
+            else Fig9Config()
+        )
+        result = run_fig9(config, tracer=tracer, metrics=metrics)
+
+    if args.out:
+        save_rows(result.rows, args.out)
+        print(f"rows written to {args.out}")
+    if args.trace_out:
+        dump_json(result.tracer.to_dict(), args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out:
+        dump_json(metrics.to_dict(), args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -221,7 +328,27 @@ def build_parser() -> argparse.ArgumentParser:
     translate_cmd.add_argument("--max-retries", type=int, default=2,
                                help="translation retries per particle before "
                                     "'regenerate' falls back to the prior")
+    translate_cmd.add_argument("--trace-out", metavar="PATH",
+                               help="write the span-tree trace as strict JSON")
+    translate_cmd.add_argument("--metrics-out", metavar="PATH",
+                               help="write the metrics snapshot as strict JSON")
+    translate_cmd.add_argument("-v", "--verbose", action="store_true",
+                               help="print a one-line summary per SMC step")
     translate_cmd.set_defaults(handler=_cmd_translate)
+
+    experiment_cmd = subparsers.add_parser(
+        "experiment", help="run a figure reproduction"
+    )
+    experiment_cmd.add_argument("name", choices=("fig8", "fig9"))
+    experiment_cmd.add_argument("--quick", action="store_true",
+                                help="reduced configuration for a fast pass")
+    experiment_cmd.add_argument("--out", metavar="PATH",
+                                help="write result rows as strict JSON")
+    experiment_cmd.add_argument("--trace-out", metavar="PATH",
+                                help="write the span-tree trace as strict JSON")
+    experiment_cmd.add_argument("--metrics-out", metavar="PATH",
+                                help="write the metrics snapshot as strict JSON")
+    experiment_cmd.set_defaults(handler=_cmd_experiment)
 
     return parser
 

@@ -24,6 +24,7 @@ from ..errors import (
     TranslationError,
 )
 from .address import Address, addr
+from .config import InferenceConfig, RegenerateFn
 from .annealing import (
     annealed_importance_sampling,
     full_identity_correspondence,
@@ -84,6 +85,8 @@ __all__ = [
     "TranslationError",
     "Address",
     "addr",
+    "InferenceConfig",
+    "RegenerateFn",
     "annealed_importance_sampling",
     "full_identity_correspondence",
     "interpolated_schedule",

@@ -25,6 +25,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .config import InferenceConfig
 from .correspondence import Correspondence
 from .corr_translator import CorrespondenceTranslator
 from .model import ChoiceMapLike, Model
@@ -74,9 +75,8 @@ def sequential_observations(
     num_particles: int,
     rng: np.random.Generator,
     mcmc_kernels: Optional[Sequence] = None,
-    resample: str = "adaptive",
-    ess_threshold: float = 0.5,
-    resampling_scheme: str = "systematic",
+    *,
+    config: Optional[InferenceConfig] = None,
 ) -> Tuple[WeightedCollection, List[SMCStep]]:
     """Run a particle filter over an observation schedule.
 
@@ -85,7 +85,12 @@ def sequential_observations(
     Algorithm-2 step per subsequent program with the full identity
     correspondence.  Returns the final weighted collection and the
     per-step diagnostics.
+
+    ``config`` defaults to the classic particle-filter setting
+    (adaptive systematic resampling at half the particle count).
     """
+    if config is None:
+        config = InferenceConfig(resample="adaptive", resampling_scheme="systematic")
     if num_particles < 1:
         raise ValueError("need at least one particle")
     if not models:
@@ -106,13 +111,7 @@ def sequential_observations(
         for i in range(len(models) - 1)
     ]
     steps = infer_sequence(
-        translators,
-        collection,
-        rng,
-        mcmc_kernels=mcmc_kernels,
-        resample=resample,
-        ess_threshold=ess_threshold,
-        resampling_scheme=resampling_scheme,
+        translators, collection, rng, mcmc_kernels=mcmc_kernels, config=config
     )
     return steps[-1].collection, steps
 
@@ -138,6 +137,8 @@ def annealed_importance_sampling(
     num_particles: int,
     rng: np.random.Generator,
     mcmc_kernel_for: Optional[Callable[[Model], Any]] = None,
+    *,
+    config: Optional[InferenceConfig] = None,
 ) -> Tuple[WeightedCollection, float]:
     """Annealed importance sampling [Neal 2001] via trace translation.
 
@@ -155,6 +156,8 @@ def annealed_importance_sampling(
     """
     from .smc import infer
 
+    if config is None:
+        config = InferenceConfig(resample="adaptive", resampling_scheme="systematic")
     models = interpolated_schedule(make_model, num_steps)
     traces, log_weights = [], []
     for _ in range(num_particles):
@@ -168,15 +171,7 @@ def annealed_importance_sampling(
     for previous, current in zip(models, models[1:]):
         translator = CorrespondenceTranslator(previous, current, correspondence)
         kernel = mcmc_kernel_for(current) if mcmc_kernel_for is not None else None
-        step = infer(
-            translator,
-            collection,
-            rng,
-            mcmc_kernel=kernel,
-            resample="adaptive",
-            ess_threshold=0.5,
-            resampling_scheme="systematic",
-        )
+        step = infer(translator, collection, rng, mcmc_kernel=kernel, config=config)
         log_ratio += step.stats.log_mean_weight_increment
         collection = step.collection
     return collection, log_ratio

@@ -82,6 +82,9 @@ class _ForwardTranslationHandler(TraceHandler):
         self.forward_log_prob = 0.0
         #: q_address -> p_address for every choice actually reused.
         self.reused: Dict[Address, Address] = {}
+        #: Latent choices sampled fresh (non-corresponding, absent from
+        #: the old trace, or support mismatch).
+        self.sampled_fresh = 0
 
     def sample(self, dist: Distribution, address) -> Any:
         address = normalize_address(address)
@@ -100,6 +103,7 @@ class _ForwardTranslationHandler(TraceHandler):
         value = proposal.sample(self._rng)
         self._record_choice(dist, address, value)
         self.forward_log_prob += proposal.log_prob(value)
+        self.sampled_fresh += 1
         return value
 
 
@@ -191,6 +195,19 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
         self.correspondence = correspondence
         self.forward_proposals = _normalize_proposals(forward_proposals)
         self.backward_proposals = _normalize_proposals(backward_proposals)
+        # Hoisted registry lookups (one per particle otherwise); rebound
+        # alongside the sinks in bind_observability.
+        self._reused_counter = None
+        self._fresh_counter = None
+
+    def bind_observability(self, tracer, metrics) -> None:
+        super().bind_observability(tracer, metrics)
+        if metrics.enabled:
+            self._reused_counter = metrics.counter("translate.choices_reused")
+            self._fresh_counter = metrics.counter("translate.choices_fresh")
+        else:
+            self._reused_counter = None
+            self._fresh_counter = None
 
     @property
     def source(self) -> Model:
@@ -207,6 +224,8 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
         scoring); the weight estimate is Equation 2 assembled from its
         four log terms, which equals Equation 8 after cancellation.
         """
+        tracer = self.tracer
+        trace_on = tracer.enabled
         forward = _ForwardTranslationHandler(
             rng,
             self._target.observations,
@@ -214,7 +233,11 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
             trace,
             self.forward_proposals,
         )
-        target_trace = _run_kernel_program(self._target, forward, "forward kernel")
+        if trace_on:
+            with tracer.span("translate.forward"):
+                target_trace = _run_kernel_program(self._target, forward, "forward kernel")
+        else:
+            target_trace = _run_kernel_program(self._target, forward, "forward kernel")
 
         backward = _BackwardKernelScorer(
             trace.to_choice_map(),
@@ -223,7 +246,23 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
             target_trace,
             self.backward_proposals,
         )
-        replayed_source = _run_kernel_program(self._source, backward, "backward kernel")
+        if trace_on:
+            with tracer.span("translate.backward"):
+                replayed_source = _run_kernel_program(
+                    self._source, backward, "backward kernel"
+                )
+        else:
+            replayed_source = _run_kernel_program(self._source, backward, "backward kernel")
+
+        if trace_on:
+            # Lands on the innermost open span (translate.particle under SMC).
+            open_span = tracer.current()
+            if open_span is not None:
+                open_span.count("choices.reused", len(forward.reused))
+                open_span.count("choices.fresh", forward.sampled_fresh)
+        if self._reused_counter is not None:
+            self._reused_counter.inc(len(forward.reused))
+            self._fresh_counter.inc(forward.sampled_fresh)
 
         components = {
             "target_log_prob": target_trace.log_prob,

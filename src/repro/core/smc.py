@@ -10,6 +10,35 @@ whose invariant distribution is the target posterior.
 programs, which is how the paper proposes to follow an iterative
 model-editing session while retaining the guarantee of Lemma 2.
 
+Configuration
+-------------
+
+Both entry points take a keyword-only :class:`InferenceConfig` bundling
+the resampling policy, ESS threshold, resampling scheme, weight
+ablation, fault policy, RNG seed, and the observability sinks (span
+tracer, metrics registry, profiling hooks)::
+
+    step = infer(translator, traces, rng,
+                 config=InferenceConfig(resample="adaptive",
+                                        fault_policy="drop"))
+
+The historical per-parameter keywords (``resample=``, ``ess_threshold=``,
+``resampling_scheme=``, ``use_weights=``, ``fault_policy=``) still work
+but emit :class:`DeprecationWarning`; they produce byte-identical
+results to the equivalent config.
+
+Observability
+-------------
+
+With a real tracer attached, each step records the span tree
+``smc.step`` → {``smc.translate`` → ``translate.particle``*,
+``smc.resample``, ``smc.mcmc``}; the ``SMCStats`` timing fields read
+directly from the phase spans (with the default null tracer the spans
+still measure wall time but record nothing).  Hooks fire at the step's
+structural boundaries and the metrics registry tallies particles,
+faults, resamples, and per-step ESS.  All instrumentation is RNG-free:
+enabling it never changes the sampled traces or weights.
+
 Fault isolation
 ---------------
 
@@ -40,83 +69,42 @@ resampling, raising :class:`~repro.errors.NumericalError` or
 from __future__ import annotations
 
 import math
-import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+import warnings
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import RECOVERABLE_ERRORS, DegeneracyError, NumericalError
+from .config import FaultPolicy, InferenceConfig, RegenerateFn, _validate_parameters
 from .handlers import log_sum_exp
 from .mcmc import Kernel
 from .translator import TraceTranslator, validate_result
-from .weighted import RESAMPLING_SCHEMES, WeightedCollection
+from .weighted import WeightedCollection
 
-__all__ = ["SMCStep", "infer", "infer_sequence", "SMCStats", "FaultPolicy"]
+__all__ = [
+    "SMCStep",
+    "infer",
+    "infer_sequence",
+    "SMCStats",
+    "FaultPolicy",
+    "InferenceConfig",
+]
 
 NEG_INF = float("-inf")
 
-#: A from-scratch sampler for the target posterior: ``fn(rng) ->
-#: (trace, log_weight)`` with the trace properly weighted by
-#: ``log_weight`` (e.g. likelihood weighting from the prior).
-RegenerateFn = Callable[[np.random.Generator], Tuple[Any, float]]
-
-
-@dataclass
-class FaultPolicy:
-    """What :func:`infer` does when translating one particle fails.
-
-    Parameters
-    ----------
-    mode:
-        ``"fail_fast"`` re-raises the first recoverable error (exactly
-        the pre-policy behaviour); ``"drop"`` gives the failed particle
-        ``-inf`` weight; ``"regenerate"`` retries and then falls back to
-        importance sampling the particle from the prior.
-    max_retries:
-        Extra translation attempts per particle before ``regenerate``
-        falls back to prior regeneration (ignored by the other modes —
-        ``drop`` never retries, ``fail_fast`` never catches).
-    regenerate_fn:
-        Override for the from-scratch sampler used by ``regenerate``;
-        defaults to the translator's own ``regenerate`` method.
-    """
-
-    MODES = ("fail_fast", "drop", "regenerate")
-
-    mode: str = "fail_fast"
-    max_retries: int = 2
-    regenerate_fn: Optional[RegenerateFn] = field(default=None, repr=False)
-
-    def __post_init__(self) -> None:
-        if self.mode not in self.MODES:
-            raise ValueError(
-                f"unknown fault-policy mode {self.mode!r}; "
-                f"choose from {list(self.MODES)}"
-            )
-        if self.max_retries < 0:
-            raise ValueError("max_retries must be non-negative")
-
-    @classmethod
-    def coerce(cls, value: Union[str, "FaultPolicy", None]) -> "FaultPolicy":
-        """Accept a policy object, a mode name, or None (= fail_fast)."""
-        if value is None:
-            return cls()
-        if isinstance(value, cls):
-            return value
-        if isinstance(value, str):
-            return cls(mode=value)
-        raise TypeError(f"fault_policy must be a FaultPolicy or mode name, got {value!r}")
-
-    @property
-    def contains_faults(self) -> bool:
-        return self.mode != "fail_fast"
+#: Sentinel distinguishing "parameter not passed" from any real value in
+#: the deprecated per-parameter keywords.
+_UNSET: Any = object()
 
 
 @dataclass
 class SMCStats:
     """Diagnostics from one Algorithm-2 step.
 
+    The timing fields are read from the tracer's phase spans
+    (``smc.translate`` / ``smc.mcmc``); with the null tracer the spans
+    still measure wall time, so the fields are populated either way.
     The fault counters are all zero under ``fail_fast`` (any fault
     raises instead of being counted).  ``failed`` counts translation
     *attempts* that raised a recoverable error or produced an invalid
@@ -163,31 +151,6 @@ class SMCStep:
 
     collection: WeightedCollection
     stats: SMCStats
-
-
-def _validate_parameters(resample: str, ess_threshold: float, resampling_scheme: str) -> None:
-    """Up-front validation with actionable messages.
-
-    Catching a bad ``ess_threshold`` or scheme here — rather than deep
-    inside ``resample`` after minutes of translation — is the difference
-    between an instant traceback and a wasted run.
-    """
-    if resample not in ("never", "always", "adaptive"):
-        raise ValueError(
-            f"unknown resample policy {resample!r}; "
-            "choose 'never', 'always', or 'adaptive'"
-        )
-    threshold = float(ess_threshold)
-    if math.isnan(threshold) or not 0.0 < threshold <= 1.0:
-        raise ValueError(
-            f"ess_threshold must be in (0, 1], got {ess_threshold!r}; it is the "
-            "fraction of the particle count below which adaptive resampling triggers"
-        )
-    if resampling_scheme not in RESAMPLING_SCHEMES:
-        raise ValueError(
-            f"unknown resampling scheme {resampling_scheme!r}; "
-            f"choose from {sorted(RESAMPLING_SCHEMES)}"
-        )
 
 
 def _resolve_regenerate(policy: FaultPolicy, translator: TraceTranslator) -> Optional[RegenerateFn]:
@@ -279,6 +242,15 @@ def _translate_particle(
     return "regenerated", trace, float(log_weight)
 
 
+#: Span counter names per translation outcome, precomputed to keep the
+#: per-particle tracing path free of string formatting.
+_OUTCOME_COUNTERS = {
+    "ok": "outcome.ok",
+    "dropped": "outcome.dropped",
+    "regenerated": "outcome.regenerated",
+}
+
+
 @dataclass
 class _FaultCounters:
     failed: int = 0
@@ -288,16 +260,195 @@ class _FaultCounters:
     mcmc_failed: int = 0
 
 
-def infer(
+def _merge_legacy_config(
+    caller: str,
+    config: Optional[InferenceConfig],
+    default: InferenceConfig,
+    **legacy: Any,
+) -> InferenceConfig:
+    """Fold deprecated per-parameter keywords into an InferenceConfig.
+
+    The old signatures keep working, but each use warns once per call
+    site; mixing them with an explicit ``config`` is ambiguous (which
+    value wins?) and is rejected outright.
+    """
+    given = {name: value for name, value in legacy.items() if value is not _UNSET}
+    if not given:
+        return config if config is not None else default
+    if config is not None:
+        raise TypeError(
+            f"{caller}() got both config= and the deprecated parameter(s) "
+            f"{sorted(given)}; pass everything through InferenceConfig"
+        )
+    names = ", ".join(sorted(given))
+    warnings.warn(
+        f"{caller}({names}=...) is deprecated; pass "
+        f"config=InferenceConfig({names}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return default.replace(**given)
+
+
+def _resolve_rng(
+    caller: str, rng: Optional[np.random.Generator], config: InferenceConfig
+) -> np.random.Generator:
+    if rng is not None:
+        return rng
+    if config.seed is not None:
+        return config.rng()
+    raise TypeError(f"{caller}() needs an rng (or an InferenceConfig with a seed)")
+
+
+def _infer_step(
     translator: TraceTranslator,
     traces: WeightedCollection,
     rng: np.random.Generator,
+    mcmc_kernel: Optional[Kernel],
+    config: InferenceConfig,
+    step_index: Optional[int] = None,
+) -> SMCStep:
+    """One Algorithm-2 step under an already-validated config."""
+    policy: FaultPolicy = config.fault_policy  # coerced by InferenceConfig
+    regenerate_fn = _resolve_regenerate(policy, translator)
+    counters = _FaultCounters()
+    tracer, metrics, hooks = config.tracer, config.metrics, config.hooks
+    trace_enabled = tracer.enabled
+
+    if trace_enabled or metrics.enabled:
+        bind = getattr(translator, "bind_observability", None)
+        if bind is not None:
+            bind(tracer, metrics)
+
+    hooks.on_step_start(step_index, len(traces))
+    with tracer.span("smc.step") as step_span:
+        new_items: List[Any] = []
+        new_log_weights: List[float] = []
+        #: Per-particle evidence increment; None excludes the particle from
+        #: the logZ estimate (regenerated particles carry no increment).
+        increments: List[Optional[float]] = []
+        open_span = tracer.span  # hoisted: one bound-method lookup, not N
+        on_particle = hooks.on_particle
+        with tracer.span("smc.translate") as translate_span:
+            for index, (item, old_log_weight) in enumerate(
+                zip(traces.items, traces.log_weights)
+            ):
+                if trace_enabled:
+                    with open_span("translate.particle") as particle_span:
+                        outcome, trace, value = _translate_particle(
+                            translator, item, rng, policy, regenerate_fn, counters
+                        )
+                        particle_span.count(_OUTCOME_COUNTERS[outcome])
+                else:
+                    outcome, trace, value = _translate_particle(
+                        translator, item, rng, policy, regenerate_fn, counters
+                    )
+                on_particle(index, outcome)
+                new_items.append(trace)
+                if outcome == "regenerated":
+                    # An absolute importance weight for the target posterior:
+                    # the particle's history (and increment) no longer applies.
+                    new_log_weights.append(value)
+                    increments.append(None)
+                elif outcome == "dropped":
+                    new_log_weights.append(NEG_INF)
+                    increments.append(NEG_INF)
+                else:
+                    increments.append(value)
+                    new_log_weights.append(
+                        old_log_weight + value if config.use_weights else old_log_weight
+                    )
+
+        collection: WeightedCollection = WeightedCollection(new_items, new_log_weights)
+
+        # Incremental evidence estimate: sum_j W_j * ŵ_j with W the input's
+        # normalized weights (estimates Z_Q / Z_P; chains across steps into
+        # the standard SMC marginal-likelihood estimator).  Regenerated
+        # particles are excluded: they have no translation increment.
+        input_weights = traces.normalized_weights()
+        log_mean_increment = float(
+            log_sum_exp(
+                math.log(w) + d
+                for w, d in zip(input_weights, increments)
+                if w > 0.0 and d is not None
+            )
+        )
+
+        _degeneracy_guard(collection.log_weights, "after translation")
+        ess_before = collection.effective_sample_size()
+        should_resample = config.resample == "always" or (
+            config.resample == "adaptive"
+            and ess_before < config.ess_threshold * len(collection)
+        )
+        hooks.on_resample(ess_before, should_resample)
+        if should_resample:
+            with tracer.span("smc.resample"):
+                collection = collection.resample(rng, scheme=config.resampling_scheme)
+
+        with tracer.span("smc.mcmc") as mcmc_span:
+            if mcmc_kernel is not None:
+                if policy.contains_faults:
+                    rejuvenated: List[Any] = []
+                    for item, log_weight in zip(collection.items, collection.log_weights):
+                        if log_weight == NEG_INF:
+                            rejuvenated.append(item)  # dead particle; don't waste MCMC on it
+                            continue
+                        try:
+                            rejuvenated.append(mcmc_kernel(rng, item))
+                        except RECOVERABLE_ERRORS:
+                            counters.mcmc_failed += 1
+                            rejuvenated.append(item)  # keep the pre-kernel trace
+                    collection = WeightedCollection(rejuvenated, list(collection.log_weights))
+                else:
+                    collection = collection.map(lambda trace: mcmc_kernel(rng, trace))
+
+        if trace_enabled:
+            step_span.count("particles", len(traces))
+            step_span.count("faults", counters.failed + counters.mcmc_failed)
+
+    if metrics.enabled:
+        metrics.counter("smc.steps").inc()
+        metrics.counter("smc.particles_translated").inc(len(traces))
+        metrics.counter("smc.particles_dropped").inc(counters.dropped)
+        metrics.counter("smc.particles_regenerated").inc(counters.regenerated)
+        metrics.counter("smc.faults.failed").inc(counters.failed)
+        metrics.counter("smc.faults.retried").inc(counters.retried)
+        metrics.counter("smc.faults.mcmc_failed").inc(counters.mcmc_failed)
+        if should_resample:
+            metrics.counter("smc.resamples").inc()
+        metrics.histogram("smc.ess_before_resample").observe(ess_before)
+        metrics.histogram("smc.translate_seconds").observe(translate_span.duration)
+
+    stats = SMCStats(
+        num_traces=len(collection),
+        ess_before_resample=ess_before,
+        ess_after=collection.effective_sample_size(),
+        resampled=should_resample,
+        log_mean_weight_increment=log_mean_increment,
+        translate_seconds=translate_span.duration,
+        mcmc_seconds=mcmc_span.duration,
+        failed=counters.failed,
+        retried=counters.retried,
+        dropped=counters.dropped,
+        regenerated=counters.regenerated,
+        mcmc_failed=counters.mcmc_failed,
+    )
+    hooks.on_step_end(stats)
+    return SMCStep(collection, stats)
+
+
+def infer(
+    translator: TraceTranslator,
+    traces: WeightedCollection,
+    rng: Optional[np.random.Generator] = None,
     mcmc_kernel: Optional[Kernel] = None,
-    resample: str = "never",
-    ess_threshold: float = 0.5,
-    resampling_scheme: str = "multinomial",
-    use_weights: bool = True,
-    fault_policy: Union[str, FaultPolicy, None] = "fail_fast",
+    resample: Any = _UNSET,
+    ess_threshold: Any = _UNSET,
+    resampling_scheme: Any = _UNSET,
+    use_weights: Any = _UNSET,
+    fault_policy: Any = _UNSET,
+    *,
+    config: Optional[InferenceConfig] = None,
 ) -> SMCStep:
     """One step of SMC for probabilistic programs (Algorithm 2).
 
@@ -308,120 +459,50 @@ def infer(
     traces:
         Weighted collection ``{(t_j, w_j)}`` approximating the posterior
         of ``P``.
+    rng:
+        The inference random source; may be omitted when ``config.seed``
+        is set.
     mcmc_kernel:
         Optional rejuvenation kernel for ``Q`` (must leave the posterior
         of ``Q`` invariant); applied once per trace after translation.
         Under a containing fault policy, zero-weight particles are
         skipped and a kernel failure keeps the pre-kernel trace.
-    resample:
-        ``"never"``, ``"always"``, or ``"adaptive"`` (resample when the
-        normalized ESS falls below ``ess_threshold``).
-    use_weights:
-        When False, the weight increments produced by the translator are
-        discarded — the paper's "Incremental (no weights)" ablation,
-        which converges to the *wrong* posterior (the output distribution
-        ``η`` rather than ``Q``) and is included for Figures 8-9.
-    fault_policy:
-        A :class:`FaultPolicy` or mode name deciding what a failed
-        particle translation does to the collection; see the module
-        docstring.
+    config:
+        Keyword-only :class:`InferenceConfig` carrying everything else:
+        resampling policy/threshold/scheme, the weight ablation, the
+        fault policy, the seed, and the observability sinks.
+
+    The remaining positional-or-keyword parameters (``resample``,
+    ``ess_threshold``, ``resampling_scheme``, ``use_weights``,
+    ``fault_policy``) are the deprecated pre-config spelling; they still
+    work, emit :class:`DeprecationWarning`, and cannot be combined with
+    ``config``.
     """
-    _validate_parameters(resample, ess_threshold, resampling_scheme)
-    policy = FaultPolicy.coerce(fault_policy)
-    regenerate_fn = _resolve_regenerate(policy, translator)
-    counters = _FaultCounters()
-
-    start = time.perf_counter()
-    new_items: List[Any] = []
-    new_log_weights: List[float] = []
-    #: Per-particle evidence increment; None excludes the particle from
-    #: the logZ estimate (regenerated particles carry no increment).
-    increments: List[Optional[float]] = []
-    for item, old_log_weight in zip(traces.items, traces.log_weights):
-        outcome, trace, value = _translate_particle(
-            translator, item, rng, policy, regenerate_fn, counters
-        )
-        new_items.append(trace)
-        if outcome == "regenerated":
-            # An absolute importance weight for the target posterior:
-            # the particle's history (and increment) no longer applies.
-            new_log_weights.append(value)
-            increments.append(None)
-        elif outcome == "dropped":
-            new_log_weights.append(NEG_INF)
-            increments.append(NEG_INF)
-        else:
-            increments.append(value)
-            new_log_weights.append(old_log_weight + value if use_weights else old_log_weight)
-    translate_seconds = time.perf_counter() - start
-
-    collection: WeightedCollection = WeightedCollection(new_items, new_log_weights)
-
-    # Incremental evidence estimate: sum_j W_j * ŵ_j with W the input's
-    # normalized weights (estimates Z_Q / Z_P; chains across steps into
-    # the standard SMC marginal-likelihood estimator).  Regenerated
-    # particles are excluded: they have no translation increment.
-    input_weights = traces.normalized_weights()
-    log_mean_increment = float(
-        log_sum_exp(
-            math.log(w) + d
-            for w, d in zip(input_weights, increments)
-            if w > 0.0 and d is not None
-        )
+    config = _merge_legacy_config(
+        "infer",
+        config,
+        InferenceConfig(),
+        resample=resample,
+        ess_threshold=ess_threshold,
+        resampling_scheme=resampling_scheme,
+        use_weights=use_weights,
+        fault_policy=fault_policy,
     )
-
-    _degeneracy_guard(collection.log_weights, "after translation")
-    ess_before = collection.effective_sample_size()
-    should_resample = resample == "always" or (
-        resample == "adaptive" and ess_before < ess_threshold * len(collection)
-    )
-    if should_resample:
-        collection = collection.resample(rng, scheme=resampling_scheme)
-
-    mcmc_start = time.perf_counter()
-    if mcmc_kernel is not None:
-        if policy.contains_faults:
-            rejuvenated: List[Any] = []
-            for item, log_weight in zip(collection.items, collection.log_weights):
-                if log_weight == NEG_INF:
-                    rejuvenated.append(item)  # dead particle; don't waste MCMC on it
-                    continue
-                try:
-                    rejuvenated.append(mcmc_kernel(rng, item))
-                except RECOVERABLE_ERRORS:
-                    counters.mcmc_failed += 1
-                    rejuvenated.append(item)  # keep the pre-kernel trace
-            collection = WeightedCollection(rejuvenated, list(collection.log_weights))
-        else:
-            collection = collection.map(lambda trace: mcmc_kernel(rng, trace))
-    mcmc_seconds = time.perf_counter() - mcmc_start
-
-    stats = SMCStats(
-        num_traces=len(collection),
-        ess_before_resample=ess_before,
-        ess_after=collection.effective_sample_size(),
-        resampled=should_resample,
-        log_mean_weight_increment=log_mean_increment,
-        translate_seconds=translate_seconds,
-        mcmc_seconds=mcmc_seconds,
-        failed=counters.failed,
-        retried=counters.retried,
-        dropped=counters.dropped,
-        regenerated=counters.regenerated,
-        mcmc_failed=counters.mcmc_failed,
-    )
-    return SMCStep(collection, stats)
+    rng = _resolve_rng("infer", rng, config)
+    return _infer_step(translator, traces, rng, mcmc_kernel, config)
 
 
 def infer_sequence(
     translators: Sequence[TraceTranslator],
     initial: WeightedCollection,
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator] = None,
     mcmc_kernels: Optional[Sequence[Optional[Kernel]]] = None,
-    resample: str = "adaptive",
-    ess_threshold: float = 0.5,
-    resampling_scheme: str = "multinomial",
-    fault_policy: Union[str, FaultPolicy, None] = "fail_fast",
+    resample: Any = _UNSET,
+    ess_threshold: Any = _UNSET,
+    resampling_scheme: Any = _UNSET,
+    fault_policy: Any = _UNSET,
+    *,
+    config: Optional[InferenceConfig] = None,
 ) -> List[SMCStep]:
     """Iterate Algorithm 2 across a sequence of programs.
 
@@ -430,12 +511,24 @@ def infer_sequence(
     "Multiple Steps and resample").  Returns the per-step results; the
     final collection is ``steps[-1].collection``.
 
-    All parameters are validated before the first translation, and a
+    Configuration follows :func:`infer` (one keyword-only
+    :class:`InferenceConfig`, shared by every step; the deprecated
+    per-parameter keywords still work) except that the default
+    resampling policy is ``"adaptive"``.  The hooks' ``on_step_start``
+    receives the step index, and a
     :class:`~repro.errors.DegeneracyError` raised mid-sequence is
     annotated with the index of the offending step.
     """
-    _validate_parameters(resample, ess_threshold, resampling_scheme)
-    FaultPolicy.coerce(fault_policy)
+    config = _merge_legacy_config(
+        "infer_sequence",
+        config,
+        InferenceConfig(resample="adaptive"),
+        resample=resample,
+        ess_threshold=ess_threshold,
+        resampling_scheme=resampling_scheme,
+        fault_policy=fault_policy,
+    )
+    rng = _resolve_rng("infer_sequence", rng, config)
     if mcmc_kernels is None:
         mcmc_kernels = [None] * len(translators)
     if len(mcmc_kernels) != len(translators):
@@ -445,15 +538,8 @@ def infer_sequence(
     collection = initial
     for step_index, (translator, kernel) in enumerate(zip(translators, mcmc_kernels)):
         try:
-            step = infer(
-                translator,
-                collection,
-                rng,
-                mcmc_kernel=kernel,
-                resample=resample,
-                ess_threshold=ess_threshold,
-                resampling_scheme=resampling_scheme,
-                fault_policy=fault_policy,
+            step = _infer_step(
+                translator, collection, rng, kernel, config, step_index=step_index
             )
         except DegeneracyError as error:
             if error.step is None:

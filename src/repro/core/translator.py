@@ -20,6 +20,7 @@ from typing import Any, Generic, Tuple, TypeVar
 import numpy as np
 
 from ..errors import NumericalError
+from ..observability import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 
 __all__ = ["TraceTranslator", "TranslationResult", "validate_result"]
 
@@ -74,7 +75,21 @@ class TraceTranslator(ABC, Generic[TraceT]):
     ``regenerate`` fault policy of :func:`repro.core.smc.infer` uses it
     as a graceful-degradation fallback for particles whose translation
     keeps failing.
+
+    Translators report into the observability sinks bound via
+    :meth:`bind_observability` (class-level null defaults, so unbound
+    translators pay nothing); the SMC loop binds the sinks from its
+    :class:`~repro.core.config.InferenceConfig` before each step.
     """
+
+    #: Observability sinks; class-level nulls until bound.
+    tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry = NULL_METRICS
+
+    def bind_observability(self, tracer: Tracer, metrics: MetricsRegistry) -> None:
+        """Attach the tracer/metrics this translator reports into."""
+        self.tracer = tracer
+        self.metrics = metrics
 
     @property
     @abstractmethod

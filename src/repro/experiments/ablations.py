@@ -34,6 +34,7 @@ import numpy as np
 from ..core import (
     Correspondence,
     CorrespondenceTranslator,
+    InferenceConfig,
     Model,
     WeightedCollection,
     exact_choice_marginal,
@@ -92,7 +93,10 @@ def _resampling_ablation(config: AblationConfig, rng) -> List[Row]:
                 [sampler(rng) for _ in range(config.num_particles)]
             )
             steps = infer_sequence(
-                translators, initial, rng, resample="always", resampling_scheme=scheme
+                translators,
+                initial,
+                rng,
+                config=InferenceConfig(resample="always", resampling_scheme=scheme),
             )
             final = steps[-1].collection
             errors.append(

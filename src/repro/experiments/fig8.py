@@ -19,14 +19,14 @@ gold-standard").
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import CorrespondenceTranslator, WeightedCollection, infer
+from ..core import CorrespondenceTranslator, InferenceConfig, WeightedCollection, infer
 from ..core.mcmc import chain, cycle, independent_mh_site, random_walk_mh_site
+from ..observability import NULL_METRICS, MetricsRegistry, Tracer
 from ..regression import (
     ADDR_INTERCEPT,
     ADDR_OUTLIER_LOG_VAR,
@@ -70,6 +70,8 @@ class Fig8Config:
 class Fig8Result:
     rows: List[Row]
     gold_slope: float
+    #: The tracer the run reported into (span tree exportable as JSON).
+    tracer: Optional[Tracer] = None
 
 
 def gold_standard_slope(q_model, q_params, posterior, rng, iterations: int) -> float:
@@ -94,9 +96,22 @@ def gold_standard_slope(q_model, q_params, posterior, rng, iterations: int) -> f
     return float(np.mean([t[ADDR_SLOPE] for t in states]))
 
 
-def run_fig8(config: Optional[Fig8Config] = None, quiet: bool = False) -> Fig8Result:
-    """Run the Figure 8 experiment and print its series."""
+def run_fig8(
+    config: Optional[Fig8Config] = None,
+    quiet: bool = False,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> Fig8Result:
+    """Run the Figure 8 experiment and print its series.
+
+    All runtimes are read from ``tracer`` spans (``fig8.incremental``
+    per estimate, ``fig8.mcmc`` per chain); a fresh tracer is created
+    when none is passed, and is returned on the result for export.
+    """
     config = config or Fig8Config()
+    tracer = tracer if tracer is not None else Tracer()
+    inference = InferenceConfig(tracer=tracer, metrics=metrics)
     rng = np.random.default_rng(config.seed)
     data = hospital_like_dataset(rng, num_points=config.num_points)
     p_model = no_outlier_model(config.p_params, data.xs, data.ys)
@@ -107,17 +122,19 @@ def run_fig8(config: Optional[Fig8Config] = None, quiet: bool = False) -> Fig8Re
     gold = gold_standard_slope(q_model, config.q_params, posterior, rng, config.gold_iterations)
     rows: List[Row] = []
 
-    def incremental_estimate(num_traces: int, use_weights: bool) -> (float, float):
-        start = time.perf_counter()
-        traces = [exact_regression_trace(posterior, rng, p_model) for _ in range(num_traces)]
-        step = infer(
-            translator,
-            WeightedCollection.uniform(traces),
-            rng,
-            use_weights=use_weights,
-        )
-        estimate = step.collection.estimate(lambda u: u[ADDR_SLOPE])
-        return estimate, time.perf_counter() - start
+    def incremental_estimate(num_traces: int, use_weights: bool) -> Tuple[float, float]:
+        with tracer.span("fig8.incremental") as span:
+            traces = [
+                exact_regression_trace(posterior, rng, p_model) for _ in range(num_traces)
+            ]
+            step = infer(
+                translator,
+                WeightedCollection.uniform(traces),
+                rng,
+                config=inference.replace(use_weights=use_weights),
+            )
+            estimate = step.collection.estimate(lambda u: u[ADDR_SLOPE])
+        return estimate, span.duration
 
     for use_weights, series in [(True, "Incremental"), (False, "Incremental (no weights)")]:
         for num_traces in config.trace_counts:
@@ -147,16 +164,16 @@ def run_fig8(config: Optional[Fig8Config] = None, quiet: bool = False) -> Fig8Re
     for iterations in config.mcmc_iterations:
         estimates, durations = [], []
         for _ in range(config.repetitions):
-            start = time.perf_counter()
-            states = chain(
-                q_model,
-                mcmc_kernel,
-                rng,
-                iterations=iterations,
-                burn_in=iterations // 4,
-            )
+            with tracer.span("fig8.mcmc") as span:
+                states = chain(
+                    q_model,
+                    mcmc_kernel,
+                    rng,
+                    iterations=iterations,
+                    burn_in=iterations // 4,
+                )
             estimates.append(float(np.mean([t[ADDR_SLOPE] for t in states])))
-            durations.append(time.perf_counter() - start)
+            durations.append(span.duration)
         rows.append(
             Row(
                 "MCMC",
@@ -178,7 +195,7 @@ def run_fig8(config: Optional[Fig8Config] = None, quiet: bool = False) -> Fig8Re
                 "MCMC 0.19 error @ 0.53 s)"
             ),
         )
-    return Fig8Result(rows=rows, gold_slope=gold)
+    return Fig8Result(rows=rows, gold_slope=gold, tracer=tracer)
 
 
 if __name__ == "__main__":

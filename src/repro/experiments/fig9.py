@@ -19,14 +19,14 @@ Series:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import CorrespondenceTranslator, WeightedCollection, infer
+from ..core import CorrespondenceTranslator, InferenceConfig, WeightedCollection, infer
 from ..core.mcmc import chain, gibbs_sweep, repeat
+from ..observability import NULL_METRICS, MetricsRegistry, Tracer
 from ..hmm import (
     encode,
     exact_first_order_trace,
@@ -62,10 +62,20 @@ class Fig9Config:
 class Fig9Result:
     rows: List[Row]
     test_words: List[Tuple[str, str]]
+    #: The tracer the run reported into (span tree exportable as JSON).
+    tracer: Optional[Tracer] = None
 
 
 def _per_word_incremental(
-    p_params, q_params, typed, rng, num_traces, use_weights, rejuvenation_sweeps=0
+    p_params,
+    q_params,
+    typed,
+    rng,
+    num_traces,
+    use_weights,
+    rejuvenation_sweeps=0,
+    inference=None,
+    tracer=None,
 ):
     observations = encode(typed)
     p_model = first_order_model(p_params, observations)
@@ -75,39 +85,56 @@ def _per_word_incremental(
     if rejuvenation_sweeps > 0:
         addresses = [("hidden", i) for i in range(len(observations))]
         kernel = repeat(gibbs_sweep(q_model, addresses), rejuvenation_sweeps)
-    start = time.perf_counter()
-    traces = [
-        exact_first_order_trace(p_params, observations, rng, p_model)
-        for _ in range(num_traces)
-    ]
-    step = infer(
-        translator,
-        WeightedCollection.uniform(traces),
-        rng,
-        mcmc_kernel=kernel,
-        resample="always" if kernel is not None else "never",
-        use_weights=use_weights,
-    )
-    seconds = time.perf_counter() - start
-    return step.collection, seconds
+    tracer = tracer if tracer is not None else Tracer()
+    inference = inference if inference is not None else InferenceConfig(tracer=tracer)
+    with tracer.span("fig9.incremental") as span:
+        traces = [
+            exact_first_order_trace(p_params, observations, rng, p_model)
+            for _ in range(num_traces)
+        ]
+        step = infer(
+            translator,
+            WeightedCollection.uniform(traces),
+            rng,
+            mcmc_kernel=kernel,
+            config=inference.replace(
+                resample="always" if kernel is not None else "never",
+                use_weights=use_weights,
+            ),
+        )
+    return step.collection, span.duration
 
 
-def _per_word_gibbs(q_params, typed, rng, num_sweeps, num_chains):
+def _per_word_gibbs(q_params, typed, rng, num_sweeps, num_chains, tracer=None):
     observations = encode(typed)
     q_model = second_order_model(q_params, observations)
     addresses = [("hidden", i) for i in range(len(observations))]
     kernel = gibbs_sweep(q_model, addresses)
-    start = time.perf_counter()
-    states = []
-    for _ in range(num_chains):
-        states.extend(chain(q_model, kernel, rng, iterations=num_sweeps))
-    seconds = time.perf_counter() - start
-    return WeightedCollection.uniform(states), seconds
+    tracer = tracer if tracer is not None else Tracer()
+    with tracer.span("fig9.gibbs") as span:
+        states = []
+        for _ in range(num_chains):
+            states.extend(chain(q_model, kernel, rng, iterations=num_sweeps))
+    return WeightedCollection.uniform(states), span.duration
 
 
-def run_fig9(config: Optional[Fig9Config] = None, quiet: bool = False) -> Fig9Result:
-    """Run the Figure 9 experiment and print its series."""
+def run_fig9(
+    config: Optional[Fig9Config] = None,
+    quiet: bool = False,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> Fig9Result:
+    """Run the Figure 9 experiment and print its series.
+
+    All runtimes are read from ``tracer`` spans (``fig9.incremental``,
+    ``fig9.gibbs``, ``fig9.exact`` — one per per-word run); a fresh
+    tracer is created when none is passed, and is returned on the result
+    for export.
+    """
     config = config or Fig9Config()
+    tracer = tracer if tracer is not None else Tracer()
+    inference = InferenceConfig(tracer=tracer, metrics=metrics)
     rng = np.random.default_rng(config.seed)
     corpus = generate_corpus(
         rng,
@@ -129,7 +156,15 @@ def run_fig9(config: Optional[Fig9Config] = None, quiet: bool = False) -> Fig9Re
             accuracies, durations = [], []
             for typed, truth in corpus.test:
                 collection, seconds = _per_word_incremental(
-                    p_params, q_params, typed, rng, num_traces, use_weights, sweeps
+                    p_params,
+                    q_params,
+                    typed,
+                    rng,
+                    num_traces,
+                    use_weights,
+                    sweeps,
+                    inference=inference,
+                    tracer=tracer,
                 )
                 accuracies.append(
                     ground_truth_posterior_probability(collection, encode(truth))
@@ -156,9 +191,9 @@ def run_fig9(config: Optional[Fig9Config] = None, quiet: bool = False) -> Fig9Re
         for typed, truth in corpus.test:
             observations = encode(typed)
             truth_indices = encode(truth)
-            start = time.perf_counter()
-            marginals = second_order_posterior_marginals(q_params, observations)
-            durations.append(time.perf_counter() - start)
+            with tracer.span("fig9.exact") as span:
+                marginals = second_order_posterior_marginals(q_params, observations)
+            durations.append(span.duration)
             accuracies.append(
                 float(
                     _np.mean(
@@ -182,7 +217,7 @@ def run_fig9(config: Optional[Fig9Config] = None, quiet: bool = False) -> Fig9Re
         accuracies, durations = [], []
         for typed, truth in corpus.test:
             collection, seconds = _per_word_gibbs(
-                q_params, typed, rng, num_sweeps, config.gibbs_chains
+                q_params, typed, rng, num_sweeps, config.gibbs_chains, tracer=tracer
             )
             accuracies.append(
                 ground_truth_posterior_probability(collection, encode(truth))
@@ -215,7 +250,7 @@ def run_fig9(config: Optional[Fig9Config] = None, quiet: bool = False) -> Fig9Re
                 "incremental-no-weights 0.38 @ 0.14 s)"
             ),
         )
-    return Fig9Result(rows=rows, test_words=list(corpus.test))
+    return Fig9Result(rows=rows, test_words=list(corpus.test), tracer=tracer)
 
 
 if __name__ == "__main__":

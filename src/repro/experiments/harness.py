@@ -3,16 +3,22 @@
 Every experiment runner returns a list of :class:`Row` objects and can
 print them as an aligned table, one row per plotted point, so the output
 directly mirrors the paper's figures.
+
+Timing goes through the span tracer of :mod:`repro.observability`
+(:func:`timed` opens a span and reads its duration), so experiment
+runtimes and the inference engine's own ``SMCStats`` timings come from
+one clock and one mechanism — and passing a shared tracer into
+:func:`timed` makes experiment phases show up in the exported trace.
 """
 
 from __future__ import annotations
 
-import math
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..observability import Tracer, json_safe, to_json
 
 __all__ = ["Row", "print_table", "median_time", "timed", "rows_to_json", "save_rows"]
 
@@ -28,18 +34,30 @@ class Row:
         return self.values[key]
 
 
-def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
-    """Run ``fn`` once; return ``(result, seconds)``."""
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
+def timed(
+    fn: Callable[[], Any], tracer: Optional[Tracer] = None, label: str = "timed"
+) -> Tuple[Any, float]:
+    """Run ``fn`` once inside a tracer span; return ``(result, seconds)``.
+
+    With no ``tracer``, a throwaway one is used (pure timing); passing a
+    shared tracer additionally records the run as a ``label`` span in
+    its exported trace.
+    """
+    with (tracer or Tracer()).span(label) as span:
+        result = fn()
+    return result, span.duration
 
 
-def median_time(fn: Callable[[], Any], repetitions: int = 5) -> float:
+def median_time(
+    fn: Callable[[], Any],
+    repetitions: int = 5,
+    tracer: Optional[Tracer] = None,
+    label: str = "timed",
+) -> float:
     """Median wall-clock seconds of ``fn`` over several repetitions."""
     durations = []
     for _ in range(repetitions):
-        _result, seconds = timed(fn)
+        _result, seconds = timed(fn, tracer=tracer, label=label)
         durations.append(seconds)
     return float(np.median(durations))
 
@@ -77,49 +95,20 @@ def print_table(rows: Sequence[Row], columns: Optional[List[str]] = None, title:
     return output
 
 
-def _json_safe(value: Any) -> Any:
-    """Convert a value into something every JSON parser accepts.
-
-    Python's ``json.dumps`` emits bare ``NaN``/``Infinity`` tokens by
-    default, which are not JSON and crash strict parsers (browsers,
-    ``jq``, most plotting stacks).  Experiment rows legitimately contain
-    such values — a degenerate run's ESS, a ``-inf`` log weight — so
-    NaN maps to ``null`` and the infinities to explicit strings that
-    survive a round trip unambiguously.
-    """
-    if isinstance(value, (np.floating, np.integer)):
-        value = value.item()
-    if isinstance(value, float):
-        if math.isnan(value):
-            return None
-        if value == math.inf:
-            return "Infinity"
-        if value == -math.inf:
-            return "-Infinity"
-        return value
-    if isinstance(value, dict):
-        return {str(key): _json_safe(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(item) for item in value]
-    if isinstance(value, np.ndarray):
-        return [_json_safe(item) for item in value.tolist()]
-    return value
+#: Strict-JSON sanitizer, now shared with the observability exporters
+#: (kept under its historical name for existing importers).
+_json_safe = json_safe
 
 
 def rows_to_json(rows: Sequence[Row]) -> str:
     """Serialize rows to a strict-JSON array (one object per point).
 
-    Non-finite floats are sanitized by :func:`_json_safe`;
-    ``allow_nan=False`` guarantees the output never contains the bare
-    ``NaN``/``Infinity`` tokens that strict parsers reject.
+    Non-finite floats are sanitized by
+    :func:`repro.observability.json_safe`; ``allow_nan=False`` guarantees
+    the output never contains the bare ``NaN``/``Infinity`` tokens that
+    strict parsers reject.
     """
-    import json
-
-    return json.dumps(
-        [_json_safe({"series": row.series, **row.values}) for row in rows],
-        indent=2,
-        allow_nan=False,
-    )
+    return to_json([{"series": row.series, **row.values} for row in rows])
 
 
 def save_rows(rows: Sequence[Row], path: str) -> None:

@@ -65,6 +65,7 @@ from ..lang.ast import (
     While,
 )
 from ..lang.interp import EvalError, choice_address, distribution_of
+from ..observability import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 from .records import GraphTrace, StmtRecord
 
 __all__ = ["run_initial", "propagate", "PropagationResult"]
@@ -445,11 +446,19 @@ def run_initial(
     program: Stmt,
     rng: Optional[np.random.Generator] = None,
     env: Optional[Dict[str, Any]] = None,
+    *,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> GraphTrace:
     """Execute ``program`` from scratch, recording its dependency graph."""
     env_in, next_version = _stamp_env(env, None, 0)
     engine = _Engine(rng, env_in, next_version)
-    root = engine._exec(program, None)
+    with tracer.span("graph.run_initial") as span:
+        root = engine._exec(program, None)
+        span.count("statements.visited", engine.visited)
+    if metrics.enabled:
+        metrics.counter("graph.initial_runs").inc()
+        metrics.counter("graph.statements_visited").inc(engine.visited)
     return GraphTrace(root, engine.env_in, dict(engine.env), engine.next_version, engine.visited)
 
 
@@ -458,6 +467,9 @@ def propagate(
     old: GraphTrace,
     rng: Optional[np.random.Generator] = None,
     env: Optional[Dict[str, Any]] = None,
+    *,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> PropagationResult:
     """Incrementally re-execute an edited ``program`` against ``old``.
 
@@ -471,7 +483,14 @@ def propagate(
         env = {name: value for name, (value, _v) in old.env_in.items()}
     env_in, next_version = _stamp_env(env, old, old.next_version)
     engine = _Engine(rng, env_in, next_version)
-    root = engine._exec(program, old.root)
+    with tracer.span("graph.propagate") as span:
+        root = engine._exec(program, old.root)
+        span.count("statements.visited", engine.visited)
+        span.count("statements.skipped", engine.skipped)
+    if metrics.enabled:
+        metrics.counter("graph.propagations").inc()
+        metrics.counter("graph.statements_visited").inc(engine.visited)
+        metrics.counter("graph.statements_skipped").inc(engine.skipped)
     trace = GraphTrace(root, engine.env_in, dict(engine.env), engine.next_version, engine.visited)
     if math.isnan(engine.log_weight):
         raise NumericalError(

@@ -90,7 +90,14 @@ class GraphTranslator(TraceTranslator[GraphTrace]):
         return trace, trace.observation_log_prob
 
     def translate(self, rng: np.random.Generator, trace: GraphTrace) -> TranslationResult:
-        result = propagate(self._target_program, trace, rng, env=self.target_env)
+        result = propagate(
+            self._target_program,
+            trace,
+            rng,
+            env=self.target_env,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         self.last_result = result
         components = {
             "visited_statements": result.visited_statements,

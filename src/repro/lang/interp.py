@@ -22,6 +22,7 @@ from ..core.model import Model
 from ..core.trace import Trace
 from ..errors import ModelExecutionError
 from ..distributions import Distribution, Flip, Normal, UniformDiscrete
+from ..observability import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 from .ast import (
     ArrayExpr,
     Assign,
@@ -97,6 +98,9 @@ class _Interpreter:
         self.functions: Dict[str, FuncDef] = {}
         self.call_depth = 0
         self.return_value: Any = None
+        #: Instrumentation tallies (two integer increments per choice).
+        self.samples = 0
+        self.observes = 0
 
     # -- expressions ----------------------------------------------------------
 
@@ -138,6 +142,7 @@ class _Interpreter:
         if isinstance(expr, RandomExpr):
             dist = distribution_of(expr, self.eval)
             address = choice_address(expr.label, tuple(self.loop_indices))
+            self.samples += 1
             return self.handler.sample(dist, address)
         if isinstance(expr, Call):
             return self._call(expr)
@@ -249,6 +254,7 @@ class _Interpreter:
             dist = distribution_of(stmt.random, self.eval)
             value = self.eval(stmt.value)
             address = choice_address(stmt.random.label, tuple(self.loop_indices))
+            self.observes += 1
             self.handler.observe(dist, value, address)
             return
         if isinstance(stmt, For):
@@ -310,32 +316,58 @@ def distribution_of(expr: RandomExpr, eval_fn) -> Distribution:
 
 
 def interpret(
-    program: Stmt, handler: TraceHandler, env: Optional[Dict[str, Any]] = None
+    program: Stmt,
+    handler: TraceHandler,
+    env: Optional[Dict[str, Any]] = None,
+    *,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> Any:
     """Execute ``program`` under ``handler``; return its ``return`` value.
 
     Programs without an explicit ``return`` return the final environment
-    (a dict), which is convenient for tests.
+    (a dict), which is convenient for tests.  With a real ``tracer``,
+    the run is recorded as one ``model.run`` span carrying sample and
+    observe counts; ``metrics`` accrues the same counts globally.
     """
     interpreter = _Interpreter(handler, env)
     try:
-        interpreter.exec(program)
+        if tracer.enabled:
+            with tracer.span("model.run") as span:
+                try:
+                    interpreter.exec(program)
+                finally:
+                    span.count("choices.sampled", interpreter.samples)
+                    span.count("choices.observed", interpreter.observes)
+        else:
+            interpreter.exec(program)
     except _ReturnSignal as signal:
         return signal.value
+    finally:
+        if metrics.enabled:
+            metrics.counter("lang.samples").inc(interpreter.samples)
+            metrics.counter("lang.observes").inc(interpreter.observes)
     return dict(interpreter.env)
 
 
 def lang_model(
-    program: Stmt, env: Optional[Dict[str, Any]] = None, name: Optional[str] = None
+    program: Stmt,
+    env: Optional[Dict[str, Any]] = None,
+    name: Optional[str] = None,
+    *,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> Model:
     """Wrap a structured-language program as an embedded-PPL ``Model``.
 
     ``env`` provides initial bindings (the program's parameters, like
-    ``sigma`` and ``n`` for the GMM of Listing 5).
+    ``sigma`` and ``n`` for the GMM of Listing 5).  The observability
+    sinks, when given, are threaded into every interpretation the model
+    performs.
     """
     initial = dict(env) if env else {}
 
     def fn(t: TraceHandler) -> Any:
-        return interpret(program, t, initial)
+        return interpret(program, t, initial, tracer=tracer, metrics=metrics)
 
     return Model(fn, name=name or "lang_program")

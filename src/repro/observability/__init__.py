@@ -1,0 +1,67 @@
+"""Unified observability: tracing spans, metrics, and profiling hooks.
+
+A zero-dependency subsystem the inference runtimes report into:
+
+* :mod:`repro.observability.tracer` — hierarchical span tracer
+  (``smc.step`` → ``smc.translate`` → ``translate.particle``) with
+  wall-time, per-span counters, JSON export, and flame-graph-friendly
+  folded-stack text;
+* :mod:`repro.observability.metrics` — counters, gauges, and fixed
+  log-scale-bucket histograms for the quantities the paper's evaluation
+  cares about (particles translated, choices reused vs. resampled, graph
+  statements re-propagated vs. skipped, ESS per step, fault-policy
+  activations);
+* :mod:`repro.observability.hooks` — the :class:`Hooks` callback
+  protocol threaded through the SMC loop
+  (``on_step_start/on_particle/on_resample/on_step_end``);
+* :mod:`repro.observability.export` — the strict-JSON sanitizer shared
+  with the experiment harness.
+
+Everything defaults to the null implementations (:data:`NULL_TRACER`,
+:data:`NULL_METRICS`, :data:`NULL_HOOKS`), which keep instrumentation a
+no-op on hot paths.  Enable by passing real instances through
+:class:`repro.InferenceConfig`::
+
+    from repro import InferenceConfig, infer
+    from repro.observability import MetricsRegistry, Tracer
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    step = infer(translator, traces, rng,
+                 config=InferenceConfig(tracer=tracer, metrics=metrics))
+    print(tracer.folded())                 # flame-graph folded stacks
+    print(metrics.to_dict()["smc.particles_translated"])
+"""
+
+from .export import dump_json, json_safe, to_json
+from .hooks import NULL_HOOKS, CompositeHooks, Hooks, RecordingHooks
+from .metrics import (
+    HISTOGRAM_EDGES,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_EDGES",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Hooks",
+    "CompositeHooks",
+    "RecordingHooks",
+    "NULL_HOOKS",
+    "json_safe",
+    "to_json",
+    "dump_json",
+]

@@ -1,0 +1,55 @@
+"""Strict-JSON export shared by traces, metrics, and experiment rows.
+
+Python's ``json.dumps`` emits bare ``NaN``/``Infinity`` tokens by
+default, which are not JSON and crash strict parsers (browsers, ``jq``,
+most plotting stacks).  Observability payloads legitimately contain such
+values — a degenerate run's ESS, a ``-inf`` log weight — so
+:func:`json_safe` maps NaN to ``null`` and the infinities to explicit
+strings that survive a round trip unambiguously, and every writer here
+passes ``allow_nan=False`` so a missed value fails loudly instead of
+emitting invalid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+__all__ = ["json_safe", "to_json", "dump_json"]
+
+
+def json_safe(value: Any) -> Any:
+    """Convert a value into something every JSON parser accepts."""
+    # Duck-typed numpy scalar unwrap keeps this module dependency-free.
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (int, float, str, bytes, dict, list, tuple)):
+        value = item()
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if value == math.inf:
+            return "Infinity"
+        if value == -math.inf:
+            return "-Infinity"
+        return value
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return json_safe(tolist())
+    return value
+
+
+def to_json(payload: Any, indent: int = 2) -> str:
+    """Serialize to strict JSON (never emits NaN/Infinity tokens)."""
+    return json.dumps(json_safe(payload), indent=indent, allow_nan=False)
+
+
+def dump_json(payload: Any, path: str, indent: int = 2) -> None:
+    """Write strict JSON to ``path`` with a trailing newline."""
+    with open(path, "w") as handle:
+        handle.write(to_json(payload, indent=indent))
+        handle.write("\n")

@@ -1,0 +1,102 @@
+"""Profiling hooks: callbacks at the SMC loop's structural boundaries.
+
+A :class:`Hooks` object receives one callback per event inside
+:func:`repro.core.smc.infer`:
+
+* ``on_step_start(step_index, num_particles)`` — before any translation
+  (``step_index`` is the position within :func:`infer_sequence`, or
+  ``None`` for a standalone step);
+* ``on_particle(index, outcome)`` — after each particle's translation,
+  with ``outcome`` in ``{"ok", "dropped", "regenerated"}`` (under
+  ``fail_fast`` a failing particle raises instead, so no callback
+  fires for it);
+* ``on_resample(ess, resampled)`` — after the ESS check, before any
+  MCMC rejuvenation;
+* ``on_step_end(stats)`` — with the step's final
+  :class:`~repro.core.smc.SMCStats`.
+
+The base class implements every callback as a no-op, so subclasses
+override only what they need; :data:`NULL_HOOKS` is the shared default.
+Hooks observe — they must not mutate traces or consume the inference
+RNG, or the null-instrumentation identity guarantee breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+__all__ = ["Hooks", "CompositeHooks", "RecordingHooks", "NULL_HOOKS"]
+
+
+class Hooks:
+    """Base profiling hooks; every callback is a no-op."""
+
+    def on_step_start(self, step_index: Optional[int], num_particles: int) -> None:
+        pass
+
+    def on_particle(self, index: int, outcome: str) -> None:
+        pass
+
+    def on_resample(self, ess: float, resampled: bool) -> None:
+        pass
+
+    def on_step_end(self, stats: Any) -> None:
+        pass
+
+
+class CompositeHooks(Hooks):
+    """Fan one event stream out to several hooks, in order."""
+
+    def __init__(self, hooks: Sequence[Hooks]):
+        self.hooks = list(hooks)
+
+    def on_step_start(self, step_index: Optional[int], num_particles: int) -> None:
+        for hook in self.hooks:
+            hook.on_step_start(step_index, num_particles)
+
+    def on_particle(self, index: int, outcome: str) -> None:
+        for hook in self.hooks:
+            hook.on_particle(index, outcome)
+
+    def on_resample(self, ess: float, resampled: bool) -> None:
+        for hook in self.hooks:
+            hook.on_resample(ess, resampled)
+
+    def on_step_end(self, stats: Any) -> None:
+        for hook in self.hooks:
+            hook.on_step_end(stats)
+
+
+class RecordingHooks(Hooks):
+    """Records every event as ``(event_name, args...)`` tuples.
+
+    The reference consumer for tests and debugging::
+
+        hooks = RecordingHooks()
+        infer(..., config=InferenceConfig(hooks=hooks))
+        assert hooks.events[0][0] == "step_start"
+        assert hooks.of("particle")  # one per particle
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Tuple] = []
+
+    def of(self, event: str) -> List[Tuple]:
+        """Events of one kind, in order."""
+        return [e for e in self.events if e[0] == event]
+
+    def on_step_start(self, step_index: Optional[int], num_particles: int) -> None:
+        self.events.append(("step_start", step_index, num_particles))
+
+    def on_particle(self, index: int, outcome: str) -> None:
+        self.events.append(("particle", index, outcome))
+
+    def on_resample(self, ess: float, resampled: bool) -> None:
+        self.events.append(("resample", ess, resampled))
+
+    def on_step_end(self, stats: Any) -> None:
+        self.events.append(("step_end", stats))
+
+
+#: Shared stateless no-op instance used as the default everywhere.
+NULL_HOOKS = Hooks()

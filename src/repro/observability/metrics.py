@@ -1,0 +1,219 @@
+"""Metrics registry: counters, gauges, and log-scale histograms.
+
+The registry is the process-wide tally the inference hot paths report
+into — particles translated, choices reused vs. sampled fresh, graph
+statements re-propagated vs. skipped, ESS per step, fault-policy
+activations.  It is deliberately minimal: three instrument kinds, no
+labels, no background threads, stdlib only.
+
+Histograms use **fixed log-scale buckets** (:data:`HISTOGRAM_EDGES`):
+four buckets per decade from ``1e-9`` to ``1e9``, the same edges for
+every histogram, so exported snapshots from different runs are directly
+comparable bucket by bucket.
+
+:class:`NullMetricsRegistry` is the disabled variant: it hands out
+shared no-op instruments, so instrumented code needs no conditionals —
+but hot loops should still hoist ``registry.counter(...)`` lookups out
+of the loop and may skip work entirely when ``registry.enabled`` is
+False.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_EDGES",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+]
+
+#: Bucket upper edges: ``10 ** (k / 4)`` for ``k`` in ``-36..36`` — four
+#: buckets per decade spanning 1e-9 .. 1e9.  Values at or below the first
+#: edge land in bucket 0; values above the last edge land in the overflow
+#: bucket (index ``len(HISTOGRAM_EDGES)``).
+HISTOGRAM_EDGES: List[float] = [10.0 ** (k / 4.0) for k in range(-36, 37)]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, value: float = 1) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc({value!r}))")
+        self.value += value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down; remembers its last setting."""
+
+    __slots__ = ("name", "value", "updates")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[float, None] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value, "updates": self.updates}
+
+
+class Histogram:
+    """Distribution summary over fixed log-scale buckets.
+
+    Tracks per-bucket counts plus exact ``count``/``sum``/``min``/``max``.
+    Non-positive values cannot land on a log scale's interior and are
+    counted in bucket 0 (the underflow bucket, together with values at or
+    below ``HISTOGRAM_EDGES[0]``).
+    """
+
+    __slots__ = ("name", "bucket_counts", "count", "sum", "min", "max")
+
+    kind = "histogram"
+    edges = HISTOGRAM_EDGES
+
+    def __init__(self, name: str):
+        self.name = name
+        self.bucket_counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Union[float, None] = None
+        self.max: Union[float, None] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self) -> Union[float, None]:
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        # Sparse encoding: only non-empty buckets, keyed by upper edge
+        # ("+Inf" for the overflow bucket), in edge order.
+        buckets = {}
+        for index, n in enumerate(self.bucket_counts):
+            if n:
+                edge = "+Inf" if index == len(self.edges) else repr(self.edges[index])
+                buckets[edge] = n
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named instruments.
+
+    Asking for an existing name with a different instrument kind is an
+    error — silently returning the wrong kind would corrupt the tally.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, factory) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory(name)
+        elif not isinstance(instrument, factory):
+            raise ValueError(
+                f"metric {name!r} is a {instrument.kind}, not a {factory.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic snapshot: instruments sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+
+class _NullInstrument:
+    """One shared do-nothing stand-in for all three instrument kinds."""
+
+    __slots__ = ()
+
+    name = ""
+    value = 0.0
+    count = 0
+
+    def inc(self, value: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+
+#: Shared stateless instance used as the default everywhere.
+NULL_METRICS = NullMetricsRegistry()

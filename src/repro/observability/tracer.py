@@ -1,0 +1,246 @@
+"""Hierarchical span tracer for the inference runtimes.
+
+A :class:`Tracer` records a tree of timed spans — ``smc.step`` containing
+``smc.translate`` containing one ``translate.particle`` per particle —
+each with a wall-clock duration and free-form counters.  The tree
+exports as a JSON-friendly dict (:meth:`Tracer.to_dict`) and as
+flame-graph-friendly folded-stack text (:meth:`Tracer.folded`, the
+``a;b;c <value>`` format consumed by Brendan Gregg's ``flamegraph.pl``
+and by speedscope).
+
+Instrumented code paths never branch on whether tracing is on: they call
+``tracer.span(...)`` and ``tracer.count(...)`` unconditionally for the
+*phase-level* structure, and consult :attr:`Tracer.enabled` only before
+per-particle (hot-loop) spans.  :class:`NullTracer` keeps the same API
+with near-zero cost: its spans still measure elapsed wall time (so
+:class:`~repro.core.smc.SMCStats` timing fields stay populated with
+tracing off) but nothing is retained, aggregated, or exported.
+
+The clock is injectable (``Tracer(clock=...)``) so tests can drive a
+deterministic fake clock and assert byte-identical exports.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed region: a name, a duration, counters, and child spans.
+
+    Also its own context manager (``with tracer.span(...) as span``):
+    entering pushes it on the owning tracer's stack, exiting pops and
+    sets the duration.  Keeping enter/exit on the span itself (rather
+    than a separate context object) saves an allocation per span, which
+    matters at one-span-per-particle granularity.
+    """
+
+    __slots__ = ("name", "start", "duration", "counters", "children", "_tracer")
+
+    def __init__(self, name: str, start: float, tracer: "Tracer"):
+        self.name = name
+        self.start = start
+        #: Seconds; ``None`` while the span is still open.
+        self.duration: Optional[float] = None
+        #: Created lazily on the first :meth:`count` (most spans have none).
+        self.counters: Optional[Dict[str, float]] = None
+        self.children: List["Span"] = []
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        tracer = self._tracer
+        tracer._stack.pop()
+        self.duration = tracer._clock() - self.start
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to a named counter on this span."""
+        counters = self.counters
+        if counters is None:
+            counters = self.counters = {}
+        counters[name] = counters.get(name, 0) + value
+
+    def self_time(self) -> float:
+        """Duration not covered by child spans (never negative)."""
+        duration = self.duration or 0.0
+        child_time = sum(child.duration or 0.0 for child in self.children)
+        return max(0.0, duration - child_time)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def total(self, counter: str) -> float:
+        """Sum of a counter over this span and every descendant."""
+        return sum(
+            span.counters.get(counter, 0)
+            for span in self.walk()
+            if span.counters is not None
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly tree (durations in seconds)."""
+        node: Dict[str, Any] = {"name": self.name, "duration_s": self.duration}
+        if self.counters:
+            node["counters"] = dict(self.counters)
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+
+class Tracer:
+    """Records a forest of nested spans with wall-time and counters.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning monotonically increasing seconds
+        (defaults to :func:`time.perf_counter`).  Inject a fake clock for
+        deterministic exports in tests.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._stack: List[Span] = []
+        #: Completed (and in-progress) top-level spans, in start order.
+        self.roots: List[Span] = []
+
+    def span(self, name: str) -> Span:
+        """Open a child span of the current span (or a new root).
+
+        Use as a context manager; the span's ``duration`` is set on exit::
+
+            with tracer.span("smc.translate") as span:
+                ...
+            elapsed = span.duration
+        """
+        span = Span(name, self._clock(), self)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add to a counter on the innermost open span (no-op outside one)."""
+        if self._stack:
+            self._stack[-1].count(name, value)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def spans(self, name: str) -> List[Span]:
+        """Every recorded span with the given name, depth first."""
+        return [span for root in self.roots for span in root.walk() if span.name == name]
+
+    def durations(self, name: str) -> List[float]:
+        """Durations of every *closed* span with the given name."""
+        return [span.duration for span in self.spans(name) if span.duration is not None]
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+    def to_json(self, indent: int = 2) -> str:
+        """Strict JSON (durations are finite floats by construction)."""
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
+
+    def folded(self, scale: float = 1e6) -> str:
+        """Folded-stack text: one ``a;b;c <value>`` line per stack.
+
+        Values are *self* times (time not covered by children) scaled by
+        ``scale`` (default microseconds) and rounded to integers, the
+        unit-free sample-count format flame-graph tools expect.  Repeated
+        identical stacks are merged.
+        """
+        totals: Dict[str, float] = {}
+
+        def visit(span: Span, prefix: str) -> None:
+            stack = f"{prefix};{span.name}" if prefix else span.name
+            totals[stack] = totals.get(stack, 0.0) + span.self_time() * scale
+            for child in span.children:
+                visit(child, stack)
+
+        for root in self.roots:
+            visit(root, "")
+        return "\n".join(f"{stack} {round(value)}" for stack, value in totals.items())
+
+
+class _NullSpan:
+    """A span that measures elapsed time but records nothing.
+
+    The SMC loop reads phase durations off its spans even when tracing
+    is disabled (that is how ``SMCStats.translate_seconds`` stays
+    populated), so the null span still calls the clock twice; everything
+    else is a no-op.
+    """
+
+    __slots__ = ("start", "duration")
+
+    counters: Dict[str, float] = {}
+    children: List[Span] = []
+    name = ""
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.duration: Optional[float] = None
+
+    def __enter__(self) -> "_NullSpan":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.duration = time.perf_counter() - self.start
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def self_time(self) -> float:
+        return 0.0
+
+    def total(self, counter: str) -> float:
+        return 0.0
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: same API, nothing recorded or exported.
+
+    Hot loops check :attr:`enabled` to skip per-particle spans entirely;
+    phase-level ``span()`` calls still time themselves (two
+    ``perf_counter`` calls each) so callers can read ``span.duration``.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str) -> _NullSpan:  # type: ignore[override]
+        return _NullSpan()
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def spans(self, name: str) -> List[Span]:
+        return []
+
+    def durations(self, name: str) -> List[float]:
+        return []
+
+
+#: Shared stateless instance used as the default everywhere.
+NULL_TRACER = NullTracer()

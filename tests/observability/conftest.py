@@ -1,0 +1,45 @@
+"""Shared fixtures: a tiny translator pair for observability tests."""
+
+import numpy as np
+import pytest
+
+from repro import Correspondence, CorrespondenceTranslator, Model, WeightedCollection
+from repro.distributions import Flip
+
+
+def original_fn(t):
+    burglary = t.sample(Flip(0.02), "burglary")
+    alarm = t.sample(Flip(0.9 if burglary else 0.01), "alarm")
+    t.observe(Flip(0.8 if alarm else 0.05), 1, "mary_wakes")
+    return burglary
+
+
+def refined_fn(t):
+    burglary = t.sample(Flip(0.02), "burglary")
+    earthquake = t.sample(Flip(0.005), "earthquake")
+    p_alarm = 0.95 if earthquake else (0.9 if burglary else 0.01)
+    alarm = t.sample(Flip(p_alarm), "alarm")
+    p_wakes = (0.9 if earthquake else 0.8) if alarm else 0.05
+    t.observe(Flip(p_wakes), 1, "mary_wakes")
+    return burglary
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2018)
+
+
+@pytest.fixture
+def translator():
+    return CorrespondenceTranslator(
+        Model(original_fn, name="original"),
+        Model(refined_fn, name="refined"),
+        Correspondence.identity(["burglary", "alarm"]),
+    )
+
+
+@pytest.fixture
+def collection(translator, rng):
+    return WeightedCollection.uniform(
+        [translator.source.simulate(rng) for _ in range(20)]
+    )

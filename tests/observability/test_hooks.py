@@ -1,0 +1,157 @@
+"""Profiling hooks: invocation order and counts under each fault policy."""
+
+import numpy as np
+import pytest
+
+from repro import FaultPolicy, InferenceConfig, SMCStats, infer, infer_sequence
+from repro.errors import TranslationError
+from repro.observability import CompositeHooks, Hooks, RecordingHooks
+from repro.testing.faults import FaultInjector, FaultyTranslator
+
+
+class TestInvocationOrder:
+    def test_event_sequence_for_one_step(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        infer(translator, collection, rng, config=InferenceConfig(hooks=hooks))
+
+        kinds = [event[0] for event in hooks.events]
+        assert kinds[0] == "step_start"
+        assert kinds[1 : 1 + len(collection)] == ["particle"] * len(collection)
+        assert kinds[-2] == "resample"
+        assert kinds[-1] == "step_end"
+
+    def test_step_start_payload(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        infer(translator, collection, rng, config=InferenceConfig(hooks=hooks))
+        (start,) = hooks.of("step_start")
+        assert start == ("step_start", None, len(collection))
+
+    def test_particle_indices_in_order(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        infer(translator, collection, rng, config=InferenceConfig(hooks=hooks))
+        particles = hooks.of("particle")
+        assert [event[1] for event in particles] == list(range(len(collection)))
+        assert all(event[2] == "ok" for event in particles)
+
+    def test_resample_payload_matches_stats(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        step = infer(
+            translator,
+            collection,
+            rng,
+            config=InferenceConfig(hooks=hooks, resample="always"),
+        )
+        (resample,) = hooks.of("resample")
+        assert resample[1] == pytest.approx(step.stats.ess_before_resample)
+        assert resample[2] is True
+
+    def test_step_end_carries_stats(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        step = infer(translator, collection, rng, config=InferenceConfig(hooks=hooks))
+        (end,) = hooks.of("step_end")
+        assert isinstance(end[1], SMCStats)
+        assert end[1] is step.stats
+
+    def test_sequence_passes_step_indices(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        inverse = translator.inverse()
+        infer_sequence(
+            [translator, inverse],
+            collection,
+            rng,
+            config=InferenceConfig(hooks=hooks, resample="never"),
+        )
+        starts = hooks.of("step_start")
+        assert [event[1] for event in starts] == [0, 1]
+
+
+class TestOutcomesUnderFaultPolicies:
+    def scripted(self, translator, indices):
+        injector = FaultInjector(at_calls={i: "error" for i in indices})
+        return FaultyTranslator(translator, injector)
+
+    def test_fail_fast_stops_at_first_fault(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        faulty = self.scripted(translator, [3])
+        with pytest.raises(TranslationError):
+            infer(
+                faulty,
+                collection,
+                rng,
+                config=InferenceConfig(hooks=hooks, fault_policy="fail_fast"),
+            )
+        # Particles 0..2 reported ok; the raising particle never reports.
+        particles = hooks.of("particle")
+        assert [event[1] for event in particles] == [0, 1, 2]
+        assert hooks.of("step_end") == []
+
+    def test_drop_reports_dropped_outcome(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        faulty = self.scripted(translator, [2, 5])
+        step = infer(
+            faulty,
+            collection,
+            rng,
+            config=InferenceConfig(hooks=hooks, fault_policy="drop"),
+        )
+        outcomes = [event[2] for event in hooks.of("particle")]
+        assert len(outcomes) == len(collection)
+        assert outcomes.count("dropped") == 2
+        assert [i for i, o in enumerate(outcomes) if o == "dropped"] == [2, 5]
+        assert step.stats.dropped == 2
+
+    def test_regenerate_reports_regenerated_outcome(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        # Scripted indices are call indices: with max_retries=0 each
+        # particle is one call, so call 4 is particle 4.
+        faulty = self.scripted(translator, [4])
+        policy = FaultPolicy(mode="regenerate", max_retries=0)
+        step = infer(
+            faulty,
+            collection,
+            rng,
+            config=InferenceConfig(hooks=hooks, fault_policy=policy),
+        )
+        outcomes = [event[2] for event in hooks.of("particle")]
+        assert outcomes.count("regenerated") == 1
+        assert outcomes[4] == "regenerated"
+        assert step.stats.regenerated == 1
+
+    def test_hook_counts_balance_stats(self, translator, collection, rng):
+        hooks = RecordingHooks()
+        faulty = self.scripted(translator, [0, 7, 13])
+        step = infer(
+            faulty,
+            collection,
+            rng,
+            config=InferenceConfig(hooks=hooks, fault_policy="drop"),
+        )
+        outcomes = [event[2] for event in hooks.of("particle")]
+        assert outcomes.count("ok") == len(collection) - step.stats.dropped
+        assert outcomes.count("dropped") == step.stats.dropped
+
+
+class TestCompositeHooks:
+    def test_fans_out_in_order(self, translator, collection, rng):
+        first, second = RecordingHooks(), RecordingHooks()
+        infer(
+            translator,
+            collection,
+            rng,
+            config=InferenceConfig(hooks=CompositeHooks([first, second])),
+        )
+        assert first.events == second.events
+        assert len(first.events) == len(collection) + 3
+
+    def test_base_hooks_are_noops(self, translator, collection, rng):
+        # The base class must be safely subclassable with partial overrides.
+        class OnlyStepEnd(Hooks):
+            def __init__(self):
+                self.steps = 0
+
+            def on_step_end(self, stats):
+                self.steps += 1
+
+        hooks = OnlyStepEnd()
+        infer(translator, collection, rng, config=InferenceConfig(hooks=hooks))
+        assert hooks.steps == 1

@@ -1,0 +1,123 @@
+"""Metrics registry: instruments, bucket edges, null behaviour."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    HISTOGRAM_EDGES,
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    to_json,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("particles")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_create_or_get_shares_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+
+class TestGauge:
+    def test_set_and_updates(self):
+        gauge = MetricsRegistry().gauge("ess")
+        assert gauge.value is None
+        gauge.set(12.5)
+        gauge.set(3)
+        assert gauge.value == 3.0
+        assert gauge.updates == 2
+
+
+class TestHistogramBuckets:
+    def test_edges_are_log_scale_four_per_decade(self):
+        assert len(HISTOGRAM_EDGES) == 73
+        assert HISTOGRAM_EDGES[0] == pytest.approx(1e-9)
+        assert HISTOGRAM_EDGES[-1] == pytest.approx(1e9)
+        # Consecutive edges differ by a factor of 10^(1/4).
+        for low, high in zip(HISTOGRAM_EDGES, HISTOGRAM_EDGES[1:]):
+            assert high / low == pytest.approx(10 ** 0.25)
+        # Every decade boundary is itself an edge (k = 0 mod 4).
+        assert any(edge == pytest.approx(1.0) for edge in HISTOGRAM_EDGES)
+
+    def test_value_lands_in_correct_bucket(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        index = histogram.bucket_counts.index(1)
+        # bisect_left: a value equal to an edge lands AT that edge's index.
+        assert HISTOGRAM_EDGES[index] == pytest.approx(1.0)
+
+    def test_underflow_and_overflow(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(0.0)      # non-positive -> bucket 0
+        histogram.observe(-5.0)
+        histogram.observe(1e12)     # beyond the last edge -> overflow bucket
+        assert histogram.bucket_counts[0] == 2
+        assert histogram.bucket_counts[-1] == 1
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"]["+Inf"] == 1
+
+    def test_summary_stats(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(6.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean() == pytest.approx(2.0)
+
+    def test_empty_histogram_mean(self):
+        assert MetricsRegistry().histogram("h").mean() is None
+
+
+class TestRegistry:
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("x")
+
+    def test_len_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.histogram("b")
+        assert len(registry) == 2
+        assert "a" in registry and "b" in registry and "c" not in registry
+
+    def test_to_dict_sorted_and_strict_json(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc(2)
+        registry.gauge("alpha").set(float("nan"))
+        registry.histogram("mid").observe(0.5)
+        payload = registry.to_dict()
+        assert list(payload) == ["alpha", "mid", "zeta"]
+        # NaN gauge survives strict-JSON export as null.
+        parsed = json.loads(to_json(payload))
+        assert parsed["alpha"]["value"] is None
+        assert parsed["zeta"]["value"] == 2
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("c").inc(5)
+        NULL_METRICS.gauge("g").set(1.0)
+        NULL_METRICS.histogram("h").observe(2.0)
+        assert len(NULL_METRICS) == 0
+        assert NULL_METRICS.to_dict() == {}
+
+    def test_shared_instrument(self):
+        registry = NullMetricsRegistry()
+        assert registry.counter("a") is registry.histogram("b")

@@ -1,0 +1,150 @@
+"""Span tracer: nesting, timing, deterministic export, null behaviour."""
+
+import json
+
+import pytest
+
+from repro.observability import NULL_TRACER, NullTracer, Tracer
+
+
+class FakeClock:
+    """Deterministic clock advancing a fixed amount per call."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "a"
+        assert [child.name for child in root.children] == ["b", "d"]
+        assert [child.name for child in root.children[0].children] == ["c"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_duration_set_on_exit(self):
+        clock = FakeClock(step=0.5)
+        tracer = Tracer(clock=clock)
+        with tracer.span("x") as span:
+            assert span.duration is None
+        assert span.duration == pytest.approx(0.5)
+
+    def test_duration_recorded_on_exception(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("x") as span:
+                raise RuntimeError("boom")
+        assert span.duration is not None
+        assert tracer.current() is None  # stack unwound
+
+    def test_counters_and_totals(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            outer.count("n", 2)
+            with tracer.span("inner") as inner:
+                inner.count("n", 3)
+            tracer.count("n")  # lands on the innermost open span: outer
+        assert outer.counters["n"] == 3
+        assert inner.counters["n"] == 3
+        assert outer.total("n") == 6
+
+    def test_spans_and_durations_lookup(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(3):
+            with tracer.span("step"):
+                with tracer.span("phase"):
+                    pass
+        assert len(tracer.spans("phase")) == 3
+        assert len(tracer.durations("phase")) == 3
+
+    def test_self_time_excludes_children(self):
+        clock = FakeClock(step=1.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("parent") as parent:
+            with tracer.span("child"):
+                pass
+        # parent: start=0 end=3 -> 3; child: start=1 end=2 -> 1.
+        assert parent.duration == pytest.approx(3.0)
+        assert parent.self_time() == pytest.approx(2.0)
+
+
+class TestExport:
+    def make_tracer(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("smc.step") as step:
+            step.count("particles", 2)
+            with tracer.span("smc.translate"):
+                pass
+        return tracer
+
+    def test_to_dict_shape(self):
+        payload = self.make_tracer().to_dict()
+        (root,) = payload["spans"]
+        assert root["name"] == "smc.step"
+        assert root["counters"] == {"particles": 2}
+        assert [c["name"] for c in root["children"]] == ["smc.translate"]
+
+    def test_json_export_is_deterministic(self):
+        first = self.make_tracer().to_json()
+        second = self.make_tracer().to_json()
+        assert first == second
+        parsed = json.loads(first)  # strict JSON round trip
+        assert parsed["spans"][0]["duration_s"] == 3.0
+
+    def test_folded_stacks(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        lines = tracer.folded().splitlines()
+        # a: duration 3, child 1 -> self 2s -> 2e6 us; a;b: 1s -> 1e6 us.
+        assert lines == ["a 2000000", "a;b 1000000"]
+
+    def test_folded_merges_identical_stacks(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(2):
+            with tracer.span("a"):
+                pass
+        assert tracer.folded() == "a 2000000"
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("a") as span:
+            span.count("n", 5)
+            tracer.count("m")
+        assert tracer.roots == []
+        assert tracer.spans("a") == []
+        assert tracer.durations("a") == []
+        assert tracer.to_dict() == {"spans": []}
+
+    def test_null_span_still_measures_time(self):
+        with NULL_TRACER.span("phase") as span:
+            sum(range(1000))
+        assert span.duration is not None
+        assert span.duration >= 0.0

@@ -166,3 +166,89 @@ class TestCheck:
         program.write_text("y = ys[0] + 1; return y;")
         assert main(["check", str(program), "--env", "ys=1,2,3"]) == 0
         assert "ok" in capsys.readouterr().out
+
+
+class TestTranslateObservability:
+    def test_trace_out_writes_span_tree(self, burglary_files, tmp_path, capsys):
+        import json
+
+        old, new = burglary_files
+        trace_path = tmp_path / "trace.json"
+        assert main(["translate", old, new, "-n", "50", "--seed", "0",
+                     "--trace-out", str(trace_path)]) == 0
+        assert f"trace written to {trace_path}" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text())
+        (step,) = payload["spans"]
+        assert step["name"] == "smc.step"
+        assert step["duration_s"] > 0
+        child_names = [child["name"] for child in step["children"]]
+        assert "smc.translate" in child_names
+        # Per-particle spans nest inside the translate phase.
+        translate = step["children"][child_names.index("smc.translate")]
+        particles = [c for c in translate["children"]
+                     if c["name"] == "translate.particle"]
+        assert len(particles) == 50
+        # Phase durations sum to within the step duration.
+        phase_total = sum(child["duration_s"] for child in step["children"])
+        assert phase_total <= step["duration_s"]
+
+    def test_metrics_out_writes_registry_snapshot(self, burglary_files, tmp_path,
+                                                  capsys):
+        import json
+
+        old, new = burglary_files
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["translate", old, new, "-n", "40", "--seed", "0",
+                     "--metrics-out", str(metrics_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(metrics_path.read_text())
+        assert payload["smc.particles_translated"]["value"] == 40
+        assert payload["smc.steps"]["value"] == 1
+        assert "smc.ess_before_resample" in payload
+
+    def test_verbose_prints_step_table(self, burglary_files, capsys):
+        old, new = burglary_files
+        assert main(["translate", old, new, "-n", "30", "--seed", "0",
+                     "--verbose"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        header = [l for l in lines if "particles" in l and "ess" in l]
+        assert header, "expected a step-table header"
+        # One data row for the single SMC step ("-": no sequence index).
+        assert any(l.strip().startswith("-") and "30" in l for l in lines)
+
+    def test_quiet_without_flags_writes_nothing(self, burglary_files, tmp_path,
+                                                capsys):
+        old, new = burglary_files
+        assert main(["translate", old, new, "-n", "20", "--seed", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "trace written" not in output
+        assert "metrics written" not in output
+        names = {path.name for path in tmp_path.iterdir()}
+        assert names == {"old.pp", "new.pp"}  # only the fixture inputs
+
+
+class TestExperimentCommand:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    @pytest.mark.slow
+    def test_fig8_quick_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        rows = tmp_path / "rows.json"
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["experiment", "fig8", "--quick",
+                     "--out", str(rows),
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        parsed_rows = json.loads(rows.read_text())
+        assert any(row["series"] == "Incremental" for row in parsed_rows)
+        payload = json.loads(trace.read_text())
+        names = {span["name"] for span in payload["spans"]}
+        assert "fig8.incremental" in names
+        assert "fig8.mcmc" in names
+        parsed_metrics = json.loads(metrics.read_text())
+        assert parsed_metrics["smc.particles_translated"]["value"] > 0
