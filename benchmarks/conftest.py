@@ -1,9 +1,59 @@
-"""Shared benchmark fixtures."""
+"""Shared benchmark fixtures and the BENCH_smc.json recorder.
+
+Benchmarks in ``test_bench_smc.py`` report structured measurements
+(per-figure median step latency for the inline loop vs the parallel
+executors, and with the log-prob cache on vs off) through the
+``smc_bench`` fixture; at session end everything recorded is written as
+strict JSON to ``BENCH_smc.json`` in the repository root (override the
+path with the ``BENCH_SMC_OUT`` environment variable).  CI uploads the
+file as an artifact so speedups are tracked per-commit.
+"""
+
+import json
+import os
+import pathlib
+import platform
 
 import numpy as np
 import pytest
+
+_SMC_RECORDS = []
 
 
 @pytest.fixture
 def rng():
     return np.random.default_rng(2018)
+
+
+@pytest.fixture
+def smc_bench():
+    """Record one structured measurement destined for BENCH_smc.json.
+
+    Call it with a dict; ``figure``, ``series`` and
+    ``median_step_latency_s`` are the conventional keys.
+    """
+
+    def record(entry):
+        _SMC_RECORDS.append(dict(entry))
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _SMC_RECORDS:
+        return
+    out = os.environ.get("BENCH_SMC_OUT")
+    if out is None:
+        out = str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_smc.json")
+    payload = {
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "records": _SMC_RECORDS,
+    }
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nBENCH_smc.json: {len(_SMC_RECORDS)} records written to {out}")

@@ -1,0 +1,186 @@
+"""SMC hot-path benchmarks: executor backends and the log-prob cache.
+
+Measures the per-figure median latency of one Algorithm-2 translate
+step (the SMC hot path) under
+
+* the legacy inline loop (``executor=None``),
+* the ``serial`` / ``thread`` / ``process`` backends of
+  :mod:`repro.parallel`, and
+* the reuse-aware log-prob cache on vs off,
+
+and records every measurement through the ``smc_bench`` fixture so the
+session writes ``BENCH_smc.json`` (see ``conftest.py``).  Two guards
+ride along: the fig8-style workload must keep a cache hit rate of at
+least 50%, and cache-on posterior estimates must match cache-off
+bitwise (memoization may never change the numbers, only the time).
+
+Run with ``pytest benchmarks/test_bench_smc.py -q`` (benchmarks are not
+collected by the default ``testpaths``).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import CorrespondenceTranslator, WeightedCollection, infer
+from repro.core import InferenceConfig
+from repro.hmm import (
+    encode,
+    exact_first_order_trace,
+    first_order_model,
+    generate_corpus,
+    hidden_state_correspondence,
+    second_order_model,
+    train_first_order,
+    train_second_order,
+)
+from repro.regression import (
+    ADDR_SLOPE,
+    NoOutlierModelParams,
+    OutlierModelParams,
+    coefficient_correspondence,
+    conjugate_posterior,
+    exact_regression_trace,
+    hospital_like_dataset,
+    no_outlier_model,
+    outlier_model,
+)
+
+#: Worker count for the parallel series: min(4, cores), but at least 2 so
+#: the pool actually fans out even on single-core CI runners.
+PARALLEL_WORKERS = max(2, min(4, os.cpu_count() or 1))
+
+REPETITIONS = 5
+NUM_TRACES = 100
+
+
+@pytest.fixture(scope="module")
+def fig8_setup():
+    rng = np.random.default_rng(2018)
+    data = hospital_like_dataset(rng, num_points=305)
+    p_params = NoOutlierModelParams(prior_std=10.0, std=0.5)
+    q_params = OutlierModelParams(prior_std=10.0, prob_outlier=0.1, inlier_std=0.5)
+    p_model = no_outlier_model(p_params, data.xs, data.ys)
+    q_model = outlier_model(q_params, data.xs, data.ys)
+    posterior = conjugate_posterior(p_params, data.xs, data.ys)
+    return p_model, q_model, posterior
+
+
+@pytest.fixture(scope="module")
+def fig9_setup():
+    rng = np.random.default_rng(2018)
+    corpus = generate_corpus(rng, num_train_words=1500, num_test_words=3)
+    p_params = train_first_order(corpus.train)
+    q_params = train_second_order(corpus.train)
+    return p_params, q_params, corpus
+
+
+def _median_step_latency(run_step, repetitions=REPETITIONS):
+    times = []
+    result = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        result = run_step()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times)), result
+
+
+def _fig8_step(setup, executor, cache, seed=7):
+    p_model, q_model, posterior = setup
+    translator = CorrespondenceTranslator(
+        p_model, q_model, coefficient_correspondence(), log_prob_cache=cache
+    )
+    config = InferenceConfig(executor=executor, workers=PARALLEL_WORKERS)
+
+    def run_step():
+        rng = np.random.default_rng(seed)
+        traces = [
+            exact_regression_trace(posterior, rng, p_model) for _ in range(NUM_TRACES)
+        ]
+        step = infer(translator, WeightedCollection.uniform(traces), rng, config=config)
+        return step.collection.estimate(lambda u: u[ADDR_SLOPE])
+
+    return run_step, translator
+
+
+@pytest.mark.parametrize("backend", [None, "serial", "thread", "process"])
+def test_fig8_step_latency_by_backend(fig8_setup, smc_bench, backend):
+    run_step, _ = _fig8_step(fig8_setup, backend, cache=True)
+    median, estimate = _median_step_latency(run_step)
+    smc_bench(
+        {
+            "figure": "fig8",
+            "series": f"executor={backend or 'inline'}",
+            "workers": 1 if backend in (None, "serial") else PARALLEL_WORKERS,
+            "cache": True,
+            "num_particles": NUM_TRACES,
+            "median_step_latency_s": median,
+        }
+    )
+    assert -2.0 < estimate < 0.5
+
+
+@pytest.mark.parametrize("cache", [True, False])
+def test_fig8_step_latency_by_cache(fig8_setup, smc_bench, cache):
+    run_step, translator = _fig8_step(fig8_setup, None, cache=cache)
+    median, _ = _median_step_latency(run_step)
+    info = translator.cache_info()
+    smc_bench(
+        {
+            "figure": "fig8",
+            "series": f"cache={'on' if cache else 'off'}",
+            "workers": 1,
+            "cache": cache,
+            "num_particles": NUM_TRACES,
+            "median_step_latency_s": median,
+            "cache_hit_rate": None if info is None else info["hit_rate"],
+        }
+    )
+    if cache:
+        assert info is not None and info["hit_rate"] >= 0.5, (
+            f"fig8 cache hit rate {info} below the 50% floor"
+        )
+
+
+def test_fig8_cache_preserves_posterior_estimates(fig8_setup):
+    """Gate: memoized densities are bitwise identical to recomputation."""
+    run_on, _ = _fig8_step(fig8_setup, None, cache=True)
+    run_off, _ = _fig8_step(fig8_setup, None, cache=False)
+    estimate_on = run_on()
+    estimate_off = run_off()
+    assert estimate_on == estimate_off
+
+
+@pytest.mark.parametrize("backend", [None, "thread"])
+def test_fig9_step_latency_by_backend(fig9_setup, smc_bench, backend):
+    p_params, q_params, corpus = fig9_setup
+    typed, _truth = corpus.test[0]
+    observations = encode(typed)
+    p_model = first_order_model(p_params, observations)
+    q_model = second_order_model(q_params, observations)
+    translator = CorrespondenceTranslator(
+        p_model, q_model, hidden_state_correspondence()
+    )
+    config = InferenceConfig(executor=backend, workers=PARALLEL_WORKERS)
+
+    def run_step():
+        rng = np.random.default_rng(11)
+        traces = [
+            exact_first_order_trace(p_params, observations, rng, p_model)
+            for _ in range(30)
+        ]
+        return infer(translator, WeightedCollection.uniform(traces), rng, config=config)
+
+    median, _ = _median_step_latency(run_step)
+    smc_bench(
+        {
+            "figure": "fig9",
+            "series": f"executor={backend or 'inline'}",
+            "workers": 1 if backend is None else PARALLEL_WORKERS,
+            "cache": True,
+            "num_particles": 30,
+            "median_step_latency_s": median,
+        }
+    )

@@ -1,0 +1,17 @@
+"""Repository-root pytest configuration.
+
+Defines the ``--workers`` option consumed by the cross-backend
+determinism suite (``tests/parallel``): CI runs that suite at an
+explicit worker count (``pytest tests/parallel --workers 2``) on top of
+the grid the tests always cover.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for the cross-backend determinism checks "
+        "(tests/parallel); the in-test backend grid runs regardless",
+    )

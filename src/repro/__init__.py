@@ -62,6 +62,7 @@ from .core import (
     FaultPolicy,
     ImpossibleConstraintError,
     InferenceConfig,
+    LogProbCache,
     Kernel,
     MissingChoiceError,
     Model,
@@ -101,6 +102,7 @@ __all__ = [
     "FaultPolicy",
     "ImpossibleConstraintError",
     "InferenceConfig",
+    "LogProbCache",
     "Kernel",
     "MissingChoiceError",
     "Model",

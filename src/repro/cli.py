@@ -54,16 +54,33 @@ __all__ = ["main", "build_parser"]
 
 
 class _StepTableHooks(Hooks):
-    """Prints one summary line per SMC step (``--verbose``)."""
+    """Prints one summary line per SMC step (``--verbose``).
+
+    Under an executor backend, translation faults happen inside workers;
+    ``SMCStats.faults_by_worker`` carries the per-worker counts back to
+    the coordinating process, and the table prints them in a dedicated
+    column (``w0=2 w1=0 ...``) so a failing worker is visible instead of
+    every fault silently aggregating — or, for process workers, getting
+    lost entirely — in the total.
+    """
 
     HEADER = (
         f"{'step':>4}  {'particles':>9}  {'ess':>8}  {'resampled':>9}  "
-        f"{'translate_s':>11}  {'mcmc_s':>8}  {'faults':>6}"
+        f"{'translate_s':>11}  {'mcmc_s':>8}  {'faults':>6}  by-worker"
     )
 
     def __init__(self) -> None:
         self._step: Optional[int] = None
         self._printed_header = False
+
+    @staticmethod
+    def _format_worker_faults(stats: Any) -> str:
+        by_worker = getattr(stats, "faults_by_worker", None)
+        if by_worker is None:
+            return "-"
+        return " ".join(
+            f"w{worker}={count}" for worker, count in sorted(by_worker.items())
+        )
 
     def on_step_start(self, step_index: Optional[int], num_particles: int) -> None:
         self._step = step_index
@@ -76,7 +93,8 @@ class _StepTableHooks(Hooks):
         print(
             f"{step:>4}  {stats.num_traces:>9}  {stats.ess_before_resample:>8.1f}  "
             f"{'yes' if stats.resampled else 'no':>9}  {stats.translate_seconds:>11.4f}  "
-            f"{stats.mcmc_seconds:>8.4f}  {stats.total_faults:>6}"
+            f"{stats.mcmc_seconds:>8.4f}  {stats.total_faults:>6}  "
+            f"{self._format_worker_faults(stats)}"
         )
 
 
@@ -193,7 +211,8 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
     hooks = _StepTableHooks() if args.verbose else NULL_HOOKS
     config = InferenceConfig(
-        fault_policy=policy, tracer=tracer, metrics=metrics, hooks=hooks
+        fault_policy=policy, tracer=tracer, metrics=metrics, hooks=hooks,
+        executor=args.executor, workers=args.workers,
     )
     step = infer(translator, collection, rng, config=config)
     output = step.collection
@@ -240,9 +259,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 trace_counts=(3, 10),
                 mcmc_iterations=(10, 30),
                 gold_iterations=2000,
+                executor=args.executor,
+                workers=args.workers,
             )
             if args.quick
-            else Fig8Config()
+            else Fig8Config(executor=args.executor, workers=args.workers)
         )
         result = run_fig8(config, tracer=tracer, metrics=metrics)
     else:
@@ -254,9 +275,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 num_test_words=4,
                 trace_counts=(1, 3),
                 gibbs_sweeps=(1,),
+                executor=args.executor,
+                workers=args.workers,
             )
             if args.quick
-            else Fig9Config()
+            else Fig9Config(executor=args.executor, workers=args.workers)
         )
         result = run_fig9(config, tracer=tracer, metrics=metrics)
 
@@ -334,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="write the metrics snapshot as strict JSON")
     translate_cmd.add_argument("-v", "--verbose", action="store_true",
                                help="print a one-line summary per SMC step")
+    _add_executor_arguments(translate_cmd)
     translate_cmd.set_defaults(handler=_cmd_translate)
 
     experiment_cmd = subparsers.add_parser(
@@ -348,9 +372,27 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="write the span-tree trace as strict JSON")
     experiment_cmd.add_argument("--metrics-out", metavar="PATH",
                                 help="write the metrics snapshot as strict JSON")
+    _add_executor_arguments(experiment_cmd)
     experiment_cmd.set_defaults(handler=_cmd_experiment)
 
     return parser
+
+
+def _add_executor_arguments(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--executor", choices=InferenceConfig.EXECUTOR_BACKENDS,
+                     default=None,
+                     help="particle-execution backend for the SMC translate "
+                          "phase (default: inline loop); all backends are "
+                          "byte-identical for a fixed seed")
+    cmd.add_argument("--workers", type=_positive_int, default=None,
+                     help="worker count for --executor (default: core count)")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def main(argv: Optional[List[str]] = None) -> int:

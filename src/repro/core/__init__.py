@@ -33,7 +33,7 @@ from .annealing import (
     sequential_observations,
 )
 from .correspondence import Correspondence
-from .corr_translator import CorrespondenceTranslator, ProposalFn, ProposalMap
+from .corr_translator import CorrespondenceTranslator, LogProbCache, ProposalFn, ProposalMap
 from .enumerate import (
     enumerate_traces,
     exact_choice_marginal,
@@ -70,10 +70,15 @@ from .mcmc import (
     single_site_mh,
 )
 from .model import Model, probabilistic
-from .smc import FaultPolicy, SMCStats, SMCStep, infer, infer_sequence
+from .smc import FaultPolicy, SMCStats, SMCStep, infer, infer_sequence, translate_particle
 from .trace import ChoiceMap, ChoiceRecord, ObservationRecord, Trace
 from .translator import TraceTranslator, TranslationResult, validate_result
-from .weighted import RESAMPLING_SCHEMES, WeightedCollection, effective_sample_size
+from .weighted import (
+    RESAMPLING_SCHEMES,
+    WeightedCollection,
+    effective_sample_size,
+    log_sum_exp_array,
+)
 
 __all__ = [
     "RECOVERABLE_ERRORS",
@@ -94,6 +99,7 @@ __all__ = [
     "sequential_observations",
     "Correspondence",
     "CorrespondenceTranslator",
+    "LogProbCache",
     "ProposalFn",
     "ProposalMap",
     "enumerate_traces",
@@ -129,6 +135,7 @@ __all__ = [
     "SMCStats",
     "SMCStep",
     "infer",
+    "translate_particle",
     "infer_sequence",
     "ChoiceMap",
     "ChoiceRecord",
@@ -140,4 +147,5 @@ __all__ = [
     "RESAMPLING_SCHEMES",
     "WeightedCollection",
     "effective_sample_size",
+    "log_sum_exp_array",
 ]

@@ -12,7 +12,10 @@ everything that shapes an inference run:
 * **robustness** — the per-particle :class:`FaultPolicy` (PR 1);
 * **observability** — the span tracer, metrics registry, and profiling
   hooks of :mod:`repro.observability`, all defaulting to null
-  implementations with no hot-path cost.
+  implementations with no hot-path cost;
+* **execution** — the particle executor backend (``executor`` /
+  ``workers``, :mod:`repro.parallel`) that parallelizes the translate
+  phase of Algorithm 2 across threads or processes.
 
 The config validates eagerly on construction, so a typo'd scheme fails
 in microseconds instead of minutes into a translation run, and it is
@@ -142,11 +145,29 @@ class InferenceConfig:
         Convenience RNG seed: when the ``rng`` argument of ``infer`` is
         omitted, the generator is built from this seed.  An explicit
         ``rng`` always wins.
+    executor:
+        Particle-execution backend for the translate phase: ``None``
+        (the default) keeps the legacy inline loop fed by the shared
+        step RNG; ``"serial"``, ``"thread"``, or ``"process"`` dispatch
+        through :mod:`repro.parallel` with per-particle RNG streams
+        spawned via :class:`numpy.random.SeedSequence` (all three
+        produce byte-identical collections for a fixed seed); a
+        :class:`~repro.parallel.ParticleExecutor` instance is used
+        as-is (and owns its pool lifecycle).
+    workers:
+        Worker count for a string-selected executor backend (defaults
+        to the machine's core count).  Ignored when ``executor`` is
+        ``None`` or an instance.
     tracer / metrics / hooks:
         The observability sinks (:mod:`repro.observability`).  All
         default to the null implementations, which are contractually
         free on hot paths and leave the RNG stream untouched.
     """
+
+    #: Executor backend names accepted as strings (mirrors
+    #: :data:`repro.parallel.EXECUTOR_BACKENDS`; kept literal here so the
+    #: config module never imports the parallel package).
+    EXECUTOR_BACKENDS = ("serial", "thread", "process")
 
     resample: str = "never"
     ess_threshold: float = 0.5
@@ -154,6 +175,8 @@ class InferenceConfig:
     use_weights: bool = True
     fault_policy: Union[str, FaultPolicy, None] = "fail_fast"
     seed: Optional[int] = None
+    executor: Union[str, Any, None] = field(default=None, compare=False)
+    workers: Optional[int] = None
     tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
     metrics: MetricsRegistry = field(default=NULL_METRICS, repr=False, compare=False)
     hooks: Hooks = field(default=NULL_HOOKS, repr=False, compare=False)
@@ -163,6 +186,23 @@ class InferenceConfig:
         # Normalize eagerly: downstream code always sees a FaultPolicy,
         # and a bad mode string fails here rather than mid-run.
         object.__setattr__(self, "fault_policy", FaultPolicy.coerce(self.fault_policy))
+        if isinstance(self.executor, str):
+            if self.executor not in self.EXECUTOR_BACKENDS:
+                raise ValueError(
+                    f"unknown executor backend {self.executor!r}; "
+                    f"choose from {list(self.EXECUTOR_BACKENDS)} (or pass a "
+                    "ParticleExecutor instance)"
+                )
+        elif self.executor is not None and not hasattr(self.executor, "map_translate"):
+            raise TypeError(
+                "executor must be None, a backend name, or an object with a "
+                f"map_translate method, got {self.executor!r}"
+            )
+        if self.workers is not None:
+            workers = int(self.workers)
+            if workers < 1:
+                raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+            object.__setattr__(self, "workers", workers)
 
     def replace(self, **changes: Any) -> "InferenceConfig":
         """A copy with the given fields replaced (re-validated)."""

@@ -21,6 +21,61 @@ from .address import Address, normalize_address
 __all__ = ["Correspondence"]
 
 
+# The stock constructors build their forward/backward maps from these
+# module-level callables rather than local closures so the resulting
+# Correspondence (and any translator holding it) stays picklable — a
+# requirement of the "process" particle executor (repro.parallel).
+
+class _IdentityOverSet:
+    """``f(a) = a`` when ``a`` is in a fixed address set, else None."""
+
+    __slots__ = ("addresses",)
+
+    def __init__(self, addresses: frozenset):
+        self.addresses = addresses
+
+    def __call__(self, address: Address) -> Optional[Address]:
+        return address if address in self.addresses else None
+
+
+class _IdentityByPredicate:
+    """``f(a) = a`` when ``predicate(a)``, else None.
+
+    Picklable iff the predicate is (module-level functions are; lambdas
+    are not — use :meth:`Correspondence.identity` or a named function
+    when targeting the process executor).
+    """
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Callable[[Address], bool]):
+        self.predicate = predicate
+
+    def __call__(self, address: Address) -> Optional[Address]:
+        return address if self.predicate(address) else None
+
+
+class _MappingLookup:
+    """``f(a) = mapping.get(a)`` over a concrete dict."""
+
+    __slots__ = ("mapping",)
+
+    def __init__(self, mapping: Dict[Address, Address]):
+        self.mapping = mapping
+
+    def __call__(self, address: Address) -> Optional[Address]:
+        return self.mapping.get(address)
+
+
+class _EmptyMap:
+    """``f(a) = None`` for every address."""
+
+    __slots__ = ()
+
+    def __call__(self, address: Address) -> Optional[Address]:
+        return None
+
+
 class Correspondence:
     """Bijection between addresses of the target and source programs.
 
@@ -59,35 +114,34 @@ class Correspondence:
                     f"of both {backward_map[p_address]!r} and {q_address!r}"
                 )
             backward_map[p_address] = q_address
-        return cls(forward_map.get, backward_map.get, description=f"dict({len(forward_map)})")
+        return cls(
+            _MappingLookup(forward_map),
+            _MappingLookup(backward_map),
+            description=f"dict({len(forward_map)})",
+        )
 
     @classmethod
     def identity(cls, addresses: Iterable) -> "Correspondence":
         """Identity correspondence over an explicit set of addresses."""
-        address_set = {normalize_address(a) for a in addresses}
-
-        def forward(address: Address) -> Optional[Address]:
-            return address if address in address_set else None
-
-        return cls(forward, forward, description=f"identity({len(address_set)})")
+        forward = _IdentityOverSet(frozenset(normalize_address(a) for a in addresses))
+        return cls(forward, forward, description=f"identity({len(forward.addresses)})")
 
     @classmethod
     def identity_by_predicate(cls, predicate: Callable[[Address], bool]) -> "Correspondence":
         """Identity correspondence over all addresses satisfying ``predicate``.
 
         Useful when the shared addresses form an unbounded family, e.g.
-        ``lambda a: a[0] == "hidden"`` for the HMM hidden states.
+        ``lambda a: a[0] == "hidden"`` for the HMM hidden states (pass a
+        module-level function instead of a lambda when the translator
+        must be picklable for the process executor).
         """
-
-        def forward(address: Address) -> Optional[Address]:
-            return address if predicate(address) else None
-
+        forward = _IdentityByPredicate(predicate)
         return cls(forward, forward, description="identity-by-predicate")
 
     @classmethod
     def empty(cls) -> "Correspondence":
         """The empty correspondence: everything is resampled from scratch."""
-        return cls(lambda _a: None, lambda _a: None, description="empty")
+        return cls(_EmptyMap(), _EmptyMap(), description="empty")
 
     # -- queries ------------------------------------------------------------
 

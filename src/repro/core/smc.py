@@ -27,6 +27,22 @@ The historical per-parameter keywords (``resample=``, ``ess_threshold=``,
 but emit :class:`DeprecationWarning`; they produce byte-identical
 results to the equivalent config.
 
+Parallel execution
+------------------
+
+The translate phase treats particles independently (Lemma 2), so it can
+be dispatched through a :class:`repro.parallel.ParticleExecutor` by
+setting ``InferenceConfig(executor="serial"|"thread"|"process",
+workers=N)``.  Executor-backed steps derive per-particle RNG streams
+from one ``SeedSequence`` spawn (consuming exactly one draw from the
+step generator), so all three backends produce byte-identical
+collections for a fixed seed; the default ``executor=None`` keeps the
+historical inline loop, in which particles share the step RNG, byte-
+identical to previous releases.  With a tracer attached, an
+executor-backed step nests an ``executor.<backend>`` span (with
+particle/chunk/worker counters) inside ``smc.translate`` instead of the
+inline loop's per-particle ``translate.particle`` spans.
+
 Observability
 -------------
 
@@ -68,24 +84,23 @@ resampling, raising :class:`~repro.errors.NumericalError` or
 
 from __future__ import annotations
 
-import math
 import warnings
-from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import RECOVERABLE_ERRORS, DegeneracyError, NumericalError
 from .config import FaultPolicy, InferenceConfig, RegenerateFn, _validate_parameters
-from .handlers import log_sum_exp
 from .mcmc import Kernel
 from .translator import TraceTranslator, validate_result
-from .weighted import WeightedCollection
+from .weighted import WeightedCollection, log_sum_exp_array
 
 __all__ = [
     "SMCStep",
     "infer",
     "infer_sequence",
+    "translate_particle",
     "SMCStats",
     "FaultPolicy",
     "InferenceConfig",
@@ -110,6 +125,12 @@ class SMCStats:
     *attempts* that raised a recoverable error or produced an invalid
     weight, so ``failed >= dropped + regenerated`` whenever retries are
     enabled; ``retried`` counts the re-attempts among them.
+
+    When the step ran through a particle executor
+    (:attr:`InferenceConfig.executor`), ``faults_by_worker`` maps each
+    worker (chunk) id to the number of failed translation attempts it
+    observed — including zeros, so a silent worker is distinguishable
+    from an unused one.  It is ``None`` for the legacy inline loop.
     """
 
     num_traces: int
@@ -124,6 +145,7 @@ class SMCStats:
     dropped: int = 0
     regenerated: int = 0
     mcmc_failed: int = 0
+    faults_by_worker: Optional[Dict[int, int]] = None
 
     @property
     def total_faults(self) -> int:
@@ -142,6 +164,12 @@ class SMCStats:
                 f" dropped={self.dropped} regenerated={self.regenerated}"
                 f" mcmc_failed={self.mcmc_failed}]"
             )
+            if self.faults_by_worker is not None:
+                per_worker = " ".join(
+                    f"w{worker}={count}"
+                    for worker, count in sorted(self.faults_by_worker.items())
+                )
+                text += f" by-worker[{per_worker}]"
         return text
 
 
@@ -181,7 +209,10 @@ def _degeneracy_guard(log_weights: Sequence[float], context: str) -> None:
             f"+inf particle weights {context} at indices "
             f"{np.flatnonzero(np.isposinf(weights)).tolist()}"
         )
-    if bool(np.all(weights == NEG_INF)):
+    # Collapse is detected through the same vectorized log-sum-exp kernel
+    # the normalizers use, so the guard and the estimators agree exactly
+    # on what "zero total mass" means.
+    if log_sum_exp_array(weights) == NEG_INF:
         raise DegeneracyError(
             f"every particle weight collapsed to zero {context}; the collection "
             "carries no information (consider the 'regenerate' fault policy, "
@@ -190,35 +221,46 @@ def _degeneracy_guard(log_weights: Sequence[float], context: str) -> None:
         )
 
 
-def _translate_particle(
+#: Per-particle fault-counter deltas: (failed, retried, dropped, regenerated).
+CounterDeltas = Tuple[int, int, int, int]
+
+
+def translate_particle(
     translator: TraceTranslator,
     item: Any,
     rng: np.random.Generator,
     policy: FaultPolicy,
     regenerate_fn: Optional[RegenerateFn],
-    counters: "_FaultCounters",
-) -> Tuple[str, Any, float]:
+) -> Tuple[str, Any, float, CounterDeltas]:
     """Translate one particle under the fault policy.
 
-    Returns ``(outcome, trace, log_weight_increment_or_weight)`` where
-    outcome is ``"ok"`` (increment), ``"dropped"`` (increment is
-    ``-inf``), or ``"regenerated"`` (the value is the particle's new
-    *absolute* log weight, not an increment).
+    Returns ``(outcome, trace, value, counter_deltas)`` where outcome is
+    ``"ok"`` (``value`` is the log-weight increment), ``"dropped"``
+    (``value`` is ``-inf``), or ``"regenerated"`` (``value`` is the
+    particle's new *absolute* log weight, not an increment), and
+    ``counter_deltas`` is this particle's ``(failed, retried, dropped,
+    regenerated)`` contribution to the step's fault counters.
+
+    This is the unit of work shipped to executor workers
+    (:mod:`repro.parallel.worker`): it touches no shared state, so a
+    chunk of particles can run it anywhere as long as each particle gets
+    its own RNG stream.
     """
     if policy.mode == "fail_fast":
         result = validate_result(translator.translate(rng, item))
-        return "ok", result.trace, result.log_weight
+        return "ok", result.trace, result.log_weight, (0, 0, 0, 0)
 
+    failed = retried = 0
     attempts_left = policy.max_retries if policy.mode == "regenerate" else 0
     first_attempt = True
     while True:
         try:
             if not first_attempt:
-                counters.retried += 1
+                retried += 1
             result = validate_result(translator.translate(rng, item))
-            return "ok", result.trace, result.log_weight
+            return "ok", result.trace, result.log_weight, (failed, retried, 0, 0)
         except RECOVERABLE_ERRORS:
-            counters.failed += 1
+            failed += 1
             first_attempt = False
             if attempts_left > 0:
                 attempts_left -= 1
@@ -226,8 +268,7 @@ def _translate_particle(
             break
 
     if policy.mode == "drop":
-        counters.dropped += 1
-        return "dropped", item, NEG_INF
+        return "dropped", item, NEG_INF, (failed, retried, 1, 0)
 
     assert regenerate_fn is not None  # resolved up front for this mode
     try:
@@ -235,11 +276,8 @@ def _translate_particle(
     except RECOVERABLE_ERRORS:
         # Even the fallback failed: degrade to dropping so one particle
         # still cannot take down the collection.
-        counters.failed += 1
-        counters.dropped += 1
-        return "dropped", item, NEG_INF
-    counters.regenerated += 1
-    return "regenerated", trace, float(log_weight)
+        return "dropped", item, NEG_INF, (failed + 1, retried, 1, 0)
+    return "regenerated", trace, float(log_weight), (failed, retried, 0, 1)
 
 
 #: Span counter names per translation outcome, precomputed to keep the
@@ -258,6 +296,13 @@ class _FaultCounters:
     dropped: int = 0
     regenerated: int = 0
     mcmc_failed: int = 0
+
+    def merge(self, deltas: CounterDeltas) -> None:
+        failed, retried, dropped, regenerated = deltas
+        self.failed += failed
+        self.retried += retried
+        self.dropped += dropped
+        self.regenerated += regenerated
 
 
 def _merge_legacy_config(
@@ -300,6 +345,20 @@ def _resolve_rng(
     raise TypeError(f"{caller}() needs an rng (or an InferenceConfig with a seed)")
 
 
+def _resolve_config_executor(config: InferenceConfig) -> Any:
+    """Resolve ``config.executor`` to a ParticleExecutor (or None).
+
+    Imported lazily so the (overwhelmingly common) ``executor=None``
+    path never touches :mod:`repro.parallel` — and so the core package
+    has no import-time dependency on it.
+    """
+    if config.executor is None:
+        return None
+    from ..parallel import resolve_executor
+
+    return resolve_executor(config.executor, config.workers)
+
+
 def _infer_step(
     translator: TraceTranslator,
     traces: WeightedCollection,
@@ -307,6 +366,7 @@ def _infer_step(
     mcmc_kernel: Optional[Kernel],
     config: InferenceConfig,
     step_index: Optional[int] = None,
+    executor: Any = None,
 ) -> SMCStep:
     """One Algorithm-2 step under an already-validated config."""
     policy: FaultPolicy = config.fault_policy  # coerced by InferenceConfig
@@ -323,55 +383,103 @@ def _infer_step(
     hooks.on_step_start(step_index, len(traces))
     with tracer.span("smc.step") as step_span:
         new_items: List[Any] = []
-        new_log_weights: List[float] = []
-        #: Per-particle evidence increment; None excludes the particle from
-        #: the logZ estimate (regenerated particles carry no increment).
-        increments: List[Optional[float]] = []
+        outcomes: List[str] = []
+        #: Per-particle value: the log-weight increment for "ok", -inf for
+        #: "dropped", the new absolute log weight for "regenerated".
+        values: List[float] = []
+        faults_by_worker: Optional[Dict[int, int]] = None
+        backend_name: Optional[str] = None
         open_span = tracer.span  # hoisted: one bound-method lookup, not N
         on_particle = hooks.on_particle
         with tracer.span("smc.translate") as translate_span:
-            for index, (item, old_log_weight) in enumerate(
-                zip(traces.items, traces.log_weights)
-            ):
-                if trace_enabled:
-                    with open_span("translate.particle") as particle_span:
-                        outcome, trace, value = _translate_particle(
-                            translator, item, rng, policy, regenerate_fn, counters
+            if executor is None:
+                # Legacy inline loop: every particle draws from the shared
+                # step RNG, byte-identical to the pre-executor behaviour.
+                for index, item in enumerate(traces.items):
+                    if trace_enabled:
+                        with open_span("translate.particle") as particle_span:
+                            outcome, trace, value, deltas = translate_particle(
+                                translator, item, rng, policy, regenerate_fn
+                            )
+                            particle_span.count(_OUTCOME_COUNTERS[outcome])
+                    else:
+                        outcome, trace, value, deltas = translate_particle(
+                            translator, item, rng, policy, regenerate_fn
                         )
-                        particle_span.count(_OUTCOME_COUNTERS[outcome])
-                else:
-                    outcome, trace, value = _translate_particle(
-                        translator, item, rng, policy, regenerate_fn, counters
-                    )
-                on_particle(index, outcome)
-                new_items.append(trace)
-                if outcome == "regenerated":
-                    # An absolute importance weight for the target posterior:
-                    # the particle's history (and increment) no longer applies.
-                    new_log_weights.append(value)
-                    increments.append(None)
-                elif outcome == "dropped":
-                    new_log_weights.append(NEG_INF)
-                    increments.append(NEG_INF)
-                else:
-                    increments.append(value)
-                    new_log_weights.append(
-                        old_log_weight + value if config.use_weights else old_log_weight
-                    )
+                    counters.merge(deltas)
+                    on_particle(index, outcome)
+                    outcomes.append(outcome)
+                    new_items.append(trace)
+                    values.append(value)
+            else:
+                from ..parallel import spawn_particle_rngs
 
-        collection: WeightedCollection = WeightedCollection(new_items, new_log_weights)
+                backend_name = getattr(executor, "name", type(executor).__name__)
+                with open_span(f"executor.{backend_name}") as executor_span:
+                    seeds = spawn_particle_rngs(rng, len(traces))
+                    results = executor.map_translate(
+                        translator, traces.items, seeds, policy, regenerate_fn
+                    )
+                    faults_by_worker = {}
+                    for index, result in enumerate(results):
+                        counters.merge(
+                            (result.failed, result.retried, result.dropped,
+                             result.regenerated)
+                        )
+                        faults_by_worker[result.worker] = (
+                            faults_by_worker.get(result.worker, 0) + result.failed
+                        )
+                        # Hooks fire in particle order after the map returns,
+                        # so observers see the same sequence as the inline
+                        # loop — just batched at the end of the phase.
+                        on_particle(index, result.outcome)
+                        outcomes.append(result.outcome)
+                        new_items.append(result.trace)
+                        values.append(result.value)
+                    if trace_enabled:
+                        executor_span.count("particles", len(results))
+                        executor_span.count("chunks", len(faults_by_worker))
+                        executor_span.count(
+                            "workers", int(getattr(executor, "workers", 0))
+                        )
+                        for outcome_kind, counter in _OUTCOME_COUNTERS.items():
+                            observed = outcomes.count(outcome_kind)
+                            if observed:
+                                executor_span.count(counter, observed)
 
-        # Incremental evidence estimate: sum_j W_j * ŵ_j with W the input's
-        # normalized weights (estimates Z_Q / Z_P; chains across steps into
-        # the standard SMC marginal-likelihood estimator).  Regenerated
-        # particles are excluded: they have no translation increment.
-        input_weights = traces.normalized_weights()
+        # Vectorized weight assembly: one numpy pass instead of a Python
+        # branch per particle.  "ok" carries the old weight forward (plus
+        # the increment unless ablated); "dropped" lands on -inf and
+        # "regenerated" on its absolute importance weight — both of which
+        # arrive pre-encoded in `values`.
+        value_array = np.asarray(values, dtype=float)
+        old_log_weights = np.asarray(traces.log_weights, dtype=float)
+        ok_mask = np.fromiter(
+            (outcome == "ok" for outcome in outcomes), dtype=bool, count=len(outcomes)
+        )
+        regenerated_mask = np.fromiter(
+            (outcome == "regenerated" for outcome in outcomes),
+            dtype=bool,
+            count=len(outcomes),
+        )
+        carried = (
+            old_log_weights + value_array if config.use_weights else old_log_weights
+        )
+        new_log_weights = np.where(ok_mask, carried, value_array)
+        collection: WeightedCollection = WeightedCollection(
+            new_items, new_log_weights.tolist()
+        )
+
+        # Incremental evidence estimate, entirely in log space:
+        # logsumexp_j(log W_j + d_j) with W the input's normalized weights
+        # (estimates Z_Q / Z_P; chains across steps into the standard SMC
+        # marginal-likelihood estimator).  Regenerated particles are
+        # excluded — they have no translation increment — while dropped
+        # particles contribute exactly zero mass via d = -inf.  Log space
+        # keeps particles whose linear weight underflows exp() in the sum.
+        input_log_norm = traces.log_normalized_weights()
         log_mean_increment = float(
-            log_sum_exp(
-                math.log(w) + d
-                for w, d in zip(input_weights, increments)
-                if w > 0.0 and d is not None
-            )
+            log_sum_exp_array((input_log_norm + value_array)[~regenerated_mask])
         )
 
         _degeneracy_guard(collection.log_weights, "after translation")
@@ -416,6 +524,9 @@ def _infer_step(
         metrics.counter("smc.faults.mcmc_failed").inc(counters.mcmc_failed)
         if should_resample:
             metrics.counter("smc.resamples").inc()
+        if backend_name is not None:
+            metrics.counter(f"smc.executor.{backend_name}.steps").inc()
+            metrics.counter(f"smc.executor.{backend_name}.particles").inc(len(traces))
         metrics.histogram("smc.ess_before_resample").observe(ess_before)
         metrics.histogram("smc.translate_seconds").observe(translate_span.duration)
 
@@ -432,6 +543,7 @@ def _infer_step(
         dropped=counters.dropped,
         regenerated=counters.regenerated,
         mcmc_failed=counters.mcmc_failed,
+        faults_by_worker=faults_by_worker,
     )
     hooks.on_step_end(stats)
     return SMCStep(collection, stats)
@@ -489,7 +601,8 @@ def infer(
         fault_policy=fault_policy,
     )
     rng = _resolve_rng("infer", rng, config)
-    return _infer_step(translator, traces, rng, mcmc_kernel, config)
+    executor = _resolve_config_executor(config)
+    return _infer_step(translator, traces, rng, mcmc_kernel, config, executor=executor)
 
 
 def infer_sequence(
@@ -529,6 +642,7 @@ def infer_sequence(
         fault_policy=fault_policy,
     )
     rng = _resolve_rng("infer_sequence", rng, config)
+    executor = _resolve_config_executor(config)  # resolved once, shared by all steps
     if mcmc_kernels is None:
         mcmc_kernels = [None] * len(translators)
     if len(mcmc_kernels) != len(translators):
@@ -539,7 +653,8 @@ def infer_sequence(
     for step_index, (translator, kernel) in enumerate(zip(translators, mcmc_kernels)):
         try:
             step = _infer_step(
-                translator, collection, rng, kernel, config, step_index=step_index
+                translator, collection, rng, kernel, config,
+                step_index=step_index, executor=executor,
             )
         except DegeneracyError as error:
             if error.step is None:

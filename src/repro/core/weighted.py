@@ -20,16 +20,39 @@ from typing import Callable, Generic, List, Optional, Sequence, TypeVar
 import numpy as np
 
 from ..errors import DegeneracyError, NumericalError
-from .handlers import log_sum_exp
 
-__all__ = ["WeightedCollection", "effective_sample_size", "RESAMPLING_SCHEMES"]
+__all__ = [
+    "WeightedCollection",
+    "effective_sample_size",
+    "log_sum_exp_array",
+    "RESAMPLING_SCHEMES",
+]
 
 T = TypeVar("T")
 
 NEG_INF = float("-inf")
 
 
-def _normalized_weights(log_weights: Sequence[float]) -> np.ndarray:
+def log_sum_exp_array(log_values: np.ndarray) -> float:
+    """Vectorized ``log(sum(exp(values)))`` over a float array.
+
+    The numpy kernel behind weight normalization, ESS, the evidence
+    increments of :mod:`repro.core.smc`, and the degeneracy guard — one
+    shared max-shifted implementation, so every consumer underflows (or
+    rather, doesn't) identically.  ``-inf`` entries contribute zero
+    mass; an empty or all-``-inf`` vector yields ``-inf``.
+    """
+    log_values = np.asarray(log_values, dtype=float)
+    if log_values.size == 0:
+        return NEG_INF
+    high = float(np.max(log_values))
+    if high == NEG_INF:
+        return NEG_INF
+    return high + float(np.log(np.sum(np.exp(log_values - high))))
+
+
+def _checked_log_weights(log_weights: Sequence[float]) -> np.ndarray:
+    """As a float array, rejecting NaN / +inf entries."""
     log_weights = np.asarray(log_weights, dtype=float)
     if len(log_weights) == 0:
         raise ValueError("empty weight vector")
@@ -43,13 +66,28 @@ def _normalized_weights(log_weights: Sequence[float]) -> np.ndarray:
             f"weight vector contains +inf at indices "
             f"{np.flatnonzero(np.isposinf(log_weights)).tolist()}"
         )
-    total = log_sum_exp(log_weights)
+    return log_weights
+
+
+def _log_normalized_weights(log_weights: Sequence[float]) -> np.ndarray:
+    """Log-space normalized weights (no exp/log round trip).
+
+    Staying in log space is what lets downstream estimators weight
+    particles whose *linear* weight underflows ``exp`` — the old scalar
+    path silently excluded them.
+    """
+    log_weights = _checked_log_weights(log_weights)
+    total = log_sum_exp_array(log_weights)
     if total == NEG_INF:
         raise DegeneracyError(
             "all weights are zero; the collection carries no information",
             num_particles=len(log_weights),
         )
-    return np.exp(log_weights - total)
+    return log_weights - total
+
+
+def _normalized_weights(log_weights: Sequence[float]) -> np.ndarray:
+    return np.exp(_log_normalized_weights(log_weights))
 
 
 def effective_sample_size(log_weights: Sequence[float]) -> float:
@@ -80,9 +118,7 @@ def _stratified_indices(weights: np.ndarray, size: int, rng: np.random.Generator
 def _residual_indices(weights: np.ndarray, size: int, rng: np.random.Generator) -> np.ndarray:
     scaled = weights * size
     counts = np.floor(scaled).astype(int)
-    indices: List[int] = []
-    for i, count in enumerate(counts):
-        indices.extend([i] * count)
+    indices = np.repeat(np.arange(len(weights)), counts)
     remainder = size - len(indices)
     if remainder > 0:
         residual = scaled - counts
@@ -91,8 +127,8 @@ def _residual_indices(weights: np.ndarray, size: int, rng: np.random.Generator) 
             extra = rng.choice(len(weights), size=remainder, replace=True, p=weights)
         else:
             extra = rng.choice(len(weights), size=remainder, replace=True, p=residual / residual_total)
-        indices.extend(int(i) for i in extra)
-    return np.asarray(indices[:size])
+        indices = np.concatenate([indices, extra])
+    return indices[:size]
 
 
 RESAMPLING_SCHEMES = {
@@ -139,6 +175,16 @@ class WeightedCollection(Generic[T]):
     def normalized_weights(self) -> np.ndarray:
         return _normalized_weights(self.log_weights)
 
+    def log_normalized_weights(self) -> np.ndarray:
+        """Normalized weights in log space (``logw_j - logsumexp(logw)``).
+
+        Prefer this over ``log(normalized_weights())`` when combining
+        with other log quantities: it never round-trips through ``exp``,
+        so particles whose linear weight underflows keep their exact
+        log-space mass.
+        """
+        return _log_normalized_weights(self.log_weights)
+
     def effective_sample_size(self) -> float:
         return effective_sample_size(self.log_weights)
 
@@ -151,7 +197,7 @@ class WeightedCollection(Generic[T]):
         SMC loop) contribute zero mass, so the result stays finite and
         NaN-free as long as one particle's weight is.
         """
-        return log_sum_exp(self.log_weights) - math.log(len(self))
+        return log_sum_exp_array(np.asarray(self.log_weights)) - math.log(len(self))
 
     # -- estimation (Equation 5) -------------------------------------------------
 
@@ -166,11 +212,13 @@ class WeightedCollection(Generic[T]):
         or return ``NaN`` that would then poison the dot product.
         """
         weights = self.normalized_weights()
-        total = 0.0
-        for weight, item in zip(weights, self.items):
-            if weight > 0.0:
-                total += float(weight) * float(phi(item))
-        return total
+        support = np.flatnonzero(weights > 0.0)
+        values = np.fromiter(
+            (float(phi(self.items[int(i)])) for i in support),
+            dtype=float,
+            count=len(support),
+        )
+        return float(weights[support] @ values)
 
     def estimate_probability(self, event: Callable[[T], bool]) -> float:
         """Estimate ``Pr[event]`` using the indicator of the event."""

@@ -64,6 +64,14 @@ class Fig8Config:
         )
     )
     gold_iterations: int = 20000
+    #: Particle-execution backend for the incremental series (None = the
+    #: inline loop; "serial"/"thread"/"process" dispatch through
+    #: repro.parallel) and its worker count.
+    executor: Optional[str] = None
+    workers: Optional[int] = None
+    #: Memoize density evaluations in the translator (False for the
+    #: cache-ablation benchmark series).
+    log_prob_cache: bool = True
 
 
 @dataclass
@@ -111,13 +119,23 @@ def run_fig8(
     """
     config = config or Fig8Config()
     tracer = tracer if tracer is not None else Tracer()
-    inference = InferenceConfig(tracer=tracer, metrics=metrics)
+    inference = InferenceConfig(
+        tracer=tracer,
+        metrics=metrics,
+        executor=config.executor,
+        workers=config.workers,
+    )
     rng = np.random.default_rng(config.seed)
     data = hospital_like_dataset(rng, num_points=config.num_points)
     p_model = no_outlier_model(config.p_params, data.xs, data.ys)
     q_model = outlier_model(config.q_params, data.xs, data.ys)
     posterior = conjugate_posterior(config.p_params, data.xs, data.ys)
-    translator = CorrespondenceTranslator(p_model, q_model, coefficient_correspondence())
+    translator = CorrespondenceTranslator(
+        p_model,
+        q_model,
+        coefficient_correspondence(),
+        log_prob_cache=config.log_prob_cache,
+    )
 
     gold = gold_standard_slope(q_model, config.q_params, posterior, rng, config.gold_iterations)
     rows: List[Row] = []

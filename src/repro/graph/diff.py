@@ -114,6 +114,25 @@ def _align(old: Node, new: Node, mapping: Dict[str, str]) -> None:
     # Different kinds: no correspondence below this point.
 
 
+class _LabelHeadMap:
+    """Apply a label map to an address head, preserving loop indices.
+
+    Module-level (not a closure) so diff-derived correspondences — and
+    the lang translators built on them — stay picklable for the
+    ``process`` particle executor.
+    """
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels: Dict[str, str]):
+        self.labels = labels
+
+    def __call__(self, address):
+        label, rest = address[0], address[1:]
+        mapped = self.labels.get(label)
+        return (mapped,) + rest if mapped is not None else None
+
+
 def label_correspondence(label_map: Dict[str, str]) -> Correspondence:
     """Lift a new-label -> old-label map to an address correspondence.
 
@@ -131,17 +150,11 @@ def label_correspondence(label_map: Dict[str, str]) -> Correspondence:
             )
         inverse[old_label] = new_label
 
-    def forward(address):
-        label, rest = address[0], address[1:]
-        old_label = label_map.get(label)
-        return (old_label,) + rest if old_label is not None else None
-
-    def backward(address):
-        label, rest = address[0], address[1:]
-        new_label = inverse.get(label)
-        return (new_label,) + rest if new_label is not None else None
-
-    return Correspondence(forward, backward, description=f"labels({len(label_map)})")
+    return Correspondence(
+        _LabelHeadMap(dict(label_map)),
+        _LabelHeadMap(inverse),
+        description=f"labels({len(label_map)})",
+    )
 
 
 def diff_correspondence(old: Stmt, new: Stmt) -> Correspondence:

@@ -350,6 +350,35 @@ def interpret(
     return dict(interpreter.env)
 
 
+class _LangModelFn:
+    """Module-level callable wrapping one program interpretation.
+
+    A closure would make every lang model unpicklable and rule out the
+    ``process`` particle executor; this class keeps the captured state
+    (program AST, initial bindings, observability sinks) in plain
+    attributes instead.
+    """
+
+    __slots__ = ("program", "initial", "tracer", "metrics")
+
+    def __init__(
+        self,
+        program: Stmt,
+        initial: Dict[str, Any],
+        tracer: Tracer,
+        metrics: MetricsRegistry,
+    ):
+        self.program = program
+        self.initial = initial
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def __call__(self, t: TraceHandler) -> Any:
+        return interpret(
+            self.program, t, self.initial, tracer=self.tracer, metrics=self.metrics
+        )
+
+
 def lang_model(
     program: Stmt,
     env: Optional[Dict[str, Any]] = None,
@@ -366,8 +395,6 @@ def lang_model(
     performs.
     """
     initial = dict(env) if env else {}
-
-    def fn(t: TraceHandler) -> Any:
-        return interpret(program, t, initial, tracer=tracer, metrics=metrics)
-
-    return Model(fn, name=name or "lang_program")
+    return Model(
+        _LangModelFn(program, initial, tracer, metrics), name=name or "lang_program"
+    )

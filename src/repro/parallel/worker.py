@@ -1,0 +1,110 @@
+"""Per-chunk particle translation: the function that runs on workers.
+
+A chunk is a contiguous slice of the particle collection plus the
+matching slice of spawned seed sequences.  :func:`translate_chunk` runs
+the fault-policy-aware per-particle translation
+(:func:`repro.core.smc.translate_particle`) over the slice with each
+particle's private RNG stream, and returns one :class:`ParticleOutcome`
+per particle.  Because every particle's randomness comes from its own
+:class:`numpy.random.SeedSequence` child (indexed by *global* particle
+position), the outcomes are independent of which worker — or how many —
+ran the chunk.
+
+:func:`chunk_entry` is the picklable top-level entry point submitted to
+:class:`concurrent.futures.ProcessPoolExecutor`; the thread backend uses
+:func:`translate_chunk_isolated`, which first deep-copies the translator
+so stateful wrappers (chaos injectors, log-prob caches) get the same
+chunk-private isolation that process workers get from pickling.
+
+Chaos alignment: translators that expose a ``sync_calls(index)`` method
+(see :class:`repro.testing.faults.FaultyTranslator`) are re-synced to
+the global particle index before each particle, so a *scripted* fault
+schedule hits the same particles under every backend and chunking.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ParticleOutcome", "translate_chunk", "translate_chunk_isolated", "chunk_entry"]
+
+
+class ParticleOutcome(NamedTuple):
+    """Result of translating one particle under the fault policy.
+
+    ``value`` is the log-weight increment for ``"ok"`` outcomes, ``-inf``
+    for ``"dropped"``, and the particle's new *absolute* log weight for
+    ``"regenerated"``.  The four counter fields are this particle's
+    fault-counter deltas; ``worker`` is the id of the chunk that ran it.
+    """
+
+    outcome: str
+    trace: Any
+    value: float
+    failed: int
+    retried: int
+    dropped: int
+    regenerated: int
+    worker: int
+
+
+def translate_chunk(
+    translator: Any,
+    items: Sequence[Any],
+    seeds: Sequence[np.random.SeedSequence],
+    policy: Any,
+    regenerate_fn: Any,
+    start_index: int,
+    worker_id: int,
+) -> List[ParticleOutcome]:
+    """Translate one contiguous particle slice with per-particle RNGs."""
+    from ..core.smc import translate_particle
+
+    sync = getattr(translator, "sync_calls", None)
+    outcomes: List[ParticleOutcome] = []
+    for offset, (item, seed) in enumerate(zip(items, seeds)):
+        if sync is not None:
+            sync(start_index + offset)
+        rng = np.random.default_rng(seed)
+        outcome, trace, value, counters = translate_particle(
+            translator, item, rng, policy, regenerate_fn
+        )
+        outcomes.append(ParticleOutcome(outcome, trace, value, *counters, worker_id))
+    return outcomes
+
+
+def translate_chunk_isolated(
+    translator: Any,
+    items: Sequence[Any],
+    seeds: Sequence[np.random.SeedSequence],
+    policy: Any,
+    regenerate_fn: Any,
+    start_index: int,
+    worker_id: int,
+) -> List[ParticleOutcome]:
+    """Thread-backend chunk: deep-copy the translator first.
+
+    The copy gives each chunk private translator state — mirroring the
+    pickling isolation of process workers — so concurrent chunks never
+    race on injector streams or log-prob caches.  A ``regenerate_fn``
+    that is a bound method of the original translator is re-bound to the
+    copy, again matching what pickling does.
+    """
+    original = translator
+    translator = copy.deepcopy(original)
+    if regenerate_fn is not None and getattr(regenerate_fn, "__self__", None) is original:
+        regenerate_fn = getattr(translator, regenerate_fn.__name__)
+    return translate_chunk(
+        translator, items, seeds, policy, regenerate_fn, start_index, worker_id
+    )
+
+
+def chunk_entry(payload: Tuple) -> List[ParticleOutcome]:
+    """Process-pool entry point: unpack one pickled chunk payload."""
+    translator, items, seeds, policy, regenerate_fn, start_index, worker_id = payload
+    return translate_chunk(
+        translator, items, seeds, policy, regenerate_fn, start_index, worker_id
+    )

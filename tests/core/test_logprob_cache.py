@@ -1,0 +1,197 @@
+"""Tests for the reuse-aware log-prob cache (LogProbCache).
+
+The cache's contract has two halves: it must be *transparent* (a cached
+score is bitwise identical to recomputation, so inference results never
+change) and it must be *effective* (seeding from the source trace makes
+the backward kernel's replay hit, and unchanged forward reuses copy the
+record's log_prob without scoring at all).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Correspondence,
+    CorrespondenceTranslator,
+    LogProbCache,
+    Model,
+    WeightedCollection,
+    infer,
+)
+from repro.distributions import Flip, Normal
+from repro.distributions.base import Distribution
+
+
+class CountingFlip(Flip):
+    """Flip that counts every real log_prob evaluation."""
+
+    evaluations = 0
+
+    def log_prob(self, value):
+        type(self).evaluations += 1
+        return super().log_prob(value)
+
+
+class TestLogProbCache:
+    def test_hits_and_misses(self):
+        cache = LogProbCache()
+        dist = Flip(0.3)
+        first = cache.score("x", dist, 1)
+        second = cache.score("x", dist, 1)
+        assert first == second == dist.log_prob(1)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_includes_address_dist_and_value(self):
+        cache = LogProbCache()
+        cache.score("x", Flip(0.3), 1)
+        cache.score("y", Flip(0.3), 1)  # different address
+        cache.score("x", Flip(0.4), 1)  # different params
+        cache.score("x", Flip(0.3), 0)  # different value
+        assert cache.hits == 0 and cache.misses == 4
+
+    def test_bitwise_identical_to_recomputation(self):
+        cache = LogProbCache()
+        dist = Normal(0.25, 1.75)
+        value = 0.123456789
+        cache.score("z", dist, value)
+        assert cache.score("z", dist, value).hex() == dist.log_prob(value).hex()
+
+    def test_unhashable_value_scores_directly(self):
+        class AnyValueFlip(Flip):
+            def log_prob(self, value):
+                return -1.25
+
+        cache = LogProbCache()
+        dist = AnyValueFlip(0.5)
+        # The TypeError guard turns the lookup into a direct call: an
+        # unhashable (list) value is scored but never stored.
+        for _ in range(2):
+            assert cache.score("x", dist, [1, 2]) == -1.25
+        assert cache.hits == 0 and cache.misses == 2
+        assert cache.cache_info()["entries"] == 0
+
+    def test_seed_trace_populates_without_counting(self):
+        model = Model(lambda t: t.sample(Flip(0.6), "x"))
+        trace = model.simulate(np.random.default_rng(0))
+        cache = LogProbCache()
+        cache.seed_trace(trace)
+        assert cache.hits == 0 and cache.misses == 0
+        (record,) = trace.choices()
+        assert cache.score(record.address, record.dist, record.value) == record.log_prob
+        assert cache.hits == 1
+
+    def test_overflow_clears_wholesale(self):
+        cache = LogProbCache(max_entries=2)
+        for value in (0, 1):
+            cache.score("x", Flip(0.5), value)
+        assert cache.cache_info()["entries"] == 2
+        cache.score("y", Flip(0.5), 0)  # triggers the clear, then inserts
+        assert cache.cache_info()["entries"] == 1
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            LogProbCache(max_entries=0)
+
+    def test_hit_rate_and_info(self):
+        cache = LogProbCache()
+        assert cache.hit_rate() == 0.0
+        cache.score("x", Flip(0.5), 1)
+        cache.score("x", Flip(0.5), 1)
+        cache.reuse_hits += 2
+        assert cache.total_hits == 3
+        assert cache.hit_rate() == pytest.approx(3 / 4)
+        info = cache.cache_info()
+        assert info["hits"] == 1 and info["reuse_hits"] == 2 and info["misses"] == 1
+
+
+def _flip_translator(**kwargs):
+    source = Model(lambda t: t.sample(Flip(0.5), "x"), name="p")
+    target = Model(lambda t: t.sample(Flip(0.8), "x"), name="q")
+    return CorrespondenceTranslator(
+        source, target, Correspondence.identity(["x"]), **kwargs
+    )
+
+
+class TestTranslatorIntegration:
+    def test_cache_enabled_by_default(self):
+        translator = _flip_translator()
+        assert translator.cache is not None
+        assert translator.cache_info()["misses"] == 0
+
+    def test_cache_can_be_disabled(self):
+        translator = _flip_translator(log_prob_cache=False)
+        assert translator.cache is None
+        assert translator.cache_info() is None
+
+    def test_capacity_is_configurable(self):
+        translator = _flip_translator(cache_max_entries=17)
+        assert translator.cache.max_entries == 17
+
+    def test_inverse_propagates_cache_settings(self):
+        inverse = _flip_translator(cache_max_entries=17).inverse()
+        assert inverse.cache.max_entries == 17
+        assert _flip_translator(log_prob_cache=False).inverse().cache is None
+
+    def test_translation_results_identical_with_and_without_cache(self):
+        """The acceptance gate: memoization never changes the numbers."""
+        fingerprints = []
+        for cached in (True, False):
+            translator = _flip_translator(log_prob_cache=cached)
+            rng = np.random.default_rng(42)
+            traces = [translator.source.simulate(rng) for _ in range(50)]
+            step = infer(translator, WeightedCollection.uniform(traces), rng)
+            fingerprints.append(
+                [
+                    (tuple(t.choices()), t.log_prob, w.hex())
+                    for t, w in zip(step.collection.items, step.collection.log_weights)
+                ]
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_translate_records_hits(self):
+        translator = _flip_translator()
+        rng = np.random.default_rng(3)
+        trace = translator.source.simulate(rng)
+        translator.translate(rng, trace)
+        info = translator.cache_info()
+        assert info["hits"] + info["reuse_hits"] > 0
+
+    def test_cache_elides_repeat_evaluations(self):
+        CountingFlip.evaluations = 0
+        source = Model(lambda t: t.sample(CountingFlip(0.5), "x"), name="p")
+        target = Model(lambda t: t.sample(CountingFlip(0.8), "x"), name="q")
+        translator = CorrespondenceTranslator(
+            source, target, Correspondence.identity(["x"])
+        )
+        rng = np.random.default_rng(3)
+        trace = source.simulate(rng)
+        translator.translate(rng, trace)
+        with_cache = CountingFlip.evaluations
+
+        CountingFlip.evaluations = 0
+        uncached = CorrespondenceTranslator(
+            source, target, Correspondence.identity(["x"]), log_prob_cache=False
+        )
+        rng = np.random.default_rng(3)
+        trace = source.simulate(rng)
+        uncached.translate(rng, trace)
+        assert with_cache < CountingFlip.evaluations
+
+    def test_non_cacheable_distributions_always_evaluate(self):
+        class Stateful(Flip):
+            cacheable_log_prob = False
+            calls = 0
+
+            def log_prob(self, value):
+                type(self).calls += 1
+                return super().log_prob(value)
+
+        cache = LogProbCache()
+        dist = Stateful(0.5)
+        trace = Model(lambda t: t.sample(dist, "x")).simulate(np.random.default_rng(0))
+        cache.seed_trace(trace)
+        assert cache.cache_info()["entries"] == 0  # seeding skipped it
+
+    def test_distribution_default_is_cacheable(self):
+        assert Distribution.cacheable_log_prob is True
+        assert Flip(0.5).cacheable_log_prob is True

@@ -1,0 +1,35 @@
+"""Module-level (picklable) models for the executor test suite.
+
+The ``process`` backend pickles the translator — and with it the model
+functions — to its workers, so everything here must live at module
+level (the closure-based model factories used elsewhere in the test
+suite would fail to pickle, which is itself asserted in
+``test_executor.py``).
+"""
+
+from repro import Correspondence, CorrespondenceTranslator, Model
+from repro.distributions import Flip
+
+
+def source_fn(t):
+    x = t.sample(Flip(0.5), "x")
+    y = t.sample(Flip(0.7 if x else 0.3), "y")
+    t.observe(Flip(0.9 if y else 0.2), 1, "o")
+    return x
+
+
+def target_fn(t):
+    x = t.sample(Flip(0.4), "x")
+    y = t.sample(Flip(0.75 if x else 0.25), "y")
+    t.observe(Flip(0.85 if y else 0.25), 1, "o")
+    return x
+
+
+SOURCE = Model(source_fn, name="source")
+TARGET = Model(target_fn, name="target")
+
+
+def make_translator(**kwargs):
+    return CorrespondenceTranslator(
+        SOURCE, TARGET, Correspondence.identity(["x", "y"]), **kwargs
+    )

@@ -1,0 +1,7 @@
+import pytest
+
+
+@pytest.fixture
+def cli_workers(request):
+    """Worker count from ``--workers`` (see the root conftest)."""
+    return request.config.getoption("--workers")
