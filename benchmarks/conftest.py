@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 _SMC_RECORDS = []
+_STORE_RECORDS = []
 
 
 @pytest.fixture
@@ -39,21 +40,40 @@ def smc_bench():
     return record
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not _SMC_RECORDS:
-        return
-    out = os.environ.get("BENCH_SMC_OUT")
+@pytest.fixture
+def store_bench():
+    """Record one structured measurement destined for BENCH_store.json.
+
+    Call it with a dict; ``operation``, ``series`` and
+    ``median_latency_s`` are the conventional keys.
+    """
+
+    def record(entry):
+        _STORE_RECORDS.append(dict(entry))
+
+    return record
+
+
+def _write_bench_file(records, default_name, env_var):
+    out = os.environ.get(env_var)
     if out is None:
-        out = str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_smc.json")
+        out = str(pathlib.Path(__file__).resolve().parent.parent / default_name)
     payload = {
         "machine": {
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
         },
-        "records": _SMC_RECORDS,
+        "records": records,
     }
     with open(out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"\nBENCH_smc.json: {len(_SMC_RECORDS)} records written to {out}")
+    print(f"\n{default_name}: {len(records)} records written to {out}")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _SMC_RECORDS:
+        _write_bench_file(_SMC_RECORDS, "BENCH_smc.json", "BENCH_SMC_OUT")
+    if _STORE_RECORDS:
+        _write_bench_file(_STORE_RECORDS, "BENCH_store.json", "BENCH_STORE_OUT")

@@ -11,6 +11,14 @@ Subcommands (``python -m repro.cli <cmd>`` or the ``repro`` script):
 * ``translate OLD NEW`` — incremental inference across an edit: sample
   traces of OLD, translate each to NEW with the diff correspondence,
   and print the weighted return-value distribution with diagnostics;
+* ``sequence FILE FILE [FILE ...]`` — iterated incremental inference
+  over a whole edit chain, with optional durable checkpoints
+  (``--checkpoint-dir``/``--checkpoint-every``);
+* ``resume FILE FILE [FILE ...]`` — continue a killed ``sequence`` run
+  from its latest valid checkpoint; the resumed run reproduces the
+  uninterrupted run's final collection byte for byte;
+* ``session NAME`` — run a scripted multi-edit inference-session
+  workflow (fig8 regression / fig10 GMM) through the store layer;
 * ``experiment NAME`` — run a figure reproduction (fig8/fig9).
 
 Observability: ``translate`` and ``experiment`` accept ``--trace-out
@@ -20,13 +28,22 @@ strict — no bare NaN/Infinity tokens), and ``translate`` additionally
 
 Environment parameters are passed as ``--env name=value`` (repeatable);
 values parse as int, then float, then a comma-separated list of numbers.
+
+Exit codes distinguish failure classes: ``2`` (:data:`EXIT_USAGE`) for
+bad arguments — unreadable files, malformed flags, a checkpoint written
+by a newer library version; ``3`` (:data:`EXIT_FAULT`) for inference
+faults — a :class:`~repro.errors.ReproError` escaping the run under a
+``fail_fast`` policy.  ``repro check`` keeps its documented ``1`` for
+"diagnostics found".
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, NoReturn, Optional
 
 import numpy as np
 
@@ -36,21 +53,39 @@ from .core import (
     InferenceConfig,
     WeightedCollection,
     infer,
+    infer_sequence,
 )
 from .core.enumerate import exact_return_distribution
+from .errors import ReproError, SchemaVersionError
 from .graph import align_labels, diff_correspondence
 from .lang import lang_model, parse_program, pretty
 from .observability import (
     NULL_HOOKS,
     NULL_METRICS,
     NULL_TRACER,
+    CompositeHooks,
     Hooks,
     MetricsRegistry,
     Tracer,
     dump_json,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_USAGE", "EXIT_FAULT"]
+
+#: Exit code for bad arguments / unusable inputs (argparse uses 2 too).
+EXIT_USAGE = 2
+#: Exit code for an inference fault (a ReproError escaping the run).
+EXIT_FAULT = 3
+
+#: When set to an integer k, ``repro sequence`` SIGTERMs its own process
+#: after k SMC steps complete — the CI kill-switch that exercises
+#: checkpoint recovery against a genuinely dead process.
+KILL_ENV_VAR = "REPRO_KILL_AFTER_STEP"
+
+
+def _fail_usage(message: str) -> NoReturn:
+    print(f"repro: error: {message}", file=sys.stderr)
+    raise SystemExit(EXIT_USAGE)
 
 
 class _StepTableHooks(Hooks):
@@ -113,7 +148,7 @@ def _parse_env(pairs: Optional[List[str]]) -> Dict[str, Any]:
     env: Dict[str, Any] = {}
     for pair in pairs or []:
         if "=" not in pair:
-            raise SystemExit(f"--env expects name=value, got {pair!r}")
+            _fail_usage(f"--env expects name=value, got {pair!r}")
         name, _eq, value = pair.partition("=")
         env[name.strip()] = _parse_env_value(value.strip())
     return env
@@ -124,7 +159,7 @@ def _load_program(path: str):
         with open(path) as handle:
             source = handle.read()
     except OSError as error:
-        raise SystemExit(f"cannot read {path}: {error}")
+        _fail_usage(f"cannot read {path}: {error}")
     return parse_program(source)
 
 
@@ -206,7 +241,7 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     try:
         policy = FaultPolicy(mode=args.fault_policy, max_retries=args.max_retries)
     except ValueError as error:
-        raise SystemExit(f"repro translate: error: {error}")
+        _fail_usage(str(error))
     tracer = Tracer() if args.trace_out else NULL_TRACER
     metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
     hooks = _StepTableHooks() if args.verbose else NULL_HOOKS
@@ -241,6 +276,172 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     top = sorted(values.items(), key=lambda kv: -kv[1])[: args.top]
     for value, probability in top:
         print(f"P(return = {value!r}) = {probability:.4f}")
+    return 0
+
+
+class _KillAfterStep(Hooks):
+    """SIGTERM our own process once ``steps`` SMC steps have completed.
+
+    The CI persistence job uses this (via :data:`KILL_ENV_VAR`) to die
+    mid-sequence with checkpoints on disk, then proves that ``repro
+    resume`` reproduces the uninterrupted run byte for byte.  The kill
+    fires at ``on_step_end`` — *before* the sequence loop writes that
+    step's checkpoint — so recovery always replays at least one step.
+    """
+
+    def __init__(self, steps: int):
+        if steps < 1:
+            _fail_usage(f"{KILL_ENV_VAR} must be >= 1, got {steps}")
+        self._remaining = steps
+
+    def on_step_end(self, stats: Any) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _chain_translators(args: argparse.Namespace):
+    """Parse the program chain and build its adjacent-edit translators."""
+    if len(args.files) < 2:
+        _fail_usage("need at least two programs to form an edit sequence")
+    programs = [_load_program(path) for path in args.files]
+    env = _parse_env(args.env)
+    models = [
+        lang_model(program, env=env, name=f"p{index}")
+        for index, program in enumerate(programs)
+    ]
+    translators = [
+        CorrespondenceTranslator(
+            models[index],
+            models[index + 1],
+            diff_correspondence(programs[index], programs[index + 1]),
+        )
+        for index in range(len(models) - 1)
+    ]
+    return programs, models, translators
+
+
+def _sequence_config(args: argparse.Namespace, metrics, hooks) -> InferenceConfig:
+    return InferenceConfig(
+        resample="adaptive",
+        metrics=metrics,
+        hooks=hooks,
+        executor=args.executor,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+
+def _emit_sequence_outputs(args, collection, steps, metrics) -> None:
+    if args.metrics_out:
+        dump_json(metrics.to_dict(), args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.out:
+        from .store import dumps
+
+        body = dumps(collection)
+        with open(args.out, "wb") as handle:
+            handle.write(body)
+        print(f"final collection written to {args.out} ({len(body)} bytes)")
+    print(
+        f"sequence complete: {len(steps)} step(s), "
+        f"{len(collection)} particles, "
+        f"effective sample size {collection.effective_sample_size():.1f}"
+    )
+
+
+def _cmd_sequence(args: argparse.Namespace) -> int:
+    _programs, models, translators = _chain_translators(args)
+    rng = np.random.default_rng(args.seed)
+
+    traces, log_weights = [], []
+    for _ in range(args.num_samples):
+        trace, log_weight = models[0].generate(rng)
+        traces.append(trace)
+        log_weights.append(log_weight)
+    collection = WeightedCollection(traces, log_weights).resample(rng)
+
+    metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
+    hooks: Hooks = _StepTableHooks() if args.verbose else NULL_HOOKS
+    kill_after = os.environ.get(KILL_ENV_VAR)
+    if kill_after is not None:
+        hooks = CompositeHooks([hooks, _KillAfterStep(int(kill_after))])
+    config = _sequence_config(args, metrics, hooks)
+
+    steps = infer_sequence(translators, collection, rng, config=config)
+    _emit_sequence_outputs(args, steps[-1].collection, steps, metrics)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .store import CheckpointManager
+
+    _programs, _models, translators = _chain_translators(args)
+    manager = CheckpointManager(args.checkpoint_dir, every=args.checkpoint_every)
+    try:
+        checkpoint = manager.load_latest()
+    except SchemaVersionError as error:
+        _fail_usage(f"incompatible checkpoint: {error}")
+    if checkpoint is None:
+        _fail_usage(f"no usable checkpoint found in {args.checkpoint_dir}")
+    if checkpoint.rng is None:
+        _fail_usage(
+            f"checkpoint {checkpoint.path} carries no RNG state and cannot "
+            "resume deterministically"
+        )
+    completed = checkpoint.step + 1
+    if completed > len(translators):
+        _fail_usage(
+            f"checkpoint {checkpoint.path} is at step {checkpoint.step}, but the "
+            f"given chain only has {len(translators)} edit(s)"
+        )
+    print(f"resuming from {checkpoint.path} (step {checkpoint.step} complete)")
+
+    metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
+    hooks: Hooks = _StepTableHooks() if args.verbose else NULL_HOOKS
+    config = _sequence_config(args, metrics, hooks)
+
+    remaining = translators[completed:]
+    if remaining:
+        steps = infer_sequence(
+            remaining, checkpoint.collection, checkpoint.rng,
+            config=config, step_offset=completed,
+        )
+        collection = steps[-1].collection
+    else:
+        steps, collection = [], checkpoint.collection
+    _emit_sequence_outputs(args, collection, steps, metrics)
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    from .experiments.session_demo import SESSION_WORKFLOWS
+
+    runner = SESSION_WORKFLOWS[args.name]
+    report = runner(
+        num_particles=args.num_samples,
+        seed=args.seed,
+        store_dir=args.store_dir,
+    )
+    print(
+        f"session {report['session_id']}: {report['num_edits']} edits, "
+        f"{report['session_metrics']['session.particles_translated']['value']:.0f} "
+        "particle translations"
+    )
+    if args.store_dir:
+        print(f"session persisted to {args.store_dir}")
+    if args.metrics_out:
+        dump_json(
+            {
+                "session": report["session_metrics"],
+                "manager": report["manager_metrics"],
+                "history": report["history"],
+                "summaries": report["summaries"],
+            },
+            args.metrics_out,
+        )
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -360,6 +561,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_arguments(translate_cmd)
     translate_cmd.set_defaults(handler=_cmd_translate)
 
+    sequence_cmd = subparsers.add_parser(
+        "sequence", help="iterated incremental inference over an edit chain"
+    )
+    sequence_cmd.add_argument("files", nargs="+", metavar="FILE",
+                              help="the programs of the edit chain, in order")
+    sequence_cmd.add_argument("--env", action="append", metavar="NAME=VALUE")
+    sequence_cmd.add_argument("-n", "--num-samples", type=int, default=1000)
+    sequence_cmd.add_argument("--seed", type=int, default=None)
+    _add_checkpoint_arguments(sequence_cmd)
+    sequence_cmd.add_argument("--out", metavar="PATH",
+                              help="write the final collection as a canonical "
+                                   "store-codec document (byte-stable)")
+    sequence_cmd.add_argument("--metrics-out", metavar="PATH",
+                              help="write the metrics snapshot as strict JSON")
+    sequence_cmd.add_argument("-v", "--verbose", action="store_true",
+                              help="print a one-line summary per SMC step")
+    _add_executor_arguments(sequence_cmd)
+    sequence_cmd.set_defaults(handler=_cmd_sequence)
+
+    resume_cmd = subparsers.add_parser(
+        "resume", help="continue a killed sequence run from its latest checkpoint"
+    )
+    resume_cmd.add_argument("files", nargs="+", metavar="FILE",
+                            help="the same program chain the sequence run used")
+    resume_cmd.add_argument("--env", action="append", metavar="NAME=VALUE")
+    _add_checkpoint_arguments(resume_cmd, required=True)
+    resume_cmd.add_argument("--out", metavar="PATH",
+                            help="write the final collection as a canonical "
+                                 "store-codec document (byte-stable)")
+    resume_cmd.add_argument("--metrics-out", metavar="PATH",
+                            help="write the metrics snapshot as strict JSON")
+    resume_cmd.add_argument("-v", "--verbose", action="store_true",
+                            help="print a one-line summary per SMC step")
+    _add_executor_arguments(resume_cmd)
+    resume_cmd.set_defaults(handler=_cmd_resume)
+
+    session_cmd = subparsers.add_parser(
+        "session", help="run a scripted multi-edit inference-session workflow"
+    )
+    session_cmd.add_argument("name", choices=("fig8", "fig10"),
+                             help="fig8: robust regression on the embedded PPL; "
+                                  "fig10: GMM on the dependency-graph runtime")
+    session_cmd.add_argument("-n", "--num-samples", type=int, default=200,
+                             help="particles in the session's collection")
+    session_cmd.add_argument("--seed", type=int, default=0)
+    session_cmd.add_argument("--store-dir", metavar="DIR",
+                             help="persist the session to this store directory")
+    session_cmd.add_argument("--metrics-out", metavar="PATH",
+                             help="write per-session metrics, edit history, and "
+                                  "summaries as strict JSON")
+    session_cmd.set_defaults(handler=_cmd_session)
+
     experiment_cmd = subparsers.add_parser(
         "experiment", help="run a figure reproduction"
     )
@@ -376,6 +629,16 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_cmd.set_defaults(handler=_cmd_experiment)
 
     return parser
+
+
+def _add_checkpoint_arguments(cmd: argparse.ArgumentParser, required: bool = False) -> None:
+    cmd.add_argument("--checkpoint-dir", metavar="DIR", required=required,
+                     default=None,
+                     help="directory for atomic, checksummed step checkpoints")
+    cmd.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                     metavar="K",
+                     help="checkpoint cadence in steps (the final step is "
+                          "always checkpointed)")
 
 
 def _add_executor_arguments(cmd: argparse.ArgumentParser) -> None:
@@ -398,7 +661,11 @@ def _positive_int(text: str) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"repro {args.command}: inference fault: {error}", file=sys.stderr)
+        return EXIT_FAULT
 
 
 if __name__ == "__main__":

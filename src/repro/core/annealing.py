@@ -153,6 +153,9 @@ def annealed_importance_sampling(
     mcmc_kernel_for: Optional[Callable[[Model], Any]] = None,
     *,
     config: Optional[InferenceConfig] = None,
+    step_offset: int = 0,
+    initial_collection: Optional[WeightedCollection] = None,
+    initial_log_ratio: float = 0.0,
 ) -> Tuple[WeightedCollection, float]:
     """Annealed importance sampling [Neal 2001] via trace translation.
 
@@ -172,25 +175,65 @@ def annealed_importance_sampling(
     and ``workers`` select the particle backend for every rung's
     translate phase (pass a picklable ``make_model`` product — module-
     level model functions — when using ``"process"``).
+
+    When the config sets ``checkpoint_dir``, every rung's collection and
+    the RNG state at the rung boundary are snapshotted through
+    :class:`~repro.store.CheckpointManager` (cadence
+    ``checkpoint_every``; the final rung is always saved).  Each
+    checkpoint's ``extra`` carries the running ``log_ratio``, so a
+    killed run resumes byte-identically::
+
+        ck = CheckpointManager(directory).load_latest()
+        annealed_importance_sampling(
+            make_model, num_steps, num_particles, ck.rng,
+            step_offset=ck.step + 1,
+            initial_collection=ck.collection,
+            initial_log_ratio=ck.extra["log_ratio"],
+        )
+
+    ``step_offset`` counts completed rungs: rung ``k`` translates
+    ``models[k]`` to ``models[k + 1]``.
     """
-    from .smc import infer
+    from .smc import _resolve_config_checkpoints, infer
 
     if config is None:
         config = InferenceConfig(resample="adaptive", resampling_scheme="systematic")
+    if step_offset < 0:
+        raise ValueError(f"step_offset must be >= 0, got {step_offset}")
     models = interpolated_schedule(make_model, num_steps)
-    traces, log_weights = [], []
-    for _ in range(num_particles):
-        trace, log_weight = models[0].generate(rng)
-        traces.append(trace)
-        log_weights.append(log_weight)
-    collection = WeightedCollection(traces, log_weights)
+    if step_offset >= len(models):
+        raise ValueError(
+            f"step_offset {step_offset} leaves no rungs in a {num_steps}-step path"
+        )
+    if initial_collection is not None:
+        collection = initial_collection
+    elif step_offset != 0:
+        raise ValueError("resuming with step_offset requires initial_collection")
+    else:
+        traces, log_weights = [], []
+        for _ in range(num_particles):
+            trace, log_weight = models[0].generate(rng)
+            traces.append(trace)
+            log_weights.append(log_weight)
+        collection = WeightedCollection(traces, log_weights)
 
+    checkpoints = _resolve_config_checkpoints(config)
     correspondence = full_identity_correspondence()
-    log_ratio = 0.0
-    for previous, current in zip(models, models[1:]):
+    log_ratio = float(initial_log_ratio)
+    remaining = list(zip(models, models[1:]))[step_offset:]
+    for local_index, (previous, current) in enumerate(remaining):
+        step_index = step_offset + local_index
         translator = CorrespondenceTranslator(previous, current, correspondence)
         kernel = mcmc_kernel_for(current) if mcmc_kernel_for is not None else None
         step = infer(translator, collection, rng, mcmc_kernel=kernel, config=config)
         log_ratio += step.stats.log_mean_weight_increment
         collection = step.collection
+        if checkpoints is not None:
+            checkpoints.maybe_save(
+                step_index,
+                collection,
+                rng=rng,
+                extra={"log_ratio": log_ratio, "stats": step.stats},
+                force=local_index == len(remaining) - 1,
+            )
     return collection, log_ratio

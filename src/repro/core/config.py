@@ -162,6 +162,16 @@ class InferenceConfig:
         The observability sinks (:mod:`repro.observability`).  All
         default to the null implementations, which are contractually
         free on hot paths and leave the RNG stream untouched.
+    checkpoint_dir:
+        When set, :func:`~repro.core.smc.infer_sequence` (and the
+        annealing drivers) snapshot the run into this directory through
+        :class:`repro.store.CheckpointManager` — atomically, with a
+        checksum, capturing the collection *and* the RNG generator state
+        so a resumed run continues byte-identically.  ``None`` (the
+        default) keeps checkpointing completely out of the hot path.
+    checkpoint_every:
+        Snapshot cadence in steps (``1`` = after every step).  The final
+        step of a sequence is always checkpointed regardless of cadence.
     """
 
     #: Executor backend names accepted as strings (mirrors
@@ -180,6 +190,8 @@ class InferenceConfig:
     tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
     metrics: MetricsRegistry = field(default=NULL_METRICS, repr=False, compare=False)
     hooks: Hooks = field(default=NULL_HOOKS, repr=False, compare=False)
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         _validate_parameters(self.resample, self.ess_threshold, self.resampling_scheme)
@@ -203,6 +215,17 @@ class InferenceConfig:
             if workers < 1:
                 raise ValueError(f"workers must be >= 1, got {self.workers!r}")
             object.__setattr__(self, "workers", workers)
+        if self.checkpoint_dir is not None and not isinstance(self.checkpoint_dir, str):
+            raise TypeError(
+                f"checkpoint_dir must be a directory path string or None, "
+                f"got {self.checkpoint_dir!r}"
+            )
+        every = int(self.checkpoint_every)
+        if every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every!r}"
+            )
+        object.__setattr__(self, "checkpoint_every", every)
 
     def replace(self, **changes: Any) -> "InferenceConfig":
         """A copy with the given fields replaced (re-validated)."""

@@ -359,6 +359,19 @@ def _resolve_config_executor(config: InferenceConfig) -> Any:
     return resolve_executor(config.executor, config.workers)
 
 
+def _resolve_config_checkpoints(config: InferenceConfig) -> Any:
+    """Build the CheckpointManager for ``config.checkpoint_dir`` (or None).
+
+    Lazy for the same reason as the executor: the default unconfigured
+    path must not import (or pay for) :mod:`repro.store`.
+    """
+    if config.checkpoint_dir is None:
+        return None
+    from ..store import CheckpointManager
+
+    return CheckpointManager(config.checkpoint_dir, every=config.checkpoint_every)
+
+
 def _infer_step(
     translator: TraceTranslator,
     traces: WeightedCollection,
@@ -467,7 +480,9 @@ def _infer_step(
         )
         new_log_weights = np.where(ok_mask, carried, value_array)
         collection: WeightedCollection = WeightedCollection(
-            new_items, new_log_weights.tolist()
+            new_items,
+            new_log_weights.tolist(),
+            metadata=None if traces.metadata is None else list(traces.metadata),
         )
 
         # Incremental evidence estimate, entirely in log space:
@@ -506,7 +521,11 @@ def _infer_step(
                         except RECOVERABLE_ERRORS:
                             counters.mcmc_failed += 1
                             rejuvenated.append(item)  # keep the pre-kernel trace
-                    collection = WeightedCollection(rejuvenated, list(collection.log_weights))
+                    collection = WeightedCollection(
+                        rejuvenated,
+                        list(collection.log_weights),
+                        metadata=collection.metadata,
+                    )
                 else:
                     collection = collection.map(lambda trace: mcmc_kernel(rng, trace))
 
@@ -616,6 +635,7 @@ def infer_sequence(
     fault_policy: Any = _UNSET,
     *,
     config: Optional[InferenceConfig] = None,
+    step_offset: int = 0,
 ) -> List[SMCStep]:
     """Iterate Algorithm 2 across a sequence of programs.
 
@@ -631,6 +651,20 @@ def infer_sequence(
     receives the step index, and a
     :class:`~repro.errors.DegeneracyError` raised mid-sequence is
     annotated with the index of the offending step.
+
+    Checkpointing
+    -------------
+
+    With ``config.checkpoint_dir`` set, the collection and the RNG
+    generator state are snapshotted through
+    :class:`repro.store.CheckpointManager` after every
+    ``config.checkpoint_every``-th step (and always after the final
+    one).  ``step_offset`` shifts the global step indices — pass the
+    resumed checkpoint's ``step + 1`` together with the *remaining*
+    translators, and the continued run reports, checkpoints, and draws
+    randomness exactly as the uninterrupted run would: because the
+    generator state is captured at the step boundary, kill-and-resume
+    reproduces the uninterrupted final collection byte for byte.
     """
     config = _merge_legacy_config(
         "infer_sequence",
@@ -647,10 +681,14 @@ def infer_sequence(
         mcmc_kernels = [None] * len(translators)
     if len(mcmc_kernels) != len(translators):
         raise ValueError("one (possibly None) MCMC kernel per translator is required")
+    if step_offset < 0:
+        raise ValueError(f"step_offset must be >= 0, got {step_offset}")
+    checkpoints = _resolve_config_checkpoints(config)
 
     steps: List[SMCStep] = []
     collection = initial
-    for step_index, (translator, kernel) in enumerate(zip(translators, mcmc_kernels)):
+    for local_index, (translator, kernel) in enumerate(zip(translators, mcmc_kernels)):
+        step_index = step_offset + local_index
         try:
             step = _infer_step(
                 translator, collection, rng, kernel, config,
@@ -662,4 +700,15 @@ def infer_sequence(
             raise
         steps.append(step)
         collection = step.collection
+        if checkpoints is not None:
+            # The generator state is captured *after* the step, so a
+            # resume replays the remaining steps with exactly the draws
+            # the uninterrupted run would have made.
+            checkpoints.maybe_save(
+                step_index,
+                collection,
+                rng=rng,
+                extra={"stats": step.stats},
+                force=local_index == len(translators) - 1,
+            )
     return steps

@@ -14,8 +14,9 @@ sequences.
 
 from __future__ import annotations
 
+import copy as _copy
 import math
-from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, Generic, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -145,9 +146,25 @@ class WeightedCollection(Generic[T]):
     Items are usually :class:`~repro.core.trace.Trace` objects, but the
     collection is generic so the graph runtime can store its own trace
     representation.
+
+    ``metadata`` optionally attaches one mutable dict per particle
+    (provenance, per-particle annotations, session bookkeeping).  It
+    rides along with the particle through :meth:`map`/:meth:`scaled` —
+    within one live run, transformed collections share the same logical
+    particles, so they share the dicts — but every path that creates an
+    *independent* copy of a particle deep-copies its metadata:
+    :meth:`copy`, and :meth:`resample` (two offspring of one parent must
+    not share a dict).  The persistence codec round-trips metadata, so a
+    collection restored from a checkpoint can never alias mutable state
+    with the live run it was snapshotted from.
     """
 
-    def __init__(self, items: Sequence[T], log_weights: Optional[Sequence[float]] = None):
+    def __init__(
+        self,
+        items: Sequence[T],
+        log_weights: Optional[Sequence[float]] = None,
+        metadata: Optional[Sequence[Optional[Dict[str, Any]]]] = None,
+    ):
         self.items: List[T] = list(items)
         if log_weights is None:
             log_weights = [0.0] * len(self.items)
@@ -158,6 +175,13 @@ class WeightedCollection(Generic[T]):
             )
         if not self.items:
             raise ValueError("a weighted collection needs at least one item")
+        self.metadata: Optional[List[Optional[Dict[str, Any]]]] = None
+        if metadata is not None:
+            self.metadata = list(metadata)
+            if len(self.metadata) != len(self.items):
+                raise ValueError(
+                    f"{len(self.items)} items but {len(self.metadata)} metadata entries"
+                )
 
     @classmethod
     def uniform(cls, items: Sequence[T]) -> "WeightedCollection[T]":
@@ -227,7 +251,11 @@ class WeightedCollection(Generic[T]):
     # -- transformation -----------------------------------------------------------
 
     def map(self, fn: Callable[[T], T]) -> "WeightedCollection[T]":
-        return WeightedCollection([fn(item) for item in self.items], list(self.log_weights))
+        return WeightedCollection(
+            [fn(item) for item in self.items],
+            list(self.log_weights),
+            metadata=None if self.metadata is None else list(self.metadata),
+        )
 
     def scaled(self, log_increments: Sequence[float]) -> "WeightedCollection[T]":
         """Multiply weights by per-item increments (``w'_j = w_j * Δw_j``)."""
@@ -236,6 +264,22 @@ class WeightedCollection(Generic[T]):
         return WeightedCollection(
             list(self.items),
             [w + float(d) for w, d in zip(self.log_weights, log_increments)],
+            metadata=None if self.metadata is None else list(self.metadata),
+        )
+
+    def copy(self) -> "WeightedCollection[T]":
+        """An independent copy of the collection.
+
+        Items are shared (traces are treated as immutable values), but
+        per-particle metadata is **deep-copied**: mutating the copy's
+        metadata must never leak into the original — the invariant the
+        checkpoint/session layer relies on to keep a resumed collection
+        disjoint from the live run.
+        """
+        return WeightedCollection(
+            list(self.items),
+            list(self.log_weights),
+            metadata=_copy.deepcopy(self.metadata),
         )
 
     def resample(
@@ -257,7 +301,14 @@ class WeightedCollection(Generic[T]):
         size = size if size is not None else len(self)
         weights = self.normalized_weights()
         indices = RESAMPLING_SCHEMES[scheme](weights, size, rng)
-        return WeightedCollection([self.items[int(i)] for i in indices], [0.0] * size)
+        metadata = None
+        if self.metadata is not None:
+            # Each offspring gets its own deep copy: two particles
+            # resampled from one parent must not share a mutable dict.
+            metadata = [_copy.deepcopy(self.metadata[int(i)]) for i in indices]
+        return WeightedCollection(
+            [self.items[int(i)] for i in indices], [0.0] * size, metadata=metadata
+        )
 
     def __repr__(self) -> str:
         return (

@@ -47,6 +47,11 @@ __all__ = [
     "ModelExecutionError",
     "NumericalError",
     "DegeneracyError",
+    "StoreError",
+    "CodecError",
+    "SchemaVersionError",
+    "CheckpointCorruptionError",
+    "SessionError",
     "RECOVERABLE_ERRORS",
 ]
 
@@ -119,6 +124,46 @@ class DegeneracyError(NumericalError):
         if self.step is not None:
             return f"{base} (at SMC step {self.step})"
         return base
+
+
+class StoreError(ReproError):
+    """Root of the persistence layer's failures (:mod:`repro.store`).
+
+    Deliberately *not* in :data:`RECOVERABLE_ERRORS`: a storage failure
+    concerns the run's durable state, not one particle, so the
+    fault-isolated SMC loop must never swallow it.
+    """
+
+
+class CodecError(StoreError, ValueError):
+    """A value could not be serialized or a document could not be decoded."""
+
+
+class SchemaVersionError(CodecError):
+    """A stored document was written by a *newer* library version.
+
+    Older schemas are migrated forward; newer ones are rejected so a
+    downgraded library never half-reads state it does not understand.
+    """
+
+    def __init__(self, message: str, *, found: Optional[int] = None,
+                 supported: Optional[int] = None):
+        super().__init__(message)
+        self.found = found
+        self.supported = supported
+
+
+class CheckpointCorruptionError(StoreError):
+    """A checkpoint file failed its checksum or is truncated.
+
+    ``CheckpointManager.load_latest`` treats this as a skippable
+    condition (fall back to the previous checkpoint); loading a specific
+    step by hand surfaces it directly.
+    """
+
+
+class SessionError(StoreError):
+    """An inference-session operation failed (unknown id, no store, ...)."""
 
 
 #: Failure classes the SMC loop may contain to a single particle.  The

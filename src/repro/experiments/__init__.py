@@ -32,6 +32,9 @@ __all__ = [
     "Fig10Config",
     "Fig10Result",
     "run_fig10",
+    "run_fig8_session",
+    "run_fig10_session",
+    "SESSION_WORKFLOWS",
     "Row",
     "median_time",
     "print_table",
@@ -54,6 +57,9 @@ _LOCATIONS = {
     "Fig10Config": "fig10",
     "Fig10Result": "fig10",
     "run_fig10": "fig10",
+    "run_fig8_session": "session_demo",
+    "run_fig10_session": "session_demo",
+    "SESSION_WORKFLOWS": "session_demo",
     "Row": "harness",
     "median_time": "harness",
     "print_table": "harness",

@@ -23,7 +23,7 @@ from .executor import (
     resolve_executor,
     spawn_particle_rngs,
 )
-from .worker import ParticleOutcome
+from .worker import ParticleOutcome, payload_nbytes
 
 __all__ = [
     "EXECUTOR_BACKENDS",
@@ -36,4 +36,5 @@ __all__ = [
     "get_executor",
     "resolve_executor",
     "spawn_particle_rngs",
+    "payload_nbytes",
 ]

@@ -209,10 +209,15 @@ class ProcessExecutor(ParticleExecutor):
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None, *, record_payloads: bool = False):
         super().__init__(workers)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._lock = threading.Lock()
+        #: When True, every map_translate records the codec-serialized
+        #: size of each shipped particle chunk in last_payload_nbytes.
+        #: Off by default — measuring costs one extra encode per chunk.
+        self.record_payloads = bool(record_payloads)
+        self.last_payload_nbytes: Optional[List[int]] = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lock:
@@ -221,7 +226,7 @@ class ProcessExecutor(ParticleExecutor):
             return self._pool
 
     def map_translate(self, translator, items, seeds, policy, regenerate_fn):
-        from .worker import chunk_entry
+        from .worker import chunk_entry, payload_nbytes
 
         pool = self._ensure_pool()
         payloads = [
@@ -229,6 +234,10 @@ class ProcessExecutor(ParticleExecutor):
              policy, regenerate_fn, lo, worker_id)
             for worker_id, (lo, hi) in enumerate(chunk_bounds(len(items), self.workers))
         ]
+        if self.record_payloads:
+            self.last_payload_nbytes = [
+                payload_nbytes(payload[1]) for payload in payloads
+            ]
         try:
             futures = [pool.submit(chunk_entry, payload) for payload in payloads]
             outcomes: List[Any] = []

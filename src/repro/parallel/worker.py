@@ -29,7 +29,13 @@ from typing import Any, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ParticleOutcome", "translate_chunk", "translate_chunk_isolated", "chunk_entry"]
+__all__ = [
+    "ParticleOutcome",
+    "translate_chunk",
+    "translate_chunk_isolated",
+    "chunk_entry",
+    "payload_nbytes",
+]
 
 
 class ParticleOutcome(NamedTuple):
@@ -108,3 +114,19 @@ def chunk_entry(payload: Tuple) -> List[ParticleOutcome]:
     return translate_chunk(
         translator, items, seeds, policy, regenerate_fn, start_index, worker_id
     )
+
+
+def payload_nbytes(items: Sequence[Any], format: str = "binary") -> int:
+    """Serialized size of a particle slice, in bytes.
+
+    The ``process`` backend ships each chunk's particles across a pipe;
+    this measures that shipping cost explicitly by encoding the slice
+    through the durable :mod:`repro.store` codec (the same envelope a
+    checkpoint writes, so checkpoint sizes and chunk-shipping sizes are
+    directly comparable).  Used by the chunk-shipping diagnostics of
+    :class:`~repro.parallel.executor.ProcessExecutor` and the store
+    benchmarks.
+    """
+    from ..store import dumps
+
+    return len(dumps(list(items), format))

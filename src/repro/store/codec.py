@@ -1,0 +1,541 @@
+"""Versioned codec for durable inference state.
+
+Everything the persistence layer stores — checkpoints of
+``infer_sequence`` runs, evicted inference sessions, benchmark
+snapshots — goes through this module's two dual functions::
+
+    document = serialize(obj)        # strict-JSON-able dict
+    obj2     = deserialize(document)
+
+plus the byte-level pair :func:`dumps`/:func:`loads` which adds the two
+wire formats: canonical strict JSON (sorted keys, no whitespace, no bare
+``NaN``/``Infinity`` tokens) and an optional binary framing (magic +
+schema header + pickled document) for large collections where JSON
+encoding cost matters.
+
+Supported object kinds
+----------------------
+
+* :class:`~repro.core.trace.Trace` — the embedded PPL's trace, which is
+  also what the structured language's interpreter produces, so lang
+  traces round-trip through the same path;
+* :class:`~repro.graph.records.GraphTrace` — the dependency-graph
+  runtime's trace.  The owning program AST is stored *structurally*
+  (node class + fields) alongside the record tree, and statement
+  references are rebound by structural descent on decode.  Pretty-
+  printing and reparsing would **not** work here: parser-assigned labels
+  encode source positions, so a formatting change would silently rename
+  every address;
+* :class:`~repro.core.weighted.WeightedCollection` of either trace kind
+  (log weights and per-particle metadata included);
+* :class:`~repro.core.smc.SMCStats`;
+* ``numpy.random.Generator`` — via ``bit_generator.state``, so a
+  restored generator continues the exact stream;
+* plain JSON-able values, tuples, non-string-keyed dicts, numpy scalars
+  and arrays, and any composition of the above (e.g. a checkpoint's
+  ``{"step": ..., "collection": ..., "rng": ...}`` payload).
+
+Bitwise fidelity
+----------------
+
+Log probabilities and log weights are stored as plain JSON numbers:
+Python's ``json`` emits ``repr(float)`` (the shortest string that parses
+back to the same IEEE-754 double), so finite floats survive a JSON round
+trip bit for bit.  The only floats JSON cannot carry — ``inf``, ``-inf``
+(a dropped particle's weight), ``nan`` — are encoded as explicit tags.
+
+Schema policy
+-------------
+
+Every document carries ``schema`` (:data:`SCHEMA_VERSION`).  Documents
+with an *older* schema are migrated forward on read (none exist yet);
+documents with a *newer* schema raise
+:class:`~repro.errors.SchemaVersionError` — a downgraded library must
+refuse state it cannot fully understand rather than half-read it.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import pickle
+import struct
+from typing import Any, Dict, List, Type
+
+import numpy as np
+
+from ..core.smc import SMCStats
+from ..core.trace import ChoiceRecord, ObservationRecord, Trace
+from ..core.weighted import WeightedCollection
+from ..distributions import Distribution
+from ..errors import CodecError, SchemaVersionError
+from ..graph.records import GraphTrace, StmtRecord
+from ..lang import ast as lang_ast
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BINARY_MAGIC",
+    "DISTRIBUTION_REGISTRY",
+    "AST_REGISTRY",
+    "serialize",
+    "deserialize",
+    "dumps",
+    "loads",
+    "encode_value",
+    "decode_value",
+]
+
+#: Version of the document layout produced by this module.  Bump on any
+#: incompatible change; readers migrate older versions forward and
+#: reject newer ones.
+SCHEMA_VERSION = 1
+
+#: Leading bytes of the binary framing (never valid JSON).
+BINARY_MAGIC = b"\x89REPROSTORE\x00"
+
+_FORMAT_NAME = "repro-store"
+
+
+def _dataclass_registry(module: Any, base: type) -> Dict[str, Type]:
+    """Name -> class for every dataclass subclass of ``base`` in ``module``."""
+    registry: Dict[str, Type] = {}
+    for name in module.__all__:
+        candidate = getattr(module, name)
+        if (
+            isinstance(candidate, type)
+            and issubclass(candidate, base)
+            and dataclasses.is_dataclass(candidate)
+        ):
+            registry[candidate.__name__] = candidate
+    return registry
+
+
+def _distribution_registry() -> Dict[str, Type]:
+    from .. import distributions
+
+    return _dataclass_registry(distributions, Distribution)
+
+
+#: Every serializable distribution class, by class name.  Aliases
+#: (``Bernoulli`` is ``Flip``) collapse onto the canonical class name.
+DISTRIBUTION_REGISTRY: Dict[str, Type] = _distribution_registry()
+
+#: Every structured-language AST node class, by class name.
+AST_REGISTRY: Dict[str, Type] = _dataclass_registry(lang_ast, lang_ast.Node)
+
+
+def _init_field_values(obj: Any) -> Dict[str, Any]:
+    """The constructor-visible fields of a dataclass instance.
+
+    Derived fields (``init=False``, e.g. ``LogCategorical._log_norm``)
+    are recomputed by ``__init__`` on decode, so they are not stored.
+    """
+    return {
+        f.name: getattr(obj, f.name)
+        for f in dataclasses.fields(obj)
+        if f.init
+    }
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+# ---------------------------------------------------------------------------
+#
+# The encoding is a tagged superset of JSON: plain JSON values pass
+# through unchanged, everything else becomes a single-key dict whose key
+# starts with "$".  A plain dict is emitted as-is only when none of its
+# (string) keys could be mistaken for a tag.
+
+
+def _encode_float(value: float) -> Any:
+    if value == float("inf"):
+        return {"$f": "inf"}
+    if value == float("-inf"):
+        return {"$f": "-inf"}
+    if value != value:  # NaN
+        return {"$f": "nan"}
+    return value
+
+
+def _encode_record(record: Any) -> Dict[str, Any]:
+    """Shared shape of ChoiceRecord / ObservationRecord."""
+    return {
+        "a": encode_value(record.address),
+        "d": encode_value(record.dist),
+        "v": encode_value(record.value),
+        "lp": _encode_float(float(record.log_prob)),
+    }
+
+
+def _decode_choice(payload: Dict[str, Any]) -> ChoiceRecord:
+    return ChoiceRecord(
+        address=decode_value(payload["a"]),
+        dist=decode_value(payload["d"]),
+        value=decode_value(payload["v"]),
+        log_prob=float(decode_value(payload["lp"])),
+    )
+
+
+def _decode_observation(payload: Dict[str, Any]) -> ObservationRecord:
+    return ObservationRecord(
+        address=decode_value(payload["a"]),
+        dist=decode_value(payload["d"]),
+        value=decode_value(payload["v"]),
+        log_prob=float(decode_value(payload["lp"])),
+    )
+
+
+def _encode_trace(trace: Trace) -> Dict[str, Any]:
+    return {
+        "choices": [_encode_record(r) for r in trace.choices()],
+        "obs": [_encode_record(r) for r in trace.observations()],
+        "ret": encode_value(trace.return_value),
+    }
+
+
+def _decode_trace(payload: Dict[str, Any]) -> Trace:
+    trace = Trace()
+    for entry in payload["choices"]:
+        trace.add_choice(_decode_choice(entry))
+    for entry in payload["obs"]:
+        trace.add_observation(_decode_observation(entry))
+    trace.return_value = decode_value(payload["ret"])
+    return trace
+
+
+# -- GraphTrace --------------------------------------------------------------
+
+
+def _encode_stmt_record(record: StmtRecord) -> Dict[str, Any]:
+    """Record tree without stmt references (rebound on decode)."""
+    return {
+        "reads": {name: int(version) for name, version in record.reads.items()},
+        "writes": {
+            name: {"v": encode_value(value), "ver": int(version)}
+            for name, (value, version) in record.writes.items()
+        },
+        "choices": [_encode_record(r) for r in record.choices.values()],
+        "obs": [_encode_record(r) for r in record.observations.values()],
+        "children": [
+            [encode_value(key), _encode_stmt_record(child)]
+            for key, child in record.children.items()
+        ],
+        "returned": bool(record.returned),
+        "ret": encode_value(record.return_value),
+    }
+
+
+def _child_stmt(stmt: lang_ast.Stmt, key: Any) -> lang_ast.Stmt:
+    """The sub-statement a child record key refers to (engine's scheme)."""
+    if isinstance(stmt, lang_ast.Seq) and key in ("first", "second"):
+        return stmt.first if key == "first" else stmt.second
+    if isinstance(stmt, lang_ast.If) and isinstance(key, tuple) and key[0] == "branch":
+        return stmt.then if key[1] else stmt.otherwise
+    if isinstance(stmt, (lang_ast.For, lang_ast.While)) and isinstance(key, int):
+        return stmt.body
+    raise CodecError(
+        f"graph-trace child key {key!r} does not match statement "
+        f"{type(stmt).__name__}; the stored record tree and program disagree"
+    )
+
+
+def _decode_stmt_record(payload: Dict[str, Any], stmt: lang_ast.Stmt) -> StmtRecord:
+    record = StmtRecord(stmt=stmt)
+    record.reads = {name: int(v) for name, v in payload["reads"].items()}
+    record.writes = {
+        name: (decode_value(entry["v"]), int(entry["ver"]))
+        for name, entry in payload["writes"].items()
+    }
+    for entry in payload["choices"]:
+        choice = _decode_choice(entry)
+        record.choices[choice.address] = choice
+    for entry in payload["obs"]:
+        observation = _decode_observation(entry)
+        record.observations[observation.address] = observation
+    for key_doc, child_doc in payload["children"]:
+        key = decode_value(key_doc)
+        record.children[key] = _decode_stmt_record(child_doc, _child_stmt(stmt, key))
+    record.returned = bool(payload["returned"])
+    record.return_value = decode_value(payload["ret"])
+    # Children are decoded (and finalized) first, so the aggregates here
+    # are computed bottom-up exactly as the engine computed them.
+    record.finalize()
+    return record
+
+
+def _encode_graph_trace(trace: GraphTrace) -> Dict[str, Any]:
+    return {
+        "program": encode_value(trace.root.stmt),
+        "root": _encode_stmt_record(trace.root),
+        "env_in": encode_value(trace.env_in),
+        "env_out": encode_value(trace.env_out),
+        "next_version": int(trace.next_version),
+        "visited": int(trace.visited_statements),
+    }
+
+
+def _decode_graph_trace(payload: Dict[str, Any]) -> GraphTrace:
+    program = decode_value(payload["program"])
+    if not isinstance(program, lang_ast.Stmt):
+        raise CodecError(
+            f"graph-trace program decoded to {type(program).__name__}, "
+            "expected a statement"
+        )
+    return GraphTrace(
+        root=_decode_stmt_record(payload["root"], program),
+        env_in=decode_value(payload["env_in"]),
+        env_out=decode_value(payload["env_out"]),
+        next_version=int(payload["next_version"]),
+        visited_statements=int(payload["visited"]),
+    )
+
+
+# -- collections, stats, RNG state ------------------------------------------
+
+
+def _encode_collection(collection: WeightedCollection) -> Dict[str, Any]:
+    return {
+        "items": [encode_value(item) for item in collection.items],
+        "log_weights": [_encode_float(float(w)) for w in collection.log_weights],
+        "metadata": encode_value(collection.metadata),
+    }
+
+
+def _decode_collection(payload: Dict[str, Any]) -> WeightedCollection:
+    return WeightedCollection(
+        [decode_value(item) for item in payload["items"]],
+        [float(decode_value(w)) for w in payload["log_weights"]],
+        metadata=decode_value(payload["metadata"]),
+    )
+
+
+def _encode_rng(rng: np.random.Generator) -> Dict[str, Any]:
+    return encode_value(rng.bit_generator.state)
+
+
+def _decode_rng(state: Any) -> np.random.Generator:
+    state = decode_value(state)
+    name = state.get("bit_generator") if isinstance(state, dict) else None
+    bit_generator_cls = getattr(np.random, name, None) if name else None
+    if bit_generator_cls is None:
+        raise CodecError(f"unknown bit generator in stored RNG state: {name!r}")
+    bit_generator = bit_generator_cls()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+# -- the dispatcher ----------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Encode any supported value into the tagged strict-JSON form."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return _encode_float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return _encode_float(float(value))
+    if isinstance(value, np.ndarray):
+        return {
+            "$nd": {
+                "dtype": str(value.dtype),
+                "shape": list(value.shape),
+                "data": [encode_value(entry) for entry in value.ravel().tolist()],
+            }
+        }
+    if isinstance(value, tuple):
+        return {"$t": [encode_value(entry) for entry in value]}
+    if isinstance(value, list):
+        return [encode_value(entry) for entry in value]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) and not k.startswith("$") for k in value):
+            return {k: encode_value(v) for k, v in value.items()}
+        return {"$d": [[encode_value(k), encode_value(v)] for k, v in value.items()]}
+    if isinstance(value, bytes):
+        return {"$b": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, Distribution):
+        name = type(value).__name__
+        if name not in DISTRIBUTION_REGISTRY:
+            raise CodecError(
+                f"distribution {name} is not registered for serialization; "
+                "only the classes exported by repro.distributions round-trip"
+            )
+        return {
+            "$dist": name,
+            "p": {k: encode_value(v) for k, v in _init_field_values(value).items()},
+        }
+    if isinstance(value, lang_ast.Node):
+        name = type(value).__name__
+        if name not in AST_REGISTRY:
+            raise CodecError(f"AST node {name} is not registered for serialization")
+        return {
+            "$ast": name,
+            "f": {k: encode_value(v) for k, v in _init_field_values(value).items()},
+        }
+    if isinstance(value, Trace):
+        return {"$trace": _encode_trace(value)}
+    if isinstance(value, GraphTrace):
+        return {"$graph": _encode_graph_trace(value)}
+    if isinstance(value, WeightedCollection):
+        return {"$coll": _encode_collection(value)}
+    if isinstance(value, SMCStats):
+        return {
+            "$stats": {k: encode_value(v) for k, v in _init_field_values(value).items()}
+        }
+    if isinstance(value, np.random.Generator):
+        return {"$rng": _encode_rng(value)}
+    raise CodecError(
+        f"cannot serialize {type(value).__name__} value {value!r}; "
+        "see repro.store.codec for the supported kinds"
+    )
+
+
+_NONFINITE = {"inf": float("inf"), "-inf": float("-inf"), "nan": float("nan")}
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode_value(entry) for entry in value]
+    if not isinstance(value, dict):
+        raise CodecError(f"cannot decode {type(value).__name__} value {value!r}")
+    if len(value) == 1 or len(value) == 2:
+        tag = next(iter(value))
+        if tag == "$f":
+            try:
+                return _NONFINITE[value["$f"]]
+            except KeyError:
+                raise CodecError(f"unknown float tag {value['$f']!r}") from None
+        if tag == "$t":
+            return tuple(decode_value(entry) for entry in value["$t"])
+        if tag == "$d":
+            return {
+                decode_value(k): decode_value(v) for k, v in value["$d"]
+            }
+        if tag == "$b":
+            return base64.b64decode(value["$b"])
+        if tag == "$nd":
+            payload = value["$nd"]
+            data = [decode_value(entry) for entry in payload["data"]]
+            return np.array(data, dtype=payload["dtype"]).reshape(payload["shape"])
+        if tag == "$dist":
+            name = value["$dist"]
+            cls = DISTRIBUTION_REGISTRY.get(name)
+            if cls is None:
+                raise CodecError(f"unknown distribution class in document: {name!r}")
+            params = {k: decode_value(v) for k, v in value["p"].items()}
+            return cls(**params)
+        if tag == "$ast":
+            name = value["$ast"]
+            cls = AST_REGISTRY.get(name)
+            if cls is None:
+                raise CodecError(f"unknown AST node class in document: {name!r}")
+            fields = {k: decode_value(v) for k, v in value["f"].items()}
+            return cls(**fields)
+        if tag == "$trace":
+            return _decode_trace(value["$trace"])
+        if tag == "$graph":
+            return _decode_graph_trace(value["$graph"])
+        if tag == "$coll":
+            return _decode_collection(value["$coll"])
+        if tag == "$stats":
+            fields = {k: decode_value(v) for k, v in value["$stats"].items()}
+            return SMCStats(**fields)
+        if tag == "$rng":
+            return _decode_rng(value["$rng"])
+        if tag.startswith("$"):
+            raise CodecError(f"unknown codec tag {tag!r}")
+    return {k: decode_value(v) for k, v in value.items()}
+
+
+# ---------------------------------------------------------------------------
+# Documents and wire formats
+# ---------------------------------------------------------------------------
+
+
+def serialize(obj: Any) -> Dict[str, Any]:
+    """Wrap ``obj`` in a versioned, strict-JSON-able document."""
+    return {
+        "format": _FORMAT_NAME,
+        "schema": SCHEMA_VERSION,
+        "value": encode_value(obj),
+    }
+
+
+def check_schema(found: Any) -> int:
+    """Validate a document's schema version against this library's."""
+    if not isinstance(found, int):
+        raise CodecError(f"document schema version is not an integer: {found!r}")
+    if found > SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"document has schema version {found}, but this library supports "
+            f"up to {SCHEMA_VERSION}; upgrade the library (or re-create the "
+            "state) instead of downgrading the data",
+            found=found,
+            supported=SCHEMA_VERSION,
+        )
+    return found
+
+
+def deserialize(document: Dict[str, Any]) -> Any:
+    """Invert :func:`serialize`, enforcing the schema policy."""
+    if not isinstance(document, dict) or "schema" not in document or "value" not in document:
+        raise CodecError("not a repro-store document (missing schema/value)")
+    declared = document.get("format", _FORMAT_NAME)
+    if declared != _FORMAT_NAME:
+        raise CodecError(f"unknown document format {declared!r}")
+    check_schema(document["schema"])
+    return decode_value(document["value"])
+
+
+def dumps(obj: Any, format: str = "json") -> bytes:
+    """Serialize ``obj`` to bytes.
+
+    ``"json"`` produces canonical strict JSON: sorted keys, no
+    whitespace, UTF-8 — so equal objects produce equal bytes, which is
+    what the kill-and-resume equivalence check compares.  ``"binary"``
+    frames the same document with :data:`BINARY_MAGIC`, a schema header,
+    and pickle (protocol 5); it skips JSON string formatting for large
+    collections but carries exactly the same information.
+    """
+    document = serialize(obj)
+    if format == "json":
+        return json.dumps(
+            document, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    if format == "binary":
+        header = BINARY_MAGIC + struct.pack(">H", SCHEMA_VERSION)
+        return header + pickle.dumps(document, protocol=5)
+    raise ValueError(f"unknown codec format {format!r}; choose 'json' or 'binary'")
+
+
+def loads(data: bytes) -> Any:
+    """Invert :func:`dumps`; the format is sniffed from the bytes."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise CodecError(f"loads expects bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if data.startswith(BINARY_MAGIC):
+        header_end = len(BINARY_MAGIC) + 2
+        if len(data) < header_end:
+            raise CodecError("truncated binary document (incomplete header)")
+        (version,) = struct.unpack(">H", data[len(BINARY_MAGIC):header_end])
+        check_schema(version)
+        try:
+            document = pickle.loads(data[header_end:])
+        except Exception as error:
+            raise CodecError(f"cannot unpickle binary document: {error}") from error
+        return deserialize(document)
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CodecError(f"cannot parse JSON document: {error}") from error
+    return deserialize(document)

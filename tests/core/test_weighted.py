@@ -239,3 +239,46 @@ class TestProperties:
         resampled = WeightedCollection(items, log_weights).resample(rng, scheme=scheme)
         assert set(resampled.items) <= set(items)
         assert len(resampled) == len(items)
+
+
+class TestMetadata:
+    def make(self):
+        return WeightedCollection(
+            ["a", "b", "c"],
+            [0.0, 0.5, -0.5],
+            metadata=[{"origin": 0}, None, {"origin": 2, "tags": ["x"]}],
+        )
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            WeightedCollection(["a", "b"], [0.0, 0.0], metadata=[{}])
+
+    def test_copy_deep_copies_metadata(self):
+        """A resumed checkpoint and a live run must never share
+        per-particle metadata dicts."""
+        original = self.make()
+        clone = original.copy()
+        clone.metadata[0]["origin"] = 99
+        clone.metadata[2]["tags"].append("y")
+        assert original.metadata[0]["origin"] == 0
+        assert original.metadata[2]["tags"] == ["x"]
+
+    def test_resample_deep_copies_metadata(self):
+        original = self.make()
+        resampled = original.resample(np.random.default_rng(0))
+        assert resampled.metadata is not None
+        for entry in resampled.metadata:
+            if entry is not None:
+                entry["mutated"] = True
+        assert all(
+            entry is None or "mutated" not in entry
+            for entry in original.metadata
+        )
+
+    def test_resample_duplicates_do_not_alias_each_other(self):
+        original = WeightedCollection(
+            ["only"], [0.0], metadata=[{"count": 0}]
+        )
+        resampled = original.resample(np.random.default_rng(0), size=4)
+        resampled.metadata[0]["count"] = 7
+        assert all(m["count"] == 0 for m in resampled.metadata[1:])

@@ -1,0 +1,47 @@
+"""Shared fixtures for the persistent-store tests."""
+
+import numpy as np
+import pytest
+
+from repro import Model
+from repro.distributions import Flip
+
+
+def burglary_original_fn(t):
+    burglary = t.sample(Flip(0.02), "burglary")
+    p_alarm = 0.9 if burglary else 0.01
+    alarm = t.sample(Flip(p_alarm), "alarm")
+    p_mary_wakes = 0.8 if alarm else 0.05
+    t.observe(Flip(p_mary_wakes), 1, "mary_wakes")
+    return burglary
+
+
+def burglary_refined_fn(t):
+    burglary = t.sample(Flip(0.02), "burglary")
+    earthquake = t.sample(Flip(0.005), "earthquake")
+    if earthquake:
+        p_alarm = 0.95
+    else:
+        p_alarm = 0.9 if burglary else 0.01
+    alarm = t.sample(Flip(p_alarm), "alarm")
+    if alarm:
+        p_mary_wakes = 0.9 if earthquake else 0.8
+    else:
+        p_mary_wakes = 0.05
+    t.observe(Flip(p_mary_wakes), 1, "mary_wakes")
+    return burglary
+
+
+@pytest.fixture
+def burglary_original():
+    return Model(burglary_original_fn)
+
+
+@pytest.fixture
+def burglary_refined():
+    return Model(burglary_refined_fn)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2018)
