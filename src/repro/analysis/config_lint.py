@@ -1,0 +1,137 @@
+"""Configuration and pipeline lint (pass 3).
+
+An :class:`~repro.core.config.InferenceConfig` validates its own field
+values eagerly, but some defects only exist in *combination* — with each
+other or with the translator the config will run against:
+
+* a ``process`` executor paired with a translator holding a lambda-based
+  correspondence fails at pool-submission time, deep in the worker
+  machinery;
+* a checkpoint cadence without a checkpoint directory silently
+  checkpoints nothing;
+* a ``regenerate`` fault policy without any from-scratch sampler fails
+  on the *first* particle fault, possibly hours in.
+
+This pass catches those combinations statically, before any particle
+work starts.  It is pure inspection: no model is executed and nothing is
+actually pickled except via :func:`repro.parallel.pickling.find_unpicklable`,
+which serializes to an in-memory buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..core.config import FaultPolicy, InferenceConfig
+from .diagnostics import Diagnostic
+
+__all__ = ["lint_config"]
+
+PASS_NAME = "config"
+
+
+def _is_process_executor(executor: Any) -> bool:
+    if executor == "process":
+        return True
+    return type(executor).__name__ == "ProcessExecutor"
+
+
+def lint_config(
+    config: InferenceConfig, translator: Optional[Any] = None
+) -> List[Diagnostic]:
+    """Lint one config, optionally against the translator it will drive.
+
+    Returns findings only — construction-time invariants (unknown
+    schemes, negative worker counts, ...) are already enforced by
+    ``InferenceConfig.__post_init__`` and cannot reach this function.
+    """
+    diagnostics: List[Diagnostic] = []
+
+    def finding(severity: str, message: str, code: str) -> None:
+        diagnostics.append(
+            Diagnostic(severity, message, code=code, pass_name=PASS_NAME)
+        )
+
+    policy = FaultPolicy.coerce(config.fault_policy)
+
+    # -- executor / picklability -------------------------------------------
+    if _is_process_executor(config.executor):
+        from ..parallel.pickling import find_unpicklable
+
+        for component, value in (
+            ("translator", translator),
+            ("fault_policy.regenerate_fn", policy.regenerate_fn),
+        ):
+            if value is None:
+                continue
+            culprit = find_unpicklable(value)
+            if culprit is not None:
+                finding(
+                    "error",
+                    f"executor 'process' requires picklable inputs, but "
+                    f"{culprit.describe(root=component)} cannot be pickled; "
+                    "replace it with a module-level function or class",
+                    "config-unpicklable",
+                )
+    if config.workers is not None and config.executor is None:
+        finding(
+            "warning",
+            f"workers={config.workers} has no effect because executor is "
+            "None (the legacy inline loop); set executor='thread' or "
+            "'process' to parallelize",
+            "config-workers-ignored",
+        )
+
+    # -- checkpointing ------------------------------------------------------
+    if config.checkpoint_every != 1 and config.checkpoint_dir is None:
+        finding(
+            "warning",
+            f"checkpoint_every={config.checkpoint_every} has no effect "
+            "because checkpoint_dir is None; no checkpoints will be "
+            "written",
+            "config-checkpoint-cadence",
+        )
+
+    # -- resampling ---------------------------------------------------------
+    if config.resample == "never" and config.ess_threshold != 0.5:
+        finding(
+            "warning",
+            f"ess_threshold={config.ess_threshold} has no effect because "
+            "resample is 'never'; set resample='adaptive' for "
+            "ESS-triggered resampling",
+            "config-ess-ignored",
+        )
+
+    # -- fault policy -------------------------------------------------------
+    if policy.mode == "regenerate":
+        has_fallback = policy.regenerate_fn is not None or (
+            translator is not None and hasattr(translator, "regenerate")
+        )
+        if not has_fallback:
+            finding(
+                "error",
+                "fault_policy 'regenerate' needs a from-scratch sampler, "
+                "but regenerate_fn is None and the translator has no "
+                "regenerate method; the first particle fault will fail "
+                "the run",
+                "config-no-regenerate",
+            )
+    if policy.mode == "drop" and config.resample == "never":
+        finding(
+            "warning",
+            "fault_policy 'drop' gives failed particles -inf weight, but "
+            "resample='never' keeps the dead particles in the collection "
+            "for every subsequent step; consider resample='adaptive'",
+            "config-drop-accumulates",
+        )
+
+    # -- ablations ----------------------------------------------------------
+    if not config.use_weights:
+        finding(
+            "info",
+            "use_weights=False discards translator weight increments (the "
+            "paper's 'no weights' ablation); the collection converges to "
+            "the wrong posterior",
+            "config-no-weights",
+        )
+    return diagnostics

@@ -1,0 +1,197 @@
+"""Shared diagnostic model for the static-analysis framework.
+
+Every analysis pass in :mod:`repro.analysis` reports findings as
+:class:`Diagnostic` values — the same type :func:`repro.lang.check.check_program`
+has always produced, extended with optional structured fields:
+
+* ``code`` — a stable, kebab-case rule identifier (``corr-not-injective``,
+  ``edit-stale-skip``, ...) that tools can match on without parsing the
+  message;
+* ``pass_name`` — which pass produced the finding;
+* ``target`` — what was analyzed (a program name, a correspondence, a
+  config);
+* ``address`` — the specific address/label/field the finding anchors to.
+
+Construction stays positionally compatible with the historical two-field
+form — ``Diagnostic("error", "message")`` — and ``str()`` still begins
+with ``"{severity}: {message}"``, so the pre-framework callers and tests
+keep working unchanged.
+
+Severities form a total order (:data:`SEVERITIES`, ``info < warning <
+error``): ``error`` findings are guaranteed failures (the run cannot be
+correct), ``warning`` findings are probable mistakes or performance
+hazards, ``info`` findings are observations (e.g. an address the
+correspondence leaves unmapped, which is often deliberate).
+
+This module depends only on the standard library, so any subsystem —
+including :mod:`repro.lang`, which the concrete passes themselves import
+— can use the diagnostic types without import cycles.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "Pass",
+    "AnalysisResult",
+    "severity_rank",
+    "max_severity",
+]
+
+#: Recognized severities, least to most severe.
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
+
+_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Total order over severities (``info`` = 0 < ``warning`` < ``error``)."""
+    try:
+        return _RANK[severity]
+    except KeyError:
+        raise ValueError(
+            f"unknown severity {severity!r}; choose from {list(SEVERITIES)}"
+        ) from None
+
+
+def max_severity(diagnostics: Iterable["Diagnostic"]) -> Optional[str]:
+    """The most severe severity present, or None for an empty iterable."""
+    best: Optional[str] = None
+    for diagnostic in diagnostics:
+        if best is None or severity_rank(diagnostic.severity) > severity_rank(best):
+            best = diagnostic.severity
+    return best
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: ``severity`` is ``"error"``, ``"warning"``, or ``"info"``.
+
+    The first two fields are the historical surface
+    (``Diagnostic("error", "...")``); the rest are optional structured
+    metadata added by the analysis framework.
+    """
+
+    severity: str
+    message: str
+    code: Optional[str] = None
+    pass_name: Optional[str] = None
+    target: Optional[str] = None
+    address: Optional[str] = None
+
+    def __str__(self) -> str:
+        # The historical rendering ("severity: message") comes first so
+        # text matching on prefixes keeps working; the rule code, when
+        # present, is appended where no pre-framework caller looks.
+        base = f"{self.severity}: {self.message}"
+        return f"{base} [{self.code}]" if self.code else base
+
+    def with_context(
+        self,
+        pass_name: Optional[str] = None,
+        target: Optional[str] = None,
+    ) -> "Diagnostic":
+        """A copy with ``pass_name``/``target`` filled in where unset."""
+        if (pass_name is None or self.pass_name is not None) and (
+            target is None or self.target is not None
+        ):
+            return self
+        return Diagnostic(
+            severity=self.severity,
+            message=self.message,
+            code=self.code,
+            pass_name=self.pass_name if self.pass_name is not None else pass_name,
+            target=self.target if self.target is not None else target,
+            address=self.address,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict (None-valued fields omitted)."""
+        return {key: value for key, value in asdict(self).items() if value is not None}
+
+
+class Pass(ABC):
+    """One static-analysis pass: a named producer of diagnostics.
+
+    Concrete passes wrap the module-level check functions of
+    :mod:`repro.analysis` so they can be composed, listed, and reported
+    uniformly (the CLI and the pre-flight hook work in terms of
+    passes).  ``run`` receives the subject to analyze and returns the
+    findings; the framework stamps each finding with the pass name.
+    """
+
+    #: Stable pass identifier (``correspondence``, ``edits``, ...).
+    name: str = "abstract"
+    #: One-line human description, shown by ``repro lint`` documentation.
+    description: str = ""
+
+    @abstractmethod
+    def run(self, subject: Any) -> List[Diagnostic]:
+        """Analyze ``subject``; return findings (possibly empty)."""
+
+    def __call__(self, subject: Any) -> List[Diagnostic]:
+        return [d.with_context(pass_name=self.name) for d in self.run(subject)]
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}>"
+
+
+@dataclass
+class AnalysisResult:
+    """Aggregated findings from one or more passes over one or more targets."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(
+        self,
+        diagnostics: Iterable[Diagnostic],
+        pass_name: Optional[str] = None,
+        target: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.extend(
+            d.with_context(pass_name=pass_name, target=target) for d in diagnostics
+        )
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        counts = {name: 0 for name in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity] = counts.get(diagnostic.severity, 0) + 1
+        return counts
+
+    def sorted(self) -> List[Diagnostic]:
+        """Findings ordered most-severe first, stable within a severity."""
+        return sorted(
+            self.diagnostics, key=lambda d: -severity_rank(d.severity)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready report (the ``repro lint --format json`` payload)."""
+        return {
+            "version": 1,
+            "summary": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+
+def _stamped(
+    diagnostics: Sequence[Diagnostic], pass_name: str
+) -> List[Diagnostic]:
+    """Internal helper: stamp a pass name onto bare diagnostics."""
+    return [d.with_context(pass_name=pass_name) for d in diagnostics]

@@ -1,0 +1,254 @@
+"""Static edit-soundness analysis for lang-program edits (pass 2).
+
+Section 6's change-propagation engine promises to re-execute exactly the
+statements an edit can reach.  This pass derives that reachable set
+*statically* — per-statement read/write sets plus a forward taint pass
+over the top-level statement list — and cross-checks it against the
+engine's runtime behaviour:
+
+* ``must_visit`` — statements that are new or textually changed by the
+  edit (not matched by the LCS alignment of :mod:`repro.graph.diff`).
+  The engine can never legally skip these: a skipped ``must_visit``
+  statement means a stale record survived into the new trace
+  (**error**, ``edit-stale-skip``).
+* ``may_visit`` — the transitive closure of the edit under
+  read-after-write dependencies: a statement is in ``may_visit`` when it
+  is edited, or reads a variable some earlier ``may_visit`` statement
+  (or a deleted statement) writes.  Runtime visits outside this set are
+  sound — re-sampling is always correct (Lemma 2) — but mean the engine
+  lost reuse it was entitled to, typically because positional alignment
+  broke on an insertion (**info**, ``edit-overpropagation``).
+* Statements inside ``may_visit`` that the engine *skipped* are the
+  value-cutoff working as intended (a rewritten variable kept its old
+  value), exactly the behaviour Figure 7 celebrates — no finding.
+
+The runtime half executes the old program once, propagates the new one
+against it, and recovers the per-statement visit vector from record
+identity (:func:`repro.graph.engine.visited_top_level`).  Tests can
+inject a fabricated visit vector through the ``visited`` parameter to
+prove the detector fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..lang.analysis import (
+    assigned_variables,
+    free_variables,
+    random_expressions,
+    walk,
+)
+from ..lang.ast import Observe, Stmt
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "StatementEffects",
+    "EditAnalysis",
+    "statement_effects",
+    "invalidation_sets",
+    "check_edit",
+]
+
+PASS_NAME = "edits"
+
+
+@dataclass(frozen=True)
+class StatementEffects:
+    """Static read/write summary of one top-level statement."""
+
+    index: int
+    stmt: Stmt
+    #: Variables whose incoming value the statement may read.
+    reads: FrozenSet[str]
+    #: Variables the statement may write.
+    writes: FrozenSet[str]
+    has_random: bool
+    has_observe: bool
+
+    def describe(self) -> str:
+        reads = ", ".join(sorted(self.reads)) or "-"
+        writes = ", ".join(sorted(self.writes)) or "-"
+        return f"stmt {self.index}: reads {{{reads}}} writes {{{writes}}}"
+
+
+def _iter_statements(stmt: Stmt):
+    from ..graph.diff import flatten_seq
+
+    return flatten_seq(stmt)
+
+
+def statement_effects(program: Stmt) -> List[StatementEffects]:
+    """Read/write sets for each top-level statement of ``program``."""
+    effects: List[StatementEffects] = []
+    for index, stmt in enumerate(_iter_statements(program)):
+        effects.append(
+            StatementEffects(
+                index=index,
+                stmt=stmt,
+                reads=frozenset(free_variables(stmt)),
+                writes=frozenset(assigned_variables(stmt)),
+                has_random=bool(random_expressions(stmt)),
+                has_observe=any(isinstance(n, Observe) for n in walk(stmt)),
+            )
+        )
+    return effects
+
+
+@dataclass
+class EditAnalysis:
+    """The statically derived structure of one program edit."""
+
+    old_statements: List[Stmt]
+    new_statements: List[Stmt]
+    effects: List[StatementEffects]
+    #: new-statement index -> matched old-statement index (LCS pairs).
+    matched: Dict[int, int]
+    #: Old statements deleted (or rewritten) by the edit.
+    removed: Set[int]
+    #: New statements that are themselves the edit; skipping any of
+    #: these at runtime is unsound.
+    must_visit: Set[int] = field(default_factory=set)
+    #: Statements the edit can invalidate transitively; the engine
+    #: should never need to look outside this set.
+    may_visit: Set[int] = field(default_factory=set)
+    #: Variables tainted by the edit after the final statement.
+    dirty_variables: Set[str] = field(default_factory=set)
+
+
+def invalidation_sets(old_program: Stmt, new_program: Stmt) -> EditAnalysis:
+    """Statically derive the statement sets an edit can invalidate.
+
+    Alignment reuses the LCS-over-equality-modulo-labels machinery that
+    :func:`repro.graph.diff.align_labels` uses to derive the syntactic
+    correspondence, so the static expectation and the runtime
+    correspondence come from the same notion of "unchanged statement".
+    """
+    from ..graph.diff import lcs_pairs
+
+    old_statements = _iter_statements(old_program)
+    new_statements = _iter_statements(new_program)
+    pairs = lcs_pairs(old_statements, new_statements)
+    matched = {new_index: old_index for old_index, new_index in pairs}
+    removed = set(range(len(old_statements))) - {i for i, _j in pairs}
+    analysis = EditAnalysis(
+        old_statements=old_statements,
+        new_statements=new_statements,
+        effects=statement_effects(new_program),
+        matched=matched,
+        removed=removed,
+    )
+    analysis.must_visit = set(range(len(new_statements))) - set(matched)
+
+    # Deleted statements taint the variables they wrote: a reader of
+    # such a variable downstream may now see a different value.
+    dirty: Set[str] = set()
+    for old_index in removed:
+        dirty |= assigned_variables(old_statements[old_index])
+    for index, effect in enumerate(analysis.effects):
+        if index in analysis.must_visit or (effect.reads & dirty):
+            analysis.may_visit.add(index)
+            dirty |= effect.writes
+    analysis.dirty_variables = dirty
+    return analysis
+
+
+def check_edit(
+    old_program: Stmt,
+    new_program: Stmt,
+    *,
+    env: Optional[Dict[str, Any]] = None,
+    rng: Optional[np.random.Generator] = None,
+    visited: Optional[Sequence[bool]] = None,
+    runtime_check: bool = True,
+) -> List[Diagnostic]:
+    """Cross-check static invalidation sets against runtime propagation.
+
+    Runs the old program once, propagates the edited program against the
+    resulting trace, and compares the engine's per-statement visit
+    vector with the statically derived ``must_visit``/``may_visit``
+    sets.  ``visited`` overrides the runtime vector (used by the seeded
+    stale-trace tests); ``runtime_check=False`` stops after the static
+    half (used by the inference pre-flight, which must not execute
+    models).
+    """
+    analysis = invalidation_sets(old_program, new_program)
+    diagnostics: List[Diagnostic] = []
+
+    def finding(severity: str, message: str, code: str, index: int) -> None:
+        diagnostics.append(
+            Diagnostic(
+                severity,
+                message,
+                code=code,
+                pass_name=PASS_NAME,
+                address=f"statement {index}",
+            )
+        )
+
+    # Static sanity: a pure deletion/rewrite that taints the return
+    # value without any new statement re-observing it is worth knowing
+    # about, but is not on its own a defect — leave it to the runtime
+    # comparison below.
+    if not runtime_check and visited is None:
+        return diagnostics
+
+    if visited is None:
+        from ..graph.engine import propagate, run_initial, visited_top_level
+
+        rng = rng if rng is not None else np.random.default_rng(0)
+        try:
+            old_trace = run_initial(old_program, rng, env)
+            result = propagate(new_program, old_trace, rng, env)
+        except Exception as error:
+            diagnostics.append(
+                Diagnostic(
+                    "warning",
+                    f"could not execute the edit for the runtime cross-check "
+                    f"({type(error).__name__}: {error}); only static analysis "
+                    "was performed",
+                    code="edit-runtime-failed",
+                    pass_name=PASS_NAME,
+                )
+            )
+            return diagnostics
+        visited = visited_top_level(new_program, old_trace, result.trace)
+
+    if len(visited) != len(analysis.new_statements):
+        diagnostics.append(
+            Diagnostic(
+                "error",
+                f"runtime visit vector has {len(visited)} entries but the "
+                f"edited program has {len(analysis.new_statements)} top-level "
+                "statements",
+                code="edit-visit-shape",
+                pass_name=PASS_NAME,
+            )
+        )
+        return diagnostics
+
+    for index, was_visited in enumerate(visited):
+        stmt = analysis.new_statements[index]
+        if not was_visited and index in analysis.must_visit:
+            finding(
+                "error",
+                f"statement {index} ({type(stmt).__name__}) is new or changed "
+                "by the edit but was not re-executed by propagation; its "
+                "record is stale and downstream reads see pre-edit values",
+                "edit-stale-skip",
+                index,
+            )
+        elif was_visited and index not in analysis.may_visit:
+            finding(
+                "info",
+                f"propagation re-executed statement {index} "
+                f"({type(stmt).__name__}), which the edit cannot invalidate "
+                "(no read-after-write path from any changed statement); reuse "
+                "was lost, typically to positional misalignment",
+                "edit-overpropagation",
+                index,
+            )
+    return diagnostics

@@ -1,0 +1,84 @@
+"""The opt-in inference pre-flight (``InferenceConfig(validate=...)``).
+
+:func:`repro.core.smc.infer` and ``infer_sequence`` call
+:func:`preflight_inference` exactly once per call — never per particle
+or per step — when the config's ``validate`` mode is not ``"off"``.  The
+pre-flight runs the config lint against the translator(s) and validates
+whatever correspondence each translator carries, with a deliberately
+small sampling budget: the point is to catch a doomed run in
+milliseconds, not to be exhaustive.
+
+``apply_validation_mode`` turns the findings into behaviour:
+``"warn"`` reports through :mod:`warnings` (one message listing every
+finding); ``"error"`` additionally raises
+:class:`repro.errors.ValidationError` when any finding has error
+severity.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from .diagnostics import Diagnostic, severity_rank
+
+__all__ = ["preflight_inference", "apply_validation_mode"]
+
+#: Sampling budget for translator validation during pre-flight: small,
+#: because this runs inside ``infer`` where latency matters.
+PREFLIGHT_SAMPLES = 8
+
+
+def preflight_inference(
+    translators: Sequence[Any],
+    config: Any,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Diagnostic]:
+    """Validate a config and its translators before inference starts.
+
+    Deduplicates findings across translators (a sequence usually reuses
+    one translator shape many times, and repeating identical findings
+    per step would drown the signal).
+    """
+    from .config_lint import lint_config
+    from .correspondence import validate_translator
+
+    rng = rng if rng is not None else np.random.default_rng(0)
+    diagnostics: List[Diagnostic] = []
+    seen = set()
+
+    def add(batch: List[Diagnostic]) -> None:
+        for diagnostic in batch:
+            key = (diagnostic.code, diagnostic.message)
+            if key not in seen:
+                seen.add(key)
+                diagnostics.append(diagnostic)
+
+    first = translators[0] if translators else None
+    add(lint_config(config, first))
+    for translator in translators:
+        add(validate_translator(translator, rng=rng, num_samples=PREFLIGHT_SAMPLES))
+    return diagnostics
+
+
+def apply_validation_mode(mode: str, diagnostics: List[Diagnostic]) -> None:
+    """Act on pre-flight findings per the config's ``validate`` mode."""
+    if mode == "off" or not diagnostics:
+        return
+    ordered = sorted(
+        diagnostics, key=lambda d: severity_rank(d.severity), reverse=True
+    )
+    errors = [d for d in ordered if d.severity == "error"]
+    if mode == "error" and errors:
+        raise ValidationError(
+            f"inference pre-flight found {len(errors)} error(s)", errors
+        )
+    warnings.warn(
+        "inference pre-flight findings: "
+        + "; ".join(str(d) for d in ordered),
+        stacklevel=3,
+    )

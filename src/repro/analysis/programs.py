@@ -1,0 +1,359 @@
+"""Extended program checker for structured-language programs (pass 4).
+
+Folds the historical :func:`repro.lang.check.check_program` and
+:func:`repro.lang.types.check_kinds` into the analysis framework and
+adds three rules that need more context than either provides:
+
+* **unused variables** (``unused-variable``, info) — a variable is
+  assigned but its value is never read anywhere in the program.  Figure
+  5's programs deliberately carry such dead assignments, so this is
+  informational, not a defect.
+* **observes on statically-known outcomes** (``observe-vacuous``
+  warning / ``observe-impossible`` error) — when a distribution's
+  parameters and the observed value all fold to constants, the
+  conditioning is either a no-op (``observe(flip(1) == 1)``) or rules
+  out every trace (``observe(flip(1) == 0)``, ``observe(flip(p) == 2)``,
+  an out-of-range ``uniform`` observation).  The impossible cases give
+  the run ``-inf`` log weight on *every* execution.
+* **parameter ranges through constant propagation** (``param-range``,
+  error) — a straight-line pass tracks variables with
+  statically-constant values and substitutes them into distribution
+  parameters before folding, so ``p = 3; x = flip(p / 2)`` is caught
+  even though ``check_program``'s purely syntactic fold cannot see
+  through the variable.  Bindings are invalidated conservatively at
+  branches (kept only when both branches agree) and loops (anything the
+  body assigns is dropped).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..lang.analysis import assigned_variables, walk
+from ..lang.ast import (
+    ArrayExpr,
+    Assign,
+    Binary,
+    Call,
+    Const,
+    Expr,
+    FlipExpr,
+    For,
+    FuncDef,
+    GaussExpr,
+    If,
+    Index,
+    IndexAssign,
+    Observe,
+    RandomExpr,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    Ternary,
+    Unary,
+    UniformExpr,
+    Var,
+    While,
+)
+from ..lang.check import check_program
+from ..lang.optimize import fold_expr
+from ..lang.types import check_kinds
+from .diagnostics import Diagnostic
+
+__all__ = ["extended_check_program"]
+
+PASS_NAME = "programs"
+
+#: Variable -> statically-known constant value.
+_ConstEnv = Dict[str, float]
+
+
+def _substitute(expr: Expr, env: _ConstEnv) -> Expr:
+    """Replace known-constant variables with their values, recursively."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        if expr.name in env:
+            return Const(env[expr.name])
+        return expr
+    if isinstance(expr, Unary):
+        return Unary(expr.op, _substitute(expr.operand, env))
+    if isinstance(expr, Binary):
+        return Binary(expr.op, _substitute(expr.left, env), _substitute(expr.right, env))
+    if isinstance(expr, Ternary):
+        return Ternary(
+            _substitute(expr.cond, env),
+            _substitute(expr.then, env),
+            _substitute(expr.otherwise, env),
+        )
+    if isinstance(expr, Index):
+        return Index(_substitute(expr.array, env), _substitute(expr.index, env))
+    if isinstance(expr, ArrayExpr):
+        return ArrayExpr(_substitute(expr.size, env), _substitute(expr.fill, env))
+    if isinstance(expr, FlipExpr):
+        return FlipExpr(expr.label, _substitute(expr.prob, env))
+    if isinstance(expr, UniformExpr):
+        return UniformExpr(
+            expr.label, _substitute(expr.low, env), _substitute(expr.high, env)
+        )
+    if isinstance(expr, GaussExpr):
+        return GaussExpr(
+            expr.label, _substitute(expr.mean, env), _substitute(expr.std, env)
+        )
+    if isinstance(expr, Call):
+        return Call(expr.name, tuple(_substitute(a, env) for a in expr.args))
+    return expr
+
+
+def _const_value(expr: Expr, env: _ConstEnv) -> Optional[float]:
+    """The statically-known value of ``expr`` under ``env``, or None."""
+    folded = fold_expr(_substitute(expr, env))
+    if isinstance(folded, Const):
+        return folded.value
+    return None
+
+
+def _is_integer(value: float) -> bool:
+    try:
+        return float(value).is_integer()
+    except (TypeError, ValueError):
+        return False
+
+
+class _ConstPropChecker:
+    """Straight-line constant propagation with conservative merging."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    def finding(self, severity: str, message: str, code: str, label: Optional[str] = None) -> None:
+        self.diagnostics.append(
+            Diagnostic(severity, message, code=code, pass_name=PASS_NAME, address=label)
+        )
+
+    # -- distribution parameters -------------------------------------------
+
+    def check_random(self, expr: RandomExpr, env: _ConstEnv) -> None:
+        """Range-check parameters that become constant *only* under env.
+
+        Parameters that are syntactically constant are already checked
+        by ``check_program``; re-checking them here would duplicate the
+        finding, so a rule only fires when the raw fold is opaque but
+        the substituted fold is a constant.
+        """
+
+        def propagated(param: Expr) -> Optional[float]:
+            if isinstance(fold_expr(param), Const):
+                return None
+            return _const_value(param, env)
+
+        if isinstance(expr, FlipExpr):
+            prob = propagated(expr.prob)
+            if prob is not None and not 0 <= prob <= 1:
+                self.finding(
+                    "error",
+                    f"flip probability evaluates to {prob}, outside [0, 1] "
+                    "(after constant propagation)",
+                    "param-range",
+                    expr.label,
+                )
+        elif isinstance(expr, UniformExpr):
+            low = _const_value(expr.low, env)
+            high = _const_value(expr.high, env)
+            raw_const = isinstance(fold_expr(expr.low), Const) and isinstance(
+                fold_expr(expr.high), Const
+            )
+            if low is not None and high is not None and high < low and not raw_const:
+                self.finding(
+                    "error",
+                    f"uniform({low}, {high}) has an empty range "
+                    "(after constant propagation)",
+                    "param-range",
+                    expr.label,
+                )
+        elif isinstance(expr, GaussExpr):
+            std = propagated(expr.std)
+            if std is not None and std <= 0:
+                self.finding(
+                    "error",
+                    f"gauss std evaluates to {std}, which is not positive "
+                    "(after constant propagation)",
+                    "param-range",
+                    expr.label,
+                )
+
+    def check_observe(self, stmt: Observe, env: _ConstEnv) -> None:
+        """Flag observes whose outcome is statically decided."""
+        value = _const_value(stmt.value, env)
+        if value is None:
+            return
+        random = stmt.random
+        label = random.label
+        if isinstance(random, FlipExpr):
+            if value not in (0, 1):
+                self.finding(
+                    "error",
+                    f"observe on flip {label!r} conditions on value {value}, "
+                    "which is outside the {0, 1} support; every trace gets "
+                    "-inf log weight",
+                    "observe-impossible",
+                    label,
+                )
+                return
+            prob = _const_value(random.prob, env)
+            if prob in (0, 1):
+                if value == prob:
+                    self.finding(
+                        "warning",
+                        f"observe on flip {label!r} with probability {prob} "
+                        f"always yields {value}; the conditioning is vacuous",
+                        "observe-vacuous",
+                        label,
+                    )
+                else:
+                    self.finding(
+                        "error",
+                        f"observe on flip {label!r} with probability {prob} "
+                        f"can never yield {value}; every trace gets -inf "
+                        "log weight",
+                        "observe-impossible",
+                        label,
+                    )
+        elif isinstance(random, UniformExpr):
+            low = _const_value(random.low, env)
+            high = _const_value(random.high, env)
+            if not _is_integer(value):
+                self.finding(
+                    "error",
+                    f"observe on uniform {label!r} conditions on non-integer "
+                    f"value {value}; every trace gets -inf log weight",
+                    "observe-impossible",
+                    label,
+                )
+            elif low is not None and high is not None and not low <= value <= high:
+                self.finding(
+                    "error",
+                    f"observe on uniform {label!r} conditions on {value}, "
+                    f"outside [{low}, {high}]; every trace gets -inf log "
+                    "weight",
+                    "observe-impossible",
+                    label,
+                )
+        # A Gaussian has density at every finite value: nothing to decide.
+
+    # -- statements ---------------------------------------------------------
+
+    def check_stmt(self, stmt: Stmt, env: _ConstEnv) -> None:
+        """Check ``stmt``, updating ``env`` in place."""
+        for node in walk(stmt) if isinstance(stmt, (Assign, Observe, IndexAssign, Return)) else ():
+            if isinstance(node, RandomExpr):
+                self.check_random(node, env)
+        if isinstance(stmt, (Skip, FuncDef, Return)):
+            # Function bodies run in their own scope; call-site constant
+            # propagation is out of scope for this pass.
+            return
+        if isinstance(stmt, Assign):
+            value = _const_value(stmt.expr, env)
+            if value is not None and not any(
+                isinstance(n, RandomExpr) for n in walk(stmt.expr)
+            ):
+                env[stmt.name] = value
+            else:
+                env.pop(stmt.name, None)
+            return
+        if isinstance(stmt, IndexAssign):
+            env.pop(stmt.name, None)
+            return
+        if isinstance(stmt, Seq):
+            self.check_stmt(stmt.first, env)
+            self.check_stmt(stmt.second, env)
+            return
+        if isinstance(stmt, Observe):
+            self.check_random(stmt.random, env)
+            self.check_observe(stmt, env)
+            return
+        if isinstance(stmt, If):
+            then_env = dict(env)
+            else_env = dict(env)
+            self.check_stmt(stmt.then, then_env)
+            self.check_stmt(stmt.otherwise, else_env)
+            env.clear()
+            env.update(
+                {
+                    name: value
+                    for name, value in then_env.items()
+                    if else_env.get(name) == value
+                }
+            )
+            return
+        if isinstance(stmt, (For, While)):
+            # Anything the body can assign is unknown across iterations;
+            # analyze the body once under that weaker environment.
+            body_env = dict(env)
+            for name in assigned_variables(stmt):
+                body_env.pop(name, None)
+            self.check_stmt(stmt.body, body_env)
+            for name in assigned_variables(stmt):
+                env.pop(name, None)
+            return
+
+
+def _unused_variables(program: Stmt, parameters: Set[str]) -> List[str]:
+    """Assigned names whose value is never read anywhere."""
+    assigned: List[str] = []
+    seen: Set[str] = set()
+    read: Set[str] = set()
+    loop_vars: Set[str] = set()
+    for node in walk(program):
+        if isinstance(node, Assign) and node.name not in seen:
+            seen.add(node.name)
+            assigned.append(node.name)
+        elif isinstance(node, Var):
+            read.add(node.name)
+        elif isinstance(node, IndexAssign):
+            # An index-assignment reads the array it mutates.
+            read.add(node.name)
+        elif isinstance(node, For):
+            loop_vars.add(node.var)
+    return [
+        name
+        for name in assigned
+        if name not in read and name not in loop_vars and name not in parameters
+    ]
+
+
+def extended_check_program(
+    program: Stmt,
+    parameters: Sequence[str] = (),
+    array_parameters: Sequence[str] = (),
+) -> List[Diagnostic]:
+    """All static program checks: legacy rules plus the extended ones.
+
+    Runs :func:`repro.lang.check.check_program` and
+    :func:`repro.lang.types.check_kinds`, then the framework-only rules
+    (unused variables, statically-decided observes, constant-propagated
+    parameter ranges).  Returns one combined diagnostic list, every
+    entry stamped with ``pass_name="programs"``.
+    """
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(check_program(program, parameters))
+    diagnostics.extend(
+        d.with_context(pass_name=PASS_NAME)
+        for d in check_kinds(program, parameters, array_parameters)
+    )
+
+    for name in _unused_variables(program, set(parameters)):
+        diagnostics.append(
+            Diagnostic(
+                "info",
+                f"variable {name!r} is assigned but its value is never read",
+                code="unused-variable",
+                pass_name=PASS_NAME,
+            )
+        )
+
+    checker = _ConstPropChecker()
+    checker.check_stmt(program, {})
+    diagnostics.extend(checker.diagnostics)
+    return diagnostics

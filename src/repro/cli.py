@@ -6,6 +6,12 @@ Subcommands (``python -m repro.cli <cmd>`` or the ``repro`` script):
 * ``run FILE`` — sample traces and print return values with log probs;
 * ``enumerate FILE`` — exact posterior of the return value (finite
   discrete programs);
+* ``lint TARGET...`` — the full static-analysis suite
+  (:mod:`repro.analysis`): one file runs the extended program checks,
+  two files additionally validate the derived correspondence and the
+  edit's propagation soundness, and the literal ``bundled`` sweeps every
+  shipped program, edit pair, correspondence, and config
+  (``--strict``/``--format json``/``--out`` for CI);
 * ``diff OLD NEW`` — show the label correspondence the tree diff
   recovers between two programs (Section 6's heuristic);
 * ``translate OLD NEW`` — incremental inference across an edit: sample
@@ -33,13 +39,16 @@ Exit codes distinguish failure classes: ``2`` (:data:`EXIT_USAGE`) for
 bad arguments — unreadable files, malformed flags, a checkpoint written
 by a newer library version; ``3`` (:data:`EXIT_FAULT`) for inference
 faults — a :class:`~repro.errors.ReproError` escaping the run under a
-``fail_fast`` policy.  ``repro check`` keeps its documented ``1`` for
-"diagnostics found".
+``fail_fast`` policy; ``4`` (:data:`EXIT_LINT`) for ``repro lint``
+findings — error-severity diagnostics, or warnings under ``--strict``
+(info findings never affect the exit code).  ``repro check`` keeps its
+documented ``1`` for "diagnostics found".
 """
 
 from __future__ import annotations
 
 import argparse
+import json as json_module
 import os
 import signal
 import sys
@@ -70,12 +79,17 @@ from .observability import (
     dump_json,
 )
 
-__all__ = ["main", "build_parser", "EXIT_USAGE", "EXIT_FAULT"]
+__all__ = ["main", "build_parser", "EXIT_USAGE", "EXIT_FAULT", "EXIT_LINT"]
 
 #: Exit code for bad arguments / unusable inputs (argparse uses 2 too).
 EXIT_USAGE = 2
 #: Exit code for an inference fault (a ReproError escaping the run).
 EXIT_FAULT = 3
+#: Exit code for ``repro lint`` findings: error-severity diagnostics, or
+#: warnings when ``--strict`` escalates them.  Distinct from
+#: :data:`EXIT_USAGE` so CI can tell "bad invocation" from "real
+#: findings"; info-severity diagnostics never affect the exit code.
+EXIT_LINT = 4
 
 #: When set to an integer k, ``repro sequence`` SIGTERMs its own process
 #: after k SMC steps complete — the CI kill-switch that exercises
@@ -186,6 +200,79 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if not diagnostics:
         print("ok")
     return 1 if any(d.severity == "error" for d in diagnostics) else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import AnalysisResult
+
+    result = AnalysisResult()
+    if list(args.targets) == ["bundled"]:
+        from .analysis import lint_bundled
+
+        for name, diagnostics in lint_bundled().items():
+            result.extend(diagnostics, target=name)
+    elif len(args.targets) == 1:
+        env = _parse_env(args.env)
+        array_parameters = tuple(
+            name for name, value in env.items() if isinstance(value, list)
+        )
+        from .analysis import extended_check_program
+
+        program = _load_program(args.targets[0])
+        result.extend(
+            extended_check_program(program, tuple(env), array_parameters),
+            target=args.targets[0],
+        )
+    elif len(args.targets) == 2:
+        env = _parse_env(args.env)
+        parameters = tuple(env)
+        array_parameters = tuple(
+            name for name, value in env.items() if isinstance(value, list)
+        )
+        from .analysis import check_edit, extended_check_program, validate_label_map
+
+        old_program = _load_program(args.targets[0])
+        new_program = _load_program(args.targets[1])
+        for path, program in ((args.targets[0], old_program), (args.targets[1], new_program)):
+            result.extend(
+                extended_check_program(program, parameters, array_parameters),
+                target=path,
+            )
+        edit_target = f"{args.targets[0]} -> {args.targets[1]}"
+        result.extend(
+            validate_label_map(
+                old_program, new_program, align_labels(old_program, new_program)
+            ),
+            target=edit_target,
+        )
+        result.extend(
+            check_edit(old_program, new_program, env=env or None),
+            target=edit_target,
+        )
+    else:
+        _fail_usage(
+            "lint takes one program, an OLD NEW pair, or the literal 'bundled'"
+        )
+
+    if args.format == "json" or args.out:
+        report = json_module.dumps(result.to_dict(), indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report + "\n")
+            print(f"lint report written to {args.out}")
+        if args.format == "json":
+            print(report)
+    if args.format == "text":
+        for diagnostic in result.sorted():
+            where = f"{diagnostic.target}: " if diagnostic.target else ""
+            print(f"{where}{diagnostic}")
+        counts = result.counts()
+        print(
+            f"lint: {counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info(s)"
+        )
+    failing = result.has_errors or (args.strict and result.warnings)
+    return EXIT_LINT if failing else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -511,6 +598,28 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd.add_argument("--env", action="append", metavar="NAME=VALUE",
                            help="declare a program parameter (value unused)")
     check_cmd.set_defaults(handler=_cmd_check)
+
+    lint_cmd = subparsers.add_parser(
+        "lint", help="run the static-analysis suite (repro.analysis)"
+    )
+    lint_cmd.add_argument(
+        "targets", nargs="+", metavar="TARGET",
+        help="one program file (program checks), two files OLD NEW "
+             "(program + correspondence + edit-soundness checks), or the "
+             "literal 'bundled' (every shipped program, edit pair, "
+             "correspondence, and config)",
+    )
+    lint_cmd.add_argument("--env", action="append", metavar="NAME=VALUE",
+                          help="declare a program parameter")
+    lint_cmd.add_argument("--format", choices=("text", "json"), default="text",
+                          help="report format (default: text)")
+    lint_cmd.add_argument("--strict", action="store_true",
+                          help="treat warnings as failures (exit 4); info "
+                               "findings never affect the exit code")
+    lint_cmd.add_argument("--out", metavar="PATH",
+                          help="also write the JSON report to this file "
+                               "(the CI artifact)")
+    lint_cmd.set_defaults(handler=_cmd_lint)
 
     run_cmd = subparsers.add_parser("run", help="sample traces of a program")
     run_cmd.add_argument("file")

@@ -172,6 +172,14 @@ class InferenceConfig:
     checkpoint_every:
         Snapshot cadence in steps (``1`` = after every step).  The final
         step of a sequence is always checkpointed regardless of cadence.
+    validate:
+        Opt-in static pre-flight (:mod:`repro.analysis`): ``"off"`` (the
+        default) skips it entirely; ``"warn"`` runs the config lint and
+        translator validation once per ``infer``/``infer_sequence`` call
+        and reports findings via :mod:`warnings`; ``"error"`` raises
+        :class:`repro.errors.ValidationError` on error-severity findings
+        before any particle work starts.  Never evaluated per particle
+        or per step — the hot path is untouched.
     """
 
     #: Executor backend names accepted as strings (mirrors
@@ -192,6 +200,10 @@ class InferenceConfig:
     hooks: Hooks = field(default=NULL_HOOKS, repr=False, compare=False)
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 1
+    validate: str = "off"
+
+    #: Accepted values for :attr:`validate`.
+    VALIDATE_MODES = ("off", "warn", "error")
 
     def __post_init__(self) -> None:
         _validate_parameters(self.resample, self.ess_threshold, self.resampling_scheme)
@@ -226,6 +238,11 @@ class InferenceConfig:
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every!r}"
             )
         object.__setattr__(self, "checkpoint_every", every)
+        if self.validate not in self.VALIDATE_MODES:
+            raise ValueError(
+                f"unknown validate mode {self.validate!r}; "
+                f"choose from {list(self.VALIDATE_MODES)}"
+            )
 
     def replace(self, **changes: Any) -> "InferenceConfig":
         """A copy with the given fields replaced (re-validated)."""

@@ -362,6 +362,27 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
     def target(self) -> Model:
         return self._target
 
+    def validate(self, rng=None, num_samples: Optional[int] = None) -> list:
+        """Statically validate this translator's correspondence.
+
+        Convenience front-end for
+        :func:`repro.analysis.validate_correspondence`: profiles both
+        models and checks the correspondence for bijectivity,
+        injectivity, address existence, support compatibility, and
+        picklability.  Returns the :class:`repro.analysis.Diagnostic`
+        list (empty = clean).  Imported lazily so constructing and using
+        translators never touches the analysis subsystem.
+        """
+        from ..analysis.correspondence import DEFAULT_SAMPLES, validate_correspondence
+
+        return validate_correspondence(
+            self._source,
+            self._target,
+            self.correspondence,
+            rng=rng,
+            num_samples=DEFAULT_SAMPLES if num_samples is None else num_samples,
+        )
+
     def translate(self, rng: np.random.Generator, trace: Trace) -> TranslationResult:
         """Algorithm 1 for this translator.
 

@@ -159,5 +159,31 @@ class Correspondence:
             self._backward, self._forward, description=f"inverse({self.description})"
         )
 
+    # -- introspection (repro.analysis) -------------------------------------
+
+    def known_pairs(self) -> Optional[list]:
+        """The explicit ``(q_address, p_address)`` pairs, when enumerable.
+
+        Extensional correspondences (``from_dict``, ``identity``,
+        ``empty``) can list every pair they relate; intensional ones
+        (``identity_by_predicate``, custom callables) cannot, and return
+        ``None``.  The static validator uses this to check a
+        correspondence exhaustively where possible and to fall back to
+        sampled address profiles where not.
+        """
+        forward = self._forward
+        if isinstance(forward, _MappingLookup):
+            return sorted(forward.mapping.items(), key=repr)
+        if isinstance(forward, _IdentityOverSet):
+            return sorted(((a, a) for a in forward.addresses), key=repr)
+        if isinstance(forward, _EmptyMap):
+            return []
+        return None
+
+    @property
+    def is_intensional(self) -> bool:
+        """True when the related pairs cannot be enumerated statically."""
+        return self.known_pairs() is None
+
     def __repr__(self) -> str:
         return f"Correspondence({self.description})"

@@ -372,6 +372,24 @@ def _resolve_config_checkpoints(config: InferenceConfig) -> Any:
     return CheckpointManager(config.checkpoint_dir, every=config.checkpoint_every)
 
 
+def _run_preflight(
+    translators: Sequence[TraceTranslator],
+    config: InferenceConfig,
+) -> None:
+    """The opt-in static pre-flight (``config.validate``).
+
+    Lazy like the executor/checkpoint resolvers: ``validate="off"`` (the
+    default) never imports :mod:`repro.analysis`, and the check runs
+    once per ``infer``/``infer_sequence`` call — never per particle or
+    per step.
+    """
+    if config.validate == "off":
+        return
+    from ..analysis.preflight import apply_validation_mode, preflight_inference
+
+    apply_validation_mode(config.validate, preflight_inference(translators, config))
+
+
 def _infer_step(
     translator: TraceTranslator,
     traces: WeightedCollection,
@@ -620,6 +638,7 @@ def infer(
         fault_policy=fault_policy,
     )
     rng = _resolve_rng("infer", rng, config)
+    _run_preflight([translator], config)
     executor = _resolve_config_executor(config)
     return _infer_step(translator, traces, rng, mcmc_kernel, config, executor=executor)
 
@@ -676,6 +695,7 @@ def infer_sequence(
         fault_policy=fault_policy,
     )
     rng = _resolve_rng("infer_sequence", rng, config)
+    _run_preflight(list(translators), config)
     executor = _resolve_config_executor(config)  # resolved once, shared by all steps
     if mcmc_kernels is None:
         mcmc_kernels = [None] * len(translators)

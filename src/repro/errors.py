@@ -38,7 +38,7 @@ raised at the same call sites (``ValueError``, ``KeyError``,
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional, Sequence
 
 __all__ = [
     "ReproError",
@@ -52,6 +52,8 @@ __all__ = [
     "SchemaVersionError",
     "CheckpointCorruptionError",
     "SessionError",
+    "ValidationError",
+    "PicklingError",
     "RECOVERABLE_ERRORS",
 ]
 
@@ -164,6 +166,68 @@ class CheckpointCorruptionError(StoreError):
 
 class SessionError(StoreError):
     """An inference-session operation failed (unknown id, no store, ...)."""
+
+
+class ValidationError(ReproError):
+    """Static pre-flight validation found error-severity diagnostics.
+
+    Raised by the ``InferenceConfig(validate="error")`` pre-flight of
+    :func:`repro.core.smc.infer` before any particle work starts.
+    Deliberately *not* in :data:`RECOVERABLE_ERRORS`: a bad
+    correspondence or config concerns the whole run, not one particle.
+
+    Attributes
+    ----------
+    diagnostics:
+        The :class:`repro.analysis.Diagnostic` findings that triggered
+        the failure (errors first).
+    """
+
+    def __init__(self, message: str, diagnostics: Sequence[Any] = ()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.diagnostics:
+            return base
+        details = "; ".join(str(d) for d in self.diagnostics[:5])
+        more = len(self.diagnostics) - 5
+        suffix = f"; ... {more} more" if more > 0 else ""
+        return f"{base}: {details}{suffix}"
+
+
+class PicklingError(ValidationError, RuntimeError):
+    """An object graph cannot be shipped to process workers.
+
+    Raised by the :class:`~repro.parallel.ProcessExecutor` pre-flight
+    (and the config lint) *before* any chunk is submitted, naming the
+    offending attribute path — e.g.
+    ``translator.correspondence._forward.predicate`` for a lambda-based
+    intensional correspondence.  Inherits ``RuntimeError`` so the
+    pre-structured ``except RuntimeError`` call sites keep working.
+
+    Attributes
+    ----------
+    component:
+        Which executor input failed (``"translator"``,
+        ``"fault_policy"``, ``"regenerate_fn"``).
+    attribute:
+        Dotted path of the deepest unpicklable attribute within it
+        (empty when the component itself is the failure).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        component: Optional[str] = None,
+        attribute: Optional[str] = None,
+        diagnostics: Sequence[Any] = (),
+    ):
+        super().__init__(message, diagnostics)
+        self.component = component
+        self.attribute = attribute
 
 
 #: Failure classes the SMC loop may contain to a single particle.  The

@@ -12,7 +12,13 @@
 """
 
 from .dot import to_dot
-from .diff import align_labels, diff_correspondence, label_correspondence
+from .diff import (
+    align_labels,
+    diff_correspondence,
+    flatten_seq,
+    label_correspondence,
+    lcs_pairs,
+)
 from .edits import (
     Edit,
     apply_edit,
@@ -22,7 +28,7 @@ from .edits import (
     statements,
     subtree_at,
 )
-from .engine import PropagationResult, propagate, run_initial
+from .engine import PropagationResult, propagate, run_initial, visited_top_level
 from .records import GraphTrace, StmtRecord
 from .translate import GraphTranslator, baseline_lang_translator, graph_trace_to_choice_map
 
@@ -42,6 +48,9 @@ __all__ = [
     "replace_constant",
     "align_labels",
     "label_correspondence",
+    "flatten_seq",
+    "lcs_pairs",
+    "visited_top_level",
     "diff_correspondence",
     "GraphTranslator",
     "baseline_lang_translator",

@@ -28,10 +28,17 @@ from ..core.correspondence import Correspondence
 from ..lang.analysis import equal_modulo_labels, random_expressions
 from ..lang.ast import Node, RandomExpr, Seq, Stmt
 
-__all__ = ["diff_correspondence", "label_correspondence", "align_labels"]
+__all__ = [
+    "diff_correspondence",
+    "label_correspondence",
+    "align_labels",
+    "flatten_seq",
+    "lcs_pairs",
+]
 
 
-def _flatten_seq(stmt: Stmt) -> List[Stmt]:
+def flatten_seq(stmt: Stmt) -> List[Stmt]:
+    """Top-level statement list of a (right-nested) ``Seq`` spine."""
     result: List[Stmt] = []
     node = stmt
     while isinstance(node, Seq):
@@ -41,7 +48,7 @@ def _flatten_seq(stmt: Stmt) -> List[Stmt]:
     return result
 
 
-def _lcs_pairs(old: List[Stmt], new: List[Stmt]) -> List[Tuple[int, int]]:
+def lcs_pairs(old: List[Stmt], new: List[Stmt]) -> List[Tuple[int, int]]:
     """Indices of a longest common subsequence under equality-modulo-labels."""
     n, m = len(old), len(new)
     lengths = [[0] * (m + 1) for _ in range(n + 1)]
@@ -82,9 +89,9 @@ def _align(old: Node, new: Node, mapping: Dict[str, str]) -> None:
         _match_wholesale(old, new, mapping)
         return
     if isinstance(old, Seq) or isinstance(new, Seq):
-        old_list = _flatten_seq(old) if isinstance(old, Stmt) else [old]
-        new_list = _flatten_seq(new) if isinstance(new, Stmt) else [new]
-        matched = _lcs_pairs(old_list, new_list)
+        old_list = flatten_seq(old) if isinstance(old, Stmt) else [old]
+        new_list = flatten_seq(new) if isinstance(new, Stmt) else [new]
+        matched = lcs_pairs(old_list, new_list)
         for i, j in matched:
             # Matched statements are equal modulo labels: pair their
             # random expressions in pre-order.

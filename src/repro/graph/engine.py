@@ -68,7 +68,7 @@ from ..lang.interp import EvalError, choice_address, distribution_of
 from ..observability import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 from .records import GraphTrace, StmtRecord
 
-__all__ = ["run_initial", "propagate", "PropagationResult"]
+__all__ = ["run_initial", "propagate", "PropagationResult", "visited_top_level"]
 
 
 def _truthy(value: Any) -> bool:
@@ -498,3 +498,48 @@ def propagate(
             f"(visited {engine.visited} statements)"
         )
     return PropagationResult(trace, engine.log_weight, engine.visited, engine.skipped)
+
+
+def visited_top_level(
+    program: Stmt, old: GraphTrace, new: GraphTrace
+) -> List[bool]:
+    """Which top-level statements were re-executed by a propagation.
+
+    ``new`` must be the trace :func:`propagate` produced for ``program``
+    against ``old``.  Skipped statements share their :class:`StmtRecord`
+    *by identity* with the old trace (``_exec`` returns the old record
+    unchanged), so a top-level statement was visited exactly when its
+    record object is absent from the old record tree.  This is the
+    runtime ground truth the edit-soundness pass of :mod:`repro.analysis`
+    cross-checks against its statically derived invalidation set.
+    """
+    old_ids = set()
+    stack = [old.root]
+    while stack:
+        record = stack.pop()
+        if id(record) in old_ids:
+            continue
+        old_ids.add(id(record))
+        stack.extend(record.children.values())
+
+    def spine_length(node: Stmt) -> int:
+        length = 1
+        while isinstance(node, Seq):
+            length += 1
+            node = node.second
+        return length
+
+    visited: List[bool] = []
+    node: Stmt = program
+    record: Optional[StmtRecord] = new.root
+    while isinstance(node, Seq):
+        if record is None or id(record) in old_ids:
+            # The whole remaining spine was reused from the old trace.
+            visited.extend([False] * spine_length(node))
+            return visited
+        first = record.children.get("first")
+        visited.append(first is not None and id(first) not in old_ids)
+        node = node.second
+        record = record.children.get("second")
+    visited.append(record is not None and id(record) not in old_ids)
+    return visited

@@ -97,9 +97,15 @@ def second_order_model(
     return model
 
 
+def _is_hidden_address(address) -> bool:
+    # Module-level (not a lambda) so the correspondence — and any
+    # translator holding it — stays picklable for the process executor.
+    return address[0] == "hidden"
+
+
 def hidden_state_correspondence() -> Correspondence:
     """Identity correspondence over all ``("hidden", i)`` addresses."""
-    return Correspondence.identity_by_predicate(lambda address: address[0] == "hidden")
+    return Correspondence.identity_by_predicate(_is_hidden_address)
 
 
 def exact_first_order_trace(

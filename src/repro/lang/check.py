@@ -20,8 +20,13 @@ every execution that reaches them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+# The diagnostic type moved to the analysis framework (repro.analysis);
+# re-exported here so the historical ``from repro.lang.check import
+# Diagnostic`` import keeps working.  The framework type is positionally
+# compatible (``Diagnostic("error", message)``) and renders identically.
+from ..analysis.diagnostics import Diagnostic
 
 from .optimize import fold_expr
 from .ast import (
@@ -52,17 +57,6 @@ from .ast import (
 __all__ = ["Diagnostic", "check_program"]
 
 
-@dataclass(frozen=True)
-class Diagnostic:
-    """One finding: ``severity`` is ``"error"`` or ``"warning"``."""
-
-    severity: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.severity}: {self.message}"
-
-
 class _Checker:
     def __init__(self, parameters: Iterable[str]):
         self.diagnostics: List[Diagnostic] = []
@@ -73,11 +67,15 @@ class _Checker:
         #: the full function table (mutual recursion is fine there).
         self.skip_function_bodies = False
 
-    def error(self, message: str) -> None:
-        self.diagnostics.append(Diagnostic("error", message))
+    def error(self, message: str, code: Optional[str] = None) -> None:
+        self.diagnostics.append(
+            Diagnostic("error", message, code=code, pass_name="programs")
+        )
 
-    def warning(self, message: str) -> None:
-        self.diagnostics.append(Diagnostic("warning", message))
+    def warning(self, message: str, code: Optional[str] = None) -> None:
+        self.diagnostics.append(
+            Diagnostic("warning", message, code=code, pass_name="programs")
+        )
 
     # -- expressions --------------------------------------------------------
 
@@ -86,7 +84,7 @@ class _Checker:
             return
         if isinstance(expr, Var):
             if expr.name not in bound:
-                self.error(f"variable {expr.name!r} may be used before assignment")
+                self.error(f"variable {expr.name!r} may be used before assignment", code="use-before-assign")
             return
         if isinstance(expr, Unary):
             self.check_expr(expr.operand, bound)
@@ -103,7 +101,7 @@ class _Checker:
         if isinstance(expr, ArrayExpr):
             size = fold_expr(expr.size)
             if isinstance(size, Const) and size.value < 0:
-                self.error(f"array size {size.value} is negative")
+                self.error(f"array size {size.value} is negative", code="param-range")
             self.check_expr(expr.size, bound)
             self.check_expr(expr.fill, bound)
             return
@@ -111,7 +109,8 @@ class _Checker:
             prob = fold_expr(expr.prob)
             if isinstance(prob, Const) and not 0 <= prob.value <= 1:
                 self.error(
-                    f"flip probability {prob.value} is outside [0, 1]"
+                    f"flip probability {prob.value} is outside [0, 1]",
+                    code="param-range",
                 )
             self.check_expr(expr.prob, bound)
             return
@@ -123,7 +122,8 @@ class _Checker:
                 and high.value < low.value
             ):
                 self.error(
-                    f"uniform({low.value}, {high.value}) has an empty range"
+                    f"uniform({low.value}, {high.value}) has an empty range",
+                    code="param-range",
                 )
             self.check_expr(expr.low, bound)
             self.check_expr(expr.high, bound)
@@ -131,14 +131,14 @@ class _Checker:
         if isinstance(expr, GaussExpr):
             std = fold_expr(expr.std)
             if isinstance(std, Const) and std.value <= 0:
-                self.error(f"gauss std {std.value} is not positive")
+                self.error(f"gauss std {std.value} is not positive", code="param-range")
             self.check_expr(expr.mean, bound)
             self.check_expr(expr.std, bound)
             return
         if isinstance(expr, Call):
             function = self.functions.get(expr.name)
             if function is None:
-                self.error(f"call to undefined function {expr.name!r}")
+                self.error(f"call to undefined function {expr.name!r}", code="undefined-function")
             else:
                 if expr.name not in self.defined_so_far:
                     self.warning(
@@ -194,7 +194,7 @@ class _Checker:
             return set()
         if isinstance(stmt, While):
             if isinstance(stmt.cond, Const) and stmt.cond.value != 0:
-                self.warning("while condition is a constant truthy value; the loop cannot terminate")
+                self.warning("while condition is a constant truthy value; the loop cannot terminate", code="const-loop")
             self.check_expr(stmt.cond, bound)
             self.check_stmt(stmt.body, set(bound))
             return set()

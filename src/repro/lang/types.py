@@ -48,7 +48,7 @@ from .ast import (
     Var,
     While,
 )
-from .check import Diagnostic
+from ..analysis.diagnostics import Diagnostic
 
 __all__ = ["check_kinds", "SCALAR", "ARRAY", "UNKNOWN"]
 

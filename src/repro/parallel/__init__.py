@@ -23,9 +23,12 @@ from .executor import (
     resolve_executor,
     spawn_particle_rngs,
 )
+from .pickling import UnpicklableAttribute, find_unpicklable
 from .worker import ParticleOutcome, payload_nbytes
 
 __all__ = [
+    "UnpicklableAttribute",
+    "find_unpicklable",
     "EXECUTOR_BACKENDS",
     "ParticleExecutor",
     "SerialExecutor",

@@ -225,9 +225,39 @@ class ProcessExecutor(ParticleExecutor):
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
             return self._pool
 
+    def _preflight(self, translator, policy, regenerate_fn) -> None:
+        """Reject unpicklable inputs *before* the pool sees them.
+
+        A pickling failure inside ``pool.submit`` surfaces as an opaque
+        traceback from the pool machinery; this check names the exact
+        attribute to fix (e.g. a lambda-based correspondence predicate)
+        and raises before any chunk is shipped.
+        """
+        from ..errors import PicklingError
+        from .pickling import find_unpicklable
+
+        for component, value in (
+            ("translator", translator),
+            ("fault_policy", policy),
+            ("regenerate_fn", regenerate_fn),
+        ):
+            if value is None:
+                continue
+            culprit = find_unpicklable(value)
+            if culprit is not None:
+                raise PicklingError(
+                    "the 'process' executor requires the translator, fault "
+                    "policy, and regenerate_fn to be picklable, but "
+                    f"{culprit.describe(root=component)}; replace it with a "
+                    "module-level function or class",
+                    component=component,
+                    attribute=culprit.path,
+                )
+
     def map_translate(self, translator, items, seeds, policy, regenerate_fn):
         from .worker import chunk_entry, payload_nbytes
 
+        self._preflight(translator, policy, regenerate_fn)
         pool = self._ensure_pool()
         payloads = [
             (translator, list(items[lo:hi]), list(seeds[lo:hi]),

@@ -1,0 +1,111 @@
+"""Pre-flight picklability checking for the process executor.
+
+The ``process`` backend ships the translator, fault policy, and
+regenerate function to worker processes by pickling.  When something in
+that object graph is a lambda, a closure, or a locally defined class,
+the failure used to surface as a bare ``PicklingError`` from deep inside
+the pool — with no hint of *which* attribute was the problem.
+
+:func:`find_unpicklable` descends the object graph attribute by
+attribute and returns the deepest path that fails to pickle on its own
+(e.g. ``translator.correspondence._forward.predicate``), which is
+exactly the thing the user has to replace with a module-level function.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any, Iterable, List, Optional, Tuple
+
+__all__ = ["find_unpicklable", "UnpicklableAttribute"]
+
+#: How deep to descend into attributes before giving up on refinement.
+MAX_DEPTH = 8
+
+
+class UnpicklableAttribute:
+    """The deepest attribute path that fails to pickle.
+
+    Attributes
+    ----------
+    path:
+        Dotted attribute path from the root object (``""`` when the root
+        itself is the most specific failure we can name).
+    value:
+        The offending object.
+    error:
+        The exception ``pickle.dumps`` raised for it.
+    """
+
+    __slots__ = ("path", "value", "error")
+
+    def __init__(self, path: str, value: Any, error: BaseException):
+        self.path = path
+        self.value = value
+        self.error = error
+
+    def describe(self, root: str = "object") -> str:
+        where = f"{root}.{self.path}" if self.path else root
+        return f"{where} = {self.value!r} ({self.error})"
+
+    def __repr__(self) -> str:
+        return f"UnpicklableAttribute({self.describe()})"
+
+
+def _pickles(obj: Any) -> Optional[BaseException]:
+    """None when ``obj`` pickles; the raised exception otherwise."""
+    try:
+        pickle.dump(obj, io.BytesIO())
+        return None
+    except Exception as error:
+        return error
+
+
+def _child_attributes(obj: Any) -> Iterable[Tuple[str, Any]]:
+    """(name, value) pairs worth descending into."""
+    seen: List[str] = []
+    mapping = getattr(obj, "__dict__", None)
+    if isinstance(mapping, dict):
+        for name, value in mapping.items():
+            seen.append(name)
+            yield name, value
+    for slots in (getattr(type(obj), "__slots__", ()) or ()):
+        if slots in seen or slots in ("__dict__", "__weakref__"):
+            continue
+        try:
+            yield slots, getattr(obj, slots)
+        except AttributeError:
+            continue
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield f"[{key!r}]", value
+    elif isinstance(obj, (list, tuple)):
+        for index, value in enumerate(obj):
+            yield f"[{index}]", value
+
+
+def find_unpicklable(
+    obj: Any, _depth: int = 0, _seen: Optional[set] = None
+) -> Optional[UnpicklableAttribute]:
+    """The deepest attribute of ``obj`` that fails to pickle, or None.
+
+    Returns ``None`` when ``obj`` pickles cleanly.  Otherwise descends
+    breadth-first into instance attributes (``__dict__``/``__slots__``)
+    and container elements, and reports the most specific failing path —
+    falling back to the object itself when no single attribute explains
+    the failure (e.g. the object *is* a lambda).
+    """
+    error = _pickles(obj)
+    if error is None:
+        return None
+    if _seen is None:
+        _seen = set()
+    if _depth < MAX_DEPTH and id(obj) not in _seen:
+        _seen.add(id(obj))
+        for name, value in _child_attributes(obj):
+            child = find_unpicklable(value, _depth + 1, _seen)
+            if child is not None:
+                path = f"{name}.{child.path}" if child.path else name
+                return UnpicklableAttribute(path, child.value, child.error)
+    return UnpicklableAttribute("", obj, error)

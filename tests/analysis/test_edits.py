@@ -1,0 +1,110 @@
+"""Tests for the edit-soundness pass (static sets vs runtime visits)."""
+
+from repro.analysis import check_edit, invalidation_sets, statement_effects
+from repro.lang.parser import parse_program
+from repro.lang.programs import BURGLARY_ORIGINAL, BURGLARY_REFINED
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+OLD = """
+a = flip(0.5);
+b = gauss(a, 1.0);
+c = gauss(b, 1.0);
+return c;
+"""
+
+# Tail edit: only the last statement's input changes.
+NEW_TAIL = """
+a = flip(0.5);
+b = gauss(a, 1.0);
+c = gauss(b, 2.0);
+return c;
+"""
+
+# Front insertion: positional Seq alignment loses downstream reuse.
+NEW_FRONT = """
+z = flip(0.1);
+a = flip(0.5);
+b = gauss(a, 1.0);
+c = gauss(b, 1.0);
+return c;
+"""
+
+
+class TestStaticSets:
+    def test_statement_effects_reads_and_writes(self):
+        effects = statement_effects(parse_program(OLD))
+        assert effects[1].writes == {"b"}
+        assert effects[1].reads == {"a"}
+        assert effects[0].has_random and not effects[0].has_observe
+
+    def test_tail_edit_must_visit_only_changed_statement(self):
+        analysis = invalidation_sets(parse_program(OLD), parse_program(NEW_TAIL))
+        assert analysis.must_visit == {2}
+        # The return statement reads c, which the edited statement writes.
+        assert analysis.may_visit == {2, 3}
+
+    def test_front_insertion_must_visit_is_just_the_insertion(self):
+        analysis = invalidation_sets(parse_program(OLD), parse_program(NEW_FRONT))
+        assert analysis.must_visit == {0}
+        # z feeds nothing downstream, so nothing else may be invalidated.
+        assert analysis.may_visit == {0}
+
+
+class TestRuntimeCrossCheck:
+    def test_clean_tail_edit_has_no_findings(self):
+        diagnostics = check_edit(parse_program(OLD), parse_program(NEW_TAIL))
+        assert diagnostics == []
+
+    def test_bundled_burglary_edit_is_clean(self):
+        diagnostics = check_edit(
+            parse_program(BURGLARY_ORIGINAL), parse_program(BURGLARY_REFINED)
+        )
+        assert not any(d.severity in ("warning", "error") for d in diagnostics)
+
+    def test_front_insertion_reports_overpropagation_info(self):
+        # The engine aligns the Seq spine positionally, so inserting at
+        # the front re-executes everything downstream — sound, but all
+        # reuse is lost.  That is exactly what the info finding reports.
+        diagnostics = check_edit(parse_program(OLD), parse_program(NEW_FRONT))
+        assert codes(diagnostics) == {"edit-overpropagation"}
+        assert all(d.severity == "info" for d in diagnostics)
+
+    def test_tampered_visit_vector_is_stale_skip_error(self):
+        # Fabricate an unsound engine: the changed statement (index 2)
+        # reports "skipped".  The detector must flag it as an error.
+        diagnostics = check_edit(
+            parse_program(OLD),
+            parse_program(NEW_TAIL),
+            visited=[False, False, False, True],
+        )
+        stale = [d for d in diagnostics if d.code == "edit-stale-skip"]
+        assert len(stale) == 1
+        assert stale[0].severity == "error"
+
+    def test_wrong_length_visit_vector_is_shape_error(self):
+        diagnostics = check_edit(
+            parse_program(OLD), parse_program(NEW_TAIL), visited=[True]
+        )
+        assert codes(diagnostics) == {"edit-visit-shape"}
+
+    def test_static_only_mode_returns_no_findings(self):
+        assert (
+            check_edit(
+                parse_program(OLD), parse_program(NEW_FRONT), runtime_check=False
+            )
+            == []
+        )
+
+    def test_unexecutable_edit_degrades_to_warning(self):
+        # n is an env parameter the check does not provide, so the
+        # runtime half cannot execute; the static half still runs and
+        # the failure surfaces as a warning, not a crash.
+        old = parse_program("x = gauss(n, 1.0); return x;")
+        new = parse_program("x = gauss(n, 2.0); return x;")
+        diagnostics = check_edit(old, new)
+        assert codes(diagnostics) == {"edit-runtime-failed"}
+        assert all(d.severity == "warning" for d in diagnostics)

@@ -1,0 +1,144 @@
+"""Tests for the extended program checker (pass 4)."""
+
+from repro.analysis import extended_check_program
+from repro.lang.parser import parse_program
+
+
+def check(source, **kwargs):
+    return extended_check_program(parse_program(source), **kwargs)
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestLegacyRulesStillFire:
+    def test_use_before_assign(self):
+        diagnostics = check("return y;")
+        assert "use-before-assign" in codes(diagnostics)
+
+    def test_syntactic_param_range(self):
+        diagnostics = check("x = flip(1.5); return x;")
+        assert "param-range" in codes(diagnostics)
+
+
+class TestUnusedVariables:
+    def test_unused_assignment_is_info(self):
+        diagnostics = check("c = 1; x = flip(0.5); return x;")
+        unused = [d for d in diagnostics if d.code == "unused-variable"]
+        assert len(unused) == 1
+        assert unused[0].severity == "info"
+        assert "'c'" in unused[0].message
+
+    def test_parameters_are_exempt(self):
+        program = parse_program("x = gauss(0.0, 1.0); return x;")
+        diagnostics = extended_check_program(program, parameters=("sigma",))
+        assert "unused-variable" not in codes(diagnostics)
+
+    def test_loop_variables_are_exempt(self):
+        source = "s = 0; for i in [0 .. 3) { s = s + 1; } return s;"
+        assert "unused-variable" not in codes(check(source))
+
+    def test_index_assigned_arrays_count_as_read(self):
+        source = "a = array(3, 0); a[0] = 1; return 0;"
+        assert "unused-variable" not in codes(check(source))
+
+
+class TestObserveOnConstants:
+    def test_impossible_flip_observation_is_error(self):
+        diagnostics = check("observe(flip(1) == 0); return 1;")
+        impossible = [d for d in diagnostics if d.code == "observe-impossible"]
+        assert len(impossible) == 1
+        assert impossible[0].severity == "error"
+
+    def test_vacuous_flip_observation_is_warning(self):
+        diagnostics = check("observe(flip(1) == 1); return 1;")
+        vacuous = [d for d in diagnostics if d.code == "observe-vacuous"]
+        assert len(vacuous) == 1
+        assert vacuous[0].severity == "warning"
+
+    def test_flip_observed_outside_support_is_error(self):
+        diagnostics = check("observe(flip(0.5) == 2); return 1;")
+        assert "observe-impossible" in codes(diagnostics)
+
+    def test_uniform_observed_out_of_range_is_error(self):
+        diagnostics = check("observe(uniform(0, 3) == 7); return 1;")
+        assert "observe-impossible" in codes(diagnostics)
+
+    def test_in_support_observation_is_clean(self):
+        assert check("observe(flip(0.7) == 1); return 1;") == []
+
+
+class TestConstantPropagation:
+    def test_propagated_flip_probability_out_of_range(self):
+        diagnostics = check("p = 3; x = flip(p / 2); return x;")
+        ranges = [d for d in diagnostics if d.code == "param-range"]
+        assert len(ranges) == 1
+        assert ranges[0].severity == "error"
+        assert "after constant propagation" in ranges[0].message
+
+    def test_propagated_gauss_std(self):
+        diagnostics = check("s = 0; x = gauss(0.0, s); return x;")
+        assert "param-range" in codes(diagnostics)
+
+    def test_branch_merge_keeps_agreeing_bindings_only(self):
+        # p differs between branches -> unknown -> no finding.
+        source = """
+        a = flip(0.5);
+        if a { p = 0.2; } else { p = 2.0; }
+        x = flip(p);
+        return x;
+        """
+        assert "param-range" not in codes(check(source))
+
+    def test_branch_merge_catches_agreeing_bad_binding(self):
+        source = """
+        a = flip(0.5);
+        if a { p = 2.0; } else { p = 2.0; }
+        x = flip(p);
+        return x;
+        """
+        assert "param-range" in codes(check(source))
+
+    def test_loop_assigned_variables_are_invalidated(self):
+        # p is rewritten inside the loop, so its value is unknown after.
+        source = """
+        p = 0.5;
+        for i in [0 .. 3) { p = p / 2; }
+        x = flip(p);
+        return x;
+        """
+        assert "param-range" not in codes(check(source))
+
+    def test_random_assignments_are_not_constants(self):
+        assert "param-range" not in codes(
+            check("p = flip(0.5); x = flip(p + 0.2); return x;")
+        )
+
+
+class TestBundledProgramsAreErrorFree:
+    def test_all_bundled_programs(self):
+        from repro.lang import programs as lang_programs
+
+        for name in (
+            "BURGLARY_ORIGINAL",
+            "BURGLARY_REFINED",
+            "FIGURE3",
+            "FIGURE5_P",
+            "FIGURE5_Q",
+            "FIGURE6_GEOMETRIC",
+            "FIGURE7",
+        ):
+            diagnostics = check(getattr(lang_programs, name))
+            bad = [d for d in diagnostics if d.severity in ("warning", "error")]
+            assert not bad, f"{name}: {[str(d) for d in bad]}"
+
+    def test_gmm_with_parameters(self):
+        from repro.lang.programs import gmm_source
+
+        diagnostics = extended_check_program(
+            parse_program(gmm_source(3)),
+            parameters=("sigma", "n"),
+            array_parameters=("ys",),
+        )
+        assert not any(d.severity in ("warning", "error") for d in diagnostics)

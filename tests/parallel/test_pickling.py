@@ -1,0 +1,97 @@
+"""Tests for the process-executor pickling pre-flight."""
+
+import pickle
+
+import pytest
+
+from repro.core.correspondence import Correspondence
+from repro.errors import PicklingError, ReproError, ValidationError
+from repro.parallel import ProcessExecutor, find_unpicklable
+from repro.parallel.pickling import UnpicklableAttribute
+
+
+class TestFindUnpicklable:
+    def test_picklable_object_returns_none(self):
+        assert find_unpicklable({"a": [1, 2, (3, "x")]}) is None
+        assert find_unpicklable(Correspondence.identity(["a"])) is None
+
+    def test_lambda_is_its_own_culprit(self):
+        culprit = find_unpicklable(lambda: None)
+        assert culprit is not None
+        assert culprit.path == ""
+
+    def test_descends_to_the_failing_attribute(self):
+        corr = Correspondence.identity_by_predicate(lambda a: True)
+        culprit = find_unpicklable(corr)
+        assert culprit is not None
+        # The path names the lambda inside the predicate wrapper, which
+        # is exactly what the user has to replace.
+        assert "predicate" in culprit.path
+        assert "lambda" in culprit.describe(root="correspondence")
+
+    def test_descends_into_containers(self):
+        culprit = find_unpicklable({"fine": 1, "broken": lambda: None})
+        assert culprit is not None
+        assert culprit.path == "['broken']"
+
+    def test_describe_includes_root_name(self):
+        culprit = UnpicklableAttribute("a.b", 42, ValueError("nope"))
+        assert culprit.describe(root="translator").startswith("translator.a.b")
+
+
+class _UnpicklableTranslator:
+    """Minimal translator shape with a lambda-based correspondence."""
+
+    def __init__(self):
+        self.correspondence = Correspondence.identity_by_predicate(lambda a: True)
+
+    def translate(self, rng, item):  # pragma: no cover - preflight rejects first
+        raise NotImplementedError
+
+
+class TestProcessExecutorPreflight:
+    def test_lambda_correspondence_raises_structured_error(self):
+        executor = ProcessExecutor(workers=1)
+        try:
+            with pytest.raises(PicklingError) as excinfo:
+                executor.map_translate(
+                    _UnpicklableTranslator(), [object()], [0], None, None
+                )
+        finally:
+            executor.close()
+        error = excinfo.value
+        assert error.component == "translator"
+        assert "predicate" in error.attribute
+        assert "picklable" in str(error)
+
+    def test_pickling_error_is_runtime_and_repro_error(self):
+        # Pre-structured call sites catch RuntimeError; the CLI catches
+        # ReproError; validation tooling catches ValidationError.
+        error = PicklingError("x", component="translator", attribute="a")
+        assert isinstance(error, RuntimeError)
+        assert isinstance(error, ReproError)
+        assert isinstance(error, ValidationError)
+
+    def test_preflight_rejects_before_pool_creation(self):
+        executor = ProcessExecutor(workers=1)
+        try:
+            with pytest.raises(PicklingError):
+                executor.map_translate(
+                    _UnpicklableTranslator(), [object()], [0], None, None
+                )
+            # The failure happened before any worker process was forked.
+            assert executor._pool is None
+        finally:
+            executor.close()
+
+    def test_unpicklable_regenerate_fn_names_component(self):
+        executor = ProcessExecutor(workers=1)
+        picklable_translator = Correspondence.identity(["a"])
+        try:
+            with pytest.raises(PicklingError) as excinfo:
+                executor.map_translate(
+                    picklable_translator, [1], [0], None, lambda rng: (None, 0.0)
+                )
+        finally:
+            executor.close()
+        assert excinfo.value.component == "regenerate_fn"

@@ -304,3 +304,83 @@ class TestTranslateExecutor:
         (row,) = [l.rstrip() for l in lines
                   if l.strip().startswith("-") and l.rstrip().endswith("-")]
         assert "w0=" not in row
+
+
+class TestLint:
+    """The static-analysis subcommand and its exit-code contract."""
+
+    def test_clean_program_exits_zero(self, tmp_path, capsys):
+        program = tmp_path / "ok.pp"
+        program.write_text("x = flip(0.3);\nobserve(flip(0.9) == 1);\nreturn x;\n")
+        assert main(["lint", str(program)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_findings_exit_lint(self, tmp_path, capsys):
+        from repro.cli import EXIT_LINT
+
+        program = tmp_path / "bad.pp"
+        program.write_text("p = 3;\nx = flip(p / 2);\nreturn x;\n")
+        assert main(["lint", str(program)]) == EXIT_LINT
+        output = capsys.readouterr().out
+        assert "param-range" in output
+
+    def test_info_findings_never_fail_even_strict(self, tmp_path, capsys):
+        program = tmp_path / "unused.pp"
+        program.write_text("c = 1;\nx = flip(0.5);\nreturn x;\n")
+        assert main(["lint", str(program), "--strict"]) == 0
+        assert "unused-variable" in capsys.readouterr().out
+
+    def test_strict_escalates_warnings(self, tmp_path, capsys):
+        from repro.cli import EXIT_LINT
+
+        program = tmp_path / "vacuous.pp"
+        program.write_text("observe(flip(1) == 1);\nreturn 1;\n")
+        assert main(["lint", str(program)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(program), "--strict"]) == EXIT_LINT
+
+    def test_pair_runs_correspondence_and_edit_checks(self, burglary_files, capsys):
+        old, new = burglary_files
+        assert main(["lint", old, new]) == 0
+        assert "error(s)" in capsys.readouterr().out
+
+    def test_json_format_and_artifact(self, tmp_path, burglary_files, capsys):
+        import json
+
+        old, _new = burglary_files
+        out = tmp_path / "report.json"
+        assert main(["lint", old, "--format", "json", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["version"] == 1
+        assert set(report["summary"]) == {"info", "warning", "error"}
+        printed = capsys.readouterr().out
+        assert '"version": 1' in printed
+
+    def test_three_files_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import EXIT_USAGE
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "a.pp", "b.pp", "c.pp"])
+        assert excinfo.value.code == EXIT_USAGE
+
+    def test_unreadable_file_is_usage_error(self, tmp_path):
+        from repro.cli import EXIT_USAGE
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", str(tmp_path / "missing.pp")])
+        assert excinfo.value.code == EXIT_USAGE
+
+    def test_env_declares_parameters(self, tmp_path, capsys):
+        program = tmp_path / "param.pp"
+        program.write_text("x = gauss(mu, 1.0);\nreturn x;\n")
+        from repro.cli import EXIT_LINT
+
+        assert main(["lint", str(program)]) == EXIT_LINT
+        capsys.readouterr()
+        assert main(["lint", str(program), "--env", "mu=0.0"]) == 0
+
+    def test_bundled_strict_is_clean(self, capsys):
+        # The acceptance gate: every shipped program, edit pair,
+        # correspondence, and config is warning-free.
+        assert main(["lint", "bundled", "--strict"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
