@@ -19,6 +19,7 @@ import pytest
 
 _SMC_RECORDS = []
 _STORE_RECORDS = []
+_SERVICE_RECORDS = []
 
 
 @pytest.fixture
@@ -54,6 +55,20 @@ def store_bench():
     return record
 
 
+@pytest.fixture
+def service_bench():
+    """Record one structured measurement destined for BENCH_service.json.
+
+    Call it with a dict; ``series`` plus the latency/rejection/recovery
+    keys of ``test_bench_service.py`` are the conventional shape.
+    """
+
+    def record(entry):
+        _SERVICE_RECORDS.append(dict(entry))
+
+    return record
+
+
 def _write_bench_file(records, default_name, env_var):
     out = os.environ.get(env_var)
     if out is None:
@@ -77,3 +92,7 @@ def pytest_sessionfinish(session, exitstatus):
         _write_bench_file(_SMC_RECORDS, "BENCH_smc.json", "BENCH_SMC_OUT")
     if _STORE_RECORDS:
         _write_bench_file(_STORE_RECORDS, "BENCH_store.json", "BENCH_STORE_OUT")
+    if _SERVICE_RECORDS:
+        _write_bench_file(
+            _SERVICE_RECORDS, "BENCH_service.json", "BENCH_SERVICE_OUT"
+        )

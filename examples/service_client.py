@@ -1,0 +1,114 @@
+"""The inference service, end to end: serve, observe, crash, recover.
+
+A tour of ``repro.service`` from the client's seat:
+
+1. start a durable server on an ephemeral port (in-process
+   :class:`~repro.service.ServiceHandle`, same code path as
+   ``repro serve``);
+2. create a session and stream observations into it through
+   :class:`~repro.service.RetryingClient` — the client half of
+   backpressure (full-jitter exponential backoff, floored by the
+   server's ``retry_after_s`` hints);
+3. read the posterior, then **kill the server without warning** and
+   restart it on the same store — every acknowledged observation is
+   recovered byte-identically from the commit snapshots;
+4. show the quota and deadline rejections a misbehaving client sees:
+   structured, typed, and retryable (or not) by design.
+
+Run with::
+
+    python examples/service_client.py
+"""
+
+import tempfile
+
+from repro.errors import DeadlineExceededError, QuotaExceededError
+from repro.service import (
+    RetryingClient,
+    ServiceClient,
+    ServiceConfig,
+    ServiceHandle,
+)
+
+PROGRAM = "x = gauss(0.0, 2.0);\nreturn x;"
+OBSERVATIONS = [0.8, 1.1, 0.9, 1.3]
+
+
+def main() -> None:
+    store_dir = tempfile.mkdtemp(prefix="repro-service-demo-")
+    config = ServiceConfig(
+        store_dir=store_dir,
+        num_shards=2,
+        num_particles=150,
+        max_sessions_per_tenant=2,
+    )
+
+    # -- 1. serve ---------------------------------------------------------
+    handle = ServiceHandle.start(config)
+    host, port = handle.address
+    print(f"serving on {host}:{port} (store: {store_dir})")
+
+    # -- 2. a session fed by a retrying client ----------------------------
+    client = RetryingClient(ServiceClient(host, port, tenant="demo"))
+    created = client.create("melt", PROGRAM, seed=42)
+    print(f"created session 'melt': ess={created['ess']:.1f} "
+          f"over {created['num_particles']} particles")
+
+    for value in OBSERVATIONS:
+        ack = client.observe("melt", f"observe(gauss(x, 1.0) == {value});")
+        print(f"  observed {value}: edit #{ack['num_edits']}, "
+              f"ess={ack['ess']:.1f}")
+
+    before = client.posterior("melt", top=3)
+    print(f"posterior after {before['num_edits']} edits "
+          f"(degraded={before['degraded']}):")
+    for entry in before["values"]:
+        print(f"  {entry['value']:+.3f}  p={entry['probability']:.3f}")
+
+    # -- 3. crash and recover ---------------------------------------------
+    client.client.close()
+    handle.kill()  # SIGKILL-equivalent: no draining, no goodbye
+    print("\nserver killed; restarting on the same store...")
+    handle = ServiceHandle.start(config)
+    print(f"recovered sessions: {handle.service.recovered_sessions} "
+          f"in {handle.service.recovery_seconds:.3f}s")
+
+    client = RetryingClient(
+        ServiceClient(*handle.address, tenant="demo")
+    )
+    after = client.posterior("melt", top=3)
+    assert after["values"] == before["values"], "recovery must be exact"
+    print("posterior after recovery is byte-identical ✓")
+
+    # -- 4. structured rejections -----------------------------------------
+    client.create("second", PROGRAM, seed=1)
+    try:
+        # The quota is 2: a third session is rejected with a typed,
+        # retryable error — not a hang, not a stack trace.
+        ServiceClient(*handle.address, tenant="demo").create(
+            "third", PROGRAM
+        )
+    except QuotaExceededError as error:
+        print(f"quota rejection as expected: {error} "
+              f"(quota={error.quota}, limit={error.limit}, "
+              f"retryable={error.retryable})")
+
+    try:
+        # An impossible deadline cancels mid-translation and rolls the
+        # session back; the same edit succeeds later with a sane one.
+        client.client.observe(
+            "melt", "observe(gauss(x, 1.0) == 0.7);", deadline_s=0.001
+        )
+    except DeadlineExceededError as error:
+        print(f"deadline rejection as expected: {error}")
+    unchanged = client.posterior("melt")
+    assert unchanged["num_edits"] == before["num_edits"]
+    print("session state untouched by the cancelled request ✓")
+
+    client.client.close()
+    handle.stop()
+    print("\ndone; server drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,7 @@ __all__ = [
     "invalidation_sets",
     "check_edit",
     "lint_config",
+    "lint_service_config",
     "extended_check_program",
     "bundled_targets",
     "lint_bundled",
@@ -76,6 +77,7 @@ _LAZY = {
     "invalidation_sets": "edits",
     "check_edit": "edits",
     "lint_config": "config_lint",
+    "lint_service_config": "config_lint",
     "extended_check_program": "programs",
     "bundled_targets": "targets",
     "lint_bundled": "targets",

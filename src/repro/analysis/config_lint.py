@@ -20,14 +20,18 @@ which serializes to an in-memory buffer.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from ..core.config import FaultPolicy, InferenceConfig
 from .diagnostics import Diagnostic
 
-__all__ = ["lint_config"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..service.config import ServiceConfig
+
+__all__ = ["lint_config", "lint_service_config"]
 
 PASS_NAME = "config"
+SERVICE_PASS_NAME = "service-config"
 
 
 def _is_process_executor(executor: Any) -> bool:
@@ -133,5 +137,91 @@ def lint_config(
             "paper's 'no weights' ablation); the collection converges to "
             "the wrong posterior",
             "config-no-weights",
+        )
+    return diagnostics
+
+
+def lint_service_config(config: "ServiceConfig") -> List[Diagnostic]:
+    """Lint a :class:`~repro.service.config.ServiceConfig` for field
+    *combinations* that admit traffic the server cannot actually serve.
+
+    ``ServiceConfig.__post_init__`` already rejects nonsense values
+    (negative deadlines, zero shards); this pass flags the legal-but-
+    self-defeating ones an operator typically discovers under load.
+    """
+    diagnostics: List[Diagnostic] = []
+
+    def finding(severity: str, message: str, code: str) -> None:
+        diagnostics.append(
+            Diagnostic(severity, message, code=code, pass_name=SERVICE_PASS_NAME)
+        )
+
+    # -- deadlines ----------------------------------------------------------
+    if (
+        config.expected_step_latency_s is not None
+        and config.default_deadline_s < config.expected_step_latency_s
+    ):
+        finding(
+            "error",
+            f"default_deadline_s={config.default_deadline_s} is below the "
+            f"observed median step latency "
+            f"({config.expected_step_latency_s}s): the typical request "
+            "times out by construction; raise the deadline or shrink the "
+            "workload (fewer particles, smaller edits)",
+            "service-deadline-too-short",
+        )
+
+    # -- quotas -------------------------------------------------------------
+    if config.max_sessions_per_tenant == 0:
+        finding(
+            "warning",
+            "max_sessions_per_tenant=0 rejects every create with "
+            "quota_exceeded: no tenant can ever open a session",
+            "service-zero-quota",
+        )
+    if config.max_inflight_per_tenant == 0:
+        finding(
+            "warning",
+            "max_inflight_per_tenant=0 rejects every mutating request with "
+            "quota_exceeded: sessions can be created but never used",
+            "service-zero-quota",
+        )
+
+    # -- backpressure -------------------------------------------------------
+    if config.queue_depth == 0:
+        finding(
+            "warning",
+            "queue_depth=0 makes the per-shard queue unbounded: overload "
+            "buffers requests without limit instead of rejecting with "
+            "retry-after, and the shedding rung never engages; set a "
+            "finite depth",
+            "service-unbounded-queue",
+        )
+    elif config.default_priority >= config.shed_protect_priority:
+        finding(
+            "warning",
+            f"default_priority={config.default_priority} >= "
+            f"shed_protect_priority={config.shed_protect_priority}: every "
+            "unlisted tenant is shed-protected, so the shedding rung of "
+            "the degradation ladder never sheds anyone",
+            "service-shed-noop",
+        )
+
+    # -- durability ---------------------------------------------------------
+    if config.store_dir is None:
+        finding(
+            "info",
+            "store_dir=None runs the service fully in-memory: no crash "
+            "recovery, and posterior reads cannot degrade to a snapshot "
+            "when a worker wedges",
+            "service-no-durability",
+        )
+    elif config.checkpoint_keep < 2:
+        finding(
+            "warning",
+            f"checkpoint_keep={config.checkpoint_keep} retains a single "
+            "commit snapshot per session: a crash mid-write can tear the "
+            "only copy and lose the session; keep at least 2",
+            "service-checkpoint-keep",
         )
     return diagnostics

@@ -144,6 +144,16 @@ def _config(name: str, **kwargs):
     return run
 
 
+def _service_config(name: str, **kwargs):
+    def run() -> List[Diagnostic]:
+        from ..service.config import ServiceConfig
+        from .config_lint import lint_service_config
+
+        return lint_service_config(ServiceConfig(**kwargs))
+
+    return run
+
+
 def bundled_targets() -> TargetRegistry:
     """Every shipped program, edit pair, correspondence, and config."""
     registry: TargetRegistry = {}
@@ -177,6 +187,11 @@ def bundled_targets() -> TargetRegistry:
         resample="always",
         checkpoint_dir="checkpoints",
         checkpoint_every=5,
+    )
+    registry["config:service-durable"] = _service_config(
+        "service-durable",
+        store_dir="service-store",
+        expected_step_latency_s=0.5,
     )
     return registry
 

@@ -25,6 +25,13 @@ Subcommands (``python -m repro.cli <cmd>`` or the ``repro`` script):
   uninterrupted run's final collection byte for byte;
 * ``session NAME`` — run a scripted multi-edit inference-session
   workflow (fig8 regression / fig10 GMM) through the store layer;
+* ``serve`` — run the fault-tolerant multi-tenant inference service
+  (:mod:`repro.service`): create/observe/edit/posterior/close over a
+  framed codec protocol, with per-tenant quotas, bounded queues,
+  deadlines, and crash recovery from commit checkpoints
+  (``--store-dir``); SIGTERM/SIGINT shut down gracefully;
+* ``loadgen`` — drive a deterministic workload against a running
+  service and report p50/p99 latencies, rejection rate, and retries;
 * ``experiment NAME`` — run a figure reproduction (fig8/fig9).
 
 Observability: ``translate`` and ``experiment`` accept ``--trace-out
@@ -41,8 +48,11 @@ by a newer library version; ``3`` (:data:`EXIT_FAULT`) for inference
 faults — a :class:`~repro.errors.ReproError` escaping the run under a
 ``fail_fast`` policy; ``4`` (:data:`EXIT_LINT`) for ``repro lint``
 findings — error-severity diagnostics, or warnings under ``--strict``
-(info findings never affect the exit code).  ``repro check`` keeps its
-documented ``1`` for "diagnostics found".
+(info findings never affect the exit code); ``5`` (:data:`EXIT_SERVICE`)
+for service-layer failures — ``repro serve`` unable to bind or recover,
+``repro loadgen`` rejected by quotas/overload after its retry budget, or
+a :class:`~repro.errors.ServiceError` escaping either command.  ``repro
+check`` keeps its documented ``1`` for "diagnostics found".
 """
 
 from __future__ import annotations
@@ -65,7 +75,7 @@ from .core import (
     infer_sequence,
 )
 from .core.enumerate import exact_return_distribution
-from .errors import ReproError, SchemaVersionError
+from .errors import ReproError, SchemaVersionError, ServiceError
 from .graph import align_labels, diff_correspondence
 from .lang import lang_model, parse_program, pretty
 from .observability import (
@@ -79,7 +89,14 @@ from .observability import (
     dump_json,
 )
 
-__all__ = ["main", "build_parser", "EXIT_USAGE", "EXIT_FAULT", "EXIT_LINT"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_USAGE",
+    "EXIT_FAULT",
+    "EXIT_LINT",
+    "EXIT_SERVICE",
+]
 
 #: Exit code for bad arguments / unusable inputs (argparse uses 2 too).
 EXIT_USAGE = 2
@@ -90,6 +107,11 @@ EXIT_FAULT = 3
 #: :data:`EXIT_USAGE` so CI can tell "bad invocation" from "real
 #: findings"; info-severity diagnostics never affect the exit code.
 EXIT_LINT = 4
+#: Exit code for service-layer failures: ``repro serve`` cannot bind or
+#: recover, or ``repro loadgen`` exhausted its retry budget against
+#: quotas/overload.  Distinct from :data:`EXIT_FAULT` so CI can tell an
+#: inference fault from a serving/capacity problem.
+EXIT_SERVICE = 5
 
 #: When set to an integer k, ``repro sequence`` SIGTERMs its own process
 #: after k SMC steps complete — the CI kill-switch that exercises
@@ -532,6 +554,118 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_priorities(pairs: Optional[List[str]]) -> Dict[str, int]:
+    priorities: Dict[str, int] = {}
+    for pair in pairs or []:
+        name, eq, value = pair.partition("=")
+        if not eq or not name.strip():
+            _fail_usage(f"--tenant-priority expects NAME=RANK, got {pair!r}")
+        try:
+            priorities[name.strip()] = int(value)
+        except ValueError:
+            _fail_usage(f"--tenant-priority rank must be an integer, got {value!r}")
+    return priorities
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import InferenceService, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            num_shards=args.num_shards,
+            queue_depth=args.queue_depth,
+            max_sessions_per_tenant=args.max_sessions_per_tenant,
+            max_inflight_per_tenant=args.max_inflight_per_tenant,
+            default_deadline_s=args.default_deadline_s,
+            max_deadline_s=args.max_deadline_s,
+            wedged_after_s=args.wedged_after_s,
+            tenant_priorities=_parse_priorities(args.tenant_priority),
+            store_dir=args.store_dir,
+            checkpoint_keep=args.checkpoint_keep,
+            num_particles=args.num_particles,
+        )
+    except (TypeError, ValueError) as error:
+        _fail_usage(str(error))
+    service = InferenceService(config)
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        serve_task = asyncio.create_task(service.serve())
+        await service.started.wait()
+        print(f"serving on {service.host}:{service.port}", flush=True)
+        if service.recovered_sessions:
+            print(
+                f"recovered {len(service.recovered_sessions)} session(s) in "
+                f"{service.recovery_seconds:.3f}s: "
+                f"{', '.join(service.recovered_sessions)}",
+                flush=True,
+            )
+        if args.port_file:
+            # The handshake file scripts wait on: written only after the
+            # socket is accepting and recovery has finished.
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{service.port}\n")
+        await stop.wait()
+        print("shutting down", flush=True)
+        await service.stop()
+        serve_task.cancel()
+        try:
+            await serve_task
+        except asyncio.CancelledError:
+            pass
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .service import LoadgenConfig, run_loadgen
+
+    try:
+        config = LoadgenConfig(
+            workload=args.workload,
+            num_sessions=args.sessions,
+            ops_per_session=args.ops,
+            posterior_every=args.posterior_every,
+            concurrency=args.concurrency,
+            num_particles=args.num_particles,
+            deadline_s=args.deadline_s,
+            tenant=args.tenant,
+            seed=args.seed,
+            max_attempts=args.max_attempts,
+        )
+    except ValueError as error:
+        _fail_usage(str(error))
+    summary = run_loadgen(args.host, args.port, config)
+    print(
+        f"{summary['workload']}: {summary['ok']}/{summary['requests']} ok, "
+        f"rejection rate {summary['rejection_rate']:.1%}, "
+        f"{summary['retries']} retries, "
+        f"{summary['throughput_rps']:.1f} req/s"
+    )
+    for op, latency in summary["latency"].items():
+        print(
+            f"  {op:>9}: p50={latency['p50_ms']:.1f}ms "
+            f"p99={latency['p99_ms']:.1f}ms n={latency['count']}"
+        )
+    if summary["rejected"]:
+        for code, count in summary["rejected"].items():
+            print(f"  rejected[{code}] = {count}")
+    if args.out:
+        dump_json(summary, args.out)
+        print(f"summary written to {args.out}")
+    if args.fail_on_rejections and summary["rejected"]:
+        return EXIT_SERVICE
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments.harness import save_rows
 
@@ -722,6 +856,73 @@ def build_parser() -> argparse.ArgumentParser:
                                   "summaries as strict JSON")
     session_cmd.set_defaults(handler=_cmd_session)
 
+    serve_cmd = subparsers.add_parser(
+        "serve", help="run the multi-tenant incremental-inference service"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=0,
+                           help="listen port (0 = ephemeral; see --port-file)")
+    serve_cmd.add_argument("--port-file", metavar="PATH",
+                           help="write the bound port here once the server is "
+                                "accepting and recovery has finished (the "
+                                "handshake scripts wait on)")
+    serve_cmd.add_argument("--store-dir", metavar="DIR", default=None,
+                           help="durability root (commit checkpoints + LRU "
+                                "spill); omit for a purely in-memory server "
+                                "with no crash recovery")
+    serve_cmd.add_argument("--num-shards", type=_positive_int, default=2,
+                           help="worker shards (sessions hash to a shard)")
+    serve_cmd.add_argument("--queue-depth", type=int, default=16,
+                           help="bounded per-shard queue (0 = unbounded, "
+                                "which repro lint flags)")
+    serve_cmd.add_argument("--max-sessions-per-tenant", type=int, default=8)
+    serve_cmd.add_argument("--max-inflight-per-tenant", type=int, default=4)
+    serve_cmd.add_argument("--default-deadline-s", type=float, default=30.0)
+    serve_cmd.add_argument("--max-deadline-s", type=float, default=120.0)
+    serve_cmd.add_argument("--wedged-after-s", type=float, default=2.0,
+                           help="serve posterior reads degraded (from the "
+                                "last commit snapshot) once the worker has "
+                                "been busy this long")
+    serve_cmd.add_argument("--tenant-priority", action="append",
+                           metavar="NAME=RANK",
+                           help="tenant priority for load shedding "
+                                "(higher survives longer; repeatable)")
+    serve_cmd.add_argument("--checkpoint-keep", type=_positive_int, default=2,
+                           help="commit snapshots kept per session (>= 2 "
+                                "keeps a fallback against torn writes)")
+    serve_cmd.add_argument("-n", "--num-particles", type=_positive_int,
+                           default=100,
+                           help="default particle count for created sessions")
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    loadgen_cmd = subparsers.add_parser(
+        "loadgen", help="drive a deterministic workload against a service"
+    )
+    loadgen_cmd.add_argument("--host", default="127.0.0.1")
+    loadgen_cmd.add_argument("--port", type=int, required=True)
+    loadgen_cmd.add_argument("--workload", choices=("gauss-chain", "gmm-edits"),
+                             default="gauss-chain")
+    loadgen_cmd.add_argument("--sessions", type=_positive_int, default=4)
+    loadgen_cmd.add_argument("--ops", type=_positive_int, default=5,
+                             help="mutating ops per session")
+    loadgen_cmd.add_argument("--posterior-every", type=int, default=2,
+                             help="interleave a posterior read every N ops "
+                                  "(0 disables)")
+    loadgen_cmd.add_argument("--concurrency", type=_positive_int, default=2)
+    loadgen_cmd.add_argument("-n", "--num-particles", type=_positive_int,
+                             default=50)
+    loadgen_cmd.add_argument("--deadline-s", type=float, default=None)
+    loadgen_cmd.add_argument("--tenant", default="bench")
+    loadgen_cmd.add_argument("--seed", type=int, default=0)
+    loadgen_cmd.add_argument("--max-attempts", type=_positive_int, default=4,
+                             help="retry budget per request (1 = no retries)")
+    loadgen_cmd.add_argument("--out", metavar="PATH",
+                             help="write the summary as strict JSON")
+    loadgen_cmd.add_argument("--fail-on-rejections", action="store_true",
+                             help="exit 5 if any request was rejected after "
+                                  "its retry budget")
+    loadgen_cmd.set_defaults(handler=_cmd_loadgen)
+
     experiment_cmd = subparsers.add_parser(
         "experiment", help="run a figure reproduction"
     )
@@ -772,6 +973,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except ServiceError as error:
+        print(f"repro {args.command}: service error: {error}", file=sys.stderr)
+        return EXIT_SERVICE
     except ReproError as error:
         print(f"repro {args.command}: inference fault: {error}", file=sys.stderr)
         return EXIT_FAULT

@@ -54,6 +54,12 @@ __all__ = [
     "SessionError",
     "ValidationError",
     "PicklingError",
+    "ServiceError",
+    "BadRequestError",
+    "QuotaExceededError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "ServiceUnavailableError",
     "RECOVERABLE_ERRORS",
 ]
 
@@ -228,6 +234,104 @@ class PicklingError(ValidationError, RuntimeError):
         super().__init__(message, diagnostics)
         self.component = component
         self.attribute = attribute
+
+
+class ServiceError(ReproError):
+    """Root of the multi-tenant inference service's failure taxonomy.
+
+    Every subclass carries the three fields the wire protocol needs to
+    return a *structured* rejection instead of a crashed connection:
+
+    Attributes
+    ----------
+    code:
+        Stable wire code (``"quota_exceeded"``, ``"overloaded"``, ...).
+        :mod:`repro.service.wire` maps codes back to these classes on
+        the client side, so a caller can ``except QuotaExceededError``.
+    retryable:
+        Whether retrying the identical request can ever succeed.  Quota
+        and overload rejections are retryable (capacity frees up);
+        poison requests are not.
+    retry_after_s:
+        Server-suggested backoff before the next attempt, when the
+        server can estimate one (queue drain time, in-flight drain).
+
+    Deliberately *not* in :data:`RECOVERABLE_ERRORS`: service errors
+    concern a request or a tenant, never one particle, so the SMC fault
+    policies must not swallow them.
+    """
+
+    code = "internal"
+    retryable = False
+
+    def __init__(self, message: str, *, retry_after_s: "Optional[float]" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class BadRequestError(ServiceError, ValueError):
+    """A malformed (poison) request: bad frame, unknown op, unparseable
+    program, invalid deadline.  Never retryable — the bytes themselves
+    are wrong."""
+
+    code = "bad_request"
+    retryable = False
+
+
+class QuotaExceededError(ServiceError):
+    """A per-tenant admission limit was hit (live sessions or in-flight
+    requests).  Retryable: closing a session or letting requests drain
+    frees the quota.
+
+    Attributes
+    ----------
+    quota:
+        Which limit was hit (``"sessions"`` or ``"inflight"``).
+    limit:
+        The configured ceiling.
+    """
+
+    code = "quota_exceeded"
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        quota: str = "",
+        limit: "Optional[int]" = None,
+        retry_after_s: "Optional[float]" = None,
+    ):
+        super().__init__(message, retry_after_s=retry_after_s)
+        self.quota = quota
+        self.limit = limit
+
+
+class OverloadedError(ServiceError):
+    """Backpressure: the target shard's bounded queue is full, or the
+    degradation ladder is shedding this tenant's priority class.
+    Always retryable, always with a ``retry_after_s`` estimate."""
+
+    code = "overloaded"
+    retryable = True
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline expired — on the queue, or mid-translation
+    (the in-flight work is cancelled at a particle boundary and the
+    session is rolled back, so the state is *not* corrupted)."""
+
+    code = "deadline_exceeded"
+    retryable = True
+
+
+class ServiceUnavailableError(ServiceError):
+    """The server cannot be reached, hung up mid-request, or is
+    shutting down.  Retryable from the client's perspective (the server
+    may restart and recover)."""
+
+    code = "unavailable"
+    retryable = True
 
 
 #: Failure classes the SMC loop may contain to a single particle.  The

@@ -1,0 +1,70 @@
+"""Fault-tolerant multi-tenant inference service (zero-dependency asyncio).
+
+The paper's headline capability — cheap re-inference after a program
+edit — pays off in a *long-lived service* where many users hold evolving
+models open.  This package is that service, built on the existing layers:
+
+* :mod:`repro.store.session` — keyed live collections with LRU
+  eviction and byte-stable snapshots (the session substrate);
+* :mod:`repro.store.checkpoint` — atomic, checksummed commit snapshots
+  (the crash-recovery substrate);
+* :mod:`repro.store.codec` — the wire format (every request and
+  response body is a codec document over a length-prefixed frame);
+* :mod:`repro.observability` — request metrics, queue-depth gauges,
+  rejection/timeout counters, and per-request spans.
+
+Robustness is the design center, not an afterthought:
+
+* **admission control** — per-tenant quotas on live sessions and
+  in-flight requests, rejected with structured
+  :class:`~repro.errors.QuotaExceededError` payloads;
+* **backpressure** — bounded per-shard queues that reject with a
+  ``retry_after_s`` estimate instead of buffering without bound;
+* **deadlines** — per-request deadlines enforced on the queue *and*
+  mid-translation (cancelled at a particle boundary, with the session
+  transactionally rolled back — a timeout never corrupts state);
+* **graceful degradation** — a documented ladder: shed lowest-priority
+  tenants first as queues fill, and serve ``posterior`` reads from the
+  last commit snapshot when the live worker is wedged;
+* **crash recovery** — every committed mutation is checkpointed
+  *before* it is acknowledged, so a SIGKILLed server restarts into
+  byte-identical sessions and never drops a committed observation.
+
+Entry points: ``repro serve`` / ``repro loadgen`` on the CLI,
+:class:`InferenceService` + :class:`ServiceClient` /
+:class:`RetryingClient` in code, and
+:func:`repro.testing.chaos.run_chaos_drill` for the failure story.
+"""
+
+from .client import RetryingClient, ServiceClient, call_service
+from .config import ServiceConfig
+from .loadgen import LoadgenConfig, WORKLOADS, run_loadgen
+from .server import InferenceService, ServiceHandle
+from .state import DurableSessionStore
+from .wire import (
+    ERROR_CLASSES,
+    MAX_FRAME_BYTES,
+    decode_error,
+    encode_error,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "InferenceService",
+    "ServiceHandle",
+    "DurableSessionStore",
+    "ServiceClient",
+    "RetryingClient",
+    "call_service",
+    "LoadgenConfig",
+    "WORKLOADS",
+    "run_loadgen",
+    "ERROR_CLASSES",
+    "MAX_FRAME_BYTES",
+    "read_frame",
+    "write_frame",
+    "encode_error",
+    "decode_error",
+]

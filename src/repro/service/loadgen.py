@@ -1,0 +1,305 @@
+"""Deterministic load generation against a running inference service.
+
+Two canonical workloads (the benchmark's two series), both expressed in
+the structured language so they ship over the wire:
+
+* ``gauss-chain`` — the incremental-data special case: one latent, each
+  request an ``observe`` op appending one more observation (the service
+  splices it before the ``return`` and translates).  Posterior reads are
+  interleaved at a configurable cadence.
+* ``gmm-edits`` — the program-edit case: a two-component mixture whose
+  weights and component means are *edited* between requests (full
+  ``edit`` ops through diff + correspondence translation).
+
+Every random draw (observation values, edited parameters, retry jitter)
+comes from streams seeded off :attr:`LoadgenConfig.seed`, so two runs
+against equal servers issue byte-identical request sequences — which is
+what lets the chaos harness replay a workload around injected faults
+and assert exact invariants.
+
+:func:`run_loadgen` drives ``concurrency`` worker threads, each owning
+its sessions and its own retrying client, and reports raw latencies
+(p50/p99/mean per op), rejection counts by error code, retry counts,
+and the durable bytes per session — the numbers
+``benchmarks/test_bench_service.py`` turns into ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ServiceError
+from .client import RetryingClient, ServiceClient
+
+__all__ = ["LoadgenConfig", "WORKLOADS", "run_loadgen"]
+
+
+# -- workload program generators ----------------------------------------------
+
+
+def _gauss_chain(session_index: int, num_ops: int, rng: random.Random):
+    """One latent; each op observes one more noisy measurement of it."""
+    center = rng.uniform(-1.0, 1.0)
+    base = "x = gauss(0.0, 2.0);\nreturn x;"
+    ops: List[Tuple[str, str]] = []
+    for _ in range(num_ops):
+        value = center + rng.gauss(0.0, 0.5)
+        ops.append(("observe", f"observe(gauss(x, 1.0) == {value:.4f});"))
+    return base, ops
+
+
+def _gmm_source(weight: float, low: float, high: float, value: float) -> str:
+    return (
+        f"z = flip({weight:.4f});\n"
+        f"m = z ? {high:.4f} : {low:.4f};\n"
+        f"observe(gauss(m, 1.0) == {value:.4f});\n"
+        "return z;"
+    )
+
+
+def _gmm_edits(session_index: int, num_ops: int, rng: random.Random):
+    """Two-component mixture; each op edits weights/means in place."""
+    weight, low, high = 0.5, -2.0, 2.0
+    value = rng.uniform(-1.0, 1.0)
+    base = _gmm_source(weight, low, high, value)
+    ops: List[Tuple[str, str]] = []
+    for _ in range(num_ops):
+        weight = min(0.95, max(0.05, weight + rng.uniform(-0.1, 0.1)))
+        low += rng.uniform(-0.25, 0.25)
+        high += rng.uniform(-0.25, 0.25)
+        ops.append(("edit", _gmm_source(weight, low, high, value)))
+    return base, ops
+
+
+#: name -> (session_index, num_ops, rng) -> (base_program, [(op, payload)])
+WORKLOADS: Dict[str, Callable[[int, int, random.Random], Tuple[str, List[Tuple[str, str]]]]] = {
+    "gauss-chain": _gauss_chain,
+    "gmm-edits": _gmm_edits,
+}
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load run: which workload, how much of it, how fast.
+
+    Parameters
+    ----------
+    workload:
+        Key into :data:`WORKLOADS`.
+    num_sessions / ops_per_session:
+        Sessions created, and mutating ops issued per session.
+    posterior_every:
+        Interleave a ``posterior`` read after every N mutating ops
+        (``0`` disables reads).
+    concurrency:
+        Worker threads; sessions are dealt round-robin across them.
+    num_particles:
+        Particle count per created session (small keeps latency small).
+    deadline_s:
+        Per-request deadline shipped with every op (``None`` = server
+        default).
+    tenant:
+        Tenant prefix; worker *w* runs as ``<tenant>-w``.
+    seed:
+        Root seed for every stream (workload values + retry jitter).
+    max_attempts:
+        Retry budget per request (1 = no retries, count every
+        rejection).
+    close_sessions:
+        Close each session at the end of its script (frees quota).
+    """
+
+    workload: str = "gauss-chain"
+    num_sessions: int = 4
+    ops_per_session: int = 5
+    posterior_every: int = 2
+    concurrency: int = 2
+    num_particles: int = 50
+    deadline_s: Optional[float] = None
+    tenant: str = "bench"
+    seed: int = 0
+    max_attempts: int = 4
+    close_sessions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"expected one of {sorted(WORKLOADS)}"
+            )
+        for name in ("num_sessions", "ops_per_session", "concurrency",
+                     "num_particles", "max_attempts"):
+            if int(getattr(self, name)) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if int(self.posterior_every) < 0:
+            raise ValueError("posterior_every must be >= 0")
+
+    def replace(self, **changes: Any) -> "LoadgenConfig":
+        return replace(self, **changes)
+
+
+class _Collector:
+    """Thread-safe accumulation of latencies and outcome counts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.latencies: Dict[str, List[float]] = {}
+        self.ok = 0
+        self.rejected: Dict[str, int] = {}
+        self.retries = 0
+
+    def record_ok(self, op: str, seconds: float) -> None:
+        with self._lock:
+            self.latencies.setdefault(op, []).append(seconds)
+            self.ok += 1
+
+    def record_rejection(self, error: ServiceError) -> None:
+        with self._lock:
+            self.rejected[error.code] = self.rejected.get(error.code, 0) + 1
+
+    def record_retries(self, count: int) -> None:
+        if count:
+            with self._lock:
+                self.retries += count
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    data = np.asarray(samples, dtype=float)
+    return {
+        "count": int(data.size),
+        "p50_ms": float(np.percentile(data, 50) * 1000.0),
+        "p99_ms": float(np.percentile(data, 99) * 1000.0),
+        "mean_ms": float(data.mean() * 1000.0),
+        "max_ms": float(data.max() * 1000.0),
+    }
+
+
+def _run_script(
+    client: RetryingClient,
+    collector: _Collector,
+    session_id: str,
+    base: str,
+    ops: List[Tuple[str, str]],
+    config: LoadgenConfig,
+) -> None:
+    def timed(op: str, call: Callable[[], Any]) -> bool:
+        before = client.total_retries
+        started = time.monotonic()
+        try:
+            call()
+        except ServiceError as error:
+            collector.record_rejection(error)
+            return False
+        finally:
+            collector.record_retries(client.total_retries - before)
+            client.total_retries = 0
+        collector.record_ok(op, time.monotonic() - started)
+        return True
+
+    created = timed(
+        "create",
+        lambda: client.create(
+            session_id,
+            base,
+            num_particles=config.num_particles,
+            seed=config.seed,
+            deadline_s=config.deadline_s,
+        ),
+    )
+    if not created:
+        return
+    since_read = 0
+    for op, payload in ops:
+        if op == "observe":
+            timed(op, lambda p=payload: client.observe(
+                session_id, p, deadline_s=config.deadline_s))
+        else:
+            timed(op, lambda p=payload: client.edit(
+                session_id, p, deadline_s=config.deadline_s))
+        since_read += 1
+        if config.posterior_every and since_read >= config.posterior_every:
+            since_read = 0
+            timed("posterior", lambda: client.posterior(
+                session_id, deadline_s=config.deadline_s))
+    if config.close_sessions:
+        timed("close", lambda: client.close_session(session_id))
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    config: LoadgenConfig,
+    *,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> Dict[str, Any]:
+    """Drive one load run; return the measurement summary.
+
+    ``sleep`` overrides the retry sleep (tests pass a no-op so overload
+    runs finish instantly).
+    """
+    generator = WORKLOADS[config.workload]
+    collector = _Collector()
+
+    scripts: List[Tuple[str, str, List[Tuple[str, str]]]] = []
+    for index in range(config.num_sessions):
+        # A string seed hashes via sha512 inside Random — deterministic
+        # across processes, unlike the salted builtin hash().
+        rng = random.Random(f"{config.seed}:{config.workload}:{index}")
+        base, ops = generator(index, config.ops_per_session, rng)
+        scripts.append((f"{config.tenant}-s{index}", base, ops))
+
+    def worker(worker_index: int) -> None:
+        client = RetryingClient(
+            ServiceClient(host, port, tenant=f"{config.tenant}-{worker_index}"),
+            max_attempts=config.max_attempts,
+            rng=random.Random(config.seed * 7919 + worker_index),
+            sleep=sleep,
+        )
+        try:
+            for script_index in range(
+                worker_index, len(scripts), config.concurrency
+            ):
+                session_id, base, ops = scripts[script_index]
+                _run_script(client, collector, session_id, base, ops, config)
+        finally:
+            client.client.close()
+
+    started = time.monotonic()
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+        for i in range(config.concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.monotonic() - started
+
+    total = collector.ok + sum(collector.rejected.values())
+    return {
+        "workload": config.workload,
+        "num_sessions": config.num_sessions,
+        "ops_per_session": config.ops_per_session,
+        "concurrency": config.concurrency,
+        "num_particles": config.num_particles,
+        "requests": total,
+        "ok": collector.ok,
+        "rejected": dict(sorted(collector.rejected.items())),
+        "rejection_rate": (
+            0.0 if total == 0 else sum(collector.rejected.values()) / total
+        ),
+        "retries": collector.retries,
+        "wall_seconds": wall_seconds,
+        "throughput_rps": 0.0 if wall_seconds == 0 else collector.ok / wall_seconds,
+        "latency": {
+            op: _percentiles(samples)
+            for op, samples in sorted(collector.latencies.items())
+            if samples
+        },
+    }

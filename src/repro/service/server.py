@@ -1,0 +1,707 @@
+"""The asyncio inference server: admission, shards, deadlines, recovery.
+
+Request path
+------------
+
+Connections speak the framed codec protocol of
+:mod:`repro.service.wire`.  Each request runs this gauntlet **on the
+event loop** (cheap, non-blocking):
+
+1. *shape validation* — unknown ops, missing fields, oversized frames
+   are poison: structured ``bad_request``, never a crash;
+2. *deadline resolution* — client deadline clamped to
+   ``max_deadline_s``, default applied when absent;
+3. *admission control* — per-tenant quotas on live sessions and
+   in-flight requests (``quota_exceeded``);
+4. *backpressure* — the target shard's bounded queue: full means
+   ``overloaded`` with a drain-time ``retry_after_s`` estimate, and
+   above ``shed_threshold`` occupancy only tenants at or above
+   ``shed_protect_priority`` are admitted (the shedding rung);
+5. *dispatch* — the request joins its session's shard queue.
+
+The actual inference work happens in one worker thread per shard
+(sessions hash to shards, so per-session ordering is structural).  A
+request whose deadline expired while queued is rejected without burning
+worker time; one that exceeds its deadline *mid-translation* is
+cancelled at the next particle boundary by :class:`DeadlineHooks` and
+rolled back transactionally — the session is byte-identical to before
+the request.
+
+Degradation ladder
+------------------
+
+#. normal service;
+#. occupancy >= ``shed_threshold``: lowest-priority tenants shed first
+   (structured ``overloaded`` rejections with retry-after);
+#. queue full: every mutating request rejected with retry-after;
+#. shard wedged (in-flight request older than ``wedged_after_s``) or
+   queue unavailable: ``posterior`` reads served *degraded* from the
+   last commit snapshot — stale but correct, and never blocked;
+#. crash: restart replays commit snapshots
+   (:meth:`DurableSessionStore.recover`) — every acknowledged mutation
+   is on disk before its ack, so committed observations survive SIGKILL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    OverloadedError,
+    QuotaExceededError,
+    ServiceUnavailableError,
+)
+from ..observability import Hooks, MetricsRegistry, Tracer
+from ..store.session import _check_session_id
+from .config import ServiceConfig
+from .state import DurableSessionStore
+from .wire import OPS, FrameError, encode_error, encode_ok, read_frame, write_frame
+
+__all__ = ["DeadlineHooks", "InferenceService", "ServiceHandle", "shard_of"]
+
+#: Seed latency estimate (seconds) before any request has completed.
+_INITIAL_EWMA_S = 0.1
+#: Floor for retry-after suggestions, so clients never busy-spin.
+_MIN_RETRY_AFTER_S = 0.05
+
+
+def shard_of(session_id: str, num_shards: int) -> int:
+    """Stable session -> shard map (crc32, *not* the salted ``hash``).
+
+    Must be deterministic across processes so a restarted server routes
+    a recovered session to the same single-threaded worker.
+    """
+    return zlib.crc32(session_id.encode("utf-8")) % num_shards
+
+
+class DeadlineHooks(Hooks):
+    """Cancel an in-flight translation when its deadline passes.
+
+    Raises :class:`~repro.errors.DeadlineExceededError` from the
+    ``on_particle`` callback — i.e. at a particle boundary, where no
+    partial mutation exists yet.  Combined with
+    :meth:`InferenceSession.submit`'s rollback this makes a timeout
+    side-effect-free: collection and RNG stream are restored, the
+    session can serve the next request immediately.
+    """
+
+    def __init__(self, deadline_at: float, clock=time.monotonic):
+        self._deadline_at = deadline_at
+        self._clock = clock
+
+    def _check(self) -> None:
+        if self._clock() >= self._deadline_at:
+            raise DeadlineExceededError(
+                "request deadline expired mid-translation "
+                "(cancelled at a particle boundary; session state rolled back)"
+            )
+
+    def on_step_start(self, step_index: Optional[int], num_particles: int) -> None:
+        self._check()
+
+    def on_particle(self, index: int, outcome: str) -> None:
+        self._check()
+
+
+class _Shard:
+    """One bounded queue + one worker thread + its telemetry."""
+
+    def __init__(self, index: int, depth: int):
+        self.index = index
+        self.depth = depth  # 0 = unbounded
+        self.queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=depth)
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+        )
+        self.tracer = Tracer()  # thread-confined to this shard's worker
+        self.busy_since: Optional[float] = None
+        self.busy_op: Optional[str] = None
+        self.ewma_latency_s = _INITIAL_EWMA_S
+        self.completed = 0
+
+    def record_latency(self, seconds: float) -> None:
+        self.ewma_latency_s = 0.8 * self.ewma_latency_s + 0.2 * seconds
+        self.completed += 1
+
+    def retry_after_s(self) -> float:
+        """Drain-time estimate: pending work x smoothed service time."""
+        pending = self.queue.qsize() + (1 if self.busy_since is not None else 0)
+        return max(_MIN_RETRY_AFTER_S, pending * self.ewma_latency_s)
+
+    def occupancy(self) -> float:
+        if self.depth <= 0:
+            return 0.0
+        return self.queue.qsize() / self.depth
+
+    def wedged(self, wedged_after_s: float, now: float) -> bool:
+        return self.busy_since is not None and now - self.busy_since >= wedged_after_s
+
+
+class _Request:
+    __slots__ = ("op", "tenant", "session", "payload", "deadline_at",
+                 "future", "enqueued_at")
+
+    def __init__(self, op, tenant, session, payload, deadline_at, future):
+        self.op = op
+        self.tenant = tenant
+        self.session = session
+        self.payload = payload
+        self.deadline_at = deadline_at
+        self.future = future
+        self.enqueued_at = time.monotonic()
+
+
+_SHUTDOWN = object()
+
+
+class InferenceService:
+    """The multi-tenant incremental-inference server.
+
+    Parameters
+    ----------
+    config:
+        The :class:`ServiceConfig` (limits, deadlines, durability root).
+    metrics:
+        Optional shared registry; defaults to a fresh one (exposed via
+        the ``stats`` op and :meth:`metrics_snapshot`).
+    translator_middleware:
+        Test seam for the chaos harness: a callable applied to every
+        request's hooks-bearing work closure is too coarse, so instead
+        this wraps the *store mutation call* — see
+        :mod:`repro.testing.chaos`.  ``None`` in production.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        translator_middleware: Optional[Any] = None,
+    ):
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.store = DurableSessionStore(config)
+        self.translator_middleware = translator_middleware
+        self._shards = [
+            _Shard(i, config.queue_depth) for i in range(config.num_shards)
+        ]
+        self._inflight: Dict[str, int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._closing = False
+        self.started = asyncio.Event()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.recovered_sessions: List[str] = []
+        self.recovery_seconds: float = 0.0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Recover, bind, accept until :meth:`stop` is called."""
+        started = time.monotonic()
+        self.recovered_sessions = await asyncio.get_running_loop().run_in_executor(
+            None, self.store.recover
+        )
+        self.recovery_seconds = time.monotonic() - started
+        if self.recovered_sessions:
+            self.metrics.counter("service.sessions_recovered").inc(
+                len(self.recovered_sessions)
+            )
+        self.metrics.gauge("service.recovery_seconds").set(self.recovery_seconds)
+
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(shard), name=f"shard-{shard.index}")
+            for shard in self._shards
+        ]
+        self.started.set()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain workers, close pools."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for shard in self._shards:
+            shard.queue.put_nowait(_SHUTDOWN)
+        for task in self._worker_tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for shard in self._shards:
+            shard.executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_frame(
+                        reader, max_bytes=self.config.max_frame_bytes
+                    )
+                except FrameError as error:
+                    # The stream itself is poisoned: answer structurally,
+                    # then hang up (we cannot resynchronize mid-garbage).
+                    self.metrics.counter("service.rejections.bad_request").inc()
+                    await write_frame(writer, encode_error(error))
+                    break
+                if request is None:
+                    break
+                response = await self._handle_request(request)
+                if isinstance(request, dict) and "request_id" in request:
+                    response["request_id"] = request["request_id"]
+                await write_frame(writer, response)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _handle_request(self, request: Any) -> Dict[str, Any]:
+        started = time.monotonic()
+        op = request.get("op") if isinstance(request, dict) else None
+        try:
+            result = await self._dispatch(request)
+            response = encode_ok(result)
+            self.metrics.counter(f"service.requests.{op}").inc()
+        except BaseException as error:  # noqa: BLE001 — every error answers
+            response = encode_error(error)
+            self._count_rejection(error)
+        if op in ("create", "observe", "edit", "posterior"):
+            self.metrics.histogram(f"service.latency.{op}").observe(
+                time.monotonic() - started
+            )
+        return response
+
+    def _count_rejection(self, error: BaseException) -> None:
+        if isinstance(error, QuotaExceededError):
+            self.metrics.counter("service.rejections.quota").inc()
+        elif isinstance(error, OverloadedError):
+            self.metrics.counter("service.rejections.overloaded").inc()
+        elif isinstance(error, DeadlineExceededError):
+            self.metrics.counter("service.timeouts").inc()
+        elif isinstance(error, BadRequestError):
+            self.metrics.counter("service.rejections.bad_request").inc()
+        else:
+            self.metrics.counter("service.rejections.internal").inc()
+
+    # -- admission + dispatch --------------------------------------------------
+
+    async def _dispatch(self, request: Any) -> Any:
+        if not isinstance(request, dict):
+            raise BadRequestError(
+                f"request must be a document, got {type(request).__name__}"
+            )
+        op = request.get("op")
+        if op not in OPS:
+            raise BadRequestError(f"unknown op {op!r}; expected one of {list(OPS)}")
+        if op == "ping":
+            return {"pong": True, "closing": self._closing}
+        if op == "stats":
+            return self.stats()
+        if self._closing:
+            raise ServiceUnavailableError("server is shutting down")
+
+        tenant = request.get("tenant")
+        session_id = request.get("session")
+        if not isinstance(tenant, str) or not tenant:
+            raise BadRequestError("request needs a non-empty 'tenant'")
+        if not isinstance(session_id, str):
+            raise BadRequestError("request needs a 'session' id")
+        _check_session_id(session_id)
+        deadline_s = self.config.clamp_deadline(request.get("deadline_s"))
+        deadline_at = time.monotonic() + deadline_s
+        shard = self._shards[shard_of(session_id, self.config.num_shards)]
+
+        if op == "posterior":
+            return await self._dispatch_posterior(
+                request, tenant, session_id, shard, deadline_at
+            )
+
+        # -- mutating ops: quotas, then backpressure ----------------------
+        if op == "create":
+            limit = self.config.max_sessions_per_tenant
+            if len(self.store.sessions_of(tenant)) >= limit:
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} already holds {limit} live session(s)",
+                    quota="sessions",
+                    limit=limit,
+                )
+        self._check_inflight_quota(tenant, shard)
+        self._check_backpressure(tenant, shard)
+        return await self._enqueue(request, op, tenant, session_id, shard, deadline_at)
+
+    def _check_inflight_quota(self, tenant: str, shard: _Shard) -> None:
+        limit = self.config.max_inflight_per_tenant
+        if self._inflight.get(tenant, 0) >= limit:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} already has {limit} request(s) in flight",
+                quota="inflight",
+                limit=limit,
+                retry_after_s=shard.ewma_latency_s,
+            )
+
+    def _check_backpressure(self, tenant: str, shard: _Shard) -> None:
+        if shard.depth > 0 and shard.queue.qsize() >= shard.depth:
+            raise OverloadedError(
+                f"shard {shard.index} queue is full "
+                f"({shard.queue.qsize()}/{shard.depth})",
+                retry_after_s=shard.retry_after_s(),
+            )
+        if (
+            shard.depth > 0
+            and shard.occupancy() >= self.config.shed_threshold
+            and self.config.priority_of(tenant) < self.config.shed_protect_priority
+        ):
+            self.metrics.counter("service.rejections.shed").inc()
+            raise OverloadedError(
+                f"shard {shard.index} is shedding: occupancy "
+                f"{shard.occupancy():.0%} >= {self.config.shed_threshold:.0%} and "
+                f"tenant {tenant!r} priority "
+                f"{self.config.priority_of(tenant)} < protected "
+                f"{self.config.shed_protect_priority}",
+                retry_after_s=shard.retry_after_s(),
+            )
+
+    async def _dispatch_posterior(
+        self,
+        request: Dict[str, Any],
+        tenant: str,
+        session_id: str,
+        shard: _Shard,
+        deadline_at: float,
+    ) -> Any:
+        """Posterior reads prefer the live worker, degrade when it's gone.
+
+        Degraded = served from the last commit snapshot: stale by at
+        most one in-flight request, correct, and never queued behind a
+        wedge.  Only possible with a durable store; an in-memory service
+        reports the overload instead.
+        """
+        now = time.monotonic()
+        top = int(request.get("top", 10))
+        blocked = shard.wedged(self.config.wedged_after_s, now) or (
+            shard.depth > 0 and shard.queue.qsize() >= shard.depth
+        )
+        if not blocked:
+            self._check_inflight_quota(tenant, shard)
+            self._check_backpressure(tenant, shard)
+            return await self._enqueue(
+                request, "posterior", tenant, session_id, shard, deadline_at
+            )
+        if self.config.store_dir is None:
+            raise OverloadedError(
+                f"shard {shard.index} is saturated and no durable snapshot "
+                "exists to serve a degraded read",
+                retry_after_s=shard.retry_after_s(),
+            )
+        self.store.owns(tenant, session_id)
+        self.metrics.counter("service.degraded_reads").inc()
+        return await asyncio.get_running_loop().run_in_executor(
+            None, partial(self.store.posterior_degraded, session_id, top=top)
+        )
+
+    async def _enqueue(
+        self,
+        request: Dict[str, Any],
+        op: str,
+        tenant: str,
+        session_id: str,
+        shard: _Shard,
+        deadline_at: float,
+    ) -> Any:
+        future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        item = _Request(op, tenant, session_id, request, deadline_at, future)
+        try:
+            shard.queue.put_nowait(item)
+        except asyncio.QueueFull:
+            raise OverloadedError(
+                f"shard {shard.index} queue is full "
+                f"({shard.queue.qsize()}/{shard.depth})",
+                retry_after_s=shard.retry_after_s(),
+            ) from None
+        self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        self.metrics.gauge(f"service.queue_depth.shard{shard.index}").set(
+            shard.queue.qsize()
+        )
+        try:
+            return await future
+        finally:
+            remaining = self._inflight.get(tenant, 1) - 1
+            if remaining > 0:
+                self._inflight[tenant] = remaining
+            else:
+                self._inflight.pop(tenant, None)
+
+    # -- the shard worker ------------------------------------------------------
+
+    async def _worker(self, shard: _Shard) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await shard.queue.get()
+            self.metrics.gauge(f"service.queue_depth.shard{shard.index}").set(
+                shard.queue.qsize()
+            )
+            if item is _SHUTDOWN:
+                self._fail_pending(shard)
+                return
+            if item.future.cancelled():
+                continue
+            now = time.monotonic()
+            if now >= item.deadline_at:
+                self.metrics.counter("service.timeouts.queued").inc()
+                item.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline expired after {now - item.enqueued_at:.3f}s "
+                        "on the queue",
+                        retry_after_s=shard.retry_after_s(),
+                    )
+                )
+                continue
+            shard.busy_since = now
+            shard.busy_op = item.op
+            try:
+                result = await loop.run_in_executor(
+                    shard.executor, partial(self._execute, shard, item)
+                )
+            except BaseException as error:  # noqa: BLE001
+                if not item.future.done():
+                    item.future.set_exception(error)
+            else:
+                if not item.future.done():
+                    item.future.set_result(result)
+            finally:
+                shard.busy_since = None
+                shard.busy_op = None
+                shard.record_latency(time.monotonic() - now)
+
+    def _fail_pending(self, shard: _Shard) -> None:
+        while not shard.queue.empty():
+            item = shard.queue.get_nowait()
+            if item is not _SHUTDOWN and not item.future.done():
+                item.future.set_exception(
+                    ServiceUnavailableError("server is shutting down")
+                )
+
+    # -- the actual work (shard worker thread) ---------------------------------
+
+    def _execute(self, shard: _Shard, item: _Request) -> Any:
+        """Run one admitted request against the durable store.
+
+        Executes on the shard's worker thread.  Every mutating op runs
+        under :class:`DeadlineHooks`; the commit (checkpoint fsync)
+        happens inside the store call, before this returns — i.e. before
+        any ack is written.
+        """
+        op, payload, session_id = item.op, item.payload, item.session
+        hooks = DeadlineHooks(item.deadline_at)
+        with shard.tracer.span(f"service.{op}") as span:
+            span.count("shard", shard.index)
+            if op == "create":
+                return self.store.create_session(
+                    item.tenant,
+                    session_id,
+                    self._require_str(payload, "program"),
+                    env=self._optional_dict(payload, "env"),
+                    num_particles=payload.get("num_particles"),
+                    seed=payload.get("seed"),
+                )
+            self.store.owns(item.tenant, session_id)
+            if op == "edit":
+                apply = partial(
+                    self.store.apply_edit,
+                    session_id,
+                    self._require_str(payload, "program"),
+                    hooks=hooks,
+                )
+            elif op == "observe":
+                apply = partial(
+                    self.store.apply_observation,
+                    session_id,
+                    self._require_str(payload, "statement"),
+                    hooks=hooks,
+                )
+            elif op == "posterior":
+                return self.store.posterior(
+                    session_id, top=int(payload.get("top", 10))
+                )
+            elif op == "close":
+                return self.store.close_session(session_id)
+            else:  # pragma: no cover — _dispatch already validated op
+                raise BadRequestError(f"unknown op {op!r}")
+            if self.translator_middleware is not None:
+                return self.translator_middleware(op, session_id, apply)
+            return apply()
+
+    @staticmethod
+    def _require_str(payload: Dict[str, Any], field: str) -> str:
+        value = payload.get(field)
+        if not isinstance(value, str) or not value.strip():
+            raise BadRequestError(f"op needs a non-empty string {field!r}")
+        return value
+
+    @staticmethod
+    def _optional_dict(payload: Dict[str, Any], field: str) -> Optional[Dict[str, Any]]:
+        value = payload.get(field)
+        if value is None:
+            return None
+        if not isinstance(value, dict):
+            raise BadRequestError(f"{field!r} must be a mapping")
+        return value
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        return {
+            "config": self.config.to_dict(),
+            "closing": self._closing,
+            "sessions": self.store.session_ids(),
+            "live_sessions": self.store.manager.live_sessions(),
+            "recovered_sessions": list(self.recovered_sessions),
+            "recovery_seconds": self.recovery_seconds,
+            "inflight": dict(self._inflight),
+            "shards": [
+                {
+                    "index": shard.index,
+                    "queue_depth": shard.queue.qsize(),
+                    "queue_limit": shard.depth,
+                    "busy_op": shard.busy_op,
+                    "busy_for_s": (
+                        None if shard.busy_since is None else now - shard.busy_since
+                    ),
+                    "ewma_latency_s": shard.ewma_latency_s,
+                    "completed": shard.completed,
+                }
+                for shard in self._shards
+            ],
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def trace_snapshot(self) -> Dict[str, Any]:
+        """Per-shard request span trees (each tracer is thread-confined)."""
+        return {
+            f"shard{shard.index}": shard.tracer.to_dict() for shard in self._shards
+        }
+
+
+class ServiceHandle:
+    """A service running on a dedicated event-loop thread (tests, benchmarks,
+    the loadgen's self-hosted mode).
+
+    ``start`` blocks until the server is accepting; ``stop`` shuts it
+    down gracefully; ``kill`` abandons the loop thread without draining
+    — the in-process stand-in for a crashed worker (the real SIGKILL
+    drill lives in the CI job and the chaos harness, which use ``repro
+    serve`` subprocesses).
+    """
+
+    def __init__(self, service: InferenceService, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop):
+        self.service = service
+        self._thread = thread
+        self._loop = loop
+        self._stop_event: Optional[asyncio.Event] = None
+
+    @classmethod
+    def start(
+        cls,
+        config: ServiceConfig,
+        *,
+        translator_middleware: Optional[Any] = None,
+        timeout_s: float = 30.0,
+    ) -> "ServiceHandle":
+        ready: "threading.Event" = threading.Event()
+        holder: Dict[str, Any] = {}
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            service = InferenceService(
+                config, translator_middleware=translator_middleware
+            )
+            stop_event = asyncio.Event()
+            holder["service"] = service
+            holder["loop"] = loop
+            holder["stop_event"] = stop_event
+
+            async def main() -> None:
+                serve_task = asyncio.create_task(service.serve())
+                await service.started.wait()
+                ready.set()
+                await stop_event.wait()
+                await service.stop()
+                serve_task.cancel()
+                try:
+                    await serve_task
+                except asyncio.CancelledError:
+                    pass
+
+            try:
+                loop.run_until_complete(main())
+            except RuntimeError:
+                pass  # kill(): loop stopped abruptly mid-flight
+            finally:
+                try:
+                    pending = asyncio.all_tasks(loop)
+                    for task in pending:
+                        task.cancel()
+                    if pending:
+                        loop.run_until_complete(
+                            asyncio.gather(*pending, return_exceptions=True)
+                        )
+                except RuntimeError:
+                    pass
+                loop.close()
+
+        thread = threading.Thread(target=run, name="repro-service", daemon=True)
+        thread.start()
+        if not ready.wait(timeout_s):
+            raise ServiceUnavailableError("service failed to start in time")
+        handle = cls(holder["service"], thread, holder["loop"])
+        handle._stop_event = holder["stop_event"]
+        return handle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.service.host, self.service.port
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        if self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                return  # loop already gone
+        self._thread.join(timeout_s)
+
+    def kill(self) -> None:
+        """Abrupt in-process death: stop the loop mid-flight, no draining."""
+        try:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        except RuntimeError:
+            pass
+        self._thread.join(5.0)

@@ -1,0 +1,204 @@
+"""The service wire protocol: framed codec documents + error mapping.
+
+Every message — request or response — is one frame::
+
+    4-byte big-endian unsigned length | body
+
+where the body is a :mod:`repro.store.codec` document (canonical strict
+JSON by default), so anything the store can persist, the service can
+ship: posterior summaries with exact float fidelity, non-finite log
+weights, numpy scalars.  The frame length is checked against a hard cap
+*before* the body is read, so a poison length prefix cannot make the
+server buffer gigabytes.
+
+Requests are dicts with an ``op`` plus op-specific fields; responses are
+``{"ok": True, "result": ...}`` or ``{"ok": False, "error": {...}}``.
+The error payload is the wire image of the
+:class:`~repro.errors.ServiceError` taxonomy — ``code``, ``message``,
+``retryable``, and optional ``retry_after_s`` — and
+:func:`decode_error` maps it back to the same exception class on the
+client, so ``except QuotaExceededError`` works across the network.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any, Dict, Optional, Type
+
+from ..errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    OverloadedError,
+    QuotaExceededError,
+    ServiceError,
+    ServiceUnavailableError,
+    SessionError,
+)
+from ..store.codec import dumps, loads
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ERROR_CLASSES",
+    "FrameError",
+    "read_frame",
+    "write_frame",
+    "encode_request",
+    "encode_ok",
+    "encode_error",
+    "decode_error",
+    "raise_for_response",
+]
+
+#: Default hard cap on frame bodies (overridden per-server by
+#: ``ServiceConfig.max_frame_bytes``).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: The operations the server dispatches.
+OPS = ("create", "observe", "edit", "posterior", "close", "stats", "ping")
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(BadRequestError):
+    """The connection carried bytes that are not a valid frame."""
+
+
+#: code -> exception class, the client-side inverse of ``encode_error``.
+ERROR_CLASSES: Dict[str, Type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        BadRequestError,
+        QuotaExceededError,
+        OverloadedError,
+        DeadlineExceededError,
+        ServiceUnavailableError,
+    )
+}
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Any]:
+    """Read one frame; None on clean EOF; :class:`FrameError` on poison.
+
+    The length prefix is validated against ``max_bytes`` before any body
+    byte is read, so an adversarial prefix cannot force unbounded
+    buffering.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between frames
+        raise FrameError("connection closed mid-frame") from error
+    (length,) = _LENGTH.unpack(prefix)
+    if length > max_bytes:
+        raise FrameError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError("connection closed mid-frame") from error
+    try:
+        return loads(body)
+    except Exception as error:  # CodecError, json errors, bad magic
+        raise FrameError(f"frame body is not a codec document: {error}") from error
+
+
+def frame_bytes(payload: Any, *, format: str = "json") -> bytes:
+    """The full wire image of one message (length prefix + codec body)."""
+    body = dumps(payload, format)
+    return _LENGTH.pack(len(body)) + body
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: Any, *, format: str = "json"
+) -> None:
+    writer.write(frame_bytes(payload, format=format))
+    await writer.drain()
+
+
+def encode_request(op: str, **kwargs: Any) -> Dict[str, Any]:
+    request = {"op": op}
+    request.update({k: v for k, v in kwargs.items() if v is not None})
+    return request
+
+
+def encode_ok(result: Any) -> Dict[str, Any]:
+    return {"ok": True, "result": result}
+
+
+def encode_error(error: BaseException) -> Dict[str, Any]:
+    """The structured rejection payload for any exception.
+
+    Service errors carry their own code/retryability; a
+    :class:`~repro.errors.SessionError` maps to ``bad_request`` (the
+    client named a session that does not exist or already does); any
+    other exception becomes a non-retryable ``internal`` error — the
+    connection survives, the payload says what broke.
+    """
+    if isinstance(error, ServiceError):
+        payload: Dict[str, Any] = {
+            "code": error.code,
+            "message": str(error),
+            "retryable": bool(error.retryable),
+        }
+        if error.retry_after_s is not None:
+            payload["retry_after_s"] = float(error.retry_after_s)
+        if isinstance(error, QuotaExceededError):
+            if error.quota:
+                payload["quota"] = error.quota
+            if error.limit is not None:
+                payload["limit"] = int(error.limit)
+        return {"ok": False, "error": payload}
+    if isinstance(error, SessionError):
+        return {
+            "ok": False,
+            "error": {
+                "code": "bad_request",
+                "message": str(error),
+                "retryable": False,
+            },
+        }
+    return {
+        "ok": False,
+        "error": {
+            "code": "internal",
+            "message": f"{type(error).__name__}: {error}",
+            "retryable": False,
+        },
+    }
+
+
+def decode_error(payload: Dict[str, Any]) -> ServiceError:
+    """Rebuild the typed exception from a rejection payload."""
+    if not isinstance(payload, dict):
+        return ServiceUnavailableError(f"malformed error payload: {payload!r}")
+    code = payload.get("code", "internal")
+    message = payload.get("message", code)
+    retry_after = payload.get("retry_after_s")
+    cls = ERROR_CLASSES.get(code)
+    if cls is QuotaExceededError:
+        return QuotaExceededError(
+            message,
+            quota=payload.get("quota", ""),
+            limit=payload.get("limit"),
+            retry_after_s=retry_after,
+        )
+    if cls is not None:
+        return cls(message, retry_after_s=retry_after)
+    error = ServiceError(message, retry_after_s=retry_after)
+    error.retryable = bool(payload.get("retryable", False))
+    return error
+
+
+def raise_for_response(response: Any) -> Any:
+    """Return ``result`` from an ok response, raise the typed error otherwise."""
+    if not isinstance(response, dict) or "ok" not in response:
+        raise ServiceUnavailableError(f"malformed response: {response!r}")
+    if response["ok"]:
+        return response.get("result")
+    raise decode_error(response.get("error") or {})

@@ -226,6 +226,10 @@ class CheckpointManager:
         except OSError as error:
             raise CheckpointCorruptionError(f"cannot read checkpoint {path}: {error}")
 
+        if not raw:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} is empty (zero-byte file from a crashed write)"
+            )
         newline = raw.find(b"\n")
         if newline < 0 or not raw.startswith(_HEADER_PREFIX):
             raise CheckpointCorruptionError(
@@ -235,15 +239,24 @@ class CheckpointManager:
         if len(header_fields) != 4 or header_fields[0] != _HEADER_PREFIX.decode():
             raise CheckpointCorruptionError(f"checkpoint {path} has a malformed header")
         _, header_version, digest, length = header_fields
-        if int(header_version) > _HEADER_VERSION:
+        try:
+            header_version = int(header_version)
+            length = int(length)
+        except ValueError:
+            # A garbled header must degrade to "corrupt" (skippable by
+            # load_latest), not leak a bare ValueError to the caller.
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} has a non-numeric header field"
+            )
+        if header_version > _HEADER_VERSION:
             raise SchemaVersionError(
                 f"checkpoint {path} uses header version {header_version}, "
                 f"this library supports up to {_HEADER_VERSION}",
-                found=int(header_version),
+                found=header_version,
                 supported=_HEADER_VERSION,
             )
         body = raw[newline + 1:]
-        if len(body) != int(length):
+        if len(body) != length:
             raise CheckpointCorruptionError(
                 f"checkpoint {path} body is {len(body)} bytes, header promised "
                 f"{length} (partial write)"

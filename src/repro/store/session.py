@@ -25,8 +25,10 @@ sinks the inference config carries.
 
 from __future__ import annotations
 
+import copy
 import os
 import re
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -39,7 +41,7 @@ from ..core.smc import SMCStep, infer
 from ..core.translator import TraceTranslator
 from ..core.weighted import WeightedCollection
 from ..errors import CodecError, SessionError
-from ..observability import MetricsRegistry
+from ..observability import Hooks, MetricsRegistry
 from .codec import dumps, loads
 
 __all__ = ["InferenceSession", "SessionManager"]
@@ -93,23 +95,55 @@ class InferenceSession:
         # sessions persist through the manager's store instead.
         self._config = base.replace(metrics=self.metrics, checkpoint_dir=None)
         self.history: List[Dict[str, Any]] = list(history or [])
+        #: Serializes mutation (submit) against concurrent snapshots, so
+        #: an eviction racing a long edit persists either the pre- or the
+        #: post-edit state — never a torn mixture.
+        self._lock = threading.RLock()
 
     @property
     def num_edits(self) -> int:
         return len(self.history)
 
     def submit(
-        self, translator: TraceTranslator, mcmc_kernel: Optional[Kernel] = None
+        self,
+        translator: TraceTranslator,
+        mcmc_kernel: Optional[Kernel] = None,
+        *,
+        hooks: Optional[Hooks] = None,
     ) -> SMCStep:
         """Apply one program edit: translate, reweight, maybe resample.
 
         Returns the :class:`SMCStep` and replaces the session's live
         collection with the translated one.
+
+        The edit is *transactional*: if translation raises — a fault
+        under ``fail_fast``, or a deadline hook cancelling the request
+        mid-flight — the session's collection **and** its RNG stream are
+        rolled back to their pre-submit state, so a failed or cancelled
+        edit leaves the session byte-identical to before.
+
+        Parameters
+        ----------
+        hooks:
+            Per-request observability/cancellation hooks layered over
+            the session's config for this edit only (the inference
+            service uses this to enforce request deadlines at particle
+            boundaries).
         """
-        step = infer(
-            translator, self.collection, self.rng, mcmc_kernel, config=self._config
-        )
-        self.collection = step.collection
+        with self._lock:
+            config = self._config if hooks is None else self._config.replace(hooks=hooks)
+            rng_state = copy.deepcopy(self.rng.bit_generator.state)
+            try:
+                step = infer(
+                    translator, self.collection, self.rng, mcmc_kernel, config=config
+                )
+            except BaseException:
+                self.rng.bit_generator.state = rng_state
+                raise
+            self.collection = step.collection
+            return self._record_step(step)
+
+    def _record_step(self, step: SMCStep) -> SMCStep:
         stats = step.stats
         self.history.append(
             {
@@ -138,12 +172,13 @@ class InferenceSession:
 
     def snapshot(self) -> Dict[str, Any]:
         """The session's durable state (what eviction persists)."""
-        return {
-            "session_id": self.session_id,
-            "collection": self.collection,
-            "rng": self.rng,
-            "history": list(self.history),
-        }
+        with self._lock:
+            return {
+                "session_id": self.session_id,
+                "collection": self.collection,
+                "rng": self.rng,
+                "history": list(self.history),
+            }
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         return self.metrics.to_dict()
@@ -191,6 +226,13 @@ class SessionManager:
         self.format = format
         self.metrics = MetricsRegistry()
         self._live: "OrderedDict[str, InferenceSession]" = OrderedDict()
+        #: Guards the live table, the LRU order, and the evict/reload
+        #: paths.  Reentrant because evict (under the lock) calls
+        #: session.snapshot, and a manager method may trigger capacity
+        #: enforcement which evicts.  Long-running per-session work
+        #: (submit) runs under the *session's* lock, not this one, so
+        #: edits on different sessions still proceed concurrently.
+        self._lock = threading.RLock()
 
     # -- paths ----------------------------------------------------------------
 
@@ -211,69 +253,101 @@ class SessionManager:
     ) -> InferenceSession:
         """Register a new session around an initial collection."""
         _check_session_id(session_id)
-        if session_id in self._live:
-            raise SessionError(f"session {session_id!r} already exists")
-        stored = self._path_for(session_id)
-        if stored is not None and stored.exists():
-            raise SessionError(
-                f"session {session_id!r} already exists in the store at {stored}"
-            )
-        if rng is None:
-            rng = np.random.default_rng(seed)
-        session = InferenceSession(session_id, collection, rng, config=self.config)
-        self._live[session_id] = session
-        self._live.move_to_end(session_id)
-        self.metrics.counter("store.sessions_created").inc()
-        self._enforce_capacity()
-        return session
+        with self._lock:
+            if session_id in self._live:
+                raise SessionError(f"session {session_id!r} already exists")
+            stored = self._path_for(session_id)
+            if stored is not None and stored.exists():
+                raise SessionError(
+                    f"session {session_id!r} already exists in the store at {stored}"
+                )
+            if rng is None:
+                rng = np.random.default_rng(seed)
+            session = InferenceSession(session_id, collection, rng, config=self.config)
+            self._live[session_id] = session
+            self._live.move_to_end(session_id)
+            self.metrics.counter("store.sessions_created").inc()
+            self._enforce_capacity()
+            return session
+
+    def adopt(self, session: InferenceSession) -> InferenceSession:
+        """Register an externally built session (the recovery hook).
+
+        Crash recovery rebuilds sessions from checkpoint snapshots
+        (collection + RNG stream + history) and adopts them here, so the
+        recovered session enters the same LRU/eviction lifecycle as a
+        freshly created one.  Unlike :meth:`create`, an existing stored
+        file is *not* an error — recovery legitimately supersedes it.
+        """
+        with self._lock:
+            if session.session_id in self._live:
+                raise SessionError(f"session {session.session_id!r} already exists")
+            self._live[session.session_id] = session
+            self._live.move_to_end(session.session_id)
+            self.metrics.counter("store.sessions_recovered").inc()
+            self._enforce_capacity()
+            return session
 
     def get(self, session_id: str) -> InferenceSession:
         """The live session, reloading it from the store if evicted."""
         _check_session_id(session_id)
-        if session_id in self._live:
+        with self._lock:
+            if session_id in self._live:
+                self._live.move_to_end(session_id)
+                return self._live[session_id]
+            session = self._reload(session_id)
+            self._live[session_id] = session
             self._live.move_to_end(session_id)
-            return self._live[session_id]
-        session = self._reload(session_id)
-        self._live[session_id] = session
-        self._live.move_to_end(session_id)
-        self._enforce_capacity()
-        return session
+            self._enforce_capacity()
+            return session
 
     def submit(
         self,
         session_id: str,
         translator: TraceTranslator,
         mcmc_kernel: Optional[Kernel] = None,
+        *,
+        hooks: Optional[Hooks] = None,
     ) -> SMCStep:
-        """Route one edit request to the (possibly reloaded) session."""
-        return self.get(session_id).submit(translator, mcmc_kernel)
+        """Route one edit request to the (possibly reloaded) session.
+
+        The manager lock is held only for the table lookup; the edit
+        itself runs under the session's own lock, so concurrent edits on
+        *different* sessions proceed in parallel while an evict racing
+        *this* session blocks until the edit commits or rolls back.
+        """
+        return self.get(session_id).submit(translator, mcmc_kernel, hooks=hooks)
 
     def evict(self, session_id: str) -> Path:
         """Persist one live session to the store and drop it from memory."""
-        if session_id not in self._live:
-            raise SessionError(f"session {session_id!r} is not live")
-        path = self._path_for(session_id)
-        if path is None:
-            raise SessionError(
-                f"cannot evict session {session_id!r}: the manager has no store_dir"
-            )
-        session = self._live[session_id]
-        body = dumps(session.snapshot(), self.format)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".tmp-{path.name}-{os.getpid()}")
-        tmp.write_bytes(body)
-        os.replace(tmp, path)
-        del self._live[session_id]
-        self.metrics.counter("store.evictions").inc()
-        self.metrics.counter("store.bytes_written").inc(len(body))
-        return path
+        with self._lock:
+            if session_id not in self._live:
+                raise SessionError(f"session {session_id!r} is not live")
+            path = self._path_for(session_id)
+            if path is None:
+                raise SessionError(
+                    f"cannot evict session {session_id!r}: the manager has no store_dir"
+                )
+            session = self._live[session_id]
+            # snapshot() takes the session lock, so a submit in flight on
+            # another thread finishes (or rolls back) before we persist.
+            body = dumps(session.snapshot(), self.format)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f".tmp-{path.name}-{os.getpid()}")
+            tmp.write_bytes(body)
+            os.replace(tmp, path)
+            del self._live[session_id]
+            self.metrics.counter("store.evictions").inc()
+            self.metrics.counter("store.bytes_written").inc(len(body))
+            return path
 
     def close(self, session_id: str, *, persist: bool = True) -> Optional[Path]:
         """End a session; by default persist it to the store first."""
-        if persist and self.store_dir is not None and session_id in self._live:
-            return self.evict(session_id)
-        self._live.pop(session_id, None)
-        return None
+        with self._lock:
+            if persist and self.store_dir is not None and session_id in self._live:
+                return self.evict(session_id)
+            self._live.pop(session_id, None)
+            return None
 
     # -- internals ------------------------------------------------------------
 
@@ -307,14 +381,16 @@ class SessionManager:
     def _enforce_capacity(self) -> None:
         if self.store_dir is None:
             return
-        while len(self._live) > self.capacity:
-            oldest = next(iter(self._live))
-            self.evict(oldest)
+        with self._lock:
+            while len(self._live) > self.capacity:
+                oldest = next(iter(self._live))
+                self.evict(oldest)
 
     # -- introspection ---------------------------------------------------------
 
     def live_sessions(self) -> List[str]:
-        return list(self._live)
+        with self._lock:
+            return list(self._live)
 
     def stored_sessions(self) -> List[str]:
         if self.store_dir is None or not self.store_dir.is_dir():

@@ -1,0 +1,302 @@
+"""Deterministic chaos drill for the inference service.
+
+:mod:`repro.testing.faults` attacks the SMC loop from inside one
+particle; this module attacks the *service* contract from outside:
+
+* **slow translators** — :class:`ChaosMiddleware` stalls every N-th
+  mutating request on the shard worker thread, creating the wedge the
+  degradation ladder and the deadline machinery exist for;
+* **deadline cancellations** — the drill issues requests whose deadline
+  is shorter than the injected stall and asserts the cancellation is
+  *clean*: a structured ``deadline_exceeded`` rejection and a session
+  whose edit count is exactly what was last acknowledged;
+* **poison requests** — unparseable programs and unknown session ids,
+  asserted to produce ``bad_request`` without disturbing state;
+* **worker kills** — the server is killed abruptly (no draining, no
+  graceful eviction) mid-workload and restarted over the same store;
+  the drill asserts every *acknowledged* mutation survived and that the
+  recovered durable state is byte-identical to the pre-kill snapshot.
+
+Everything is seeded: the workload scripts come from
+:data:`repro.service.loadgen.WORKLOADS` under a :class:`random.Random`
+seeded from the config, the kill points are fixed op indices, and the
+middleware's stall schedule is a call counter that lives in the driver
+process and therefore survives server restarts.  Two runs of
+:func:`run_chaos_drill` with the same config perform the same requests
+and the same injections.
+
+Invariant violations raise :class:`ChaosInvariantViolation` — a drill
+that *returns* has proven its invariants, and the report it returns
+says how much chaos that proof covered.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+)
+from ..service.client import RetryingClient, ServiceClient
+from ..service.config import ServiceConfig
+from ..service.loadgen import WORKLOADS
+from ..service.server import ServiceHandle
+from ..store.codec import dumps
+
+__all__ = ["ChaosConfig", "ChaosInvariantViolation", "ChaosMiddleware", "run_chaos_drill"]
+
+
+class ChaosInvariantViolation(ReproError, AssertionError):
+    """The service broke one of the contracts the drill checks."""
+
+
+class ChaosMiddleware:
+    """Stalls every ``slow_every``-th mutating request on the worker.
+
+    The call counter lives here — in the *driver* process — so the stall
+    schedule is deterministic across in-process server restarts.
+    """
+
+    def __init__(self, slow_every: int = 0, slow_seconds: float = 0.05):
+        self.slow_every = int(slow_every)
+        self.slow_seconds = float(slow_seconds)
+        self.calls = 0
+        self.stalled = 0
+
+    def will_stall_next(self) -> bool:
+        return self.slow_every > 0 and (self.calls + 1) % self.slow_every == 0
+
+    def __call__(self, op: str, session_id: str, apply: Callable[[], Any]) -> Any:
+        self.calls += 1
+        if self.slow_every > 0 and self.calls % self.slow_every == 0:
+            self.stalled += 1
+            time.sleep(self.slow_seconds)
+        return apply()
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One drill: which workload, how much chaos, where the kills land.
+
+    ``kill_after_ops`` are 1-based indices into the flattened mutating-op
+    sequence; before issuing that op the server is killed abruptly and
+    restarted over the same store.  ``deadline_ops`` are indices issued
+    with a deadline shorter than the injected stall (each must coincide
+    with a stalled call — :func:`run_chaos_drill` arranges that by
+    construction when left at defaults).
+    """
+
+    workload: str = "gauss-chain"
+    num_sessions: int = 2
+    ops_per_session: int = 6
+    num_particles: int = 20
+    seed: int = 0
+    kill_after_ops: Tuple[int, ...] = (3, 8)
+    slow_every: int = 4
+    slow_seconds: float = 0.2
+    tight_deadline_s: float = 0.05
+    poison_every: int = 5
+    tenant: str = "chaos"
+
+    def replace(self, **changes: Any) -> "ChaosConfig":
+        return replace(self, **changes)
+
+
+def _service_config(store_dir: str, config: ChaosConfig) -> ServiceConfig:
+    return ServiceConfig(
+        store_dir=store_dir,
+        num_particles=config.num_particles,
+        num_shards=2,
+        queue_depth=8,
+        # Generous default; the drill's tight deadlines are per-request.
+        default_deadline_s=30.0,
+        wedged_after_s=0.5,
+    )
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ChaosInvariantViolation(message)
+
+
+def _snapshot_bytes(handle: ServiceHandle, session_ids: List[str]) -> Dict[str, bytes]:
+    store = handle.service.store
+    return {
+        sid: dumps(store.manager.get(sid).snapshot(), "json") for sid in session_ids
+    }
+
+
+def run_chaos_drill(store_dir: str, config: Optional[ChaosConfig] = None) -> Dict[str, Any]:
+    """Run the drill; return its report or raise :class:`ChaosInvariantViolation`.
+
+    The drill is single-threaded by design: determinism is the point,
+    concurrency soak is the load generator's job.
+    """
+    config = config or ChaosConfig()
+    service_config = _service_config(store_dir, config)
+    middleware = ChaosMiddleware(config.slow_every, config.slow_seconds)
+
+    # -- the deterministic script ---------------------------------------------
+    generator = WORKLOADS[config.workload]
+    scripts: Dict[str, Tuple[str, List[Tuple[str, str]]]] = {}
+    for index in range(config.num_sessions):
+        rng = random.Random(f"{config.seed}:{config.workload}:{index}")
+        scripts[f"{config.tenant}-s{index}"] = generator(
+            index, config.ops_per_session, rng
+        )
+    # Round-robin interleave of the sessions' mutating ops.
+    flattened: List[Tuple[str, str, str]] = []
+    for position in range(config.ops_per_session):
+        for sid, (_, ops) in scripts.items():
+            op, payload = ops[position]
+            flattened.append((sid, op, payload))
+
+    ledger: Dict[str, int] = {}  # sid -> acknowledged mutating ops
+    report: Dict[str, Any] = {
+        "ops": 0, "acks": 0, "kills": 0, "recoveries_verified": 0,
+        "deadline_cancellations": 0, "poison_rejections": 0,
+        "rejections": {}, "stalls": 0, "byte_identical_recoveries": 0,
+    }
+
+    handle = ServiceHandle.start(
+        service_config, translator_middleware=middleware
+    )
+
+    def make_client() -> RetryingClient:
+        return RetryingClient(
+            ServiceClient(*handle.address, tenant=config.tenant),
+            max_attempts=3,
+            rng=random.Random(config.seed),
+            sleep=lambda _s: None,
+        )
+
+    client = make_client()
+
+    def verify_recovery(expect_bytes: Dict[str, bytes]) -> None:
+        recovered = set(handle.service.recovered_sessions)
+        _require(
+            recovered == set(ledger),
+            f"recovered sessions {sorted(recovered)} != committed {sorted(ledger)}",
+        )
+        for sid, committed in ledger.items():
+            posterior = client.posterior(sid)
+            _require(
+                posterior["num_edits"] == committed,
+                f"{sid}: recovered {posterior['num_edits']} edits, "
+                f"committed {committed} — an acknowledged mutation was dropped",
+            )
+        actual = _snapshot_bytes(handle, sorted(ledger))
+        for sid, expected in expect_bytes.items():
+            _require(
+                actual[sid] == expected,
+                f"{sid}: recovered snapshot differs from pre-kill bytes",
+            )
+        report["byte_identical_recoveries"] += len(expect_bytes)
+        report["recoveries_verified"] += 1
+
+    def kill_and_restart() -> None:
+        nonlocal handle, client
+        expect = _snapshot_bytes(handle, sorted(ledger))
+        client.client.close()
+        handle.kill()
+        report["kills"] += 1
+        handle = ServiceHandle.start(
+            service_config, translator_middleware=middleware
+        )
+        client = make_client()
+        verify_recovery(expect)
+
+    def record_rejection(error: ServiceError) -> None:
+        report["rejections"][error.code] = report["rejections"].get(error.code, 0) + 1
+
+    try:
+        # Create every session up front (these acks are mutating commits
+        # in the ledger sense: the sessions must survive kills).
+        for sid, (base, _) in scripts.items():
+            result = client.create(
+                sid, base, num_particles=config.num_particles, seed=config.seed
+            )
+            _require(result["session"] == sid, f"create echoed {result!r}")
+            ledger[sid] = 0
+            report["acks"] += 1
+
+        for op_index, (sid, op, payload) in enumerate(flattened, start=1):
+            if op_index in config.kill_after_ops:
+                kill_and_restart()
+
+            if config.poison_every and op_index % config.poison_every == 0:
+                # Poison first: must reject structurally, not disturb state.
+                try:
+                    client.client.edit(sid, "this is ! not a program (")
+                except BadRequestError:
+                    report["poison_rejections"] += 1
+                else:
+                    raise ChaosInvariantViolation(
+                        "poison program was accepted instead of rejected"
+                    )
+                posterior = client.posterior(sid)
+                _require(
+                    posterior["num_edits"] == ledger[sid],
+                    f"{sid}: poison request disturbed session state",
+                )
+
+            deadline_s = None
+            if middleware.will_stall_next():
+                # This request will hit the injected stall; give it a
+                # deadline it cannot meet, then verify the cancellation
+                # was clean and retry without the tight deadline.
+                deadline_s = config.tight_deadline_s
+
+            def issue(deadline: Optional[float]) -> Dict[str, Any]:
+                if op == "observe":
+                    return client.client.observe(sid, payload, deadline_s=deadline)
+                return client.client.edit(sid, payload, deadline_s=deadline)
+
+            report["ops"] += 1
+            if deadline_s is not None:
+                try:
+                    issue(deadline_s)
+                except DeadlineExceededError as error:
+                    report["deadline_cancellations"] += 1
+                    record_rejection(error)
+                    posterior = client.posterior(sid)
+                    _require(
+                        posterior["num_edits"] == ledger[sid],
+                        f"{sid}: cancelled request corrupted session state",
+                    )
+                else:
+                    raise ChaosInvariantViolation(
+                        "a request stalled past its deadline was not cancelled"
+                    )
+            # The committed attempt (retries allowed, no tight deadline).
+            try:
+                result = issue(None)
+            except ServiceError as error:
+                _require(
+                    error.code is not None and error.retryable is not None,
+                    f"unstructured rejection {error!r}",
+                )
+                record_rejection(error)
+                continue
+            ledger[sid] += 1
+            report["acks"] += 1
+            _require(
+                result["num_edits"] == ledger[sid],
+                f"{sid}: server reports {result['num_edits']} edits, "
+                f"ledger says {ledger[sid]}",
+            )
+
+        # Final kill: everything acknowledged must still be there.
+        kill_and_restart()
+        report["stalls"] = middleware.stalled
+        report["final_ledger"] = dict(sorted(ledger.items()))
+        return report
+    finally:
+        client.client.close()
+        handle.stop()

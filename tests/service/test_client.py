@@ -1,0 +1,138 @@
+"""RetryingClient backoff policy — deterministic, no network.
+
+The fake client scripts a sequence of outcomes per call; the retry
+wrapper gets a seeded RNG and a recording sleep, so jitter bounds and
+retry-after floors are exact assertions, not timing hopes.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    BadRequestError,
+    OverloadedError,
+    QuotaExceededError,
+    ServiceUnavailableError,
+)
+from repro.service import RetryingClient
+
+
+class ScriptedClient:
+    """``call`` pops the next scripted outcome (exception or value)."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    def call(self, op, **fields):
+        self.calls.append((op, fields))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    def edit(self, session, program, **kwargs):
+        return self.call("edit", session=session, program=program, **kwargs)
+
+
+def make(outcomes, **kwargs):
+    kwargs.setdefault("rng", random.Random(42))
+    sleeps = []
+    kwargs.setdefault("sleep", sleeps.append)
+    client = RetryingClient(ScriptedClient(outcomes), **kwargs)
+    return client, sleeps
+
+
+class TestRetryLoop:
+    def test_immediate_success_never_sleeps(self):
+        client, sleeps = make([{"ok": 1}])
+        assert client.call("ping") == {"ok": 1}
+        assert sleeps == []
+        assert client.total_retries == 0
+
+    def test_retries_retryable_until_success(self):
+        client, sleeps = make(
+            [OverloadedError("full"), OverloadedError("full"), "done"]
+        )
+        assert client.call("edit", session="s") == "done"
+        assert len(sleeps) == 2
+        assert client.total_retries == 2
+
+    def test_non_retryable_raises_immediately(self):
+        client, sleeps = make([BadRequestError("bad"), "unreachable"])
+        with pytest.raises(BadRequestError):
+            client.call("edit", session="s")
+        assert sleeps == []
+
+    def test_exhaustion_raises_last_error(self):
+        client, sleeps = make(
+            [OverloadedError(f"full {i}") for i in range(3)], max_attempts=3
+        )
+        with pytest.raises(OverloadedError, match="full 2"):
+            client.call("edit", session="s")
+        assert len(sleeps) == 2  # no sleep after the final failure
+
+    def test_quota_errors_are_retried(self):
+        client, _ = make(
+            [QuotaExceededError("busy", quota="inflight", limit=1), "done"]
+        )
+        assert client.call("edit", session="s") == "done"
+
+    def test_unavailable_is_retried(self):
+        client, _ = make([ServiceUnavailableError("hung up"), "done"])
+        assert client.call("ping") == "done"
+
+
+class TestBackoffPolicy:
+    def test_full_jitter_bounds(self):
+        client, _ = make([])
+        for attempt in range(6):
+            for _ in range(50):
+                delay = client.backoff_delay(attempt, None)
+                assert 0.0 <= delay <= min(
+                    client.backoff_cap_s, client.backoff_base_s * 2**attempt
+                )
+
+    def test_retry_after_is_a_floor(self):
+        client, _ = make([])
+        for _ in range(50):
+            assert client.backoff_delay(0, 0.75) >= 0.75
+
+    def test_server_hint_floors_the_actual_sleep(self):
+        client, sleeps = make(
+            [OverloadedError("full", retry_after_s=0.5), "done"]
+        )
+        client.call("edit", session="s")
+        assert sleeps == client.last_delays
+        assert sleeps[0] >= 0.5
+
+    def test_deterministic_given_seeded_rng(self):
+        first, sleeps_a = make(
+            [OverloadedError("full"), OverloadedError("full"), "x"],
+            rng=random.Random(7),
+        )
+        second, sleeps_b = make(
+            [OverloadedError("full"), OverloadedError("full"), "x"],
+            rng=random.Random(7),
+        )
+        first.call("edit", session="s")
+        second.call("edit", session="s")
+        assert sleeps_a == sleeps_b
+
+
+class TestOpForwarding:
+    def test_getattr_wraps_op_methods_with_retry(self):
+        scripted = ScriptedClient([OverloadedError("full"), "done"])
+        sleeps = []
+        client = RetryingClient(
+            scripted, rng=random.Random(1), sleep=sleeps.append
+        )
+        assert client.edit("s", "return x;") == "done"
+        assert len(scripted.calls) == 2
+        assert scripted.calls[0][0] == "edit"
+        assert len(sleeps) == 1
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryingClient(ScriptedClient([]), max_attempts=0)

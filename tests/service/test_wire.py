@@ -1,0 +1,153 @@
+"""Frame protocol and error-payload roundtrips."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    OverloadedError,
+    QuotaExceededError,
+    ServiceError,
+    ServiceUnavailableError,
+    SessionError,
+)
+from repro.service.wire import (
+    ERROR_CLASSES,
+    FrameError,
+    decode_error,
+    encode_error,
+    encode_ok,
+    encode_request,
+    frame_bytes,
+    raise_for_response,
+    read_frame,
+)
+
+
+def _read(data, **kwargs):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader, **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        payload = {"op": "edit", "weights": [1.5, float("-inf")], "n": 3}
+        assert _read(frame_bytes(payload)) == payload
+
+    def test_clean_eof_is_none(self):
+        assert _read(b"") is None
+
+    def test_truncated_prefix_is_poison(self):
+        with pytest.raises(FrameError, match="mid-frame"):
+            _read(b"\x00\x00")
+
+    def test_truncated_body_is_poison(self):
+        whole = frame_bytes({"op": "ping"})
+        with pytest.raises(FrameError, match="mid-frame"):
+            _read(whole[:-3])
+
+    def test_oversized_prefix_rejected_before_body(self):
+        # A poison length prefix alone — no body bytes at all — must be
+        # rejected up front rather than awaiting gigabytes.
+        prefix = struct.pack(">I", 2**31)
+        with pytest.raises(FrameError, match="exceeds"):
+            _read(prefix, max_bytes=1024)
+
+    def test_garbage_body_is_poison(self):
+        body = b"not a codec document"
+        with pytest.raises(FrameError, match="codec"):
+            _read(struct.pack(">I", len(body)) + body)
+
+    def test_frame_error_is_bad_request(self):
+        # Poison frames map to the non-retryable bad_request code.
+        assert issubclass(FrameError, BadRequestError)
+        assert FrameError("x").retryable is False
+
+
+class TestErrorPayloads:
+    def test_encode_request_drops_none(self):
+        assert encode_request("edit", session="s", env=None) == {
+            "op": "edit",
+            "session": "s",
+        }
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            BadRequestError("bad bytes"),
+            OverloadedError("queue full", retry_after_s=0.25),
+            DeadlineExceededError("too slow", retry_after_s=1.0),
+            ServiceUnavailableError("draining"),
+        ],
+    )
+    def test_roundtrip_preserves_class_and_fields(self, error):
+        rebuilt = decode_error(encode_error(error)["error"])
+        assert type(rebuilt) is type(error)
+        assert str(rebuilt) == str(error)
+        assert rebuilt.retryable == error.retryable
+        assert rebuilt.retry_after_s == error.retry_after_s
+
+    def test_quota_error_carries_quota_and_limit(self):
+        error = QuotaExceededError(
+            "too many sessions", quota="sessions", limit=8, retry_after_s=2.0
+        )
+        payload = encode_error(error)["error"]
+        assert payload["quota"] == "sessions"
+        assert payload["limit"] == 8
+        rebuilt = decode_error(payload)
+        assert isinstance(rebuilt, QuotaExceededError)
+        assert rebuilt.quota == "sessions"
+        assert rebuilt.limit == 8
+        assert rebuilt.retry_after_s == 2.0
+
+    def test_session_error_maps_to_bad_request(self):
+        payload = encode_error(SessionError("no such session 's9'"))
+        assert payload["error"]["code"] == "bad_request"
+        assert payload["error"]["retryable"] is False
+
+    def test_internal_error_for_unknown_exception(self):
+        payload = encode_error(RuntimeError("boom"))["error"]
+        assert payload["code"] == "internal"
+        rebuilt = decode_error(payload)
+        assert type(rebuilt) is ServiceError
+        assert rebuilt.retryable is False
+
+    def test_decode_unknown_code_keeps_retryable_flag(self):
+        rebuilt = decode_error(
+            {"code": "weird", "message": "m", "retryable": True}
+        )
+        assert type(rebuilt) is ServiceError
+        assert rebuilt.retryable is True
+
+    def test_decode_malformed_payload(self):
+        assert isinstance(decode_error("garbage"), ServiceUnavailableError)
+
+    def test_error_classes_cover_the_taxonomy(self):
+        assert set(ERROR_CLASSES) == {
+            "bad_request",
+            "quota_exceeded",
+            "overloaded",
+            "deadline_exceeded",
+            "unavailable",
+        }
+
+
+class TestRaiseForResponse:
+    def test_ok(self):
+        assert raise_for_response(encode_ok({"x": 1})) == {"x": 1}
+
+    def test_error(self):
+        with pytest.raises(OverloadedError, match="full"):
+            raise_for_response(encode_error(OverloadedError("full")))
+
+    def test_malformed(self):
+        with pytest.raises(ServiceUnavailableError, match="malformed"):
+            raise_for_response(["not", "a", "response"])

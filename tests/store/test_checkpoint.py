@@ -225,3 +225,63 @@ class TestCadenceAndPruning:
         for step in range(4):
             manager.save(step, make_collection(rng))
         assert manager.load_latest().step == 3
+
+
+class TestCrashArtifacts:
+    """Files a crashed writer can leave behind: empty, torn, garbled.
+
+    ``load`` must report them as :class:`CheckpointCorruptionError`
+    (never a bare ``ValueError`` leaking from header parsing), and
+    ``load_latest`` must skip them in favor of an older valid snapshot
+    — this is what the service's crash recovery leans on.
+    """
+
+    def test_zero_byte_file(self, tmp_path, collection):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(0, collection)
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointCorruptionError, match="empty"):
+            manager.load(0)
+
+    def test_load_latest_skips_zero_byte_file(self, tmp_path, rng):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, make_collection(rng))
+        newest = manager.save(1, make_collection(rng))
+        newest.write_bytes(b"")
+        with pytest.warns(RuntimeWarning, match="skipping corrupt checkpoint"):
+            assert manager.load_latest().step == 0
+
+    def test_truncated_header(self, tmp_path, collection):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(0, collection)
+        path.write_bytes(path.read_bytes()[:8])  # cut mid-header, no newline
+        with pytest.raises(CheckpointCorruptionError):
+            manager.load(0)
+
+    def test_non_numeric_header_fields(self, tmp_path, collection):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(0, collection)
+        prefix, _, rest = path.read_bytes().partition(b" ")
+        _, _, rest = rest.partition(b" ")  # drop the version field
+        path.write_bytes(prefix + b" one " + rest)
+        with pytest.raises(CheckpointCorruptionError, match="non-numeric"):
+            manager.load(0)
+
+    def test_non_numeric_length_field(self, tmp_path, collection):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(0, collection)
+        header, newline, body = path.read_bytes().partition(b"\n")
+        fields = header.split(b" ")
+        fields[3] = b"NaN"
+        path.write_bytes(b" ".join(fields) + newline + body)
+        with pytest.raises(CheckpointCorruptionError, match="non-numeric"):
+            manager.load(0)
+
+    def test_load_latest_skips_garbled_header(self, tmp_path, rng):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, make_collection(rng))
+        newest = manager.save(1, make_collection(rng))
+        raw = newest.read_bytes()
+        newest.write_bytes(raw.replace(b" 1 ", b" ? ", 1))
+        with pytest.warns(RuntimeWarning, match="skipping corrupt checkpoint"):
+            assert manager.load_latest().step == 0

@@ -200,3 +200,130 @@ class TestMetrics:
         manager.create("a", initial, seed=1)
         manager.create("b", initial, seed=2)
         assert manager.list_sessions() == {"live": ["b"], "stored": ["a"]}
+
+
+class TestConcurrencyAndRecoveryHooks:
+    """Thread-safety contracts the inference service leans on."""
+
+    def test_evict_during_submit_persists_post_edit_state(
+        self, tmp_path, initial, translator
+    ):
+        """Regression: evict racing a long submit must wait for the edit.
+
+        The submit thread holds the session lock; evict's snapshot()
+        blocks on it, so the spill file carries the *post-edit* state —
+        never a torn mixture of old collection and new history.
+        """
+        import threading
+
+        from repro.observability import Hooks
+
+        manager = SessionManager(tmp_path)
+        session = manager.create("s1", initial, seed=1)
+        entered = threading.Event()
+
+        class SlowHooks(Hooks):
+            def on_particle(self, index, outcome):
+                if index == 0:
+                    entered.set()
+                import time
+
+                time.sleep(0.002)
+
+        errors = []
+
+        def edit():
+            try:
+                session.submit(translator, hooks=SlowHooks())
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        thread = threading.Thread(target=edit)
+        thread.start()
+        assert entered.wait(timeout=10)
+        manager.evict("s1")
+        thread.join(timeout=30)
+        assert not thread.is_alive() and not errors
+
+        reloaded = SessionManager(tmp_path).get("s1")
+        assert reloaded.num_edits == 1
+        assert reloaded.history[0]["num_particles"] == NUM_PARTICLES
+
+    def test_concurrent_submits_different_sessions(self, tmp_path, rng, translator, burglary_original):
+        """Edits on different sessions proceed concurrently and intact."""
+        import threading
+
+        manager = SessionManager(tmp_path, capacity=4)
+        for index in range(3):
+            collection = importance_sampling(
+                burglary_original, np.random.default_rng(index), NUM_PARTICLES
+            ).resample(np.random.default_rng(index))
+            manager.create(f"s{index}", collection, seed=index)
+
+        errors = []
+
+        def edit(session_id):
+            try:
+                manager.submit(session_id, translator)
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=edit, args=(f"s{index}",)) for index in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        for index in range(3):
+            assert manager.get(f"s{index}").num_edits == 1
+
+    def test_submit_rolls_back_on_hook_error(self, initial, translator):
+        """A mid-translation failure leaves collection, RNG, and history
+        untouched (what makes deadline cancellation corruption-free)."""
+        import copy
+
+        from repro.observability import Hooks
+
+        manager = SessionManager()
+        session = manager.create("s1", initial, seed=1)
+        collection_before = session.collection
+        rng_state_before = copy.deepcopy(session.rng.bit_generator.state)
+
+        class Bomb(Hooks):
+            def on_particle(self, index, outcome):
+                raise RuntimeError("cancelled mid-flight")
+
+        with pytest.raises(RuntimeError, match="cancelled"):
+            session.submit(translator, hooks=Bomb())
+        assert session.collection is collection_before
+        assert session.num_edits == 0
+        assert session.rng.bit_generator.state == rng_state_before
+
+        # The session still works after the rollback.
+        session.submit(translator)
+        assert session.num_edits == 1
+
+    def test_adopt_registers_recovered_session(self, initial):
+        manager = SessionManager()
+        session = InferenceSession("recovered", initial, np.random.default_rng(2))
+        assert manager.adopt(session) is session
+        assert manager.get("recovered") is session
+        assert manager.metrics_snapshot()["store.sessions_recovered"]["value"] == 1
+
+    def test_adopt_rejects_live_duplicate(self, initial):
+        manager = SessionManager()
+        manager.create("s1", initial, seed=1)
+        with pytest.raises(SessionError, match="already exists"):
+            manager.adopt(InferenceSession("s1", initial, np.random.default_rng(2)))
+
+    def test_adopt_supersedes_stored_file(self, tmp_path, initial):
+        """Unlike create, adopt may shadow an on-disk spill: recovery
+        from commit snapshots legitimately supersedes older LRU spills."""
+        manager = SessionManager(tmp_path)
+        manager.create("s1", initial, seed=1)
+        manager.evict("s1")
+        adopted = InferenceSession("s1", initial, np.random.default_rng(2))
+        assert manager.adopt(adopted) is adopted
+        assert manager.get("s1") is adopted

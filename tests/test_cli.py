@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import pathlib
+
 import pytest
 
 from repro.cli import main
@@ -384,3 +386,112 @@ class TestLint:
         # correspondence, and config is warning-free.
         assert main(["lint", "bundled", "--strict"]) == 0
         assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+
+class TestServeAndLoadgen:
+    """The service commands and their distinct exit code (5)."""
+
+    def test_exit_service_constant_is_distinct(self):
+        from repro.cli import EXIT_FAULT, EXIT_LINT, EXIT_SERVICE, EXIT_USAGE
+
+        assert EXIT_SERVICE == 5
+        assert len({EXIT_USAGE, EXIT_FAULT, EXIT_LINT, EXIT_SERVICE}) == 4
+
+    def test_serve_bad_config_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["serve", "--num-shards", "0"])
+        assert info.value.code == 2
+        assert "--num-shards" in capsys.readouterr().err
+
+    def test_serve_bad_priority_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["serve", "--tenant-priority", "goldfive"])
+        assert info.value.code == 2
+        assert "NAME=RANK" in capsys.readouterr().err
+
+    def test_loadgen_bad_workload_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["loadgen", "--port", "1", "--workload", "nonsense"])
+        assert info.value.code == 2
+
+    def test_loadgen_unreachable_server_exits_service(self, capsys):
+        import socket
+
+        # A port that is certainly closed: bind-then-release.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main([
+            "loadgen", "--port", str(port), "--sessions", "1", "--ops", "1",
+            "--max-attempts", "1", "--fail-on-rejections",
+        ])
+        assert code == 5
+        assert "rejected[unavailable]" in capsys.readouterr().out
+
+    def test_loadgen_against_live_server(self, tmp_path, capsys):
+        from repro.service import ServiceConfig, ServiceHandle
+
+        handle = ServiceHandle.start(
+            ServiceConfig(store_dir=str(tmp_path / "store"), num_particles=10)
+        )
+        try:
+            host, port = handle.address
+            out = tmp_path / "summary.json"
+            code = main([
+                "loadgen", "--host", host, "--port", str(port),
+                "--sessions", "2", "--ops", "2", "-n", "10", "--seed", "3",
+                "--out", str(out), "--fail-on-rejections",
+            ])
+        finally:
+            handle.stop()
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "rejection rate 0.0%" in output
+        assert "p50=" in output
+        import json
+
+        summary = json.loads(out.read_text())
+        assert summary["ok"] == summary["requests"]
+
+    def test_serve_subprocess_handshake_and_graceful_stop(self, tmp_path):
+        import os
+        import signal as signal_module
+        import subprocess
+        import sys
+        import time
+
+        from repro.service import ServiceClient
+
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--port-file", str(port_file),
+                "--store-dir", str(tmp_path / "store"), "-n", "10",
+            ],
+            cwd=str(pathlib.Path(__file__).resolve().parent.parent),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not port_file.exists():
+                assert process.poll() is None, process.stdout.read()
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            port = int(port_file.read_text().strip())
+            with ServiceClient("127.0.0.1", port, tenant="cli") as client:
+                assert client.ping()["pong"] is True
+                client.create("s1", "x = flip(0.5);\nreturn x;", seed=1)
+            process.send_signal(signal_module.SIGTERM)
+            assert process.wait(timeout=30) == 0
+            assert "shutting down" in process.stdout.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
