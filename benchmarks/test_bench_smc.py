@@ -1,18 +1,24 @@
-"""SMC hot-path benchmarks: executor backends and the log-prob cache.
+"""SMC hot-path benchmarks: executor backends, the log-prob cache, and
+the columnar collection runtime.
 
 Measures the per-figure median latency of one Algorithm-2 translate
 step (the SMC hot path) under
 
 * the legacy inline loop (``executor=None``),
 * the ``serial`` / ``thread`` / ``process`` backends of
-  :mod:`repro.parallel`, and
-* the reuse-aware log-prob cache on vs off,
+  :mod:`repro.parallel`,
+* the reuse-aware log-prob cache on vs off, and
+* ``collection='columnar'`` vs ``collection='object'`` across particle
+  counts (100 to 10k),
 
 and records every measurement through the ``smc_bench`` fixture so the
-session writes ``BENCH_smc.json`` (see ``conftest.py``).  Two guards
+session writes ``BENCH_smc.json`` (see ``conftest.py``).  Three guards
 ride along: the fig8-style workload must keep a cache hit rate of at
-least 50%, and cache-on posterior estimates must match cache-off
-bitwise (memoization may never change the numbers, only the time).
+least 50% when the cache is enabled, cache-on posterior estimates must
+match cache-off bitwise (memoization may never change the numbers, only
+the time), and the columnar step must beat the object step by at least
+3x at 1000 particles (the win that justifies the batched Distribution
+API).
 
 Run with ``pytest benchmarks/test_bench_smc.py -q`` (benchmarks are not
 collected by the default ``testpaths``).
@@ -151,6 +157,116 @@ def test_fig8_cache_preserves_posterior_estimates(fig8_setup):
     estimate_on = run_on()
     estimate_off = run_off()
     assert estimate_on == estimate_off
+
+
+#: Particle counts for the columnar scaling series.  The object path is
+#: measured at the two smaller sizes only: its per-particle replay takes
+#: ~40s/step at 10k, which would dominate the whole benchmark session
+#: for a point the 1000-particle gate already establishes.
+COLUMNAR_SCALING = [100, 1000, 10_000]
+OBJECT_SCALING_CAP = 1000
+
+#: Required columnar speedup over the object path at 1000 particles.
+COLUMNAR_SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def fig8_populations(fig8_setup):
+    """One exact-posterior population per particle count, built once so
+    the timed region is the translate step alone (generation at 10k costs
+    more than the columnar step itself)."""
+    p_model, _q_model, posterior = fig8_setup
+    rng = np.random.default_rng(7)
+    populations = {}
+    for num_particles in COLUMNAR_SCALING:
+        traces = [
+            exact_regression_trace(posterior, rng, p_model)
+            for _ in range(num_particles)
+        ]
+        populations[num_particles] = WeightedCollection.uniform(traces)
+    return populations
+
+
+def _fig8_collection_step(setup, populations, mode, num_particles):
+    p_model, q_model, _posterior = setup
+    translator = CorrespondenceTranslator(
+        p_model, q_model, coefficient_correspondence()
+    )
+    config = InferenceConfig(collection=mode)
+    population = populations[num_particles]
+
+    def run_step():
+        step = infer(
+            translator, population.copy(), np.random.default_rng(7), config=config
+        )
+        assert step.stats.collection_mode == mode
+        return step.collection.estimate(lambda u: u[ADDR_SLOPE])
+
+    return run_step
+
+
+@pytest.mark.parametrize("num_particles", COLUMNAR_SCALING)
+def test_fig8_columnar_particle_scaling(
+    fig8_setup, fig8_populations, smc_bench, num_particles
+):
+    repetitions = 3 if num_particles >= 10_000 else REPETITIONS
+    for mode in ("columnar", "object"):
+        if mode == "object" and num_particles > OBJECT_SCALING_CAP:
+            continue
+        run_step = _fig8_collection_step(
+            fig8_setup, fig8_populations, mode, num_particles
+        )
+        median, estimate = _median_step_latency(run_step, repetitions=repetitions)
+        smc_bench(
+            {
+                "figure": "fig8",
+                "series": f"collection={mode}",
+                "workers": 1,
+                "cache": False,
+                "num_particles": num_particles,
+                "median_step_latency_s": median,
+            }
+        )
+        assert -2.0 < estimate < 0.5
+
+
+def test_fig8_columnar_speedup_gate(fig8_setup, fig8_populations, smc_bench):
+    """CI gate: the columnar step must beat the object step >= 3x at 1000
+    particles on the paper's Figure 8 workload."""
+    medians = {}
+    for mode in ("object", "columnar"):
+        run_step = _fig8_collection_step(fig8_setup, fig8_populations, mode, 1000)
+        medians[mode], _ = _median_step_latency(run_step)
+    speedup = medians["object"] / medians["columnar"]
+    smc_bench(
+        {
+            "figure": "fig8",
+            "series": "columnar-speedup-gate",
+            "workers": 1,
+            "cache": False,
+            "num_particles": 1000,
+            "median_step_latency_s": medians["columnar"],
+            "object_median_step_latency_s": medians["object"],
+            "speedup": speedup,
+        }
+    )
+    assert speedup >= COLUMNAR_SPEEDUP_FLOOR, (
+        f"columnar step is only {speedup:.2f}x faster than the object step "
+        f"at 1000 particles (floor: {COLUMNAR_SPEEDUP_FLOOR}x): "
+        f"{medians}"
+    )
+
+
+def test_fig8_columnar_estimates_match_object_bitwise(
+    fig8_setup, fig8_populations
+):
+    """The speed win may never change the numbers: fig8's edit has one
+    fresh address, so the inline columnar step is bitwise reproducible."""
+    estimates = {}
+    for mode in ("object", "columnar"):
+        run_step = _fig8_collection_step(fig8_setup, fig8_populations, mode, 100)
+        estimates[mode] = run_step()
+    assert estimates["object"] == estimates["columnar"]
 
 
 @pytest.mark.parametrize("backend", [None, "thread"])

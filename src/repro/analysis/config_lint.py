@@ -129,6 +129,30 @@ def lint_config(
             "config-drop-accumulates",
         )
 
+    # -- columnar runtime ---------------------------------------------------
+    if config.collection == "columnar":
+        if translator is not None and getattr(translator, "cache", None) is not None:
+            finding(
+                "warning",
+                "collection='columnar' re-scores reused choices with one "
+                "batched log_prob_batch call per address, so the "
+                "translator's log-prob cache is redundant on every "
+                "columnar step (it only costs hashing on spilled steps); "
+                "drop log_prob_cache=True or use collection='object'",
+                "config-columnar-cache",
+            )
+        if _is_process_executor(config.executor):
+            finding(
+                "warning",
+                "collection='columnar' executes each step as one "
+                "vectorized pass, so executor='process' only adds "
+                "pickling/IPC overhead unless steps routinely spill to "
+                "the object path with particle counts large enough to "
+                "amortize worker startup; prefer executor=None (or "
+                "'thread' for spill-heavy workloads)",
+                "config-columnar-process-executor",
+            )
+
     # -- ablations ----------------------------------------------------------
     if not config.use_weights:
         finding(

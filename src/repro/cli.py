@@ -357,9 +357,12 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     config = InferenceConfig(
         fault_policy=policy, tracer=tracer, metrics=metrics, hooks=hooks,
         executor=args.executor, workers=args.workers,
+        collection=args.collection,
     )
     step = infer(translator, collection, rng, config=config)
     output = step.collection
+    if not isinstance(output, WeightedCollection):
+        output = output.to_weighted()
     stats = step.stats
     if args.trace_out:
         dump_json(tracer.to_dict(), args.trace_out)
@@ -439,6 +442,7 @@ def _sequence_config(args: argparse.Namespace, metrics, hooks) -> InferenceConfi
         workers=args.workers,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        collection=getattr(args, "collection", "object"),
     )
 
 
@@ -683,9 +687,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 gold_iterations=2000,
                 executor=args.executor,
                 workers=args.workers,
+                collection=args.collection,
             )
             if args.quick
-            else Fig8Config(executor=args.executor, workers=args.workers)
+            else Fig8Config(
+                executor=args.executor,
+                workers=args.workers,
+                collection=args.collection,
+            )
         )
         result = run_fig8(config, tracer=tracer, metrics=metrics)
     else:
@@ -959,6 +968,13 @@ def _add_executor_arguments(cmd: argparse.ArgumentParser) -> None:
                           "byte-identical for a fixed seed")
     cmd.add_argument("--workers", type=_positive_int, default=None,
                      help="worker count for --executor (default: core count)")
+    cmd.add_argument("--collection", choices=InferenceConfig.COLLECTION_MODES,
+                     default="object",
+                     help="particle-population representation: 'object' keeps "
+                          "one trace per particle; 'columnar' stores the "
+                          "population address-major and vectorizes each SMC "
+                          "step (bitwise identical for parameter-only edits, "
+                          "spills to 'object' for unsupported steps)")
 
 
 def _positive_int(text: str) -> int:

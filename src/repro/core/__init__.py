@@ -24,6 +24,7 @@ from ..errors import (
     TranslationError,
 )
 from .address import Address, addr
+from .columnar import ColumnarCollection, ColumnarSpill
 from .config import InferenceConfig, RegenerateFn
 from .annealing import (
     annealed_importance_sampling,
@@ -90,6 +91,8 @@ __all__ = [
     "TranslationError",
     "Address",
     "addr",
+    "ColumnarCollection",
+    "ColumnarSpill",
     "InferenceConfig",
     "RegenerateFn",
     "annealed_importance_sampling",

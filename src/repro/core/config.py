@@ -180,6 +180,18 @@ class InferenceConfig:
         :class:`repro.errors.ValidationError` on error-severity findings
         before any particle work starts.  Never evaluated per particle
         or per step — the hot path is untouched.
+    collection:
+        Particle-population representation (keyword-only).  ``"object"``
+        (the default) keeps one :class:`~repro.core.trace.Trace` object
+        per particle; ``"columnar"`` stores the population address-major
+        (:class:`repro.core.columnar.ColumnarCollection`) and runs each
+        SMC step vectorized — one batched density evaluation per
+        address instead of one Python call per particle.  Steps the
+        columnar runtime cannot represent (custom proposals, MCMC
+        rejuvenation, fault containment, structurally heterogeneous
+        populations) transparently spill to the object path for that
+        step; parameter-only edits are bitwise identical between the two
+        modes.
     """
 
     #: Executor backend names accepted as strings (mirrors
@@ -201,9 +213,13 @@ class InferenceConfig:
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 1
     validate: str = "off"
+    collection: str = field(default="object", kw_only=True)
 
     #: Accepted values for :attr:`validate`.
     VALIDATE_MODES = ("off", "warn", "error")
+
+    #: Accepted values for :attr:`collection`.
+    COLLECTION_MODES = ("object", "columnar")
 
     def __post_init__(self) -> None:
         _validate_parameters(self.resample, self.ess_threshold, self.resampling_scheme)
@@ -242,6 +258,11 @@ class InferenceConfig:
             raise ValueError(
                 f"unknown validate mode {self.validate!r}; "
                 f"choose from {list(self.VALIDATE_MODES)}"
+            )
+        if self.collection not in self.COLLECTION_MODES:
+            raise ValueError(
+                f"unknown collection mode {self.collection!r}; "
+                f"choose from {list(self.COLLECTION_MODES)}"
             )
 
     def replace(self, **changes: Any) -> "InferenceConfig":

@@ -296,14 +296,19 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
         The analogous proposals for the backward kernel's regeneration
         of choices of ``P``.
     log_prob_cache:
-        When True (the default), density evaluations are memoized
-        through a :class:`LogProbCache` shared by both kernels and
-        seeded from the source trace's records, so re-scoring unchanged
-        choices and observations costs a dict lookup instead of a
-        density evaluation.  Cached values are bitwise identical to
+        When True, density evaluations are memoized through a
+        :class:`LogProbCache` shared by both kernels and seeded from the
+        source trace's records, so re-scoring unchanged choices and
+        observations costs a dict lookup instead of a density
+        evaluation.  Cached values are bitwise identical to
         recomputation, so results never change; distributions flagged
-        ``cacheable_log_prob = False`` bypass the cache entirely.  Pass
-        False for cache-ablation benchmarks.
+        ``cacheable_log_prob = False`` bypass the cache entirely.
+        **Off by default**: benchmarking showed the cache *slows down*
+        the cheap densities this repo ships (fig8 at 100 particles:
+        0.52s/step with the cache on at a 90% hit rate vs 0.42s off —
+        the tuple-key hashing costs more than re-evaluating a Gaussian
+        density; see ``docs/performance.md``).  Opt in for genuinely
+        expensive ``log_prob`` implementations.
     cache_max_entries:
         Table size bound; on overflow the table is cleared (never a
         correctness event, see :class:`LogProbCache`).
@@ -316,7 +321,7 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
         correspondence: Correspondence,
         forward_proposals: Optional[ProposalMap] = None,
         backward_proposals: Optional[ProposalMap] = None,
-        log_prob_cache: bool = True,
+        log_prob_cache: bool = False,
         cache_max_entries: int = 65536,
     ):
         self._source = source

@@ -146,6 +146,12 @@ class SMCStats:
     regenerated: int = 0
     mcmc_failed: int = 0
     faults_by_worker: Optional[Dict[int, int]] = None
+    #: Which runtime executed the step: ``"object"`` (one Trace per
+    #: particle) or ``"columnar"`` (address-major arrays, see
+    #: :mod:`repro.core.columnar`).  A columnar-configured step that
+    #: spilled reports ``"object"`` — the field records what actually
+    #: ran, not what was requested.
+    collection_mode: str = "object"
 
     @property
     def total_faults(self) -> int:
@@ -175,9 +181,17 @@ class SMCStats:
 
 @dataclass
 class SMCStep:
-    """Result of one Algorithm-2 step: the new collection plus stats."""
+    """Result of one Algorithm-2 step: the new collection plus stats.
 
-    collection: WeightedCollection
+    ``collection`` is a :class:`~repro.core.weighted.WeightedCollection`
+    under the default object runtime and a
+    :class:`~repro.core.columnar.ColumnarCollection` when the step ran
+    columnar (``InferenceConfig(collection="columnar")``); both expose
+    the same estimation/diagnostics surface (``estimate``,
+    ``effective_sample_size``, ``log_mean_weight``, ...).
+    """
+
+    collection: Any
     stats: SMCStats
 
 
@@ -400,6 +414,30 @@ def _infer_step(
     executor: Any = None,
 ) -> SMCStep:
     """One Algorithm-2 step under an already-validated config."""
+    if config.collection == "columnar":
+        from .columnar import ColumnarSpill, columnar_infer_step
+
+        try:
+            return columnar_infer_step(
+                translator,
+                traces,
+                rng,
+                mcmc_kernel,
+                config,
+                step_index=step_index,
+                executor=executor,
+            )
+        except ColumnarSpill:
+            # Spill: this step cannot be represented columnar — fall
+            # through to the object path.  Spill checks that can fire on
+            # a representable population run before any randomness is
+            # consumed, so the replay below is byte-identical to a pure
+            # object-mode run of the same step.
+            pass
+    if not isinstance(traces, WeightedCollection):
+        # Columnar input reaching the object path (spill, or a config
+        # switch mid-sequence): materialize object traces once.
+        traces = traces.to_weighted()
     policy: FaultPolicy = config.fault_policy  # coerced by InferenceConfig
     regenerate_fn = _resolve_regenerate(policy, translator)
     counters = _FaultCounters()

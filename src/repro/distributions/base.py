@@ -175,6 +175,47 @@ class Distribution(ABC):
         """Probability (mass or density) of ``value``."""
         return math.exp(self.log_prob(value))
 
+    # -- batched API --------------------------------------------------------
+    #
+    # The columnar SMC path (:mod:`repro.core.columnar`) scores whole
+    # particle populations with one call per address.  The base-class
+    # implementations below are plain loops over the scalar methods, so
+    # third-party Distribution subclasses keep working without changes
+    # (the same shim pattern the InferenceConfig migration used); the
+    # concrete distributions in continuous.py/discrete.py override them
+    # with vectorized implementations that are bitwise identical to the
+    # scalar code evaluated per element.
+
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        """``log_prob`` of each entry of ``values`` as a float64 array.
+
+        Contract: ``log_prob_batch(values)[i]`` is bitwise identical to
+        ``log_prob(values[i])``.  The base implementation is the loop
+        that makes that trivially true; vectorized overrides must mirror
+        the scalar implementation's exact operation order (see
+        :mod:`repro.distributions.batch`).  Parameters may themselves be
+        per-element arrays in subclass overrides; this fallback supports
+        scalar parameters only.
+        """
+        values = np.asarray(values)
+        flat = values.ravel()
+        out = np.fromiter(
+            (self.log_prob(v) for v in flat.tolist()),
+            dtype=np.float64,
+            count=flat.size,
+        )
+        return out.reshape(values.shape)
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` values using ``rng``.
+
+        No promise is made that the draws match ``n`` sequential
+        ``sample`` calls (vectorized overrides consume the stream
+        differently); determinism for a fixed generator state is the
+        only guarantee.  The base implementation loops over ``sample``.
+        """
+        return np.asarray([self.sample(rng) for _ in range(n)])
+
     def is_discrete(self) -> bool:
         return isinstance(self, DiscreteDistribution)
 

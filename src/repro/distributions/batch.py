@@ -1,0 +1,64 @@
+"""Exact elementwise math for batched density evaluation.
+
+The batched distribution API (``Distribution.log_prob_batch``) promises
+results **bitwise identical** to the scalar ``log_prob`` evaluated
+per element.  That promise is what lets the columnar SMC path
+(:mod:`repro.core.columnar`) reproduce the object path byte for byte —
+and it rules out numpy's array transcendentals: on common builds,
+``np.log``/``np.exp``/``np.log1p`` use SIMD kernels whose results differ
+from :mod:`math`'s (libm's) scalar results by one ulp on a few percent
+of inputs.  Elementwise ``+``, ``-``, ``*``, ``/``, ``np.maximum`` and
+``np.sqrt`` are exactly rounded either way, so plain array arithmetic is
+safe; only the transcendentals need care.
+
+The helpers here apply the :mod:`math` function element by element
+(C-speed via ``map`` over ``tolist``) for arrays, and delegate to
+:mod:`math` directly for scalars — so code written against them is
+literally the scalar implementation when handed scalars, and its exact
+elementwise image when handed arrays.
+
+Throughput is a few tens of nanoseconds per element — orders of
+magnitude faster than one Python-level ``log_prob`` call per particle,
+which is all the columnar hot path needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Union
+
+import numpy as np
+
+__all__ = ["exp", "log", "log1p", "sqrt", "lgamma", "ArrayOrFloat"]
+
+ArrayOrFloat = Union[np.ndarray, float]
+
+
+def _exact_unary(fn: Callable[[float], float]) -> Callable[[ArrayOrFloat], ArrayOrFloat]:
+    """Lift a scalar libm function to an exact elementwise array function."""
+
+    def apply(x: ArrayOrFloat) -> ArrayOrFloat:
+        if isinstance(x, np.ndarray):
+            flat = np.fromiter(
+                map(fn, x.ravel().tolist()), dtype=np.float64, count=x.size
+            )
+            return flat.reshape(x.shape)
+        return fn(x)
+
+    apply.__name__ = fn.__name__
+    apply.__doc__ = f"Exact elementwise ``math.{fn.__name__}`` (scalar passthrough)."
+    return apply
+
+
+exp = _exact_unary(math.exp)
+log = _exact_unary(math.log)
+log1p = _exact_unary(math.log1p)
+lgamma = _exact_unary(math.lgamma)
+
+# np.sqrt is correctly rounded (IEEE 754 requires it), so the fast numpy
+# kernel is bitwise identical to math.sqrt and can be used directly.
+def sqrt(x: ArrayOrFloat) -> ArrayOrFloat:
+    """Exact elementwise square root (``np.sqrt`` is correctly rounded)."""
+    if isinstance(x, np.ndarray):
+        return np.sqrt(x)
+    return math.sqrt(x)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import batch as bmath
 from .base import (
     NEG_INF,
     ContinuousDistribution,
@@ -45,6 +46,33 @@ def _normal_log_density(value: float, mean: float, std: float) -> float:
     return -0.5 * z * z - math.log(std) - _LOG_SQRT_2PI
 
 
+def _normal_log_density_batch(values: np.ndarray, mean, std) -> np.ndarray:
+    """Exact elementwise image of :func:`_normal_log_density`.
+
+    ``mean``/``std`` may be scalars or per-element arrays (the columnar
+    runtime parameterizes observation distributions with whole latent
+    columns).  The expression mirrors the scalar operation order, and
+    the only transcendental goes through :mod:`repro.distributions.batch`,
+    so each element is bitwise identical to the scalar call.
+    """
+    z = (values - mean) / std
+    return -0.5 * z * z - bmath.log(std) - _LOG_SQRT_2PI
+
+
+def _any_nonpositive(x) -> bool:
+    """Array-aware ``x <= 0`` check for distribution parameters."""
+    if isinstance(x, np.ndarray):
+        return bool(np.any(x <= 0.0))
+    return x <= 0.0
+
+
+def _masked(param, mask: np.ndarray):
+    """Restrict an array-valued parameter to ``mask``; pass scalars through."""
+    if isinstance(param, np.ndarray):
+        return param[mask]
+    return param
+
+
 @dataclass(frozen=True)
 class Normal(ContinuousDistribution):
     """Gaussian with the given ``mean`` and standard deviation ``std``."""
@@ -53,7 +81,7 @@ class Normal(ContinuousDistribution):
     std: float
 
     def __post_init__(self) -> None:
-        if self.std <= 0.0:
+        if _any_nonpositive(self.std):
             raise ValueError(f"normal std must be positive, got {self.std}")
 
     def sample(self, rng: np.random.Generator) -> float:
@@ -61,6 +89,14 @@ class Normal(ContinuousDistribution):
 
     def log_prob(self, value) -> float:
         return _normal_log_density(float(value), self.mean, self.std)
+
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        return _normal_log_density_batch(
+            np.asarray(values, dtype=np.float64), self.mean, self.std
+        )
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.normal(self.mean, self.std, size=n)
 
     def support(self) -> Support:
         return _REAL_LINE
@@ -87,6 +123,14 @@ class Uniform(ContinuousDistribution):
             return -math.log(self.high - self.low)
         return NEG_INF
 
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        inside = (self.low <= values) & (values <= self.high)
+        return np.where(inside, -math.log(self.high - self.low), NEG_INF)
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
     def support(self) -> Support:
         return RealInterval(self.low, self.high)
 
@@ -110,7 +154,7 @@ class TwoNormals(ContinuousDistribution):
     def __post_init__(self) -> None:
         if not 0.0 <= self.prob_outlier <= 1.0:
             raise ValueError(f"prob_outlier must be in [0, 1], got {self.prob_outlier}")
-        if self.inlier_std <= 0.0 or self.outlier_std <= 0.0:
+        if _any_nonpositive(self.inlier_std) or _any_nonpositive(self.outlier_std):
             raise ValueError("mixture component stds must be positive")
 
     def sample(self, rng: np.random.Generator) -> float:
@@ -130,6 +174,27 @@ class TwoNormals(ContinuousDistribution):
         high = max(log_a, log_b)
         return high + math.log(math.exp(log_a - high) + math.exp(log_b - high))
 
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        # ``mean``/``inlier_std``/``outlier_std`` may be per-element
+        # columns; ``prob_outlier`` (the shared mixture weight) must be
+        # scalar for the 0/1 shortcuts to mirror the scalar code.
+        values = np.asarray(values, dtype=np.float64)
+        log_in = _normal_log_density_batch(values, self.mean, self.inlier_std)
+        log_out = _normal_log_density_batch(values, self.mean, self.outlier_std)
+        if self.prob_outlier == 0.0:
+            return log_in
+        if self.prob_outlier == 1.0:
+            return np.asarray(log_out, dtype=np.float64)
+        log_a = math.log1p(-self.prob_outlier) + log_in
+        log_b = math.log(self.prob_outlier) + log_out
+        high = np.maximum(log_a, log_b)
+        return high + bmath.log(bmath.exp(log_a - high) + bmath.exp(log_b - high))
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        outlier = rng.random(n) < self.prob_outlier
+        std = np.where(outlier, self.outlier_std, self.inlier_std)
+        return rng.normal(self.mean, std, size=n)
+
     def support(self) -> Support:
         return _REAL_LINE
 
@@ -142,7 +207,7 @@ class Gamma(ContinuousDistribution):
     scale: float
 
     def __post_init__(self) -> None:
-        if self.shape <= 0.0 or self.scale <= 0.0:
+        if _any_nonpositive(self.shape) or _any_nonpositive(self.scale):
             raise ValueError("gamma shape and scale must be positive")
 
     def sample(self, rng: np.random.Generator) -> float:
@@ -159,6 +224,24 @@ class Gamma(ContinuousDistribution):
             - self.shape * math.log(self.scale)
         )
 
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.full(values.shape, NEG_INF)
+        mask = values > 0.0
+        v = values[mask]
+        shape = _masked(self.shape, mask)
+        scale = _masked(self.scale, mask)
+        out[mask] = (
+            (shape - 1.0) * bmath.log(v)
+            - v / scale
+            - bmath.lgamma(shape)
+            - shape * bmath.log(scale)
+        )
+        return out
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.gamma(self.shape, self.scale, size=n)
+
     def support(self) -> Support:
         return _POSITIVE
 
@@ -171,7 +254,7 @@ class Beta(ContinuousDistribution):
     beta: float
 
     def __post_init__(self) -> None:
-        if self.alpha <= 0.0 or self.beta <= 0.0:
+        if _any_nonpositive(self.alpha) or _any_nonpositive(self.beta):
             raise ValueError("beta parameters must be positive")
 
     def sample(self, rng: np.random.Generator) -> float:
@@ -186,6 +269,20 @@ class Beta(ContinuousDistribution):
         )
         return (self.alpha - 1.0) * math.log(value) + (self.beta - 1.0) * math.log1p(-value) - log_norm
 
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.full(values.shape, NEG_INF)
+        mask = (0.0 < values) & (values < 1.0)
+        v = values[mask]
+        alpha = _masked(self.alpha, mask)
+        beta = _masked(self.beta, mask)
+        log_norm = bmath.lgamma(alpha) + bmath.lgamma(beta) - bmath.lgamma(alpha + beta)
+        out[mask] = (alpha - 1.0) * bmath.log(v) + (beta - 1.0) * bmath.log1p(-v) - log_norm
+        return out
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.beta(self.alpha, self.beta, size=n)
+
     def support(self) -> Support:
         return RealInterval(0.0, 1.0)
 
@@ -198,7 +295,7 @@ class LogNormal(ContinuousDistribution):
     sigma: float
 
     def __post_init__(self) -> None:
-        if self.sigma <= 0.0:
+        if _any_nonpositive(self.sigma):
             raise ValueError(f"log-normal sigma must be positive, got {self.sigma}")
 
     def sample(self, rng: np.random.Generator) -> float:
@@ -209,6 +306,19 @@ class LogNormal(ContinuousDistribution):
         if value <= 0.0:
             return NEG_INF
         return _normal_log_density(math.log(value), self.mu, self.sigma) - math.log(value)
+
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.full(values.shape, NEG_INF)
+        mask = values > 0.0
+        log_v = bmath.log(values[mask])
+        mu = _masked(self.mu, mask)
+        sigma = _masked(self.sigma, mask)
+        out[mask] = _normal_log_density_batch(log_v, mu, sigma) - log_v
+        return out
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return bmath.exp(rng.normal(self.mu, self.sigma, size=n))
 
     def support(self) -> Support:
         return _POSITIVE
@@ -221,7 +331,7 @@ class Exponential(ContinuousDistribution):
     rate: float
 
     def __post_init__(self) -> None:
-        if self.rate <= 0.0:
+        if _any_nonpositive(self.rate):
             raise ValueError(f"exponential rate must be positive, got {self.rate}")
 
     def sample(self, rng: np.random.Generator) -> float:
@@ -232,6 +342,17 @@ class Exponential(ContinuousDistribution):
         if value < 0.0:
             return NEG_INF
         return math.log(self.rate) - self.rate * value
+
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.full(values.shape, NEG_INF)
+        mask = values >= 0.0
+        rate = _masked(self.rate, mask)
+        out[mask] = bmath.log(rate) - rate * values[mask]
+        return out
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(1.0 / self.rate, size=n)
 
     def support(self) -> Support:
         return _POSITIVE

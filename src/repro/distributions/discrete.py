@@ -14,6 +14,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from . import batch as bmath
 from .base import (
     NEG_INF,
     BinarySupport,
@@ -37,6 +38,11 @@ __all__ = [
 _BINARY = BinarySupport()
 
 
+def _integral_mask(values: np.ndarray) -> np.ndarray:
+    """Elementwise image of ``float(value).is_integer()`` for float64."""
+    return np.isfinite(values) & (np.floor(values) == values)
+
+
 @dataclass(frozen=True)
 class Flip(DiscreteDistribution):
     """``flip(p)``: 1 with probability ``p``, 0 with probability ``1 - p``."""
@@ -56,6 +62,15 @@ class Flip(DiscreteDistribution):
         if value == 0:
             return math.log1p(-self.p) if self.p < 1.0 else NEG_INF
         return NEG_INF
+
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        log_p = math.log(self.p) if self.p > 0.0 else NEG_INF
+        log_q = math.log1p(-self.p) if self.p < 1.0 else NEG_INF
+        return np.where(values == 1, log_p, np.where(values == 0, log_q, NEG_INF))
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return (rng.random(n) < self.p).astype(np.int64)
 
     def support(self) -> Support:
         return _BINARY
@@ -85,6 +100,14 @@ class UniformDiscrete(DiscreteDistribution):
         if float(value).is_integer() and self.low <= value <= self.high:
             return -math.log(self.high - self.low + 1)
         return NEG_INF
+
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        vf = np.asarray(values, dtype=np.float64)
+        ok = _integral_mask(vf) & (self.low <= vf) & (vf <= self.high)
+        return np.where(ok, -math.log(self.high - self.low + 1), NEG_INF)
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.integers(self.low, self.high + 1, size=n)
 
     def support(self) -> Support:
         return IntegerRange(self.low, self.high)
@@ -119,6 +142,21 @@ class Categorical(DiscreteDistribution):
         if 0 <= index < len(self.probs) and self.probs[index] > 0.0:
             return math.log(self.probs[index])
         return NEG_INF
+
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        vf = np.asarray(values, dtype=np.float64)
+        ok = _integral_mask(vf) & (0.0 <= vf) & (vf < len(self.probs))
+        out = np.full(vf.shape, NEG_INF)
+        idx = vf[ok].astype(np.int64)
+        gathered = np.asarray(self.probs, dtype=np.float64)[idx]
+        scores = np.full(idx.shape, NEG_INF)
+        pos = gathered > 0.0
+        scores[pos] = bmath.log(gathered[pos])
+        out[ok] = scores
+        return out
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(len(self.probs), size=n, p=np.asarray(self.probs))
 
     def support(self) -> Support:
         return IntegerRange(0, len(self.probs) - 1)
@@ -162,6 +200,19 @@ class LogCategorical(DiscreteDistribution):
             return raw - self._log_norm if raw != NEG_INF else NEG_INF
         return NEG_INF
 
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        vf = np.asarray(values, dtype=np.float64)
+        ok = _integral_mask(vf) & (0.0 <= vf) & (vf < len(self.log_probs))
+        out = np.full(vf.shape, NEG_INF)
+        raw = np.asarray(self.log_probs, dtype=np.float64)[vf[ok].astype(np.int64)]
+        out[ok] = np.where(raw != NEG_INF, raw - self._log_norm, NEG_INF)
+        return out
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        probs = np.exp(np.asarray(self.log_probs) - self._log_norm)
+        probs = probs / probs.sum()
+        return rng.choice(len(probs), size=n, p=probs)
+
     def support(self) -> Support:
         return IntegerRange(0, len(self.log_probs) - 1)
 
@@ -177,6 +228,18 @@ class Delta(DiscreteDistribution):
 
     def log_prob(self, value) -> float:
         return 0.0 if value == self.value else NEG_INF
+
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        eq = values == self.value
+        if not isinstance(eq, np.ndarray):
+            # Incomparable point mass (e.g. object-valued): scalar semantics
+            # give a single truth value for every element.
+            eq = np.full(values.shape, bool(eq))
+        return np.where(eq, 0.0, NEG_INF)
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.asarray([self.value] * n)
 
     def support(self) -> Support:
         return FiniteSupport((self.value,))
@@ -214,6 +277,22 @@ class Geometric(DiscreteDistribution):
             return NEG_INF
         return count * math.log(self.p) + math.log1p(-self.p)
 
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        vf = np.asarray(values, dtype=np.float64)
+        ok = _integral_mask(vf) & (vf >= 0.0)
+        out = np.full(vf.shape, NEG_INF)
+        log1mp = math.log1p(-self.p)
+        if self.p == 0.0:
+            out[ok & (vf == 0.0)] = log1mp
+            return out
+        counts = vf[ok]
+        out[ok] = np.where(counts == 0.0, log1mp, counts * math.log(self.p) + log1mp)
+        return out
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Successes before the first failure: trials to first failure - 1.
+        return rng.geometric(1.0 - self.p, size=n) - 1
+
     def support(self) -> Support:
         return IntegerRange(0, 2**63 - 1)
 
@@ -236,6 +315,17 @@ class Poisson(DiscreteDistribution):
             return NEG_INF
         count = int(value)
         return count * math.log(self.rate) - self.rate - math.lgamma(count + 1)
+
+    def log_prob_batch(self, values: np.ndarray) -> np.ndarray:
+        vf = np.asarray(values, dtype=np.float64)
+        ok = _integral_mask(vf) & (vf >= 0.0)
+        out = np.full(vf.shape, NEG_INF)
+        counts = vf[ok]
+        out[ok] = counts * math.log(self.rate) - self.rate - bmath.lgamma(counts + 1.0)
+        return out
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.poisson(self.rate, size=n)
 
     def support(self) -> Support:
         return IntegerRange(0, 2**63 - 1)

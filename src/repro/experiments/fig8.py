@@ -69,9 +69,13 @@ class Fig8Config:
     #: repro.parallel) and its worker count.
     executor: Optional[str] = None
     workers: Optional[int] = None
-    #: Memoize density evaluations in the translator (False for the
-    #: cache-ablation benchmark series).
-    log_prob_cache: bool = True
+    #: Memoize density evaluations in the translator.  Off by default:
+    #: the cache costs more than these Gaussian densities save (see
+    #: docs/performance.md); True for the cache-ablation series.
+    log_prob_cache: bool = False
+    #: Particle-population representation: "object" (one Trace per
+    #: particle) or "columnar" (address-major arrays, vectorized step).
+    collection: str = "object"
 
 
 @dataclass
@@ -124,6 +128,7 @@ def run_fig8(
         metrics=metrics,
         executor=config.executor,
         workers=config.workers,
+        collection=config.collection,
     )
     rng = np.random.default_rng(config.seed)
     data = hospital_like_dataset(rng, num_points=config.num_points)

@@ -60,8 +60,9 @@ class Fig9Config:
     #: inline loop) and its worker count; see repro.parallel.
     executor: Optional[str] = None
     workers: Optional[int] = None
-    #: Memoize density evaluations in the per-word translators.
-    log_prob_cache: bool = True
+    #: Memoize density evaluations in the per-word translators (off by
+    #: default; see docs/performance.md).
+    log_prob_cache: bool = False
 
 
 @dataclass
@@ -82,7 +83,7 @@ def _per_word_incremental(
     rejuvenation_sweeps=0,
     inference=None,
     tracer=None,
-    log_prob_cache=True,
+    log_prob_cache=False,
 ):
     observations = encode(typed)
     p_model = first_order_model(p_params, observations)

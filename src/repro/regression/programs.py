@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core import Correspondence, Model
 from ..distributions import Normal, TwoNormals
+from ..distributions import batch as bmath
 
 __all__ = [
     "NoOutlierModelParams",
@@ -92,7 +93,9 @@ def _outlier_fn(t, params: OutlierModelParams, xs: Sequence[float]):
         Normal(params.outlier_log_var_mu, params.outlier_log_var_std),
         ADDR_OUTLIER_LOG_VAR,
     )
-    outlier_std = math.sqrt(math.exp(outlier_log_var))
+    # bmath: exact elementwise math.* — identical for scalars, and lets
+    # the columnar runtime run this program on whole columns.
+    outlier_std = bmath.sqrt(bmath.exp(outlier_log_var))
     slope = t.sample(Normal(0.0, params.prior_std), ADDR_SLOPE)
     intercept = t.sample(Normal(0.0, params.prior_std), ADDR_INTERCEPT)
     for i, x in enumerate(xs):

@@ -28,6 +28,12 @@ Supported object kinds
   every address;
 * :class:`~repro.core.weighted.WeightedCollection` of either trace kind
   (log weights and per-particle metadata included);
+* :class:`~repro.core.columnar.ColumnarCollection` — the address-major
+  population (schema 2): per-address value/log-prob arrays, distribution
+  templates, value kinds, observations, and the batched return value.
+  Documents containing one require schema >= 2, so a schema-1 reader
+  refuses them with :class:`~repro.errors.SchemaVersionError` instead of
+  mis-reading;
 * :class:`~repro.core.smc.SMCStats`;
 * ``numpy.random.Generator`` — via ``bit_generator.state``, so a
   restored generator continues the exact stream;
@@ -65,6 +71,7 @@ from typing import Any, Dict, List, Type
 
 import numpy as np
 
+from ..core.columnar import ColumnarCollection
 from ..core.smc import SMCStats
 from ..core.trace import ChoiceRecord, ObservationRecord, Trace
 from ..core.weighted import WeightedCollection
@@ -88,8 +95,9 @@ __all__ = [
 
 #: Version of the document layout produced by this module.  Bump on any
 #: incompatible change; readers migrate older versions forward and
-#: reject newer ones.
-SCHEMA_VERSION = 1
+#: reject newer ones.  History: 1 — initial layout; 2 — adds the
+#: ``$ccoll`` tag (columnar particle collections).
+SCHEMA_VERSION = 2
 
 #: Leading bytes of the binary framing (never valid JSON).
 BINARY_MAGIC = b"\x89REPROSTORE\x00"
@@ -310,6 +318,86 @@ def _decode_collection(payload: Dict[str, Any]) -> WeightedCollection:
     )
 
 
+def _encode_columnar(collection: ColumnarCollection) -> Dict[str, Any]:
+    """Address-major layout, one entry per address.
+
+    The float64 columns ride on the ``$nd`` array encoding and the
+    distribution templates on ``$dist`` (whose per-field encoding covers
+    array-valued parameters), so the payload introduces no new leaf
+    encodings — just the new aggregate tag.  The source-trace backref a
+    freshly converted collection may hold is intentionally not stored:
+    a decoded collection synthesizes object traces from its columns,
+    which is value-identical.
+    """
+    return {
+        "n": int(collection.num_particles),
+        "log_weights": encode_value(collection.log_weights),
+        "choices": [
+            {
+                "a": encode_value(address),
+                "v": encode_value(collection.value_column(address)),
+                "lp": encode_value(collection.log_prob_column(address)),
+                "d": encode_value(collection.dist_template(address)),
+                "k": collection.value_kind(address),
+            }
+            for address in collection.addresses()
+        ],
+        "obs": [
+            {
+                "a": encode_value(address),
+                "v": encode_value(column.value),
+                "vv": encode_value(column.varying_value),
+                "lp": encode_value(column.log_probs),
+                "d": encode_value(column.dist),
+            }
+            for address, column in (
+                (a, collection._observations[a])
+                for a in collection.observation_addresses()
+            )
+        ],
+        "ret": encode_value(collection.return_value),
+        "metadata": encode_value(collection.metadata),
+    }
+
+
+def _decode_columnar(payload: Dict[str, Any]) -> ColumnarCollection:
+    from ..core.columnar import _Column, _ObsColumn
+
+    num = int(payload["n"])
+    choice_order = []
+    choices = {}
+    for entry in payload["choices"]:
+        address = decode_value(entry["a"])
+        choice_order.append(address)
+        choices[address] = _Column(
+            decode_value(entry["v"]),
+            decode_value(entry["lp"]),
+            decode_value(entry["d"]),
+            str(entry["k"]),
+        )
+    obs_order = []
+    observations = {}
+    for entry in payload["obs"]:
+        address = decode_value(entry["a"])
+        obs_order.append(address)
+        observations[address] = _ObsColumn(
+            decode_value(entry["v"]),
+            decode_value(entry["lp"]),
+            decode_value(entry["d"]),
+            decode_value(entry["vv"]),
+        )
+    return ColumnarCollection(
+        num,
+        decode_value(payload["log_weights"]),
+        tuple(choice_order),
+        choices,
+        tuple(obs_order),
+        observations,
+        return_value=decode_value(payload["ret"]),
+        metadata=decode_value(payload["metadata"]),
+    )
+
+
 def _encode_rng(rng: np.random.Generator) -> Dict[str, Any]:
     return encode_value(rng.bit_generator.state)
 
@@ -385,6 +473,8 @@ def encode_value(value: Any) -> Any:
         return {"$graph": _encode_graph_trace(value)}
     if isinstance(value, WeightedCollection):
         return {"$coll": _encode_collection(value)}
+    if isinstance(value, ColumnarCollection):
+        return {"$ccoll": _encode_columnar(value)}
     if isinstance(value, SMCStats):
         return {
             "$stats": {k: encode_value(v) for k, v in _init_field_values(value).items()}
@@ -447,6 +537,8 @@ def decode_value(value: Any) -> Any:
             return _decode_graph_trace(value["$graph"])
         if tag == "$coll":
             return _decode_collection(value["$coll"])
+        if tag == "$ccoll":
+            return _decode_columnar(value["$ccoll"])
         if tag == "$stats":
             fields = {k: decode_value(v) for k, v in value["$stats"].items()}
             return SMCStats(**fields)
