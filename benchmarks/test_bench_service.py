@@ -11,9 +11,15 @@ one structured entry per workload series into ``BENCH_service.json``:
   *structured* rejection rate backpressure produces instead of
   unbounded buffering;
 * ``recovery`` — sessions/GB of durable state and the wall-clock cost
-  of replaying all commit snapshots after an abrupt kill.
+  of replaying all commit snapshots after an abrupt kill;
+* ``scaling-<workload>`` — throughput versus shard *process* count
+  (1/2/4) on ``gauss-chain`` and ``fig8-session``: the scale-out series
+  process mode exists for.  On hosts with enough cores the series is
+  CI-gated monotonic (adding processes must not lose throughput); on
+  smaller hosts the records are informational.
 """
 
+import os
 import shutil
 import tempfile
 import time
@@ -103,6 +109,57 @@ def test_bench_overload_rejections(service_bench, store_dir):
         "rejected": summary["rejected"],
         "throughput_rps": summary["throughput_rps"],
     })
+
+
+SCALING_PROCESS_COUNTS = (1, 2, 4)
+
+
+@pytest.mark.parametrize("workload", ["gauss-chain", "fig8-session"])
+def test_bench_scaling_series(service_bench, workload):
+    """Throughput vs shard-process count — the scale-out headline."""
+    cpu_count = os.cpu_count() or 1
+    throughput = {}
+    for shard_processes in SCALING_PROCESS_COUNTS:
+        store = tempfile.mkdtemp(prefix=f"bench-scale-{shard_processes}-")
+        config = ServiceConfig(
+            store_dir=store, shard_processes=shard_processes,
+            queue_depth=32, num_particles=NUM_PARTICLES,
+            max_sessions_per_tenant=16, max_inflight_per_tenant=16,
+        )
+        handle = ServiceHandle.start(config)
+        try:
+            summary = run_loadgen(
+                *handle.address,
+                LoadgenConfig(
+                    workload=workload, num_sessions=8, ops_per_session=3,
+                    posterior_every=0, concurrency=4,
+                    num_particles=NUM_PARTICLES, seed=7,
+                ),
+            )
+        finally:
+            handle.stop()
+            shutil.rmtree(store, ignore_errors=True)
+        assert summary["ok"] > 0
+        assert summary["rejection_rate"] == 0.0
+        throughput[shard_processes] = summary["throughput_rps"]
+        service_bench({
+            "series": f"scaling-{workload}",
+            "shard_processes": shard_processes,
+            "cpu_count": cpu_count,
+            "requests": summary["requests"],
+            "throughput_rps": summary["throughput_rps"],
+            "latency": summary["latency"],
+        })
+    # The CI gate: adding shard processes must not lose throughput, up
+    # to the host's core count (beyond it processes only time-slice).
+    # 15% tolerance absorbs scheduler noise on shared runners.
+    for lower, higher in zip(SCALING_PROCESS_COUNTS, SCALING_PROCESS_COUNTS[1:]):
+        if cpu_count >= higher:
+            assert throughput[higher] >= 0.85 * throughput[lower], (
+                f"{workload}: {higher} shard processes slower than {lower} "
+                f"({throughput[higher]:.1f} vs {throughput[lower]:.1f} rps) "
+                f"on a {cpu_count}-core host"
+            )
 
 
 def test_bench_recovery_time_and_density(service_bench, store_dir):

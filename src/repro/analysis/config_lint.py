@@ -20,6 +20,7 @@ which serializes to an in-memory buffer.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Any, List, Optional
 
 from ..core.config import FaultPolicy, InferenceConfig
@@ -247,5 +248,38 @@ def lint_service_config(config: "ServiceConfig") -> List[Diagnostic]:
             "commit snapshot per session: a crash mid-write can tear the "
             "only copy and lose the session; keep at least 2",
             "service-checkpoint-keep",
+        )
+
+    # -- scale-out ----------------------------------------------------------
+    cpus = os.cpu_count() or 1
+    if config.shard_processes > cpus:
+        finding(
+            "warning",
+            f"shard_processes={config.shard_processes} exceeds the "
+            f"{cpus} CPU(s) on this host: shard worker processes will "
+            "time-slice one another and the scaling series goes *down*, "
+            "not up; cap shard_processes at the core count",
+            "service-shards-exceed-cpus",
+        )
+    if config.replicate and config.store_dir is None:
+        finding(
+            "error",
+            "replicate=True without store_dir: replica refresh replays "
+            "commit snapshots from the durable store, so with no "
+            "checkpoint directory there is nothing to replicate *from* "
+            "and a shard-process kill loses every session it owned; set "
+            "store_dir (failover recovers from fsynced checkpoints)",
+            "service-replication-without-checkpoint-dir",
+        )
+    if config.collection == "columnar":
+        finding(
+            "info",
+            "collection='columnar' backs served sessions with columnar "
+            "particle collections; programs in the structured language "
+            "spill to the object path before any randomness is consumed, "
+            "so results are byte-identical to collection='object' — but "
+            "only models the columnar runtime fully supports see the "
+            "vectorized speedup",
+            "service-columnar-unsupported-model",
         )
     return diagnostics

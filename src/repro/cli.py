@@ -581,6 +581,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             num_shards=args.num_shards,
+            shard_processes=args.shard_processes,
+            replicate=args.replicate,
+            collection=args.collection,
             queue_depth=args.queue_depth,
             max_sessions_per_tenant=args.max_sessions_per_tenant,
             max_inflight_per_tenant=args.max_inflight_per_tenant,
@@ -602,7 +605,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for signum in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(signum, stop.set)
         serve_task = asyncio.create_task(service.serve())
-        await service.started.wait()
+        started_task = asyncio.create_task(service.started.wait())
+        done, _ = await asyncio.wait(
+            {serve_task, started_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if serve_task in done:
+            # Startup failed (bind error, shard spawn/handshake failure):
+            # surface the exception instead of waiting forever.
+            started_task.cancel()
+            serve_task.result()
+            return
         print(f"serving on {service.host}:{service.port}", flush=True)
         if service.recovered_sessions:
             print(
@@ -625,7 +637,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except asyncio.CancelledError:
             pass
 
-    asyncio.run(run())
+    try:
+        asyncio.run(run())
+    except SchemaVersionError as error:
+        # A shard process refused the router's wire schema (mismatched
+        # builds): configuration problem, same exit-code rung as a
+        # newer-schema checkpoint.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
     return 0
 
 
@@ -879,6 +898,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="durability root (commit checkpoints + LRU "
                                 "spill); omit for a purely in-memory server "
                                 "with no crash recovery")
+    serve_cmd.add_argument("--shard-processes", type=int, default=0,
+                           metavar="N",
+                           help="promote shards to N worker processes behind "
+                                "a router (0 = single-process worker threads); "
+                                "sessions are spread by rendezvous-hashed "
+                                "placement and fail over on process death")
+    serve_cmd.add_argument("--replicate", action="store_true",
+                           help="process mode: refresh a warm in-memory "
+                                "replica on the placement runner-up after "
+                                "every acked mutation (requires --store-dir)")
+    serve_cmd.add_argument("--collection", choices=("object", "columnar"),
+                           default="object",
+                           help="particle-collection mode for served "
+                                "sessions; columnar steps the vectorized "
+                                "runtime cannot represent spill to the "
+                                "object path per step")
     serve_cmd.add_argument("--num-shards", type=_positive_int, default=2,
                            help="worker shards (sessions hash to a shard)")
     serve_cmd.add_argument("--queue-depth", type=int, default=16,
@@ -909,7 +944,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen_cmd.add_argument("--host", default="127.0.0.1")
     loadgen_cmd.add_argument("--port", type=int, required=True)
-    loadgen_cmd.add_argument("--workload", choices=("gauss-chain", "gmm-edits"),
+    loadgen_cmd.add_argument("--workload",
+                             choices=("gauss-chain", "gmm-edits",
+                                      "fig8-session"),
                              default="gauss-chain")
     loadgen_cmd.add_argument("--sessions", type=_positive_int, default=4)
     loadgen_cmd.add_argument("--ops", type=_positive_int, default=5,

@@ -28,7 +28,13 @@ Robustness is the design center, not an afterthought:
   last commit snapshot when the live worker is wedged;
 * **crash recovery** — every committed mutation is checkpointed
   *before* it is acknowledged, so a SIGKILLed server restarts into
-  byte-identical sessions and never drops a committed observation.
+  byte-identical sessions and never drops a committed observation;
+* **scale-out** — ``ServiceConfig(shard_processes=N)`` promotes shards
+  to worker *processes* behind a router (:mod:`repro.service.shard`):
+  sessions are spread by rendezvous-hashed placement
+  (:mod:`repro.service.placement`), a SIGKILLed shard fails over to its
+  replica without losing an acked mutation, and degraded reads keep
+  serving during recovery.
 
 Entry points: ``repro serve`` / ``repro loadgen`` on the CLI,
 :class:`InferenceService` + :class:`ServiceClient` /
@@ -39,11 +45,14 @@ Entry points: ``repro serve`` / ``repro loadgen`` on the CLI,
 from .client import RetryingClient, ServiceClient, call_service
 from .config import ServiceConfig
 from .loadgen import LoadgenConfig, WORKLOADS, run_loadgen
+from .placement import PlacementMap, placement_score
 from .server import InferenceService, ServiceHandle
+from .shard import ShardLink, ShardProcessPool, ShardServer
 from .state import DurableSessionStore
 from .wire import (
     ERROR_CLASSES,
     MAX_FRAME_BYTES,
+    WIRE_SCHEMA,
     decode_error,
     encode_error,
     read_frame,
@@ -55,6 +64,11 @@ __all__ = [
     "InferenceService",
     "ServiceHandle",
     "DurableSessionStore",
+    "PlacementMap",
+    "placement_score",
+    "ShardServer",
+    "ShardLink",
+    "ShardProcessPool",
     "ServiceClient",
     "RetryingClient",
     "call_service",
@@ -63,6 +77,7 @@ __all__ = [
     "run_loadgen",
     "ERROR_CLASSES",
     "MAX_FRAME_BYTES",
+    "WIRE_SCHEMA",
     "read_frame",
     "write_frame",
     "encode_error",

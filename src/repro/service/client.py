@@ -119,6 +119,17 @@ class ServiceClient:
         """
         request: Dict[str, Any] = {"op": op, "tenant": self.tenant}
         request.update({k: v for k, v in fields.items() if v is not None})
+        return self.call_raw(request)
+
+    def call_raw(self, request: Dict[str, Any]) -> Any:
+        """Ship an arbitrary request document verbatim.
+
+        The seam the chaos drills and wire-negotiation tests use to send
+        shard-link ops (``hello``, ``replicate``, ``release``) or
+        deliberately malformed documents without fighting the op
+        wrappers.  Error/transport semantics are identical to
+        :meth:`call`.
+        """
         self.connect()
         sock = self._sock
         assert sock is not None

@@ -9,7 +9,9 @@ The fields fall into four groups:
 
 * **topology** — ``host``/``port``, ``num_shards`` (sessions hash to a
   shard; each shard is one worker thread, so requests on one session
-  are naturally serialized);
+  are naturally serialized), ``shard_processes``/``replicate`` (promote
+  shards to worker *processes* behind the router — see
+  :mod:`repro.service.shard`);
 * **admission** — ``max_sessions_per_tenant``, ``max_inflight_per_tenant``
   (``0`` disables the respective class of work — ``repro lint`` flags it);
 * **backpressure / degradation** — ``queue_depth`` (bounded per-shard
@@ -44,7 +46,38 @@ class ServiceConfig:
     num_shards:
         Worker shards.  A session's requests always land on
         ``hash(session_id) % num_shards``, so per-session ordering needs
-        no extra locking.
+        no extra locking.  With ``shard_processes > 0`` this is the
+        router-side lane count and is forced equal to
+        ``shard_processes``.
+    shard_processes:
+        ``0`` (the default) keeps the single-process service: shards are
+        worker *threads* sharing one interpreter.  ``N >= 1`` promotes
+        shards to worker **processes**: the router process keeps the
+        asyncio front end, admission control, quotas, and deadlines, and
+        forwards requests over the codec wire format to ``N`` shard
+        processes, each running its own
+        :class:`~repro.store.session.SessionManager`.  Sessions are
+        spread over the processes by a rendezvous-hashed placement map
+        (:mod:`repro.service.placement`), so throughput scales with
+        cores instead of being GIL-capped.
+    replicate:
+        Process mode only: after every acknowledged mutation the router
+        refreshes a warm in-memory replica of the session on its peer
+        shard process (the placement map's second choice), so degraded
+        reads during a failover are served from memory instead of disk.
+        Durability never depends on this — every ack is already fsynced
+        to the shared store first — but ``repro lint`` flags
+        ``replicate`` without a ``store_dir`` as an error because there
+        is then no commit snapshot to replicate.
+    shard_start_timeout_s:
+        How long the router waits for a spawned shard process to bind
+        its socket and answer the ``hello`` handshake.
+    collection:
+        Particle-collection mode handed to every session's
+        :class:`~repro.core.config.InferenceConfig` (``"object"`` or
+        ``"columnar"``).  Columnar steps that the vectorized runtime
+        cannot represent spill to the object path per step, exactly as
+        in offline inference (spill rules unchanged).
     queue_depth:
         Bound of each shard's pending-request queue.  A full queue
         rejects with :class:`~repro.errors.OverloadedError` and a
@@ -96,6 +129,10 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 0
     num_shards: int = 2
+    shard_processes: int = 0
+    replicate: bool = False
+    shard_start_timeout_s: float = 30.0
+    collection: str = "object"
     queue_depth: int = 16
     max_sessions_per_tenant: int = 8
     max_inflight_per_tenant: int = 4
@@ -117,6 +154,30 @@ class ServiceConfig:
         if int(self.num_shards) < 1:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards!r}")
         object.__setattr__(self, "num_shards", int(self.num_shards))
+        if int(self.shard_processes) < 0:
+            raise ValueError(
+                f"shard_processes must be >= 0 (0 = in-process threads), "
+                f"got {self.shard_processes!r}"
+            )
+        object.__setattr__(self, "shard_processes", int(self.shard_processes))
+        if self.shard_processes > 0:
+            # In process mode the router-side lane count mirrors the
+            # process count; keeping them equal means every queue,
+            # backpressure, and telemetry knob applies per process.
+            object.__setattr__(self, "num_shards", self.shard_processes)
+        object.__setattr__(self, "replicate", bool(self.replicate))
+        timeout = float(self.shard_start_timeout_s)
+        if math.isnan(timeout) or timeout <= 0:
+            raise ValueError(
+                "shard_start_timeout_s must be a positive number, got "
+                f"{self.shard_start_timeout_s!r}"
+            )
+        object.__setattr__(self, "shard_start_timeout_s", timeout)
+        if self.collection not in ("object", "columnar"):
+            raise ValueError(
+                f"unknown collection mode {self.collection!r}; "
+                "choose 'object' or 'columnar'"
+            )
         if int(self.queue_depth) < 0:
             raise ValueError(
                 f"queue_depth must be >= 0 (0 = unbounded), got {self.queue_depth!r}"

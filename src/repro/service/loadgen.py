@@ -1,6 +1,6 @@
 """Deterministic load generation against a running inference service.
 
-Two canonical workloads (the benchmark's two series), both expressed in
+Three canonical workloads (the benchmark's series), all expressed in
 the structured language so they ship over the wire:
 
 * ``gauss-chain`` — the incremental-data special case: one latent, each
@@ -10,6 +10,10 @@ the structured language so they ship over the wire:
 * ``gmm-edits`` — the program-edit case: a two-component mixture whose
   weights and component means are *edited* between requests (full
   ``edit`` ops through diff + correspondence translation).
+* ``fig8-session`` — the paper's Section 7.2 robust-regression
+  exploration: a linear model over the Figure 8 dataset whose outlier
+  mixture is introduced and tuned edit by edit (heavier per-op cost
+  than ``gauss-chain``; the scaling benchmark's second series).
 
 Every random draw (observation values, edited parameters, retry jitter)
 comes from streams seeded off :attr:`LoadgenConfig.seed`, so two runs
@@ -77,10 +81,50 @@ def _gmm_edits(session_index: int, num_ops: int, rng: random.Random):
     return base, ops
 
 
+#: The Figure 8 dataset (a line with one gross outlier), shared with
+#: :mod:`repro.experiments.session_demo`.
+_FIG8_POINTS = (
+    (-2.0, -4.1), (-1.0, -2.2), (0.0, 0.1), (1.0, 1.8),
+    (2.0, 4.2), (3.0, 6.1), (4.0, -20.0),
+)
+
+
+def _fig8_source(prob_outlier: float, inlier_std: float) -> str:
+    """The robust-regression model of the paper's Figure 8, in the
+    structured language (outliers explained by a wide mixture arm)."""
+    lines = [
+        "slope = gauss(0.0, 2.0);",
+        "intercept = gauss(0.0, 2.0);",
+    ]
+    for index, (x, y) in enumerate(_FIG8_POINTS):
+        lines.append(f"o{index} = flip({prob_outlier:.4f});")
+        lines.append(
+            f"observe(gauss(slope * {x:.1f} + intercept, "
+            f"o{index} ? 10.0 : {inlier_std:.4f}) == {y:.4f});"
+        )
+    lines.append("return slope;")
+    return "\n".join(lines)
+
+
+def _fig8_session(session_index: int, num_ops: int, rng: random.Random):
+    """Model exploration on the Figure 8 regression: each op *edits* the
+    outlier mixture (introduce it, tune its weight, tighten the inlier
+    noise) — the paper's Section 7.2 workflow as served traffic."""
+    prob_outlier, inlier_std = 0.01, 0.5
+    base = _fig8_source(prob_outlier, inlier_std)
+    ops: List[Tuple[str, str]] = []
+    for _ in range(num_ops):
+        prob_outlier = min(0.3, max(0.01, prob_outlier + rng.uniform(0.0, 0.08)))
+        inlier_std = min(1.0, max(0.25, inlier_std + rng.uniform(-0.08, 0.04)))
+        ops.append(("edit", _fig8_source(prob_outlier, inlier_std)))
+    return base, ops
+
+
 #: name -> (session_index, num_ops, rng) -> (base_program, [(op, payload)])
 WORKLOADS: Dict[str, Callable[[int, int, random.Random], Tuple[str, List[Tuple[str, str]]]]] = {
     "gauss-chain": _gauss_chain,
     "gmm-edits": _gmm_edits,
+    "fig8-session": _fig8_session,
 }
 
 

@@ -1,0 +1,193 @@
+"""Rendezvous-hashed session placement for the multi-process service.
+
+The router spreads sessions over shard worker processes with
+highest-random-weight (rendezvous) hashing: every ``(member, key)`` pair
+gets a deterministic score from a sha256 digest, and a key belongs to
+the live member with the highest score.  The properties that matter
+here:
+
+* **stability** — scores depend only on the pair, never on the member
+  list, so adding or removing a member moves exactly the keys whose top
+  scorer changed (no modulo reshuffle of everything);
+* **built-in replicas** — the second-highest scorer is the natural
+  replica: when the primary dies, the rendezvous top over the survivors
+  *is* the replica, so failover needs no extra bookkeeping;
+* **determinism across processes** — sha256, not the salted builtin
+  ``hash``, so a restarted router computes the same placement.
+
+On top of the pure scores the map keeps one piece of mutable state: the
+*current assignment* of each key it has routed.  Assignments are sticky —
+a key keeps its owner until a membership change makes that owner dead
+(:meth:`on_death` fails the key over immediately) or an explicit
+:meth:`rebalance` moves it back to its rendezvous home.  Stickiness is
+what makes rebalancing an *explicit, observable* event instead of a
+silent route flip racing in-flight requests; the server only migrates a
+session when it has no queued or executing work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["PlacementMap", "placement_score"]
+
+
+def placement_score(member: int, key: str) -> int:
+    """The deterministic rendezvous score of one ``(member, key)`` pair."""
+    digest = hashlib.sha256(f"{member}\x00{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class PlacementMap:
+    """Session -> shard-process placement with explicit rebalance.
+
+    Parameters
+    ----------
+    members:
+        The full member universe (shard-process indices).  Members start
+        alive; :meth:`on_death` / :meth:`on_join` track liveness.
+    """
+
+    def __init__(self, members: Iterable[int]):
+        self._members: List[int] = sorted(int(m) for m in members)
+        if not self._members:
+            raise ValueError("placement map needs at least one member")
+        if len(set(self._members)) != len(self._members):
+            raise ValueError(f"duplicate members in {self._members!r}")
+        self._alive: Dict[int, bool] = {m: True for m in self._members}
+        #: key -> currently assigned member (sticky).
+        self._assigned: Dict[str, int] = {}
+        self.moves = 0  # total assignment changes (telemetry)
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def members(self) -> List[int]:
+        return list(self._members)
+
+    def alive_members(self) -> List[int]:
+        return [m for m in self._members if self._alive[m]]
+
+    def is_alive(self, member: int) -> bool:
+        return self._alive.get(member, False)
+
+    def on_death(self, member: int) -> List[Tuple[str, int, int]]:
+        """Mark a member dead and fail its keys over to their replicas.
+
+        Returns the moves performed as ``(key, old_member, new_member)``
+        triples.  With rendezvous hashing the new owner of each key is
+        exactly its former replica (the second-highest scorer), so this
+        *is* the replica failover.
+        """
+        if member not in self._alive:
+            raise KeyError(f"unknown member {member!r}")
+        self._alive[member] = False
+        if not self.alive_members():
+            raise RuntimeError("placement map has no live members left")
+        moved = []
+        for key, owner in list(self._assigned.items()):
+            if owner == member:
+                new_owner = self.home(key)
+                self._assigned[key] = new_owner
+                self.moves += 1
+                moved.append((key, owner, new_owner))
+        return moved
+
+    def on_join(self, member: int) -> None:
+        """Mark a (re)spawned member alive again.
+
+        Deliberately does *not* move any keys: migration back to the
+        rendezvous home is the caller's explicit :meth:`rebalance` (or
+        per-key :meth:`migrate_home`) decision, taken only when a
+        session has no in-flight work.
+        """
+        if member not in self._alive:
+            raise KeyError(f"unknown member {member!r}")
+        self._alive[member] = True
+
+    # -- pure scores -----------------------------------------------------------
+
+    def _ranked(self, key: str) -> List[int]:
+        """Live members by descending rendezvous score for ``key``."""
+        alive = self.alive_members()
+        return sorted(alive, key=lambda m: placement_score(m, key), reverse=True)
+
+    def home(self, key: str) -> int:
+        """The rendezvous-top live member for ``key`` (ignores stickiness)."""
+        return self._ranked(key)[0]
+
+    def replica(self, key: str) -> Optional[int]:
+        """The second-highest live scorer — the warm-replica target."""
+        ranked = self._ranked(key)
+        return ranked[1] if len(ranked) > 1 else None
+
+    # -- sticky assignment -----------------------------------------------------
+
+    def place(self, key: str) -> int:
+        """The member that owns ``key``, assigning it on first sight.
+
+        A sticky assignment to a member that has since died is healed
+        here as well (covers keys first seen between death detection and
+        :meth:`on_death`'s sweep).
+        """
+        owner = self._assigned.get(key)
+        if owner is None or not self._alive.get(owner, False):
+            new_owner = self.home(key)
+            if owner is not None and owner != new_owner:
+                self.moves += 1
+            self._assigned[key] = new_owner
+            owner = new_owner
+        return owner
+
+    def current(self, key: str) -> Optional[int]:
+        """The sticky assignment, if the key has been placed."""
+        return self._assigned.get(key)
+
+    def migrate_home(self, key: str) -> Optional[Tuple[int, int]]:
+        """Move one key back to its rendezvous home; ``(old, new)`` or None."""
+        owner = self._assigned.get(key)
+        if owner is None:
+            return None
+        target = self.home(key)
+        if target == owner:
+            return None
+        self._assigned[key] = target
+        self.moves += 1
+        return (owner, target)
+
+    def rebalance(self) -> List[Tuple[str, int, int]]:
+        """Move every displaced key back to its rendezvous home.
+
+        The explicit membership-change rebalance: after a member
+        respawns, keys that failed over to a survivor move back so load
+        stays spread.  Returns the moves as ``(key, old, new)``.
+        """
+        moved = []
+        for key in list(self._assigned):
+            move = self.migrate_home(key)
+            if move is not None:
+                moved.append((key, move[0], move[1]))
+        return moved
+
+    def forget(self, key: str) -> None:
+        """Drop a closed session's assignment."""
+        self._assigned.pop(key, None)
+
+    def assignments(self) -> Dict[str, int]:
+        return dict(self._assigned)
+
+    def displaced(self) -> List[str]:
+        """Keys whose sticky owner is not their rendezvous home."""
+        return [
+            key
+            for key, owner in self._assigned.items()
+            if owner != self.home(key)
+        ]
+
+    def __repr__(self) -> str:
+        alive = self.alive_members()
+        return (
+            f"PlacementMap(members={self._members}, alive={alive}, "
+            f"assigned={len(self._assigned)}, moves={self.moves})"
+        )

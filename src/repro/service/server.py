@@ -62,6 +62,7 @@ from ..errors import (
 from ..observability import Hooks, MetricsRegistry, Tracer
 from ..store.session import _check_session_id
 from .config import ServiceConfig
+from .placement import PlacementMap
 from .state import DurableSessionStore
 from .wire import OPS, FrameError, encode_error, encode_ok, read_frame, write_frame
 
@@ -147,9 +148,10 @@ class _Shard:
 
 class _Request:
     __slots__ = ("op", "tenant", "session", "payload", "deadline_at",
-                 "future", "enqueued_at")
+                 "future", "enqueued_at", "member", "replica")
 
-    def __init__(self, op, tenant, session, payload, deadline_at, future):
+    def __init__(self, op, tenant, session, payload, deadline_at, future,
+                 member=None, replica=None):
         self.op = op
         self.tenant = tenant
         self.session = session
@@ -157,6 +159,13 @@ class _Request:
         self.deadline_at = deadline_at
         self.future = future
         self.enqueued_at = time.monotonic()
+        #: Process mode: the shard process this request is bound for,
+        #: and (for acked mutations with ``replicate=True``) the member
+        #: whose warm replica is refreshed afterwards.  Both resolved at
+        #: dispatch time on the event loop, so lane threads never read
+        #: the placement map.
+        self.member = member
+        self.replica = replica
 
 
 _SHUTDOWN = object()
@@ -203,20 +212,59 @@ class InferenceService:
         self.recovered_sessions: List[str] = []
         self.recovery_seconds: float = 0.0
 
+        # -- process mode (shard_processes > 0) --------------------------
+        # The router keeps the front end and forwards to shard worker
+        # processes; every lane (_Shard) maps 1:1 to one member of the
+        # rendezvous placement map.  ``_links[lane][member]`` holds the
+        # persistent connections — each inner dict is touched only by
+        # that lane's single worker thread, so no locking.
+        self._process_mode = config.shard_processes > 0
+        self._pool: Optional[Any] = None
+        self._placement: Optional[PlacementMap] = None
+        self._links: Dict[int, Dict[int, Any]] = {}
+        self._session_inflight: Dict[str, int] = {}
+        self._needs_rebalance = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._supervisor: Optional[threading.Thread] = None
+        self._supervisor_stop = threading.Event()
+        if self._process_mode:
+            from .shard import ShardProcessPool  # deferred: shard imports us
+
+            self._pool = ShardProcessPool(config)
+            self._placement = PlacementMap(range(config.shard_processes))
+            self._links = {i: {} for i in range(config.num_shards)}
+
     # -- lifecycle -------------------------------------------------------------
 
     async def serve(self) -> None:
         """Recover, bind, accept until :meth:`stop` is called."""
+        self._loop = asyncio.get_running_loop()
         started = time.monotonic()
-        self.recovered_sessions = await asyncio.get_running_loop().run_in_executor(
-            None, self.store.recover
-        )
+        if self._process_mode:
+            # Spawn + hello-probe the shard fleet first: a schema
+            # mismatch must fail startup, not the first request.  The
+            # router then loads session *metadata* only — live state is
+            # recovered lazily inside the shard processes.
+            await self._loop.run_in_executor(None, self._pool.start)
+            self.recovered_sessions = await self._loop.run_in_executor(
+                None, self.store.scan_meta
+            )
+        else:
+            self.recovered_sessions = await self._loop.run_in_executor(
+                None, self.store.recover
+            )
         self.recovery_seconds = time.monotonic() - started
         if self.recovered_sessions:
             self.metrics.counter("service.sessions_recovered").inc(
                 len(self.recovered_sessions)
             )
         self.metrics.gauge("service.recovery_seconds").set(self.recovery_seconds)
+        if self._process_mode:
+            self._supervisor_stop.clear()
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="repro-shard-supervisor", daemon=True
+            )
+            self._supervisor.start()
 
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -236,6 +284,10 @@ class InferenceService:
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain workers, close pools."""
         self._closing = True
+        if self._supervisor is not None:
+            self._supervisor_stop.set()
+            self._supervisor.join(5.0)
+            self._supervisor = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -248,6 +300,13 @@ class InferenceService:
                 pass
         for shard in self._shards:
             shard.executor.shutdown(wait=False, cancel_futures=True)
+        for lane_links in self._links.values():
+            for link in lane_links.values():
+                link.close()
+        if self._pool is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.stop_all
+            )
 
     # -- connection handling ---------------------------------------------------
 
@@ -335,11 +394,24 @@ class InferenceService:
         _check_session_id(session_id)
         deadline_s = self.config.clamp_deadline(request.get("deadline_s"))
         deadline_at = time.monotonic() + deadline_s
-        shard = self._shards[shard_of(session_id, self.config.num_shards)]
+        member = replica = None
+        if self._process_mode:
+            try:
+                member = self._place_session(session_id)
+            except (RuntimeError, IndexError):
+                raise ServiceUnavailableError(
+                    "all shard processes are down (respawn in progress)",
+                    retry_after_s=1.0,
+                ) from None
+            shard = self._shards[member]
+            if self.config.replicate and op in ("create", "observe", "edit"):
+                replica = self._placement.replica(session_id)
+        else:
+            shard = self._shards[shard_of(session_id, self.config.num_shards)]
 
         if op == "posterior":
             return await self._dispatch_posterior(
-                request, tenant, session_id, shard, deadline_at
+                request, tenant, session_id, shard, deadline_at, member=member
             )
 
         # -- mutating ops: quotas, then backpressure ----------------------
@@ -353,7 +425,10 @@ class InferenceService:
                 )
         self._check_inflight_quota(tenant, shard)
         self._check_backpressure(tenant, shard)
-        return await self._enqueue(request, op, tenant, session_id, shard, deadline_at)
+        return await self._enqueue(
+            request, op, tenant, session_id, shard, deadline_at,
+            member=member, replica=replica,
+        )
 
     def _check_inflight_quota(self, tenant: str, shard: _Shard) -> None:
         limit = self.config.max_inflight_per_tenant
@@ -394,6 +469,7 @@ class InferenceService:
         session_id: str,
         shard: _Shard,
         deadline_at: float,
+        member: Optional[int] = None,
     ) -> Any:
         """Posterior reads prefer the live worker, degrade when it's gone.
 
@@ -411,7 +487,8 @@ class InferenceService:
             self._check_inflight_quota(tenant, shard)
             self._check_backpressure(tenant, shard)
             return await self._enqueue(
-                request, "posterior", tenant, session_id, shard, deadline_at
+                request, "posterior", tenant, session_id, shard, deadline_at,
+                member=member,
             )
         if self.config.store_dir is None:
             raise OverloadedError(
@@ -433,9 +510,12 @@ class InferenceService:
         session_id: str,
         shard: _Shard,
         deadline_at: float,
+        member: Optional[int] = None,
+        replica: Optional[int] = None,
     ) -> Any:
         future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
-        item = _Request(op, tenant, session_id, request, deadline_at, future)
+        item = _Request(op, tenant, session_id, request, deadline_at, future,
+                        member=member, replica=replica)
         try:
             shard.queue.put_nowait(item)
         except asyncio.QueueFull:
@@ -445,6 +525,9 @@ class InferenceService:
                 retry_after_s=shard.retry_after_s(),
             ) from None
         self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        self._session_inflight[session_id] = (
+            self._session_inflight.get(session_id, 0) + 1
+        )
         self.metrics.gauge(f"service.queue_depth.shard{shard.index}").set(
             shard.queue.qsize()
         )
@@ -456,6 +539,11 @@ class InferenceService:
                 self._inflight[tenant] = remaining
             else:
                 self._inflight.pop(tenant, None)
+            left = self._session_inflight.get(session_id, 1) - 1
+            if left > 0:
+                self._session_inflight[session_id] = left
+            else:
+                self._session_inflight.pop(session_id, None)
 
     # -- the shard worker ------------------------------------------------------
 
@@ -507,6 +595,204 @@ class InferenceService:
                     ServiceUnavailableError("server is shutting down")
                 )
 
+    # -- process mode: placement, forwarding, supervision ----------------------
+
+    def _place_session(self, session_id: str) -> int:
+        """Resolve the owning shard process (event-loop only).
+
+        Sticky-by-default: a session keeps its owner until that owner
+        dies (immediate rendezvous failover inside ``place``) or an
+        explicit migrate-home fires here.  Migration is gated on the
+        session having **zero** in-flight requests, so two lanes can
+        never interleave work for one session — the ordering guarantee
+        the single-process service gets from shard affinity survives
+        rebalancing.
+        """
+        placement = self._placement
+        member = placement.place(session_id)
+        if not self._needs_rebalance or self._session_inflight.get(session_id, 0):
+            return member
+        target = placement.home(session_id)
+        if target == member:
+            if not placement.displaced():
+                self._needs_rebalance = False
+            return member
+        old_shard = self._shards[member]
+        if old_shard.depth > 0 and old_shard.queue.qsize() >= old_shard.depth:
+            return member  # old lane saturated — defer the migration
+        move = placement.migrate_home(session_id)
+        if move is None:  # pragma: no cover — raced with a concurrent heal
+            return placement.place(session_id)
+        self._enqueue_release(member, session_id)
+        self.metrics.counter("service.migrations").inc()
+        return target
+
+    def _enqueue_release(self, member: int, session_id: str) -> None:
+        """FIFO a ``release`` marker onto the old owner's lane.
+
+        Queued *behind* any in-flight work for that lane, so the old
+        shard drops its live copy only after everything it was already
+        asked to do.  Fire-and-forget: a lost release leaves a harmless
+        idle copy that never serves again.
+        """
+        future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        item = _Request(
+            "release", "", session_id, {"op": "release", "session": session_id},
+            time.monotonic() + 30.0, future, member=member,
+        )
+        try:
+            self._shards[member].queue.put_nowait(item)
+        except asyncio.QueueFull:  # pragma: no cover — capacity checked above
+            pass
+
+    def _link(self, lane: int, member: int) -> Any:
+        """This lane's persistent connection to ``member`` (lane-thread
+        confined; created lazily, re-negotiated on every reconnect)."""
+        links = self._links[lane]
+        if member not in links:
+            from .shard import ShardLink
+
+            links[member] = ShardLink(
+                member,
+                partial(self._pool.address, member),
+                timeout_s=self.config.shard_start_timeout_s,
+                shard_id=lane,
+            )
+        return links[member]
+
+    def _execute_forward(self, shard: _Shard, item: _Request) -> Any:
+        """Forward one admitted request to its shard process (lane thread).
+
+        The wire format is the same framed codec protocol clients speak;
+        the deadline travels as the *remaining* budget so the shard's
+        own :class:`DeadlineHooks` cancels at the right wall-clock
+        moment.  A transport failure is treated as a death signal: the
+        event loop re-places the session (rendezvous failover) and the
+        client's retry lands on the replica — which lazily recovers the
+        acked state from the shared store.
+        """
+        op, payload, session_id = item.op, item.payload, item.session
+        member = item.member if item.member is not None else shard.index
+        if op == "release":
+            try:
+                self._link(shard.index, member).call(
+                    {"op": "release", "session": session_id}, timeout_s=10.0
+                )
+            except Exception:
+                pass  # fire-and-forget (see _enqueue_release)
+            return {"session": session_id, "released": True}
+
+        if op != "create":
+            self.store.owns(item.tenant, session_id)
+        remaining = item.deadline_at - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                "deadline expired before the request reached its shard process"
+            )
+        forward = dict(payload)
+        forward["tenant"] = item.tenant
+        forward["deadline_s"] = remaining
+        with shard.tracer.span(f"service.forward.{op}") as span:
+            span.count("member", member)
+            try:
+                result = self._link(shard.index, member).call(
+                    forward, timeout_s=remaining + 5.0
+                )
+            except ServiceUnavailableError:
+                self._loop.call_soon_threadsafe(self._note_shard_death, member)
+                if op == "posterior" and self.config.store_dir is not None:
+                    # Failover window: serve the read degraded from the
+                    # shared snapshots instead of failing it.
+                    self.metrics.counter("service.degraded_reads").inc()
+                    return self.store.posterior_degraded(
+                        session_id, top=int(payload.get("top", 10))
+                    )
+                raise
+
+        # -- post-ack bookkeeping (the shard already committed) -----------
+        if op == "create":
+            self.store.register_meta(
+                session_id, item.tenant,
+                program=payload.get("program", ""),
+                env=payload.get("env"),
+            )
+        elif op == "close":
+            self.store.forget_meta(session_id)
+            self._loop.call_soon_threadsafe(self._placement.forget, session_id)
+        if (
+            item.replica is not None
+            and item.replica != member
+            and op in ("create", "observe", "edit")
+        ):
+            try:
+                self._link(shard.index, item.replica).call(
+                    {"op": "replicate", "session": session_id}, timeout_s=10.0
+                )
+                self.metrics.counter("service.replications").inc()
+            except Exception:
+                # Durability never depended on the warm replica — the
+                # commit is already fsynced in the shared store.
+                self.metrics.counter("service.replication_failures").inc()
+        return result
+
+    def _note_shard_death(self, member: int) -> None:
+        """Event-loop half of failover: mark dead, re-place its keys."""
+        placement = self._placement
+        if placement is None or not placement.is_alive(member):
+            return
+        if self._pool is not None and self._pool.is_alive(member):
+            # The process is fine — the lane saw a transient transport
+            # error (e.g. a timeout on a wedged translation).  Killing a
+            # healthy member over it would thrash placement.
+            return
+        try:
+            moved = placement.on_death(member)
+        except RuntimeError:
+            moved = []  # no survivors; _dispatch rejects until a respawn
+        self.metrics.counter("service.failovers").inc()
+        if moved:
+            self.metrics.counter("service.failover_moves").inc(len(moved))
+
+    def _on_shard_join(self, member: int) -> None:
+        """Event-loop half of a respawn: rejoin + schedule rebalance."""
+        placement = self._placement
+        if placement is None or placement.is_alive(member):
+            return
+        placement.on_join(member)
+        if placement.displaced():
+            self._needs_rebalance = True
+        self.metrics.counter("service.respawns").inc()
+
+    def _supervise(self) -> None:
+        """Supervisor thread: respawn dead shard processes.
+
+        Death detection has two paths — a lane's transport error (fast,
+        request-driven) and this poll (covers idle shards).  Both funnel
+        through :meth:`_note_shard_death` on the event loop, which keeps
+        every placement mutation loop-confined.
+        """
+        while not self._supervisor_stop.is_set():
+            for member in self._pool.poll_dead():
+                if self._supervisor_stop.is_set():
+                    return
+                try:
+                    self._loop.call_soon_threadsafe(self._note_shard_death, member)
+                except RuntimeError:
+                    return  # loop is gone (abrupt kill)
+                try:
+                    self._pool.respawn(member)
+                except Exception:
+                    self.metrics.counter("service.respawn_failures").inc()
+                    continue
+                try:
+                    self._loop.call_soon_threadsafe(self._on_shard_join, member)
+                except RuntimeError:
+                    return
+            self._supervisor_stop.wait(0.2)
+
     # -- the actual work (shard worker thread) ---------------------------------
 
     def _execute(self, shard: _Shard, item: _Request) -> Any:
@@ -515,8 +801,11 @@ class InferenceService:
         Executes on the shard's worker thread.  Every mutating op runs
         under :class:`DeadlineHooks`; the commit (checkpoint fsync)
         happens inside the store call, before this returns — i.e. before
-        any ack is written.
+        any ack is written.  In process mode the work is forwarded to
+        the owning shard process instead (:meth:`_execute_forward`).
         """
+        if self._process_mode:
+            return self._execute_forward(shard, item)
         op, payload, session_id = item.op, item.payload, item.session
         hooks = DeadlineHooks(item.deadline_at)
         with shard.tracer.span(f"service.{op}") as span:
@@ -577,7 +866,7 @@ class InferenceService:
 
     def stats(self) -> Dict[str, Any]:
         now = time.monotonic()
-        return {
+        stats: Dict[str, Any] = {
             "config": self.config.to_dict(),
             "closing": self._closing,
             "sessions": self.store.session_ids(),
@@ -601,6 +890,19 @@ class InferenceService:
             ],
             "metrics": self.metrics.to_dict(),
         }
+        if self._process_mode:
+            placement = self._placement
+            stats["process_mode"] = {
+                "shard_processes": self.config.shard_processes,
+                "replicate": self.config.replicate,
+                "alive_members": placement.alive_members(),
+                "assignments": len(placement.assignments()),
+                "displaced": placement.displaced(),
+                "placement_moves": placement.moves,
+                "needs_rebalance": self._needs_rebalance,
+                "pids": self._pool.pids(),
+            }
+        return stats
 
     def trace_snapshot(self) -> Dict[str, Any]:
         """Per-shard request span trees (each tracer is thread-confined)."""
@@ -699,9 +1001,16 @@ class ServiceHandle:
         self._thread.join(timeout_s)
 
     def kill(self) -> None:
-        """Abrupt in-process death: stop the loop mid-flight, no draining."""
+        """Abrupt in-process death: stop the loop mid-flight, no draining.
+
+        In process mode the shard worker processes are reaped afterwards
+        — a real router SIGKILL would orphan them briefly until their
+        parent-pid watchdogs fire, but tests must not leak children.
+        """
         try:
             self._loop.call_soon_threadsafe(self._loop.stop)
         except RuntimeError:
             pass
         self._thread.join(5.0)
+        if self.service._pool is not None:
+            self.service._pool.stop_all()

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core import CorrespondenceTranslator
+from ..core.config import InferenceConfig
 from ..core.importance import importance_sampling
 from ..errors import BadRequestError, SessionError
 from ..graph import diff_correspondence
@@ -57,7 +58,13 @@ def value_histogram(collection: Any, top: int = 10) -> List[Dict[str, Any]]:
     """
     values: Dict[Any, float] = {}
     weights = collection.normalized_weights()
-    for trace, weight in zip(collection.items, weights):
+    if hasattr(collection, "items"):
+        particles: Any = collection.items
+    else:
+        # Columnar collections expose per-particle views instead of a
+        # trace list; the views carry the same ``return_value``.
+        particles = (collection.particle(i) for i in range(len(collection)))
+    for trace, weight in zip(particles, weights):
         key = trace.return_value
         if isinstance(key, dict):
             key = tuple(sorted(key.items()))
@@ -116,8 +123,17 @@ class DurableSessionStore:
         root = None if config.store_dir is None else Path(config.store_dir)
         self.root = root
         lru_dir = None if root is None else root / "lru"
+        # The per-session inference config: the service-level collection
+        # mode (object vs columnar) rides in here; columnar steps the
+        # vectorized runtime cannot represent spill to the object path
+        # per step, exactly as in offline inference.
+        self._session_config = InferenceConfig(
+            resample="adaptive", collection=config.collection
+        )
         self.manager = SessionManager(
-            lru_dir, capacity=config.session_capacity
+            lru_dir,
+            capacity=config.session_capacity,
+            config=self._session_config,
         )
         #: session_id -> {"tenant", "program", "env"}; tiny, always live.
         self._meta: Dict[str, Dict[str, Any]] = {}
@@ -148,6 +164,31 @@ class DurableSessionStore:
                 return dict(self._meta[session_id])
             except KeyError:
                 raise SessionError(f"unknown session {session_id!r}") from None
+
+    def register_meta(
+        self,
+        session_id: str,
+        tenant: str,
+        *,
+        program: str = "",
+        env: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a session's metadata without holding its live state.
+
+        The router process in multi-process mode tracks only metadata —
+        tenant ownership for admission control and the session listing —
+        while the session itself lives in a shard process.
+        """
+        with self._lock:
+            self._meta[session_id] = {
+                "tenant": tenant,
+                "program": program,
+                "env": dict(env or {}),
+            }
+
+    def forget_meta(self, session_id: str) -> None:
+        with self._lock:
+            self._meta.pop(session_id, None)
 
     def owns(self, tenant: str, session_id: str) -> None:
         """Tenant isolation: touching another tenant's session is poison."""
@@ -207,6 +248,15 @@ class DurableSessionStore:
         num_particles: Optional[int] = None,
         seed: Optional[int] = None,
     ) -> Dict[str, Any]:
+        checkpoints = self._checkpoints(session_id)
+        if checkpoints is not None and checkpoints.latest_step() is not None:
+            # Guard against silently shadowing durable history: a lazy-
+            # recovering deployment may not have this session live, but
+            # re-creating over existing snapshots would interleave new
+            # step-0 state with old step-N files and corrupt recovery.
+            raise SessionError(
+                f"session {session_id!r} already exists in the durable store"
+            )
         program = self._parse(source, "program")
         env = dict(env or {})
         particles = int(num_particles or self.config.num_particles)
@@ -352,6 +402,87 @@ class DurableSessionStore:
             lru_path.unlink()
         return {"session": session_id, "num_edits": num_edits, "tenant": meta["tenant"]}
 
+    def recover_session(self, session_id: str) -> bool:
+        """Replay one session's newest valid snapshot into the live set.
+
+        The lazy single-session flavor of :meth:`recover`: a shard
+        process that inherits a session on failover (or after a
+        placement move) pulls exactly that session's state from the
+        shared store instead of replaying everything.  Returns False
+        when the session has no usable snapshot.
+        """
+        checkpoints = self._checkpoints(session_id)
+        if checkpoints is None:
+            return False
+        checkpoint = checkpoints.load_latest()
+        if checkpoint is None:
+            return False
+        extra = checkpoint.extra
+        session = InferenceSession(
+            session_id,
+            checkpoint.collection,
+            checkpoint.rng,
+            config=self._session_config,
+            history=extra.get("history") or [],
+        )
+        # Refresh semantics: a stale live copy (a warm replica being
+        # re-pulled after a newer commit) is dropped, never merged.
+        self.manager.close(session_id, persist=False)
+        self.manager.adopt(session)
+        with self._lock:
+            self._meta[session_id] = {
+                "tenant": extra.get("tenant", ""),
+                "program": extra.get("program", ""),
+                "env": extra.get("env") or {},
+            }
+        return True
+
+    def release_session(self, session_id: str) -> bool:
+        """Drop the live copy of a session; durable state is untouched.
+
+        The inverse of :meth:`recover_session`, used when placement
+        moves a session to another shard process: the old owner releases
+        its (now stale-to-be) live copy so the next owner's lazy
+        recovery is the only reader.  Returns False for ids this store
+        never held.
+        """
+        with self._lock:
+            known = session_id in self._meta
+            self._meta.pop(session_id, None)
+        self.manager.close(session_id, persist=False)
+        lru_path = self.manager._path_for(session_id)
+        if lru_path is not None and lru_path.exists():
+            lru_path.unlink()
+        return known
+
+    def scan_meta(self) -> List[str]:
+        """Load every session's *metadata* without adopting live state.
+
+        The router-process startup path: it needs tenant ownership and
+        session listings for admission control, but the sessions
+        themselves live in the shard processes (recovered lazily there).
+        Reads only the newest valid snapshot's ``extra`` block.
+        """
+        root = self._checkpoints_root()
+        if root is None or not root.is_dir():
+            return []
+        scanned: List[str] = []
+        for directory in sorted(p for p in root.iterdir() if p.is_dir()):
+            session_id = directory.name
+            checkpoints = self._checkpoints(session_id)
+            checkpoint = checkpoints.load_latest()
+            if checkpoint is None:
+                continue
+            extra = checkpoint.extra
+            with self._lock:
+                self._meta[session_id] = {
+                    "tenant": extra.get("tenant", ""),
+                    "program": extra.get("program", ""),
+                    "env": extra.get("env") or {},
+                }
+            scanned.append(session_id)
+        return scanned
+
     def recover(self) -> List[str]:
         """Replay every session's newest valid snapshot (crash recovery).
 
@@ -365,24 +496,6 @@ class DurableSessionStore:
             return []
         recovered: List[str] = []
         for directory in sorted(p for p in root.iterdir() if p.is_dir()):
-            session_id = directory.name
-            checkpoints = self._checkpoints(session_id)
-            checkpoint = checkpoints.load_latest()
-            if checkpoint is None:
-                continue
-            extra = checkpoint.extra
-            session = InferenceSession(
-                session_id,
-                checkpoint.collection,
-                checkpoint.rng,
-                history=extra.get("history") or [],
-            )
-            self.manager.adopt(session)
-            with self._lock:
-                self._meta[session_id] = {
-                    "tenant": extra.get("tenant", ""),
-                    "program": extra.get("program", ""),
-                    "env": extra.get("env") or {},
-                }
-            recovered.append(session_id)
+            if self.recover_session(directory.name):
+                recovered.append(directory.name)
         return recovered

@@ -31,6 +31,7 @@ from ..errors import (
     DeadlineExceededError,
     OverloadedError,
     QuotaExceededError,
+    SchemaVersionError,
     ServiceError,
     ServiceUnavailableError,
     SessionError,
@@ -40,11 +41,14 @@ from ..store.codec import dumps, loads
 __all__ = [
     "MAX_FRAME_BYTES",
     "OPS",
+    "SHARD_OPS",
+    "WIRE_SCHEMA",
     "ERROR_CLASSES",
     "FrameError",
     "read_frame",
     "write_frame",
     "encode_request",
+    "encode_hello",
     "encode_ok",
     "encode_error",
     "decode_error",
@@ -57,6 +61,26 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 #: The operations the server dispatches.
 OPS = ("create", "observe", "edit", "posterior", "close", "stats", "ping")
+
+#: The request-schema version this build speaks.  The router announces
+#: it in the ``hello`` handshake when it connects to a shard process; a
+#: shard that only supports an *older* schema refuses the handshake with
+#: a structured ``schema_version`` error (mapped back to
+#: :class:`~repro.errors.SchemaVersionError`, which ``repro serve``
+#: surfaces with exit code 2 — the same taxonomy rung as a newer-schema
+#: checkpoint).  Bump on any incompatible change to the request shapes
+#: the router forwards.
+WIRE_SCHEMA = 1
+
+#: Extra operations spoken only on the router <-> shard-process link
+#: (:mod:`repro.service.shard`), on top of :data:`OPS`:
+#:
+#: * ``hello`` — version negotiation (carries ``wire_schema``);
+#: * ``replicate`` — refresh the shard's warm in-memory replica of a
+#:   session from the shared commit store;
+#: * ``release`` — drop the live copy of a session without touching its
+#:   durable state (placement moved it to another shard).
+SHARD_OPS = OPS + ("hello", "replicate", "release")
 
 _LENGTH = struct.Struct(">I")
 
@@ -127,6 +151,14 @@ def encode_request(op: str, **kwargs: Any) -> Dict[str, Any]:
     return request
 
 
+def encode_hello(shard_id: Optional[int] = None) -> Dict[str, Any]:
+    """The router's handshake frame: which schema it is about to speak."""
+    hello: Dict[str, Any] = {"op": "hello", "wire_schema": WIRE_SCHEMA}
+    if shard_id is not None:
+        hello["shard"] = int(shard_id)
+    return hello
+
+
 def encode_ok(result: Any) -> Dict[str, Any]:
     return {"ok": True, "result": result}
 
@@ -154,6 +186,20 @@ def encode_error(error: BaseException) -> Dict[str, Any]:
             if error.limit is not None:
                 payload["limit"] = int(error.limit)
         return {"ok": False, "error": payload}
+    if isinstance(error, SchemaVersionError):
+        # Version negotiation: an older shard refusing a newer router
+        # schema (or a newer-schema document on the wire).  Structured
+        # and non-retryable — the operator has mismatched builds.
+        payload = {
+            "code": "schema_version",
+            "message": str(error),
+            "retryable": False,
+        }
+        if error.found is not None:
+            payload["found"] = int(error.found)
+        if error.supported is not None:
+            payload["supported"] = int(error.supported)
+        return {"ok": False, "error": payload}
     if isinstance(error, SessionError):
         return {
             "ok": False,
@@ -173,13 +219,19 @@ def encode_error(error: BaseException) -> Dict[str, Any]:
     }
 
 
-def decode_error(payload: Dict[str, Any]) -> ServiceError:
+def decode_error(payload: Dict[str, Any]) -> Exception:
     """Rebuild the typed exception from a rejection payload."""
     if not isinstance(payload, dict):
         return ServiceUnavailableError(f"malformed error payload: {payload!r}")
     code = payload.get("code", "internal")
     message = payload.get("message", code)
     retry_after = payload.get("retry_after_s")
+    if code == "schema_version":
+        return SchemaVersionError(
+            message,
+            found=payload.get("found"),
+            supported=payload.get("supported"),
+        )
     cls = ERROR_CLASSES.get(code)
     if cls is QuotaExceededError:
         return QuotaExceededError(

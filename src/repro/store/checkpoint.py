@@ -113,6 +113,31 @@ class CheckpointManager:
                 steps.append(int(match.group(1)))
         return sorted(steps)
 
+    def latest_step(self) -> Optional[int]:
+        """The newest step with a checkpoint file present (unvalidated).
+
+        Cheap directory metadata only — the failover path uses it to
+        compare "is my warm replica behind the shared store?" without
+        decoding a snapshot.
+        """
+        steps = self.list_steps()
+        return steps[-1] if steps else None
+
+    def latest_bytes(self) -> Optional[bytes]:
+        """Raw bytes of the newest checkpoint file (header + body).
+
+        Byte-identity checks (the chaos drills) compare these directly:
+        two equal files imply equal recovered state because the body is
+        a canonical codec document.
+        """
+        step = self.latest_step()
+        if step is None:
+            return None
+        try:
+            return self.path_for(step).read_bytes()
+        except OSError:
+            return None
+
     # -- writing --------------------------------------------------------------
 
     def save(

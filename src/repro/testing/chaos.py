@@ -15,7 +15,13 @@ particle; this module attacks the *service* contract from outside:
 * **worker kills** — the server is killed abruptly (no draining, no
   graceful eviction) mid-workload and restarted over the same store;
   the drill asserts every *acknowledged* mutation survived and that the
-  recovered durable state is byte-identical to the pre-kill snapshot.
+  recovered durable state is byte-identical to the pre-kill snapshot;
+* **shard-process kills** — :func:`run_process_chaos_drill` runs the
+  same script against a router with ``shard_processes`` worker
+  processes and delivers real ``SIGKILL``\\ s to the shard that owns the
+  in-flight session, asserting the acked ledger survives failover to
+  the replica, durable bytes never change across a kill, and the
+  supervisor respawns the fleet.
 
 Everything is seeded: the workload scripts come from
 :data:`repro.service.loadgen.WORKLOADS` under a :class:`random.Random`
@@ -35,6 +41,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import (
@@ -47,9 +54,16 @@ from ..service.client import RetryingClient, ServiceClient
 from ..service.config import ServiceConfig
 from ..service.loadgen import WORKLOADS
 from ..service.server import ServiceHandle
+from ..store.checkpoint import CheckpointManager
 from ..store.codec import dumps
 
-__all__ = ["ChaosConfig", "ChaosInvariantViolation", "ChaosMiddleware", "run_chaos_drill"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosInvariantViolation",
+    "ChaosMiddleware",
+    "run_chaos_drill",
+    "run_process_chaos_drill",
+]
 
 
 class ChaosInvariantViolation(ReproError, AssertionError):
@@ -295,6 +309,229 @@ def run_chaos_drill(store_dir: str, config: Optional[ChaosConfig] = None) -> Dic
         # Final kill: everything acknowledged must still be there.
         kill_and_restart()
         report["stalls"] = middleware.stalled
+        report["final_ledger"] = dict(sorted(ledger.items()))
+        return report
+    finally:
+        client.client.close()
+        handle.stop()
+
+
+# -- the shard-process drill ---------------------------------------------------
+
+
+def _durable_bytes(store_dir: str, session_ids: List[str]) -> Dict[str, bytes]:
+    """Latest commit-snapshot bytes straight off disk, one per session.
+
+    The process drill cannot use :func:`_snapshot_bytes` — in process
+    mode the router's manager holds no live sessions (they live in the
+    shard processes) — so the byte-identity invariant is checked against
+    the durability substrate itself: the fsynced checkpoint files the
+    failover replica recovers from.
+    """
+    root = Path(store_dir) / "checkpoints"
+    out: Dict[str, bytes] = {}
+    for sid in session_ids:
+        data = CheckpointManager(root / sid).latest_bytes()
+        _require(data is not None, f"{sid}: no durable checkpoint on disk")
+        out[sid] = data  # type: ignore[assignment]
+    return out
+
+
+def run_process_chaos_drill(
+    store_dir: str,
+    config: Optional[ChaosConfig] = None,
+    *,
+    shard_processes: int = 2,
+    replicate: bool = True,
+) -> Dict[str, Any]:
+    """The kill drill against *shard processes*: SIGKILL individual
+    shards mid-workload and prove failover loses nothing.
+
+    Same deterministic script machinery as :func:`run_chaos_drill`, but
+    the faults are real ``SIGKILL``\\ s delivered to individual shard
+    worker processes while the router stays up.  At each kill point the
+    drill:
+
+    1. records the durable checkpoint bytes of every committed session;
+    2. SIGKILLs the shard process that *owns* the next op's session
+       (maximally adversarial: the kill always lands in the request
+       path);
+    3. immediately reads every session's posterior through the retrying
+       client — the first attempts race the router's death detection, so
+       this exercises the unavailable→retry→failover path and the
+       degraded-read ladder — and requires exactly the ledgered edit
+       count back (no acked mutation lost, no unacked mutation leaked);
+    4. requires the on-disk checkpoint bytes to be byte-identical to the
+       pre-kill capture (the kill corrupted nothing);
+    5. resumes the script — the next mutating op must ack on the
+       failed-over owner.
+
+    Stall middleware does not apply here (translation runs inside the
+    shard processes); the chaos is kills, races, and poison.  The drill
+    ends with a full router+pool restart over the same store to prove
+    cold recovery of the whole fleet, and verifies the supervisor
+    respawned every killed member along the way.
+    """
+    config = config or ChaosConfig()
+    service_config = _service_config(store_dir, config).replace(
+        shard_processes=shard_processes, replicate=replicate
+    )
+
+    generator = WORKLOADS[config.workload]
+    scripts: Dict[str, Tuple[str, List[Tuple[str, str]]]] = {}
+    for index in range(config.num_sessions):
+        rng = random.Random(f"{config.seed}:{config.workload}:{index}")
+        scripts[f"{config.tenant}-s{index}"] = generator(
+            index, config.ops_per_session, rng
+        )
+    flattened: List[Tuple[str, str, str]] = []
+    for position in range(config.ops_per_session):
+        for sid, (_, ops) in scripts.items():
+            op, payload = ops[position]
+            flattened.append((sid, op, payload))
+
+    ledger: Dict[str, int] = {}
+    report: Dict[str, Any] = {
+        "ops": 0, "acks": 0, "process_kills": 0, "failover_reads": 0,
+        "failover_acks": 0, "byte_identical_recoveries": 0,
+        "poison_rejections": 0, "respawns_observed": 0,
+        "cold_restarts": 0,
+    }
+
+    handle = ServiceHandle.start(service_config)
+
+    def make_client() -> RetryingClient:
+        # Real (short) sleeps: failover needs the router to *notice* the
+        # death, which takes a transport error plus one loop tick.
+        return RetryingClient(
+            ServiceClient(*handle.address, tenant=config.tenant),
+            max_attempts=8,
+            backoff_base_s=0.05,
+            backoff_cap_s=0.5,
+            rng=random.Random(config.seed),
+        )
+
+    client = make_client()
+
+    def verify_ledger(counter: str) -> None:
+        for sid, committed in ledger.items():
+            posterior = client.posterior(sid)
+            _require(
+                posterior["num_edits"] == committed,
+                f"{sid}: read {posterior['num_edits']} edits after failover, "
+                f"ledger says {committed} — an acknowledged mutation was lost",
+            )
+            report[counter] += 1
+
+    def kill_owner_of(sid: str) -> None:
+        service = handle.service
+        victim = service._placement.assignments().get(sid)
+        _require(victim is not None, f"{sid} has no placement to kill")
+        expect = _durable_bytes(store_dir, sorted(ledger))
+        service._pool.kill(victim)
+        report["process_kills"] += 1
+        # Reads race the death discovery: first attempts may land on the
+        # dead lane, the retries must fail over to the replica.
+        verify_ledger("failover_reads")
+        actual = _durable_bytes(store_dir, sorted(ledger))
+        for check_sid, expected in expect.items():
+            _require(
+                actual[check_sid] == expected,
+                f"{check_sid}: durable snapshot changed across a shard "
+                "SIGKILL — recovery is not byte-identical",
+            )
+        report["byte_identical_recoveries"] += len(expect)
+
+    def await_respawn(deadline_s: float = 15.0) -> None:
+        expected = list(range(shard_processes))
+        waited = 0.0
+        while waited < deadline_s:
+            alive = client.stats()["process_mode"]["alive_members"]
+            if alive == expected:
+                report["respawns_observed"] += 1
+                return
+            time.sleep(0.1)
+            waited += 0.1
+        raise ChaosInvariantViolation(
+            f"supervisor did not respawn killed shards within {deadline_s}s"
+        )
+
+    try:
+        for sid, (base, _) in scripts.items():
+            result = client.create(
+                sid, base, num_particles=config.num_particles, seed=config.seed
+            )
+            _require(result["session"] == sid, f"create echoed {result!r}")
+            ledger[sid] = 0
+            report["acks"] += 1
+
+        for op_index, (sid, op, payload) in enumerate(flattened, start=1):
+            killed_here = op_index in config.kill_after_ops
+            if killed_here:
+                kill_owner_of(sid)
+
+            if config.poison_every and op_index % config.poison_every == 0:
+                try:
+                    client.client.edit(sid, "this is ! not a program (")
+                except BadRequestError:
+                    report["poison_rejections"] += 1
+                else:
+                    raise ChaosInvariantViolation(
+                        "poison program was accepted instead of rejected"
+                    )
+                posterior = client.posterior(sid)
+                _require(
+                    posterior["num_edits"] == ledger[sid],
+                    f"{sid}: poison request disturbed session state",
+                )
+
+            report["ops"] += 1
+            try:
+                if op == "observe":
+                    result = client.observe(sid, payload)
+                else:
+                    result = client.edit(sid, payload)
+            except ServiceError as error:
+                _require(
+                    not killed_here,
+                    f"{sid}: op after a shard kill was not failed over: {error!r}",
+                )
+                _require(
+                    error.code is not None and error.retryable is not None,
+                    f"unstructured rejection {error!r}",
+                )
+                continue
+            ledger[sid] += 1
+            report["acks"] += 1
+            if killed_here:
+                report["failover_acks"] += 1
+            _require(
+                result["num_edits"] == ledger[sid],
+                f"{sid}: server reports {result['num_edits']} edits, "
+                f"ledger says {ledger[sid]}",
+            )
+
+        # The supervisor must have brought every killed member back.
+        await_respawn()
+
+        # Cold restart of the whole fleet (router + every shard process)
+        # over the same store: lazy recovery must reproduce the ledger
+        # and must not rewrite a byte of durable state.
+        expect = _durable_bytes(store_dir, sorted(ledger))
+        client.client.close()
+        handle.kill()
+        handle = ServiceHandle.start(service_config)
+        client = make_client()
+        report["cold_restarts"] += 1
+        verify_ledger("failover_reads")
+        actual = _durable_bytes(store_dir, sorted(ledger))
+        for check_sid, expected in expect.items():
+            _require(
+                actual[check_sid] == expected,
+                f"{check_sid}: durable snapshot changed across a fleet restart",
+            )
+        report["byte_identical_recoveries"] += len(expect)
+
         report["final_ledger"] = dict(sorted(ledger.items()))
         return report
     finally:

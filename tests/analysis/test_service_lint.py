@@ -84,6 +84,72 @@ class TestServiceLint:
         assert {d.pass_name for d in diagnostics} == {"service-config"}
 
 
+class TestScaleOutLint:
+    def test_shards_exceeding_cpus_warns(self, monkeypatch):
+        import repro.analysis.config_lint as config_lint
+
+        monkeypatch.setattr(config_lint.os, "cpu_count", lambda: 2)
+        diagnostics = lint_service_config(_durable(shard_processes=3))
+        assert codes(diagnostics) == {"service-shards-exceed-cpus"}
+        (finding,) = diagnostics
+        assert finding.severity == "warning"
+        assert "time-slice" in finding.message
+
+    def test_shards_within_cpus_is_clean(self, monkeypatch):
+        import repro.analysis.config_lint as config_lint
+
+        monkeypatch.setattr(config_lint.os, "cpu_count", lambda: 4)
+        assert lint_service_config(_durable(shard_processes=4)) == []
+
+    def test_unknown_cpu_count_assumes_one_core(self, monkeypatch):
+        import repro.analysis.config_lint as config_lint
+
+        monkeypatch.setattr(config_lint.os, "cpu_count", lambda: None)
+        diagnostics = lint_service_config(_durable(shard_processes=2))
+        assert codes(diagnostics) == {"service-shards-exceed-cpus"}
+
+    def test_replication_without_store_is_error(self):
+        diagnostics = lint_service_config(
+            ServiceConfig(shard_processes=1, replicate=True)
+        )
+        by_code = {d.code: d for d in diagnostics}
+        finding = by_code["service-replication-without-checkpoint-dir"]
+        assert finding.severity == "error"
+        assert "nothing to replicate" in finding.message
+        # The in-memory info finding still fires alongside it.
+        assert "service-no-durability" in by_code
+
+    def test_replication_with_store_is_clean(self):
+        assert (
+            lint_service_config(_durable(shard_processes=1, replicate=True))
+            == []
+        )
+
+    def test_columnar_collection_is_info(self):
+        diagnostics = lint_service_config(_durable(collection="columnar"))
+        assert codes(diagnostics) == {"service-columnar-unsupported-model"}
+        (finding,) = diagnostics
+        assert finding.severity == "info"
+        assert "byte-identical" in finding.message
+
+    def test_misconfigured_fleet_reports_everything(self, monkeypatch):
+        import repro.analysis.config_lint as config_lint
+
+        monkeypatch.setattr(config_lint.os, "cpu_count", lambda: 1)
+        diagnostics = lint_service_config(
+            ServiceConfig(
+                shard_processes=8, replicate=True, collection="columnar"
+            )
+        )
+        assert codes(diagnostics) == {
+            "service-no-durability",
+            "service-shards-exceed-cpus",
+            "service-replication-without-checkpoint-dir",
+            "service-columnar-unsupported-model",
+        }
+        assert {d.pass_name for d in diagnostics} == {"service-config"}
+
+
 class TestBundledTarget:
     def test_bundled_sweep_includes_service_config(self):
         from repro.analysis.targets import bundled_targets, lint_bundled

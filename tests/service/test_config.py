@@ -66,6 +66,45 @@ class TestValidation:
         json.dumps(ServiceConfig(tenant_priorities={"a": 2}).to_dict())
 
 
+class TestScaleOutFields:
+    def test_defaults_stay_single_process(self):
+        config = ServiceConfig()
+        assert config.shard_processes == 0
+        assert config.replicate is False
+        assert config.collection == "object"
+
+    def test_negative_shard_processes_rejected(self):
+        with pytest.raises(ValueError, match="shard_processes"):
+            ServiceConfig(shard_processes=-1)
+
+    def test_process_mode_forces_lane_count(self):
+        # Router lanes mirror the process fleet 1:1.
+        config = ServiceConfig(num_shards=7, shard_processes=3)
+        assert config.num_shards == 3
+
+    def test_zero_processes_keeps_requested_shards(self):
+        assert ServiceConfig(num_shards=7).num_shards == 7
+
+    def test_collection_validated(self):
+        assert ServiceConfig(collection="columnar").collection == "columnar"
+        with pytest.raises(ValueError, match="collection"):
+            ServiceConfig(collection="sparse")
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+    def test_start_timeout_must_be_positive(self, bad):
+        with pytest.raises(ValueError, match="shard_start_timeout_s"):
+            ServiceConfig(shard_start_timeout_s=bad)
+
+    def test_to_dict_round_trips_process_fields(self):
+        # The pool serializes the config to JSON for the shard children;
+        # a round trip must reproduce the same config.
+        config = ServiceConfig(
+            shard_processes=2, replicate=True, collection="columnar",
+            store_dir="store",
+        )
+        assert ServiceConfig(**config.to_dict()) == config
+
+
 class TestClampDeadline:
     def test_absent_uses_default(self):
         assert ServiceConfig(default_deadline_s=7.0).clamp_deadline(None) == 7.0

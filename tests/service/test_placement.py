@@ -1,0 +1,136 @@
+"""Unit tests for rendezvous-hashed session placement."""
+
+import pytest
+
+from repro.service import PlacementMap, placement_score
+
+
+class TestScore:
+    def test_deterministic_across_instances(self):
+        assert placement_score(3, "session-a") == placement_score(3, "session-a")
+
+    def test_depends_on_both_member_and_key(self):
+        assert placement_score(0, "s") != placement_score(1, "s")
+        assert placement_score(0, "s") != placement_score(0, "t")
+
+
+class TestMembership:
+    def test_needs_at_least_one_member(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            PlacementMap([])
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PlacementMap([0, 1, 1])
+
+    def test_unknown_member_death_is_key_error(self):
+        with pytest.raises(KeyError):
+            PlacementMap([0, 1]).on_death(7)
+
+    def test_last_death_raises(self):
+        placement = PlacementMap([0])
+        with pytest.raises(RuntimeError, match="no live members"):
+            placement.on_death(0)
+
+
+class TestPlacement:
+    def test_place_is_sticky(self):
+        placement = PlacementMap(range(4))
+        owner = placement.place("session-a")
+        for _ in range(10):
+            assert placement.place("session-a") == owner
+
+    def test_first_placement_is_rendezvous_home(self):
+        placement = PlacementMap(range(4))
+        assert placement.place("session-a") == placement.home("session-a")
+
+    def test_keys_spread_over_members(self):
+        placement = PlacementMap(range(4))
+        owners = {placement.place(f"session-{i}") for i in range(64)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_replica_differs_from_home(self):
+        placement = PlacementMap(range(4))
+        for i in range(16):
+            key = f"session-{i}"
+            assert placement.replica(key) != placement.home(key)
+
+    def test_single_member_has_no_replica(self):
+        assert PlacementMap([0]).replica("s") is None
+
+    def test_forget_drops_assignment(self):
+        placement = PlacementMap(range(2))
+        placement.place("s")
+        placement.forget("s")
+        assert placement.current("s") is None
+        assert placement.assignments() == {}
+
+
+class TestFailover:
+    def test_death_moves_keys_to_their_replica(self):
+        placement = PlacementMap(range(4))
+        keys = [f"session-{i}" for i in range(32)]
+        replicas = {}
+        for key in keys:
+            placement.place(key)
+            replicas[key] = placement.replica(key)
+        victim = placement.place(keys[0])
+        moved = placement.on_death(victim)
+        assert moved  # the victim owned at least keys[0]
+        for key, old, new in moved:
+            assert old == victim
+            # Rendezvous guarantees the new owner IS the former replica.
+            assert new == replicas[key]
+            assert placement.current(key) == new
+
+    def test_death_only_moves_the_victims_keys(self):
+        placement = PlacementMap(range(4))
+        keys = [f"session-{i}" for i in range(32)]
+        before = {key: placement.place(key) for key in keys}
+        victim = before[keys[0]]
+        placement.on_death(victim)
+        for key, owner in before.items():
+            if owner != victim:
+                assert placement.current(key) == owner
+
+    def test_place_heals_a_dead_sticky_owner(self):
+        placement = PlacementMap(range(2))
+        owner = placement.place("s")
+        placement._alive[owner] = False  # simulate death without the sweep
+        healed = placement.place("s")
+        assert healed != owner
+        assert placement.is_alive(healed)
+
+    def test_join_does_not_move_keys(self):
+        placement = PlacementMap(range(4))
+        keys = [f"session-{i}" for i in range(32)]
+        for key in keys:
+            placement.place(key)
+        victim = placement.place(keys[0])
+        placement.on_death(victim)
+        after_death = placement.assignments()
+        placement.on_join(victim)
+        assert placement.assignments() == after_death
+        assert victim in placement.alive_members()
+
+    def test_rebalance_returns_displaced_keys_home(self):
+        placement = PlacementMap(range(4))
+        keys = [f"session-{i}" for i in range(32)]
+        homes = {key: placement.place(key) for key in keys}
+        victim = homes[keys[0]]
+        placement.on_death(victim)
+        placement.on_join(victim)
+        assert placement.displaced()  # failover left keys off-home
+        moved = {key: new for key, _old, new in placement.rebalance()}
+        assert placement.displaced() == []
+        for key, new in moved.items():
+            assert new == homes[key]
+
+    def test_moves_counter_tracks_every_assignment_change(self):
+        placement = PlacementMap(range(2))
+        for i in range(8):
+            placement.place(f"session-{i}")
+        assert placement.moves == 0  # first placements are not moves
+        victim = placement.place("session-0")
+        moved = placement.on_death(victim)
+        assert placement.moves == len(moved)

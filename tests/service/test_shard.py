@@ -1,0 +1,230 @@
+"""In-process tests for the shard worker server and its router link.
+
+A :class:`ShardServer` is just an asyncio server; running it on a
+private event-loop thread exercises the whole forwarded-op surface —
+lazy recovery, replicate/release, deadlines, and the hello version
+negotiation — without paying for subprocess spawns (the real-process
+drills live in ``test_process_server.py``).
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    SchemaVersionError,
+)
+from repro.service import ServiceConfig, ShardLink, ShardServer, WIRE_SCHEMA
+from repro.service.client import ServiceClient
+
+PROGRAM = "x = gauss(0.0, 1.0);\nreturn x;"
+
+
+class ShardHarness:
+    """One ShardServer on its own event-loop thread."""
+
+    def __init__(self, config: ServiceConfig, **kwargs):
+        self.server = ShardServer(config, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        self.serve_future = asyncio.run_coroutine_threadsafe(
+            self.server.serve(), self.loop
+        )
+        ready = asyncio.run_coroutine_threadsafe(
+            self.server.started.wait(), self.loop
+        )
+        ready.result(timeout=10.0)
+
+    @property
+    def address(self):
+        return (self.server.host, self.server.port)
+
+    def link(self, **kwargs) -> ShardLink:
+        return ShardLink(self.server.shard_id, lambda: self.address, **kwargs)
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(
+            timeout=10.0
+        )
+
+        def shutdown() -> None:
+            for task in asyncio.all_tasks(self.loop):
+                task.cancel()
+            self.loop.call_soon(self.loop.stop)
+
+        self.loop.call_soon_threadsafe(shutdown)
+        self.thread.join(timeout=10.0)
+        self.loop.close()
+
+
+@pytest.fixture
+def harness(tmp_path):
+    h = ShardHarness(ServiceConfig(store_dir=str(tmp_path / "store")))
+    yield h
+    h.stop()
+
+
+def _create(link, session="s0", tenant="t", particles=10):
+    return link.call({
+        "op": "create", "session": session, "tenant": tenant,
+        "program": PROGRAM, "num_particles": particles, "seed": 7,
+    })
+
+
+class TestShardOps:
+    def test_create_observe_posterior_close(self, harness):
+        link = harness.link()
+        created = _create(link)
+        assert created["session"] == "s0"
+        observed = link.call({
+            "op": "observe", "session": "s0", "tenant": "t",
+            "statement": "observe(gauss(x, 1.0) == 0.5);",
+        })
+        assert observed["num_edits"] == 1
+        posterior = link.call({
+            "op": "posterior", "session": "s0", "tenant": "t",
+        })
+        assert posterior["num_edits"] == 1
+        closed = link.call({"op": "close", "session": "s0", "tenant": "t"})
+        assert closed == {"session": "s0", "num_edits": 1, "tenant": "t"}
+        with pytest.raises(BadRequestError, match="unknown session"):
+            link.call({"op": "posterior", "session": "s0", "tenant": "t"})
+        link.close()
+
+    def test_hello_reports_schema_and_pid(self, harness):
+        link = harness.link()
+        link.connect()
+        assert link.peer_schema == WIRE_SCHEMA
+        link.close()
+
+    def test_unknown_session_is_rejected(self, harness):
+        # SessionError crosses the wire as a structured bad_request.
+        link = harness.link()
+        with pytest.raises(BadRequestError, match="unknown session"):
+            link.call({"op": "posterior", "session": "ghost", "tenant": "t"})
+        link.close()
+
+    def test_router_only_op_rejected(self, harness):
+        # 'stats' is a shard op; something the wire never defines is not.
+        link = harness.link()
+        with pytest.raises(BadRequestError, match="unknown op"):
+            link.call({"op": "loadgen", "session": "s0", "tenant": "t"})
+        link.close()
+
+    def test_deadline_enforced_in_shard(self, harness):
+        link = harness.link()
+        _create(link)
+        with pytest.raises(DeadlineExceededError):
+            link.call({
+                "op": "observe", "session": "s0", "tenant": "t",
+                "statement": "observe(gauss(x, 1.0) == 0.5);",
+                "deadline_s": 1e-9,
+            })
+        # The cancelled request rolled back: still zero edits.
+        posterior = link.call({"op": "posterior", "session": "s0", "tenant": "t"})
+        assert posterior["num_edits"] == 0
+        link.close()
+
+    def test_tenant_ownership_enforced(self, harness):
+        link = harness.link()
+        _create(link, tenant="alice")
+        with pytest.raises(BadRequestError):
+            link.call({"op": "posterior", "session": "s0", "tenant": "mallory"})
+        link.close()
+
+
+class TestLazyRecoveryAndReplication:
+    def test_second_shard_recovers_lazily_from_shared_store(self, tmp_path):
+        config = ServiceConfig(store_dir=str(tmp_path / "store"))
+        first = ShardHarness(config, shard_id=0)
+        try:
+            link = first.link()
+            _create(link)
+            link.call({
+                "op": "observe", "session": "s0", "tenant": "t",
+                "statement": "observe(gauss(x, 1.0) == 0.5);",
+            })
+            link.close()
+        finally:
+            first.stop()
+        # A different shard process over the same store: the first op it
+        # sees for the session replays the newest commit snapshot.
+        second = ShardHarness(config, shard_id=1)
+        try:
+            link = second.link()
+            posterior = link.call({
+                "op": "posterior", "session": "s0", "tenant": "t",
+            })
+            assert posterior["num_edits"] == 1
+            link.close()
+        finally:
+            second.stop()
+
+    def test_replicate_warms_and_release_drops(self, harness):
+        link = harness.link()
+        _create(link)
+        warmed = link.call({"op": "replicate", "session": "s0"})
+        assert warmed["replicated"] is True
+        released = link.call({"op": "release", "session": "s0"})
+        assert released["released"] is True
+        # Releasing what is not held is a no-op, not an error.
+        again = link.call({"op": "release", "session": "s0"})
+        assert again["released"] is False
+        # The durable state is untouched: the next op recovers it.
+        posterior = link.call({"op": "posterior", "session": "s0", "tenant": "t"})
+        assert posterior["num_edits"] == 0
+        link.close()
+
+    def test_replicate_unknown_session_reports_not_replicated(self, harness):
+        link = harness.link()
+        result = link.call({"op": "replicate", "session": "ghost"})
+        assert result["replicated"] is False
+        link.close()
+
+
+class TestVersionNegotiation:
+    def test_old_shard_refuses_newer_router(self, tmp_path):
+        # A shard built against schema 0 must refuse this router's hello.
+        old = ShardHarness(
+            ServiceConfig(store_dir=str(tmp_path / "store")), wire_schema=0
+        )
+        try:
+            link = old.link()
+            with pytest.raises(SchemaVersionError) as excinfo:
+                link.connect()
+            assert excinfo.value.found == WIRE_SCHEMA
+            assert excinfo.value.supported == 0
+        finally:
+            old.stop()
+
+    def test_refusal_is_a_structured_wire_error(self, tmp_path):
+        # Off-link view: the refusal crosses the wire as a typed error
+        # document, not a hangup.
+        old = ShardHarness(
+            ServiceConfig(store_dir=str(tmp_path / "store")), wire_schema=0
+        )
+        try:
+            client = ServiceClient(*old.address)
+            with pytest.raises(SchemaVersionError, match="wire schema"):
+                client.call_raw({"op": "hello", "wire_schema": WIRE_SCHEMA})
+            client.close()
+        finally:
+            old.stop()
+
+    def test_older_router_is_accepted(self, harness):
+        # Schemas only add fields: a router announcing an older schema
+        # gets served, with the shard echoing its own (newer) version.
+        client = ServiceClient(*harness.address)
+        info = client.call_raw({"op": "hello", "wire_schema": 0})
+        assert info["wire_schema"] == WIRE_SCHEMA
+        client.close()
+
+    def test_shard_refuses_non_shard_traffic_gracefully(self, harness):
+        client = ServiceClient(*harness.address)
+        with pytest.raises(BadRequestError):
+            client.call_raw({"op": "hello!", "wire_schema": WIRE_SCHEMA})
+        client.close()

@@ -454,6 +454,27 @@ class TestServeAndLoadgen:
         summary = json.loads(out.read_text())
         assert summary["ok"] == summary["requests"]
 
+    def test_serve_old_shard_build_exits_usage(self, tmp_path, capsys, monkeypatch):
+        # A shard fleet built against an older wire schema refuses the
+        # router's hello; `repro serve` surfaces that as a usage error
+        # (exit 2), the same rung as a newer-schema checkpoint.
+        import functools
+
+        from repro.service import shard as shard_module
+
+        monkeypatch.setattr(
+            shard_module,
+            "ShardProcessPool",
+            functools.partial(shard_module.ShardProcessPool, wire_schema=0),
+        )
+        code = main([
+            "serve", "--port", "0",
+            "--store-dir", str(tmp_path / "store"),
+            "--shard-processes", "1", "-n", "10",
+        ])
+        assert code == 2
+        assert "wire schema" in capsys.readouterr().err
+
     def test_serve_subprocess_handshake_and_graceful_stop(self, tmp_path):
         import os
         import signal as signal_module
