@@ -20,6 +20,7 @@ import pytest
 _SMC_RECORDS = []
 _STORE_RECORDS = []
 _SERVICE_RECORDS = []
+_DERIVE_RECORDS = []
 
 
 @pytest.fixture
@@ -69,6 +70,20 @@ def service_bench():
     return record
 
 
+@pytest.fixture
+def derive_bench():
+    """Record one structured measurement destined for BENCH_derive.json.
+
+    Call it with a dict; ``series`` plus the latency/accuracy keys of
+    ``test_bench_derive.py`` are the conventional shape.
+    """
+
+    def record(entry):
+        _DERIVE_RECORDS.append(dict(entry))
+
+    return record
+
+
 def _write_bench_file(records, default_name, env_var):
     out = os.environ.get(env_var)
     if out is None:
@@ -96,3 +111,5 @@ def pytest_sessionfinish(session, exitstatus):
         _write_bench_file(
             _SERVICE_RECORDS, "BENCH_service.json", "BENCH_SERVICE_OUT"
         )
+    if _DERIVE_RECORDS:
+        _write_bench_file(_DERIVE_RECORDS, "BENCH_derive.json", "BENCH_DERIVE_OUT")

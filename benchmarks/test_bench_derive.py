@@ -1,0 +1,145 @@
+"""Correspondence-derivation benchmarks: latency and fidelity.
+
+Measures
+
+* the median latency of :func:`repro.derive.derive_correspondence` as
+  the model grows (the GMM sigma edit at increasing data sizes — the
+  cost is dominated by profiling, which scales with the address space),
+* sequence accuracy with derived maps versus hand-written ones on the
+  fig. 8 regression edit and the fig. 9 HMM window-growth chain.
+
+On both workloads the derived map makes the same reuse decisions as the
+hand-written reference, so the runs consume identical randomness and the
+final estimates must agree *exactly* — the benchmark doubles as a
+regression gate on that equivalence.  Everything is recorded through the
+``derive_bench`` fixture, so the session writes ``BENCH_derive.json``
+(see ``conftest.py``).
+
+Run with ``pytest benchmarks/test_bench_derive.py -q`` (benchmarks are
+not collected by the default ``testpaths``).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import CorrespondenceTranslator, infer, infer_sequence
+from repro.core.importance import importance_sampling
+from repro.derive import derive_correspondence
+from repro.gmm.model import gmm_edit_setup
+from repro.hmm.model import FirstOrderParams
+from repro.hmm.programs import first_order_model, hidden_state_correspondence
+from repro.lang import lang_model
+from repro.regression import (
+    NoOutlierModelParams,
+    OutlierModelParams,
+    coefficient_correspondence,
+    hospital_like_dataset,
+    no_outlier_model,
+    outlier_model,
+)
+
+REPETITIONS = 3
+NUM_PARTICLES = 150
+
+
+def median_seconds(fn, repetitions=REPETITIONS):
+    samples = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+class TestDerivationLatency:
+    @pytest.mark.parametrize("num_points", [10, 40, 160])
+    def test_gmm_latency_scales_with_model_size(self, derive_bench, num_points):
+        setup = gmm_edit_setup(num_points, k=5)
+        source = lang_model(setup.source_program, env=setup.env, name="gmm_old")
+        target = lang_model(setup.target_program, env=setup.env, name="gmm_new")
+
+        derivation = derive_correspondence(source, target)
+        latency = median_seconds(lambda: derive_correspondence(source, target))
+        derive_bench(
+            {
+                "series": "gmm-sigma-edit",
+                "num_points": num_points,
+                "num_addresses": derivation.report.num_matched,
+                "median_derive_latency_s": latency,
+                "min_confidence": derivation.report.confidence(),
+            }
+        )
+        # Fidelity guard: the sigma edit preserves every address.
+        assert derivation.report.fresh == []
+        assert derivation.report.dropped == []
+
+
+class TestFig8Fidelity:
+    def test_derived_equals_handwritten_on_regression(self, derive_bench):
+        data = hospital_like_dataset(np.random.default_rng(7), num_points=50)
+        source = no_outlier_model(NoOutlierModelParams(), data.xs, data.ys)
+        target = outlier_model(OutlierModelParams(), data.xs, data.ys)
+
+        def run(correspondence):
+            rng = np.random.default_rng(41)
+            collection = importance_sampling(source, rng, NUM_PARTICLES)
+            translator = CorrespondenceTranslator(source, target, correspondence)
+            step = infer(translator, collection, rng)
+            return step.collection.estimate(lambda u: u[("slope",)])
+
+        hand = run(coefficient_correspondence())
+        derived = run(derive_correspondence(source, target).correspondence)
+        derive_bench(
+            {
+                "series": "fig8-regression",
+                "estimate_handwritten": hand,
+                "estimate_derived": derived,
+                "exactly_equal": hand == derived,
+            }
+        )
+        assert hand == derived
+
+
+class TestHMMWindowGrowthFidelity:
+    def test_derived_equals_handwritten_on_window_growth(self, derive_bench):
+        params = FirstOrderParams(
+            log_initial=np.log([0.5, 0.5]),
+            log_transition=np.log([[0.7, 0.3], [0.3, 0.7]]),
+            log_observation=np.log([[0.8, 0.2], [0.2, 0.8]]),
+        )
+        observations = (0, 1, 0, 1, 0, 0, 1, 0, 1, 1)
+        models = [first_order_model(params, observations[:w]) for w in (4, 7, 10)]
+
+        def run(derive):
+            rng = np.random.default_rng(12)
+            initial = importance_sampling(models[0], rng, NUM_PARTICLES).resample(rng)
+            if derive:
+                steps = infer_sequence(models, initial, rng, correspondence="derive")
+            else:
+                translators = [
+                    CorrespondenceTranslator(
+                        models[i], models[i + 1], hidden_state_correspondence()
+                    )
+                    for i in range(len(models) - 1)
+                ]
+                steps = infer_sequence(translators, initial, rng)
+            final = steps[-1].collection
+            return final.estimate_probability(lambda u: u[("hidden", 9)] == 1)
+
+        hand = run(False)
+        start = time.perf_counter()
+        derived = run(True)
+        derived_wall = time.perf_counter() - start
+        derive_bench(
+            {
+                "series": "hmm-window-growth",
+                "windows": [4, 7, 10],
+                "estimate_handwritten": hand,
+                "estimate_derived": derived,
+                "exactly_equal": hand == derived,
+                "derived_sequence_wall_s": derived_wall,
+            }
+        )
+        assert hand == derived

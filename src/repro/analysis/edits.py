@@ -164,6 +164,7 @@ def check_edit(
     rng: Optional[np.random.Generator] = None,
     visited: Optional[Sequence[bool]] = None,
     runtime_check: bool = True,
+    derivation: Optional[Any] = None,
 ) -> List[Diagnostic]:
     """Cross-check static invalidation sets against runtime propagation.
 
@@ -173,12 +174,23 @@ def check_edit(
     sets.  ``visited`` overrides the runtime vector (used by the seeded
     stale-trace tests); ``runtime_check=False`` stops after the static
     half (used by the inference pre-flight, which must not execute
-    models).
+    models).  ``derivation`` optionally names the
+    :class:`repro.derive.Derivation` whose map the edit was checked
+    under (``repro lint --derive``): stale-skip and overpropagation
+    findings then cite the derivation report, since a derived rename can
+    shift which statements align.
     """
     analysis = invalidation_sets(old_program, new_program)
     diagnostics: List[Diagnostic] = []
+    derivation_note = (
+        f" [under derived correspondence: {derivation.report.summary()}]"
+        if derivation is not None
+        else ""
+    )
 
     def finding(severity: str, message: str, code: str, index: int) -> None:
+        if code in ("edit-stale-skip", "edit-overpropagation"):
+            message += derivation_note
         diagnostics.append(
             Diagnostic(
                 severity,

@@ -78,7 +78,12 @@ def _burglary_correspondence() -> List[Diagnostic]:
     )
 
 
-def _regression_correspondence() -> List[Diagnostic]:
+def _regression_setup():
+    """The fig. 8 edit pair: ``(source, target, reference_correspondence)``.
+
+    Shared by the hand-written ``correspondence:regression`` target and
+    the ``derive:regression`` gate (:mod:`repro.derive.gate`).
+    """
     from ..regression.programs import (
         NoOutlierModelParams,
         OutlierModelParams,
@@ -86,18 +91,28 @@ def _regression_correspondence() -> List[Diagnostic]:
         no_outlier_model,
         outlier_model,
     )
-    from .correspondence import validate_correspondence
 
     xs = (0.0, 1.0, 2.0)
     ys = (0.1, 1.1, 1.9)
-    return validate_correspondence(
+    return (
         no_outlier_model(NoOutlierModelParams(), xs, ys),
         outlier_model(OutlierModelParams(), xs, ys),
         coefficient_correspondence(),
     )
 
 
-def _hmm_correspondence() -> List[Diagnostic]:
+def _regression_correspondence() -> List[Diagnostic]:
+    from .correspondence import validate_correspondence
+
+    return validate_correspondence(*_regression_setup())
+
+
+def _hmm_setup():
+    """The HMM order-swap pair: ``(source, target, reference_correspondence)``.
+
+    Shared by the hand-written ``correspondence:hmm`` target and the
+    ``derive:hmm`` gate (:mod:`repro.derive.gate`).
+    """
     import numpy as np
 
     from ..hmm.model import FirstOrderParams, SecondOrderParams
@@ -106,7 +121,6 @@ def _hmm_correspondence() -> List[Diagnostic]:
         hidden_state_correspondence,
         second_order_model,
     )
-    from .correspondence import validate_correspondence
 
     log_initial = np.log([0.5, 0.5])
     log_observation = np.log([[0.8, 0.2], [0.2, 0.8]])
@@ -127,11 +141,27 @@ def _hmm_correspondence() -> List[Diagnostic]:
         log_observation=log_observation,
     )
     observations = (0, 1, 0)
-    return validate_correspondence(
+    return (
         first_order_model(first, observations),
         second_order_model(second, observations),
         hidden_state_correspondence(),
     )
+
+
+def _hmm_correspondence() -> List[Diagnostic]:
+    from .correspondence import validate_correspondence
+
+    return validate_correspondence(*_hmm_setup())
+
+
+def _derive_gate(pair_name: str):
+    def run() -> List[Diagnostic]:
+        from ..derive.gate import BUNDLED_PAIRS, check_derivation
+
+        source, target, reference = BUNDLED_PAIRS[pair_name]()
+        return check_derivation(source, target, reference)
+
+    return run
 
 
 def _config(name: str, **kwargs):
@@ -173,6 +203,9 @@ def bundled_targets() -> TargetRegistry:
     registry["correspondence:burglary"] = _burglary_correspondence
     registry["correspondence:regression"] = _regression_correspondence
     registry["correspondence:hmm"] = _hmm_correspondence
+    registry["derive:hmm"] = _derive_gate("hmm")
+    registry["derive:regression"] = _derive_gate("regression")
+    registry["derive:gmm"] = _derive_gate("gmm")
     registry["config:default"] = _config("default")
     registry["config:adaptive-smc"] = _config(
         "adaptive-smc",

@@ -14,6 +14,13 @@ Subcommands (``python -m repro.cli <cmd>`` or the ``repro`` script):
   (``--strict``/``--format json``/``--out`` for CI);
 * ``diff OLD NEW`` — show the label correspondence the tree diff
   recovers between two programs (Section 6's heuristic);
+* ``derive OLD NEW`` — derive the address correspondence by profiling
+  and structurally aligning the two programs' address spaces
+  (:mod:`repro.derive`) and print the evidence report
+  (``--format json``/``--out`` for CI artifacts); ``sequence`` and
+  ``resume`` accept ``--correspondence derive`` to run a whole edit
+  chain on derived maps, and ``lint OLD NEW --derive`` validates the
+  derived map in place of the tree-diff label map;
 * ``translate OLD NEW`` — incremental inference across an edit: sample
   traces of OLD, translate each to NEW with the diff correspondence,
   and print the weighted return-value distribution with diagnostics;
@@ -261,14 +268,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 target=path,
             )
         edit_target = f"{args.targets[0]} -> {args.targets[1]}"
+        derivation = None
+        if getattr(args, "derive", False):
+            from .analysis import validate_correspondence
+            from .derive import derive_correspondence, derive_label_map
+
+            source = lang_model(old_program, env=env, name=args.targets[0])
+            target = lang_model(new_program, env=env, name=args.targets[1])
+            derivation = derive_correspondence(
+                source, target, rng=np.random.default_rng(0)
+            )
+            result.extend(
+                validate_correspondence(
+                    source,
+                    target,
+                    derivation.correspondence,
+                    rng=np.random.default_rng(0),
+                ),
+                target=edit_target,
+            )
+            label_map = derive_label_map(derivation)
+        else:
+            label_map = align_labels(old_program, new_program)
         result.extend(
-            validate_label_map(
-                old_program, new_program, align_labels(old_program, new_program)
-            ),
+            validate_label_map(old_program, new_program, label_map),
             target=edit_target,
         )
         result.extend(
-            check_edit(old_program, new_program, env=env or None),
+            check_edit(
+                old_program, new_program, env=env or None, derivation=derivation
+            ),
             target=edit_target,
         )
     else:
@@ -325,6 +354,46 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         return 0
     for new_label, old_label in sorted(mapping.items()):
         print(f"{new_label}  <-  {old_label}")
+    return 0
+
+
+def _cmd_derive(args: argparse.Namespace) -> int:
+    from .derive import derive_correspondence
+
+    old_program = _load_program(args.old)
+    new_program = _load_program(args.new)
+    env = _parse_env(args.env)
+    source = lang_model(old_program, env=env, name=args.old)
+    target = lang_model(new_program, env=env, name=args.new)
+    derivation = derive_correspondence(
+        source, target, rng=np.random.default_rng(args.seed),
+        num_samples=args.num_samples,
+    )
+    report = derivation.report
+
+    if args.format == "json" or args.out:
+        body = json_module.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(body + "\n")
+            print(f"derivation report written to {args.out}")
+        if args.format == "json":
+            print(body)
+    if args.format == "text":
+        print(f"derived correspondence: {report.summary()}")
+        for match in report.matches:
+            print(
+                f"  {tuple(match.target)!r}  <-  {tuple(match.source)!r}  "
+                f"[{match.kind}, confidence {match.confidence:.2f}]"
+            )
+        for q_head, p_head in sorted(report.family_rules.items(), key=repr):
+            print(f"  family rule: ({q_head!r}, *)  <-  ({p_head!r}, *)")
+        for address in report.fresh:
+            print(f"  fresh: {tuple(address)!r} (sampled anew on translation)")
+        for address in report.dropped:
+            print(f"  dropped: {tuple(address)!r} (old value discarded)")
+        for note in report.notes:
+            print(f"  note: {note}")
     return 0
 
 
@@ -413,7 +482,14 @@ class _KillAfterStep(Hooks):
 
 
 def _chain_translators(args: argparse.Namespace):
-    """Parse the program chain and build its adjacent-edit translators."""
+    """Parse the program chain and build its adjacent-edit translators.
+
+    ``--correspondence diff`` (the default) recovers each map from the
+    tree diff of the program texts; ``--correspondence derive`` aligns
+    the models' profiled address spaces instead
+    (:func:`repro.derive.derive_correspondence`) and needs no program
+    diff at all.
+    """
     if len(args.files) < 2:
         _fail_usage("need at least two programs to form an edit sequence")
     programs = [_load_program(path) for path in args.files]
@@ -422,14 +498,19 @@ def _chain_translators(args: argparse.Namespace):
         lang_model(program, env=env, name=f"p{index}")
         for index, program in enumerate(programs)
     ]
-    translators = [
-        CorrespondenceTranslator(
-            models[index],
-            models[index + 1],
-            diff_correspondence(programs[index], programs[index + 1]),
-        )
-        for index in range(len(models) - 1)
-    ]
+    if getattr(args, "correspondence", "diff") == "derive":
+        from .derive import derive_sequence_translators
+
+        translators = derive_sequence_translators(models)
+    else:
+        translators = [
+            CorrespondenceTranslator(
+                models[index],
+                models[index + 1],
+                diff_correspondence(programs[index], programs[index + 1]),
+            )
+            for index in range(len(models) - 1)
+        ]
     return programs, models, translators
 
 
@@ -781,6 +862,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--out", metavar="PATH",
                           help="also write the JSON report to this file "
                                "(the CI artifact)")
+    lint_cmd.add_argument("--derive", action="store_true",
+                          help="with OLD NEW: validate the automatically "
+                               "derived correspondence (repro.derive) instead "
+                               "of the tree-diff label map; edit findings then "
+                               "cite the derivation report")
     lint_cmd.set_defaults(handler=_cmd_lint)
 
     run_cmd = subparsers.add_parser("run", help="sample traces of a program")
@@ -803,6 +889,25 @@ def build_parser() -> argparse.ArgumentParser:
     diff_cmd.add_argument("old")
     diff_cmd.add_argument("new")
     diff_cmd.set_defaults(handler=_cmd_diff)
+
+    derive_cmd = subparsers.add_parser(
+        "derive", help="derive the address correspondence between two programs"
+    )
+    derive_cmd.add_argument("old")
+    derive_cmd.add_argument("new")
+    derive_cmd.add_argument("--env", action="append", metavar="NAME=VALUE")
+    derive_cmd.add_argument("-n", "--num-samples", type=_positive_int, default=24,
+                            help="profiling simulations per model when exact "
+                                 "enumeration is impossible (default: 24)")
+    derive_cmd.add_argument("--seed", type=int, default=0,
+                            help="profiling seed (derivation is deterministic "
+                                 "for a fixed seed; default: 0)")
+    derive_cmd.add_argument("--format", choices=("text", "json"), default="text",
+                            help="report format (default: text)")
+    derive_cmd.add_argument("--out", metavar="PATH",
+                            help="also write the JSON derivation report to "
+                                 "this file (the CI artifact)")
+    derive_cmd.set_defaults(handler=_cmd_derive)
 
     translate_cmd = subparsers.add_parser(
         "translate", help="incremental inference from OLD to NEW"
@@ -840,6 +945,12 @@ def build_parser() -> argparse.ArgumentParser:
     sequence_cmd.add_argument("--env", action="append", metavar="NAME=VALUE")
     sequence_cmd.add_argument("-n", "--num-samples", type=int, default=1000)
     sequence_cmd.add_argument("--seed", type=int, default=None)
+    sequence_cmd.add_argument("--correspondence", choices=("diff", "derive"),
+                              default="diff",
+                              help="how each edit's address map is obtained: "
+                                   "'diff' recovers it from the program tree "
+                                   "diff, 'derive' aligns the profiled address "
+                                   "spaces (repro.derive; default: diff)")
     _add_checkpoint_arguments(sequence_cmd)
     sequence_cmd.add_argument("--out", metavar="PATH",
                               help="write the final collection as a canonical "
@@ -857,6 +968,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume_cmd.add_argument("files", nargs="+", metavar="FILE",
                             help="the same program chain the sequence run used")
     resume_cmd.add_argument("--env", action="append", metavar="NAME=VALUE")
+    resume_cmd.add_argument("--correspondence", choices=("diff", "derive"),
+                            default="diff",
+                            help="must match the interrupted run's setting so "
+                                 "the resumed steps translate identically "
+                                 "(default: diff)")
     _add_checkpoint_arguments(resume_cmd, required=True)
     resume_cmd.add_argument("--out", metavar="PATH",
                             help="write the final collection as a canonical "

@@ -330,12 +330,49 @@ class CorrespondenceTranslator(TraceTranslator[Trace]):
         self.forward_proposals = _normalize_proposals(forward_proposals)
         self.backward_proposals = _normalize_proposals(backward_proposals)
         self._cache = LogProbCache(cache_max_entries) if log_prob_cache else None
+        #: The :class:`~repro.derive.report.DerivationReport` behind this
+        #: translator's correspondence, when it was derived rather than
+        #: hand-written (see :meth:`from_derived`); None otherwise.
+        self.derivation_report = None
         # Hoisted registry lookups (one per particle otherwise); rebound
         # alongside the sinks in bind_observability.
         self._reused_counter = None
         self._fresh_counter = None
         self._cache_hit_counter = None
         self._cache_miss_counter = None
+
+    @classmethod
+    def from_derived(
+        cls,
+        source: Model,
+        target: Model,
+        *,
+        rng=None,
+        num_samples: Optional[int] = None,
+        observations=None,
+        **kwargs: Any,
+    ) -> "CorrespondenceTranslator":
+        """A translator whose correspondence is derived, not hand-written.
+
+        Runs :func:`repro.derive.derive_correspondence` over the two
+        models and builds the translator on the derived map; the
+        evidence is kept on the result as ``derivation_report``.
+        ``rng``/``num_samples``/``observations`` configure the
+        derivation (profiling is deterministic when ``rng`` is omitted);
+        remaining keyword arguments (``forward_proposals``,
+        ``log_prob_cache``, ...) pass through to the constructor.
+        Imported lazily so constructing hand-written translators never
+        touches the derive subsystem.
+        """
+        from ..derive import derive_correspondence
+
+        derive_kwargs: Dict[str, Any] = {"rng": rng, "observations": observations}
+        if num_samples is not None:
+            derive_kwargs["num_samples"] = num_samples
+        derivation = derive_correspondence(source, target, **derive_kwargs)
+        translator = cls(source, target, derivation.correspondence, **kwargs)
+        translator.derivation_report = derivation.report
+        return translator
 
     def bind_observability(self, tracer, metrics) -> None:
         super().bind_observability(tracer, metrics)

@@ -693,6 +693,7 @@ def infer_sequence(
     *,
     config: Optional[InferenceConfig] = None,
     step_offset: int = 0,
+    correspondence: Optional[str] = None,
 ) -> List[SMCStep]:
     """Iterate Algorithm 2 across a sequence of programs.
 
@@ -700,6 +701,12 @@ def infer_sequence(
     ``translators[k-1]`` (programs are modified iteratively, Section 4.2
     "Multiple Steps and resample").  Returns the per-step results; the
     final collection is ``steps[-1].collection``.
+
+    With ``correspondence="derive"``, pass *models* (the program after
+    each edit) instead of translators: the adjacent correspondences are
+    derived automatically via
+    :func:`repro.derive.derive_sequence_translators`, so no hand-written
+    address map is needed.
 
     Configuration follows :func:`infer` (one keyword-only
     :class:`InferenceConfig`, shared by every step; the deprecated
@@ -723,6 +730,16 @@ def infer_sequence(
     generator state is captured at the step boundary, kill-and-resume
     reproduces the uninterrupted final collection byte for byte.
     """
+    if correspondence is not None:
+        if correspondence != "derive":
+            raise ValueError(
+                f"correspondence must be None or 'derive', got {correspondence!r}"
+            )
+        # Deferred: core must stay importable without the derive
+        # subsystem (which itself imports core).
+        from ..derive import derive_sequence_translators
+
+        translators = derive_sequence_translators(translators)
     config = _merge_legacy_config(
         "infer_sequence",
         config,

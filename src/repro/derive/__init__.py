@@ -1,0 +1,43 @@
+"""Automatic correspondence derivation (ROADMAP item 3).
+
+The graph runtime already derives its correspondence from the program
+edit (Section 6); the embedded PPL used to demand a hand-written address
+map.  This subsystem closes that gap: given two models,
+:func:`derive_correspondence` profiles both address spaces and aligns
+them structurally — exact-match fast path, callsite/loop-index-aware
+family rules for ``("hidden", i)``-style indexed families, rename
+alignment with distribution-support compatibility as the tie-breaker —
+and emits a picklable :class:`~repro.core.correspondence.Correspondence`
+plus a machine-readable :class:`DerivationReport`.
+
+Entry points, closest to the metal first:
+
+* :func:`derive_correspondence` — the aligner itself;
+* :meth:`repro.core.CorrespondenceTranslator.from_derived` — a
+  translator whose map was derived (carries ``derivation_report``);
+* :func:`derive_sequence_translators` /
+  ``infer_sequence(models, correspondence="derive")`` /
+  :meth:`repro.store.InferenceSession.sequence` — whole edit chains
+  with no user-supplied map;
+* ``repro derive OLD NEW`` — the CLI surface;
+* :func:`check_derivation` — the derived-equals-handwritten gate run by
+  ``repro lint bundled`` and CI.
+
+See ``docs/derivation.md`` for the algorithm and confidence semantics.
+"""
+
+from .align import Derivation, derive_correspondence, derive_label_map
+from .gate import bundled_derivations, check_derivation
+from .report import AddressMatch, DerivationReport
+from .sequence import derive_sequence_translators
+
+__all__ = [
+    "AddressMatch",
+    "Derivation",
+    "DerivationReport",
+    "bundled_derivations",
+    "check_derivation",
+    "derive_correspondence",
+    "derive_label_map",
+    "derive_sequence_translators",
+]

@@ -1,0 +1,138 @@
+"""The derived-equals-handwritten gate.
+
+Every bundled target ships a hand-written (or diff-recovered) reference
+correspondence; the derive CI job and the ``derive:*`` entries of
+``repro lint bundled`` require the *derived* map to (a) validate with
+zero errors and (b) agree with the reference on every shared address —
+both directions, over both profiled address spaces.  Disagreement is an
+``error`` diagnostic (``derive-mismatch``), so the existing strict lint
+job gates it.
+
+Imports inside functions keep ``import repro.derive`` light and avoid
+loading the experiment models until a gate actually runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .align import Derivation, derive_correspondence
+
+__all__ = [
+    "check_derivation",
+    "bundled_derivations",
+]
+
+PASS_NAME = "derive"
+
+
+def check_derivation(
+    source: Any,
+    target: Any,
+    reference: Any,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    num_samples: Optional[int] = None,
+    derivation: Optional[Derivation] = None,
+) -> List[Any]:
+    """Gate one model pair: validate the derived map, compare to ``reference``.
+
+    Returns :class:`repro.analysis.Diagnostic` values: the full
+    :func:`~repro.analysis.validate_correspondence` findings for the
+    derived map, plus one ``derive-mismatch`` error per address where
+    the derived and reference maps disagree (forward over the target's
+    profiled addresses, backward over the source's).
+    """
+    from ..analysis.correspondence import (
+        DEFAULT_SAMPLES,
+        profile_model,
+        validate_correspondence,
+    )
+    from ..analysis.diagnostics import Diagnostic
+
+    num_samples = DEFAULT_SAMPLES if num_samples is None else num_samples
+    if derivation is None:
+        derivation = derive_correspondence(
+            source, target, rng=np.random.default_rng(0), num_samples=num_samples
+        )
+    derived = derivation.correspondence
+    diagnostics = validate_correspondence(
+        source, target, derived, rng=np.random.default_rng(0), num_samples=num_samples
+    )
+
+    def mismatch(direction: str, address: Any, got: Any, want: Any) -> None:
+        diagnostics.append(
+            Diagnostic(
+                "error",
+                f"derived correspondence disagrees with the reference map: "
+                f"{direction}({address!r}) = {got!r}, reference says {want!r} "
+                f"(derivation: {derivation.report.summary()})",
+                code="derive-mismatch",
+                pass_name=PASS_NAME,
+                address=repr(address),
+            )
+        )
+
+    profile_rng = np.random.default_rng(0)
+    q_profile = profile_model(target, profile_rng, num_samples)
+    p_profile = profile_model(source, profile_rng, num_samples)
+    for q_address in sorted(q_profile.supports, key=repr):
+        got, want = derived.forward(q_address), reference.forward(q_address)
+        if got != want:
+            mismatch("forward", q_address, got, want)
+    for p_address in sorted(p_profile.supports, key=repr):
+        got, want = derived.backward(p_address), reference.backward(p_address)
+        if got != want:
+            mismatch("backward", p_address, got, want)
+    return diagnostics
+
+
+def _hmm_pair() -> Tuple[Any, Any, Any]:
+    from ..analysis.targets import _hmm_setup
+
+    return _hmm_setup()
+
+
+def _regression_pair() -> Tuple[Any, Any, Any]:
+    from ..analysis.targets import _regression_setup
+
+    return _regression_setup()
+
+
+def _gmm_pair(n: int = 6, k: int = 3) -> Tuple[Any, Any, Any]:
+    from ..gmm.model import gmm_edit_setup
+    from ..graph.diff import diff_correspondence
+    from ..lang import lang_model
+
+    setup = gmm_edit_setup(n, k=k)
+    source = lang_model(setup.source_program, env=setup.env, name="gmm_old")
+    target = lang_model(setup.target_program, env=setup.env, name="gmm_new")
+    reference = diff_correspondence(setup.source_program, setup.target_program)
+    return source, target, reference
+
+
+#: name -> thunk returning ``(source_model, target_model, reference_map)``
+#: for every bundled pair the derive gate covers.
+BUNDLED_PAIRS = {
+    "hmm": _hmm_pair,
+    "regression": _regression_pair,
+    "gmm": _gmm_pair,
+}
+
+
+def bundled_derivations(
+    *, num_samples: Optional[int] = None
+) -> Dict[str, Derivation]:
+    """Derive every bundled pair; the CI derive job's report source."""
+    derivations: Dict[str, Derivation] = {}
+    for name, thunk in sorted(BUNDLED_PAIRS.items()):
+        source, target, _reference = thunk()
+        derivations[name] = derive_correspondence(
+            source,
+            target,
+            rng=np.random.default_rng(0),
+            num_samples=num_samples if num_samples is not None else 24,
+        )
+    return derivations

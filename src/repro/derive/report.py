@@ -1,0 +1,166 @@
+"""Machine-readable evidence for a derived correspondence.
+
+A :class:`DerivationReport` records everything the aligner decided and
+why: one :class:`AddressMatch` per related address pair (with the match
+kind, a confidence score, and a human-readable evidence string), the
+target addresses left fresh, the source addresses dropped, the open
+family rules that extend the map to unseen loop indices, and free-form
+notes for pairs the aligner *rejected* (e.g. a support-incompatible
+rename).  The report is what the CLI prints, what ``repro lint
+--derive`` references from edit findings, and what the CI derive job
+uploads as an artifact; it round-trips through the store codec
+(``$derep``) so it can be persisted next to the collection it produced.
+
+Confidence semantics (see ``docs/derivation.md``):
+
+* ``1.0`` — exact address match with supports observed equal;
+* ``0.75`` — exact address match, support types overlap but were never
+  observed equal (values reuse only when the supports happen to agree);
+* ``0.6`` — structural rename with supports observed equal;
+* ``0.4`` — structural rename on support-type overlap alone.
+
+This module depends only on the standard library and the address type,
+so the store codec can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..core.address import Address
+
+__all__ = ["AddressMatch", "DerivationReport"]
+
+#: Confidence assigned to each match kind (``(ever_equal, overlap_only)``).
+CONFIDENCE = {
+    "exact": (1.0, 0.75),
+    "rename": (0.6, 0.4),
+}
+
+
+def _address_doc(address: Address) -> List[Any]:
+    """A JSON-friendly rendering of an address tuple."""
+    return list(address)
+
+
+@dataclass(frozen=True)
+class AddressMatch:
+    """One aligned address pair with its evidence.
+
+    ``target`` is the new program's address (the forward map's domain),
+    ``source`` the old program's (its image), matching the orientation
+    of :class:`~repro.core.correspondence.Correspondence`.
+    """
+
+    target: Address
+    source: Address
+    #: ``"exact"`` (same address in both programs) or ``"rename"``
+    #: (structurally aligned under a different head).
+    kind: str
+    confidence: float
+    evidence: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": _address_doc(self.target),
+            "source": _address_doc(self.source),
+            "kind": self.kind,
+            "confidence": self.confidence,
+            "evidence": self.evidence,
+        }
+
+
+@dataclass
+class DerivationReport:
+    """Everything :func:`repro.derive.derive_correspondence` decided.
+
+    ``matches`` covers the addresses observed in both profiles;
+    ``family_rules`` extends the map intensionally — a rule ``q_head ->
+    p_head`` applies the head rename to *any* indexed address of that
+    family, so a derived map keeps working when an observation window
+    grows past the profiled indices (the Section 5.4 loop-indexing
+    scheme).  ``fresh`` and ``dropped`` list the unmatched remainder of
+    each address space; ``notes`` records candidate pairs the aligner
+    rejected and why.
+    """
+
+    source_name: str
+    target_name: str
+    matches: List[AddressMatch] = field(default_factory=list)
+    #: Target addresses with no usable source counterpart (sampled fresh).
+    fresh: List[Address] = field(default_factory=list)
+    #: Source addresses with no target counterpart (values discarded).
+    dropped: List[Address] = field(default_factory=list)
+    #: Open head-rename rules ``{target_head: source_head}`` for indexed
+    #: families; identity rules (``h -> h``) make the map total over the
+    #: family like a hand-written predicate correspondence.
+    family_rules: Dict[Hashable, Hashable] = field(default_factory=dict)
+    #: Rejected-candidate explanations (support-incompatible renames, ...).
+    notes: List[str] = field(default_factory=list)
+    #: Whether each profile came from exhaustive enumeration.
+    source_complete: bool = False
+    target_complete: bool = False
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_matched(self) -> int:
+        return len(self.matches)
+
+    def match_for(self, target_address: Address) -> Optional[AddressMatch]:
+        """The match whose target is ``target_address``, if any."""
+        for match in self.matches:
+            if match.target == target_address:
+                return match
+        return None
+
+    def confidence(self) -> float:
+        """The weakest link: min over per-match confidences (1.0 if none)."""
+        if not self.matches:
+            return 1.0
+        return min(match.confidence for match in self.matches)
+
+    def summary(self) -> str:
+        """One line for log messages and lint references."""
+        return (
+            f"{self.num_matched} matched / {len(self.fresh)} fresh / "
+            f"{len(self.dropped)} dropped, min confidence "
+            f"{self.confidence():.2f} ({self.source_name!r} -> "
+            f"{self.target_name!r})"
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON dict (addresses as lists) for reports/artifacts."""
+        return {
+            "source": self.source_name,
+            "target": self.target_name,
+            "matches": [match.to_dict() for match in self.matches],
+            "fresh": [_address_doc(a) for a in self.fresh],
+            "dropped": [_address_doc(a) for a in self.dropped],
+            "family_rules": [
+                {"target_head": q, "source_head": p}
+                for q, p in sorted(self.family_rules.items(), key=repr)
+            ],
+            "notes": list(self.notes),
+            "source_complete": self.source_complete,
+            "target_complete": self.target_complete,
+            "min_confidence": self.confidence(),
+            "summary": self.summary(),
+        }
+
+    def __repr__(self) -> str:
+        return f"DerivationReport({self.summary()})"
+
+
+def match_confidence(kind: str, ever_equal: bool) -> float:
+    """The confidence score for a match kind and support evidence."""
+    exact, weak = CONFIDENCE[kind]
+    return exact if ever_equal else weak
+
+
+def sort_key(address: Address) -> Tuple[str, ...]:
+    """Deterministic address ordering shared by the aligner and report."""
+    return tuple(repr(part) for part in address)

@@ -1,0 +1,57 @@
+"""Build an edit-chain's translators by derivation alone.
+
+The usability cliff this subsystem removes: running
+:func:`repro.core.smc.infer_sequence` over a chain of embedded-PPL
+models used to require one hand-written correspondence per edit.
+:func:`derive_sequence_translators` derives each adjacent
+correspondence instead, so ``infer_sequence(models,
+correspondence="derive")`` and :meth:`repro.store.InferenceSession.sequence`
+work with no user-supplied map at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.corr_translator import CorrespondenceTranslator
+from ..core.model import Model
+
+__all__ = ["derive_sequence_translators"]
+
+
+def derive_sequence_translators(
+    models: Sequence[Model],
+    *,
+    rng: Optional[np.random.Generator] = None,
+    num_samples: Optional[int] = None,
+) -> List[CorrespondenceTranslator]:
+    """One derived translator per adjacent model pair of ``models``.
+
+    ``models[k]`` is the program after the ``k``-th edit;
+    ``translators[k]`` translates from ``models[k]`` to ``models[k+1]``
+    with a correspondence derived by
+    :func:`repro.derive.derive_correspondence`.  Each translator carries
+    its :class:`~repro.derive.report.DerivationReport` as
+    ``translator.derivation_report``.  Derivation profiles with its own
+    fixed-seed stream when ``rng`` is omitted, so building the chain
+    never perturbs the inference RNG.
+    """
+    models = list(models)
+    if len(models) < 2:
+        raise ValueError(
+            f"an edit sequence needs at least two models, got {len(models)}"
+        )
+    for index, model in enumerate(models):
+        if not isinstance(model, Model):
+            raise TypeError(
+                f"models[{index}] is {type(model).__name__}, expected a Model; "
+                "pass models (not translators) when deriving correspondences"
+            )
+    return [
+        CorrespondenceTranslator.from_derived(
+            models[index], models[index + 1], rng=rng, num_samples=num_samples
+        )
+        for index in range(len(models) - 1)
+    ]

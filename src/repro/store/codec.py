@@ -77,6 +77,7 @@ from ..core.trace import ChoiceRecord, ObservationRecord, Trace
 from ..core.weighted import WeightedCollection
 from ..distributions import Distribution
 from ..errors import CodecError, SchemaVersionError
+from ..derive.report import AddressMatch, DerivationReport
 from ..graph.records import GraphTrace, StmtRecord
 from ..lang import ast as lang_ast
 
@@ -96,8 +97,9 @@ __all__ = [
 #: Version of the document layout produced by this module.  Bump on any
 #: incompatible change; readers migrate older versions forward and
 #: reject newer ones.  History: 1 — initial layout; 2 — adds the
-#: ``$ccoll`` tag (columnar particle collections).
-SCHEMA_VERSION = 2
+#: ``$ccoll`` tag (columnar particle collections); 3 — adds the
+#: ``$derep`` tag (correspondence derivation reports).
+SCHEMA_VERSION = 3
 
 #: Leading bytes of the binary framing (never valid JSON).
 BINARY_MAGIC = b"\x89REPROSTORE\x00"
@@ -479,6 +481,29 @@ def encode_value(value: Any) -> Any:
         return {
             "$stats": {k: encode_value(v) for k, v in _init_field_values(value).items()}
         }
+    if isinstance(value, DerivationReport):
+        return {
+            "$derep": {
+                "source_name": value.source_name,
+                "target_name": value.target_name,
+                "matches": [
+                    {
+                        "target": encode_value(m.target),
+                        "source": encode_value(m.source),
+                        "kind": m.kind,
+                        "confidence": encode_value(m.confidence),
+                        "evidence": m.evidence,
+                    }
+                    for m in value.matches
+                ],
+                "fresh": [encode_value(a) for a in value.fresh],
+                "dropped": [encode_value(a) for a in value.dropped],
+                "family_rules": encode_value(dict(value.family_rules)),
+                "notes": list(value.notes),
+                "source_complete": value.source_complete,
+                "target_complete": value.target_complete,
+            }
+        }
     if isinstance(value, np.random.Generator):
         return {"$rng": _encode_rng(value)}
     raise CodecError(
@@ -542,6 +567,28 @@ def decode_value(value: Any) -> Any:
         if tag == "$stats":
             fields = {k: decode_value(v) for k, v in value["$stats"].items()}
             return SMCStats(**fields)
+        if tag == "$derep":
+            payload = value["$derep"]
+            return DerivationReport(
+                source_name=payload["source_name"],
+                target_name=payload["target_name"],
+                matches=[
+                    AddressMatch(
+                        target=decode_value(m["target"]),
+                        source=decode_value(m["source"]),
+                        kind=m["kind"],
+                        confidence=decode_value(m["confidence"]),
+                        evidence=m["evidence"],
+                    )
+                    for m in payload["matches"]
+                ],
+                fresh=[decode_value(a) for a in payload["fresh"]],
+                dropped=[decode_value(a) for a in payload["dropped"]],
+                family_rules=decode_value(payload["family_rules"]),
+                notes=list(payload["notes"]),
+                source_complete=payload["source_complete"],
+                target_complete=payload["target_complete"],
+            )
         if tag == "$rng":
             return _decode_rng(value["$rng"])
         if tag.startswith("$"):

@@ -31,7 +31,7 @@ import re
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -142,6 +142,47 @@ class InferenceSession:
                 raise
             self.collection = step.collection
             return self._record_step(step)
+
+    def sequence(
+        self,
+        models: Sequence[Any],
+        mcmc_kernels: Optional[Sequence[Optional[Kernel]]] = None,
+        *,
+        correspondence: str = "derive",
+        hooks: Optional[Hooks] = None,
+    ) -> List[SMCStep]:
+        """Apply a chain of edits given only the models, no address maps.
+
+        ``models[0]`` must be the program the session's collection
+        currently approximates; each later model is the program after
+        one more edit.  With the default ``correspondence="derive"``,
+        the adjacent correspondences are derived automatically
+        (:func:`repro.derive.derive_sequence_translators`) before any
+        edit is applied, so a derivation failure leaves the session
+        untouched.  Each edit then goes through :meth:`submit` and is
+        individually transactional.
+        """
+        if correspondence != "derive":
+            raise ValueError(
+                f"correspondence must be 'derive', got {correspondence!r}; "
+                "build translators yourself and call submit() for "
+                "hand-written maps"
+            )
+        from ..derive import derive_sequence_translators
+
+        translators = derive_sequence_translators(models)
+        if mcmc_kernels is None:
+            mcmc_kernels = [None] * len(translators)
+        if len(mcmc_kernels) != len(translators):
+            raise ValueError(
+                "one (possibly None) MCMC kernel per edit is required: "
+                f"{len(models)} models make {len(translators)} edits, got "
+                f"{len(mcmc_kernels)} kernels"
+            )
+        return [
+            self.submit(translator, kernel, hooks=hooks)
+            for translator, kernel in zip(translators, mcmc_kernels)
+        ]
 
     def _record_step(self, step: SMCStep) -> SMCStep:
         stats = step.stats

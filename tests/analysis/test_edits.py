@@ -1,6 +1,13 @@
 """Tests for the edit-soundness pass (static sets vs runtime visits)."""
 
-from repro.analysis import check_edit, invalidation_sets, statement_effects
+from repro.analysis import (
+    check_edit,
+    invalidation_sets,
+    statement_effects,
+    validate_label_map,
+)
+from repro.graph.diff import align_labels
+from repro.lang.analysis import random_labels
 from repro.lang.parser import parse_program
 from repro.lang.programs import BURGLARY_ORIGINAL, BURGLARY_REFINED
 
@@ -108,3 +115,133 @@ class TestRuntimeCrossCheck:
         diagnostics = check_edit(old, new)
         assert codes(diagnostics) == {"edit-runtime-failed"}
         assert all(d.severity == "warning" for d in diagnostics)
+
+
+NESTED_OLD = """
+total = 0;
+for i in [0 .. 2) {
+    for j in [0 .. 2) {
+        total = total + gauss(0.0, 1.0);
+    }
+}
+return total;
+"""
+
+GROW_OLD = """
+x = 0;
+for i in [0 .. 3) {
+    x = x + gauss(0.0, 1.0);
+}
+return x;
+"""
+
+# Two textually identical callsites; the edit inserts between them.
+DUP_OLD = """
+a = gauss(0.0, 1.0);
+b = gauss(0.0, 1.0);
+return a + b;
+"""
+DUP_NEW = """
+a = gauss(0.0, 1.0);
+c = flip(0.5);
+b = gauss(0.0, 1.0);
+return a + b;
+"""
+
+
+class TestAlignmentEdgeCases:
+    """Alignment corners the derive subsystem leans on."""
+
+    def test_nested_loops_invalidate_only_the_loop_spine(self):
+        old = parse_program(NESTED_OLD)
+        new = parse_program(NESTED_OLD.replace("gauss(0.0, 1.0)", "gauss(0.0, 2.0)"))
+        analysis = invalidation_sets(old, new)
+        assert analysis.must_visit == {1}
+        assert analysis.may_visit == {1, 2}
+        assert check_edit(old, new) == []
+        # The doubly-indexed label still aligns to itself.
+        mapping = align_labels(old, new)
+        assert mapping == {label: label for label in random_labels(old)}
+
+    def test_duplicated_callsites_align_injectively(self):
+        old, new = parse_program(DUP_OLD), parse_program(DUP_NEW)
+        mapping = align_labels(old, new)
+        # Both old gauss sites are consumed exactly once, despite being
+        # textually identical, and the insertion is left unmapped.
+        assert sorted(mapping.values()) == sorted(random_labels(old))
+        assert len(set(mapping.values())) == len(mapping)
+        assert not any(label.startswith("flip") for label in mapping)
+        assert not [
+            d
+            for d in validate_label_map(old, new, mapping)
+            if d.severity == "error"
+        ]
+
+    def test_indexed_family_growth_keeps_the_label_aligned(self):
+        old = parse_program(GROW_OLD)
+        new = parse_program(GROW_OLD.replace("[0 .. 3)", "[0 .. 4)"))
+        mapping = align_labels(old, new)
+        assert mapping == {label: label for label in random_labels(old)}
+        assert check_edit(old, new) == []
+
+    def test_indexed_family_shrinkage_keeps_the_label_aligned(self):
+        old = parse_program(GROW_OLD)
+        new = parse_program(GROW_OLD.replace("[0 .. 3)", "[0 .. 2)"))
+        mapping = align_labels(old, new)
+        assert mapping == {label: label for label in random_labels(old)}
+        assert check_edit(old, new) == []
+
+    def test_flip_to_gauss_rewrite_is_never_matched(self):
+        # Supports are type-disjoint, so no alignment may relate the two
+        # sites — neither the tree diff nor a forced label map.
+        old = parse_program("x = flip(0.5);\nreturn x;")
+        new = parse_program("x = gauss(0.0, 1.0);\nreturn x;")
+        assert align_labels(old, new) == {}
+        forced = {random_labels(new)[0]: random_labels(old)[0]}
+        diagnostics = validate_label_map(old, new, forced)
+        assert any(d.severity == "error" for d in diagnostics)
+
+
+class TestDerivationCitation:
+    """``repro lint --derive`` threads the derivation into edit findings."""
+
+    def make_derivation(self):
+        import numpy as np
+
+        from repro import Model
+        from repro.derive import derive_correspondence
+        from repro.distributions import Normal
+
+        def fn(t):
+            return t.sample(Normal(0, 1), ("x",))
+
+        return derive_correspondence(
+            Model(fn, name="old"), Model(fn, name="new"),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_stale_skip_cites_the_derivation_report(self):
+        derivation = self.make_derivation()
+        diagnostics = check_edit(
+            parse_program(OLD),
+            parse_program(NEW_TAIL),
+            visited=[False, False, False, True],
+            derivation=derivation,
+        )
+        stale = [d for d in diagnostics if d.code == "edit-stale-skip"]
+        assert len(stale) == 1
+        assert "under derived correspondence" in stale[0].message
+        assert derivation.report.summary() in stale[0].message
+
+    def test_overpropagation_cites_the_derivation_report(self):
+        derivation = self.make_derivation()
+        diagnostics = check_edit(
+            parse_program(OLD), parse_program(NEW_FRONT), derivation=derivation
+        )
+        overs = [d for d in diagnostics if d.code == "edit-overpropagation"]
+        assert overs
+        assert all("under derived correspondence" in d.message for d in overs)
+
+    def test_without_derivation_no_citation_appears(self):
+        diagnostics = check_edit(parse_program(OLD), parse_program(NEW_FRONT))
+        assert not any("derived correspondence" in d.message for d in diagnostics)

@@ -1,0 +1,160 @@
+"""Derived maps replace every bundled hand-written correspondence.
+
+The subsystem's acceptance bar: each bundled target (HMM order swap,
+fig. 8 regression, GMM sigma edit) runs end to end on a *derived*
+correspondence, the derived map validates with zero errors, and it
+agrees with the hand-written reference on every profiled address — so
+inference behaves identically, byte for byte, under the same seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import infer_sequence
+from repro.core.importance import importance_sampling
+from repro.derive import (
+    bundled_derivations,
+    check_derivation,
+    derive_correspondence,
+    derive_label_map,
+    derive_sequence_translators,
+)
+from repro.derive.gate import BUNDLED_PAIRS
+from repro.hmm.model import FirstOrderParams
+from repro.hmm.programs import first_order_model, hidden_state_correspondence
+from repro.core.corr_translator import CorrespondenceTranslator
+
+
+def errors(diagnostics):
+    return [d for d in diagnostics if d.severity == "error"]
+
+
+class TestBundledGate:
+    @pytest.mark.parametrize("name", sorted(BUNDLED_PAIRS))
+    def test_derived_map_matches_the_handwritten_one(self, name):
+        source, target, reference = BUNDLED_PAIRS[name]()
+        diagnostics = check_derivation(source, target, reference)
+        assert errors(diagnostics) == []
+
+    def test_bundled_derivations_cover_every_pair(self):
+        derivations = bundled_derivations()
+        assert set(derivations) == set(BUNDLED_PAIRS)
+        for derivation in derivations.values():
+            assert derivation.report.num_matched > 0
+
+    def test_gmm_label_map_is_validator_clean(self):
+        from repro.analysis import validate_label_map
+        from repro.gmm.model import gmm_edit_setup
+
+        source, target, _ = BUNDLED_PAIRS["gmm"]()
+        labels = derive_label_map(derive_correspondence(source, target))
+        setup = gmm_edit_setup(6, k=3)
+        assert validate_label_map(setup.source_program, setup.target_program, labels) == []
+
+    def test_registry_exposes_the_gate(self):
+        from repro.analysis import bundled_targets
+
+        registry = bundled_targets()
+        for name in ("derive:hmm", "derive:regression", "derive:gmm"):
+            assert name in registry
+
+
+def hmm_window_models(windows=(4, 7, 10)):
+    params = FirstOrderParams(
+        log_initial=np.log([0.5, 0.5]),
+        log_transition=np.log([[0.7, 0.3], [0.3, 0.7]]),
+        log_observation=np.log([[0.8, 0.2], [0.2, 0.8]]),
+    )
+    observations = (0, 1, 0, 1, 0, 0, 1, 0, 1, 1)
+    return [first_order_model(params, observations[:w]) for w in windows]
+
+
+class TestSequenceThreading:
+    def test_infer_sequence_with_derive_matches_handwritten(self):
+        models = hmm_window_models()
+
+        def run(derive):
+            rng = np.random.default_rng(11)
+            initial = importance_sampling(models[0], rng, 50).resample(rng)
+            if derive:
+                steps = infer_sequence(models, initial, rng, correspondence="derive")
+            else:
+                translators = [
+                    CorrespondenceTranslator(
+                        models[i], models[i + 1], hidden_state_correspondence()
+                    )
+                    for i in range(len(models) - 1)
+                ]
+                steps = infer_sequence(translators, initial, rng)
+            return steps[-1].collection
+
+        hand, derived = run(False), run(True)
+        assert list(hand.log_weights) == list(derived.log_weights)
+        phi = lambda u: u[("hidden", 9)] == 1
+        assert hand.estimate_probability(phi) == derived.estimate_probability(phi)
+
+    def test_infer_sequence_rejects_unknown_mode(self):
+        models = hmm_window_models((4, 7))
+        rng = np.random.default_rng(0)
+        initial = importance_sampling(models[0], rng, 10)
+        with pytest.raises(ValueError, match="derive"):
+            infer_sequence(models, initial, rng, correspondence="magic")
+
+    def test_derive_sequence_translators_carry_reports(self):
+        translators = derive_sequence_translators(hmm_window_models())
+        assert len(translators) == 2
+        for translator in translators:
+            assert translator.derivation_report is not None
+            assert translator.derivation_report.num_matched > 0
+
+    def test_derive_sequence_translators_rejects_translators(self):
+        models = hmm_window_models((4, 7))
+        translator = CorrespondenceTranslator(
+            models[0], models[1], hidden_state_correspondence()
+        )
+        with pytest.raises(TypeError, match="pass models"):
+            derive_sequence_translators([translator, translator])
+
+    def test_from_derived_sets_the_report(self):
+        models = hmm_window_models((4, 7))
+        translator = CorrespondenceTranslator.from_derived(models[0], models[1])
+        assert translator.derivation_report is not None
+        plain = CorrespondenceTranslator(
+            models[0], models[1], hidden_state_correspondence()
+        )
+        assert plain.derivation_report is None
+
+
+class TestSessionSequence:
+    def test_session_sequence_applies_every_edit(self):
+        from repro.store.session import InferenceSession
+
+        models = hmm_window_models()
+        rng = np.random.default_rng(3)
+        initial = importance_sampling(models[0], rng, 40).resample(rng)
+        session = InferenceSession("derive-e2e", initial, rng)
+        steps = session.sequence(models)
+        assert len(steps) == 2
+        assert session.num_edits == 2
+        estimate = session.estimate(lambda u: u[("hidden", 9)] == 1)
+        assert 0.0 <= estimate <= 1.0
+
+    def test_session_sequence_rejects_other_modes(self):
+        from repro.store.session import InferenceSession
+
+        models = hmm_window_models((4, 7))
+        rng = np.random.default_rng(3)
+        initial = importance_sampling(models[0], rng, 10)
+        session = InferenceSession("derive-e2e2", initial, rng)
+        with pytest.raises(ValueError, match="derive"):
+            session.sequence(models, correspondence="diff")
+
+    def test_session_sequence_kernel_count_mismatch(self):
+        from repro.store.session import InferenceSession
+
+        models = hmm_window_models((4, 7, 10))
+        rng = np.random.default_rng(3)
+        initial = importance_sampling(models[0], rng, 10)
+        session = InferenceSession("derive-e2e3", initial, rng)
+        with pytest.raises(ValueError, match="kernel"):
+            session.sequence(models, mcmc_kernels=[None])

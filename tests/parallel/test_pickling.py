@@ -84,6 +84,42 @@ class TestProcessExecutorPreflight:
         finally:
             executor.close()
 
+    def test_derived_correspondence_survives_the_preflight(self):
+        """Derived maps are built from module-level callables, so a
+        translator whose correspondence was derived must pass the same
+        pre-flight that rejects closure-built maps (seeded, so the
+        derivation profiles are reproducible)."""
+        import numpy as np
+
+        from repro import Model
+        from repro.derive import derive_correspondence
+        from repro.distributions import Normal
+
+        def chain(head, name):
+            def fn(t):
+                value = 0.0
+                for i in range(3):
+                    value = t.sample(Normal(value, 1.0), (head, i))
+                return value
+
+            return Model(fn, name=name)
+
+        derivation = derive_correspondence(
+            chain("hidden", "old"), chain("state", "new"),
+            rng=np.random.default_rng(1234),
+        )
+        assert find_unpicklable(derivation.correspondence) is None
+
+        # The closure-capturing spelling of the same map is exactly what
+        # the pre-flight exists to reject.
+        rename = {("state", i): ("hidden", i) for i in range(3)}
+        closure_map = Correspondence(
+            lambda a: rename.get(a), lambda a: None, description="closure"
+        )
+        culprit = find_unpicklable(closure_map)
+        assert culprit is not None
+        assert "lambda" in repr(culprit.value)
+
     def test_unpicklable_regenerate_fn_names_component(self):
         executor = ProcessExecutor(workers=1)
         picklable_translator = Correspondence.identity(["a"])

@@ -387,6 +387,70 @@ class TestLint:
         assert main(["lint", "bundled", "--strict"]) == 0
         assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
 
+    def test_pair_with_derive_validates_the_derived_map(self, tmp_path, capsys):
+        old = tmp_path / "old.pp"
+        new = tmp_path / "new.pp"
+        old.write_text("x = gauss(0.0, 2.0);\nobserve(gauss(x, 1.0) == 1.0);\nreturn x;\n")
+        new.write_text("x = gauss(0.0, 3.0);\nobserve(gauss(x, 1.0) == 1.0);\nreturn x;\n")
+        assert main(["lint", str(old), str(new), "--derive"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+
+@pytest.fixture
+def gauss_chain(tmp_path):
+    """A three-program sigma-drift edit chain."""
+    paths = []
+    for index, (sigma, noise) in enumerate([(2.0, 1.0), (3.0, 1.0), (3.0, 0.5)]):
+        path = tmp_path / f"p{index}.pp"
+        path.write_text(
+            f"x = gauss(0.0, {sigma});\n"
+            f"observe(gauss(x, {noise}) == 1.0);\n"
+            "return x;\n"
+        )
+        paths.append(str(path))
+    return paths
+
+
+class TestDerive:
+    """The derive subcommand and --correspondence derive threading."""
+
+    def test_text_report_lists_matches(self, gauss_chain, capsys):
+        old, new, _ = gauss_chain
+        assert main(["derive", old, new]) == 0
+        output = capsys.readouterr().out
+        assert "derived correspondence:" in output
+        assert "[exact, confidence 1.00]" in output
+
+    def test_json_report_and_artifact(self, tmp_path, gauss_chain, capsys):
+        import json
+
+        old, new, _ = gauss_chain
+        out = tmp_path / "derivation.json"
+        assert main(["derive", old, new, "--format", "json", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["min_confidence"] == 1.0
+        assert report["matches"] and report["fresh"] == []
+        assert '"summary"' in capsys.readouterr().out
+
+    def test_sequence_with_derived_maps_is_byte_identical(
+        self, tmp_path, gauss_chain, capsys
+    ):
+        derived = tmp_path / "derived.bin"
+        diffed = tmp_path / "diffed.bin"
+        base = ["sequence", *gauss_chain, "--seed", "3", "-n", "50"]
+        assert main(base + ["--correspondence", "derive", "--out", str(derived)]) == 0
+        assert main(base + ["--out", str(diffed)]) == 0
+        capsys.readouterr()
+        # Same reuse decisions -> same RNG consumption -> same bytes.
+        assert derived.read_bytes() == diffed.read_bytes()
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        from repro.cli import EXIT_USAGE
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["derive", str(tmp_path / "nope.pp"), str(tmp_path / "nope2.pp")])
+        assert excinfo.value.code == EXIT_USAGE
+
 
 class TestServeAndLoadgen:
     """The service commands and their distinct exit code (5)."""
