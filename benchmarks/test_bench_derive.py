@@ -76,6 +76,46 @@ class TestDerivationLatency:
         assert derivation.report.dropped == []
 
 
+class TestProfilingStrategyLatency:
+    @pytest.mark.parametrize("num_points", [10, 40, 160])
+    def test_static_vs_sampled_profiling(self, derive_bench, num_points):
+        """Derivation latency by profiling strategy at growing sizes.
+
+        The static path replaces 2×24 forward simulations with one
+        abstract interpretation per model; the series records both so
+        ``BENCH_derive.json`` tracks the speedup (and would catch a
+        regression that silently demotes the bundled models to the
+        sampling fallback)."""
+        setup = gmm_edit_setup(num_points, k=5)
+        source = lang_model(setup.source_program, env=setup.env, name="gmm_old")
+        target = lang_model(setup.target_program, env=setup.env, name="gmm_new")
+
+        static_latency = median_seconds(
+            lambda: derive_correspondence(source, target, profile_method="static")
+        )
+        sampled_latency = median_seconds(
+            lambda: derive_correspondence(source, target, profile_method="runtime")
+        )
+        static = derive_correspondence(source, target, profile_method="static")
+        derive_bench(
+            {
+                "series": "profiling-strategy",
+                "num_points": num_points,
+                "median_static_latency_s": static_latency,
+                "median_sampled_latency_s": sampled_latency,
+                "sampled_over_static": (
+                    sampled_latency / static_latency if static_latency else None
+                ),
+                "num_addresses": static.report.num_matched,
+            }
+        )
+        # The static path must actually have run statically on both sides.
+        assert any(
+            "source=static" in note and "target=static" in note
+            for note in static.report.notes
+        )
+
+
 class TestFig8Fidelity:
     def test_derived_equals_handwritten_on_regression(self, derive_bench):
         data = hospital_like_dataset(np.random.default_rng(7), num_points=50)

@@ -65,6 +65,9 @@ __all__ = [
     "lint_bundled",
     "preflight_inference",
     "apply_validation_mode",
+    "static_profile_model",
+    "columnar_plan_lint",
+    "bundled_static_profiles",
 ]
 
 #: Lazy attribute -> defining submodule (see module ``__getattr__``).
@@ -83,6 +86,9 @@ _LAZY = {
     "lint_bundled": "targets",
     "preflight_inference": "preflight",
     "apply_validation_mode": "preflight",
+    "static_profile_model": "static_profile",
+    "columnar_plan_lint": "static_profile",
+    "bundled_static_profiles": "static_profile",
 }
 
 

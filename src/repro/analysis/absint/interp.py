@@ -1,0 +1,1447 @@
+"""Abstract interpretation of embedded-PPL model functions.
+
+:func:`analyze_model` walks the *source* of a model's generative
+function (``inspect.getsource`` + the ``ast`` module) with the model's
+``args`` constant-propagated, unrolling constant-bounded loops and
+joining over data-dependent branches, and emits a
+:class:`~repro.analysis.absint.profile.StaticProfile` of the model's
+address space — without executing the model or touching an RNG.
+
+Soundness contract
+------------------
+
+The analyzer is *fail-closed*: anything it cannot prove it refuses to
+guess.  Every unsupported construct — a value-dependent loop bound, an
+address that is not a compile-time constant, a ``sample`` whose
+distribution support cannot be determined, a call that could mutate an
+abstractly-tracked container — raises :class:`AnalysisFailure`, and the
+resulting profile comes back ``complete=False`` with the reason, which
+makes every consumer (``profile_model``, the columnar plan, lint) fall
+back to the runtime behavior it had before this pass existed.
+
+Two deliberate asymmetries with the sampling profiler:
+
+* Pure helper calls whose arguments are all compile-time constants
+  (``addr_y(i)``, ``range``, ``math.*``) are executed concretely.  The
+  sampling profiler executes the entire model — including those same
+  calls — so this introduces no new class of effects.
+* Branches on sampled values are *joined*: both arms are analyzed and
+  the profile over-approximates the address space (a sampled profile
+  under-approximates it).  Each such branch is also recorded as a
+  ``value-dependent-control-flow`` site, the verdict the columnar
+  pre-flight keys off.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import itertools
+import textwrap
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ...core.address import normalize_address
+from ...core.model import Model
+from ...distributions import base as dist_base
+from ...distributions.base import (
+    BinarySupport,
+    Distribution,
+    FiniteSupport,
+    IntegerRange,
+    PositiveReals,
+    RealInterval,
+    RealLine,
+    Support,
+)
+from .profile import StaticProfile
+from .values import (
+    MAX_ONE_OF,
+    AbstractValue,
+    Const,
+    OneOf,
+    Sampled,
+    Unknown,
+    UNKNOWN,
+    const_value,
+    deps_of,
+    is_numeric_scalar,
+    is_tainted,
+    join,
+    make_one_of,
+    possible_values,
+)
+
+__all__ = ["AnalysisFailure", "analyze_model"]
+
+#: Total statements (including unrolled loop iterations) before the
+#: analyzer declares the program too large to close statically.
+STATEMENT_BUDGET = 50_000
+
+_EMPTY: FrozenSet[Any] = frozenset()
+
+
+class AnalysisFailure(Exception):
+    """The analyzer hit a construct it cannot close soundly."""
+
+
+# ---------------------------------------------------------------------------
+# Non-lattice runtime objects the interpreter threads through evaluation.
+# ---------------------------------------------------------------------------
+
+
+class _Handler:
+    """Marker bound to the model function's trace-handler parameter."""
+
+    __slots__ = ()
+
+
+class _HandlerMethod:
+    """``t.sample`` / ``t.observe`` looked up but not yet called."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind: str):
+        self.kind = kind
+
+
+class AbstractList:
+    """A Python list the analyzed program builds out of abstract values."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Optional[List[Any]] = None):
+        self.items = list(items or [])
+
+
+class AbstractTuple:
+    """An immutable tuple of abstract values."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Tuple[Any, ...]):
+        self.items = tuple(items)
+
+
+class _ListMethod:
+    """A bound mutating method (``append``/``extend``) on an AbstractList."""
+
+    __slots__ = ("target", "name")
+
+    def __init__(self, target: AbstractList, name: str):
+        self.target = target
+        self.name = name
+
+
+class _AbstractDist:
+    """A distribution whose parameters are not all constants.
+
+    ``supports`` is the statically derived tuple of possible supports
+    (empty means the analyzer could not determine them — a fatal
+    condition at a ``sample`` site).  ``scalar_params`` is True when
+    every varying parameter is a numeric scalar — the condition under
+    which the columnar runtime can merge per-particle instances into one
+    array-parameterized template."""
+
+    __slots__ = ("dist_class", "supports", "deps", "tainted", "scalar_params")
+
+    def __init__(
+        self,
+        dist_class: type,
+        supports: Tuple[Support, ...],
+        deps: FrozenSet[Any],
+        tainted: bool,
+        scalar_params: bool = True,
+    ):
+        self.dist_class = dist_class
+        self.supports = supports
+        self.deps = deps
+        self.tainted = tainted
+        self.scalar_params = scalar_params
+
+
+class _Return(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _concretize(value: Any) -> Tuple[bool, Any]:
+    """(True, concrete) when an abstract value is fully constant."""
+    if isinstance(value, Const):
+        return True, value.value
+    if isinstance(value, AbstractList):
+        out = []
+        for item in value.items:
+            ok, concrete = _concretize(item)
+            if not ok:
+                return False, None
+            out.append(concrete)
+        return True, out
+    if isinstance(value, AbstractTuple):
+        out = []
+        for item in value.items:
+            ok, concrete = _concretize(item)
+            if not ok:
+                return False, None
+            out.append(concrete)
+        return True, tuple(out)
+    return False, None
+
+
+def _possible(value: Any) -> Optional[Tuple[Any, ...]]:
+    """Finite possible concrete values of scalars *and* tuples."""
+    if isinstance(value, AbstractTuple):
+        member_sets = []
+        total = 1
+        for item in value.items:
+            members = _possible(item)
+            if members is None:
+                return None
+            total *= max(len(members), 1)
+            if total > MAX_ONE_OF:
+                return None
+            member_sets.append(members)
+        return tuple(itertools.product(*member_sets))
+    if isinstance(value, AbstractValue):
+        return possible_values(value)
+    return None
+
+
+def _verified_batch_class(dist_class: type) -> bool:
+    """Whether the distribution class's batched contract is one this
+    package ships and tests (``log_prob_batch``/``sample_batch`` shapes,
+    template rebuild, value dtypes).  Third-party subclasses work on the
+    columnar path through the base-class shims, but nothing *verifies*
+    their overrides — the plan keeps the batch-layer spill codes
+    possible for them."""
+    module = getattr(dist_class, "__module__", "") or ""
+    return module == "repro.distributions" or module.startswith("repro.distributions.")
+
+
+def _mergeable_param(value: Any) -> bool:
+    """Whether one distribution parameter lets per-particle instances
+    merge into a single template (``repro.core.columnar._merge_dists``):
+    a shared constant, or a varying *numeric scalar*.  Varying arrays
+    (HMM transition rows selected by a sampled state) and opaque values
+    do not merge."""
+    concrete, _ = _concretize(value)
+    if concrete:
+        return True  # shared by every particle
+    if isinstance(value, AbstractValue):
+        return is_numeric_scalar(value)
+    return False
+
+
+def _batchable_return(value: Any) -> bool:
+    """Whether a model returning this can be stacked into a column.
+
+    Mirrors ``repro.core.columnar._batch_values``: per-particle scalars
+    stack into an array, tuples stack memberwise, and anything shared by
+    every particle collapses to the shared value.  A *varying* list (or
+    any other container) cannot be stacked and spills ``return-value``.
+    """
+    concrete, plain = _concretize(value)
+    if concrete:
+        # Every particle returns an equal value; ``_batch_values``
+        # collapses it — unless equality itself is ambiguous (ndarray).
+        import numpy as np
+
+        return not isinstance(plain, np.ndarray)
+    if isinstance(value, AbstractTuple):
+        return all(_batchable_return(item) for item in value.items)
+    if isinstance(value, (Const, OneOf, Sampled)):
+        # Scalar-valued per-particle results; the distributions this
+        # analyzer closes all produce numeric scalars.
+        return True
+    return False
+
+
+def _value_deps(value: Any) -> FrozenSet[Any]:
+    if isinstance(value, AbstractValue):
+        return deps_of(value)
+    if isinstance(value, (AbstractList, AbstractTuple)):
+        deps: FrozenSet[Any] = _EMPTY
+        for item in value.items:
+            deps = deps | _value_deps(item)
+        return deps
+    if isinstance(value, _AbstractDist):
+        return value.deps
+    return _EMPTY
+
+
+def _value_tainted(value: Any) -> bool:
+    if isinstance(value, AbstractValue):
+        return is_tainted(value)
+    if isinstance(value, (AbstractList, AbstractTuple)):
+        return any(_value_tainted(item) for item in value.items)
+    if isinstance(value, _AbstractDist):
+        return value.tainted
+    return False
+
+
+def _contains_handler(value: Any) -> bool:
+    if isinstance(value, (_Handler, _HandlerMethod)):
+        return True
+    if isinstance(value, (AbstractList, AbstractTuple)):
+        return any(_contains_handler(item) for item in value.items)
+    if isinstance(value, Const):
+        return isinstance(value.value, _Handler)
+    return False
+
+
+def _param_lengths(values: Tuple[Any, ...]) -> Optional[int]:
+    """The common ``len`` of the possible parameter vectors, or None."""
+    lengths = set()
+    for member in values:
+        try:
+            lengths.add(len(member))
+        except Exception:
+            return None
+    if len(lengths) == 1:
+        return lengths.pop()
+    return None
+
+
+def _abstract_support(
+    dist_class: type, args: List[Any], kwargs: Dict[str, Any]
+) -> Tuple[Support, ...]:
+    """Statically known supports of ``dist_class(*args)`` with abstract
+    parameters.  Empty tuple means unknown.
+
+    The registry mirrors each distribution's ``support()`` method:
+    classes whose support ignores the parameters get it outright;
+    parameter-shaped supports (Uniform bounds, Categorical length) are
+    derived only when the relevant parameter is statically determined.
+    """
+    name = dist_class.__name__
+    if name in ("Normal", "TwoNormals"):
+        return (RealLine(),)
+    if name in ("LogNormal", "Gamma", "Exponential"):
+        return (PositiveReals(),)
+    if name == "Beta":
+        return (RealInterval(0.0, 1.0),)
+    if name in ("Flip", "Bernoulli"):
+        return (BinarySupport(),)
+    if name in ("Geometric", "Poisson"):
+        return (IntegerRange(0, 2**63 - 1),)
+    if kwargs:
+        # Keyword-parameterized calls to the shape-dependent classes
+        # below are rare enough to leave to the sampling fallback.
+        return ()
+    if name == "Uniform" and len(args) == 2:
+        ok_low, low = _concretize(args[0])
+        ok_high, high = _concretize(args[1])
+        if ok_low and ok_high:
+            return (RealInterval(float(low), float(high)),)
+        return ()
+    if name == "UniformDiscrete" and len(args) == 2:
+        ok_low, low = _concretize(args[0])
+        ok_high, high = _concretize(args[1])
+        if ok_low and ok_high:
+            return (IntegerRange(int(low), int(high)),)
+        return ()
+    if name in ("Categorical", "LogCategorical") and len(args) == 1:
+        members = _possible(args[0])
+        if members is None:
+            return ()
+        length = _param_lengths(members)
+        if length is None or length < 1:
+            return ()
+        return (IntegerRange(0, length - 1),)
+    if name == "Delta" and len(args) == 1:
+        members = _possible(args[0])
+        if members is None:
+            return ()
+        supports: List[Support] = []
+        for member in members:
+            support = FiniteSupport((member,))
+            if support not in supports:
+                supports.append(support)
+        return tuple(supports)
+    return ()
+
+
+_ALLOWED_MUTATING_LIST_METHODS = ("append", "extend")
+
+
+# ---------------------------------------------------------------------------
+# The interpreter
+# ---------------------------------------------------------------------------
+
+
+class _PyInterpreter:
+    """One abstract execution of ``model.fn(t, *model.args)``."""
+
+    def __init__(self, model: Model, profile: StaticProfile):
+        self.model = model
+        self.profile = profile
+        self.fn = model.fn
+        self.steps = 0
+        #: Stack of (tainted, deps) entries, one per enclosing
+        #: non-constant branch; used for ``always`` and control deps.
+        self.ctrl: List[Tuple[bool, FrozenSet[Any]]] = []
+        #: Depth of non-constant branches: list mutation and early
+        #: returns are refused inside them (the join could not represent
+        #: either soundly).
+        self.branch_depth = 0
+        self.globals = getattr(self.fn, "__globals__", {})
+        self.closure: Dict[str, Any] = {}
+        code = getattr(self.fn, "__code__", None)
+        cells = getattr(self.fn, "__closure__", None) or ()
+        if code is not None and code.co_freevars:
+            for name, cell in zip(code.co_freevars, cells):
+                try:
+                    self.closure[name] = cell.cell_contents
+                except ValueError as error:  # pragma: no cover - empty cell
+                    raise AnalysisFailure(f"unresolvable closure cell {name!r}") from error
+
+    # -- entry ----------------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            source = textwrap.dedent(inspect.getsource(self.fn))
+            tree = ast.parse(source)
+        except (TypeError, OSError, IndentationError, SyntaxError) as error:
+            raise AnalysisFailure(f"model source unavailable ({error})") from error
+        fndef = next(
+            (
+                node
+                for node in tree.body
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ),
+            None,
+        )
+        if not isinstance(fndef, ast.FunctionDef):
+            raise AnalysisFailure("model function definition not found in source")
+        env = self._bind_parameters(fndef)
+        returned: Any = Const(None)
+        try:
+            self._exec_block(fndef.body, env)
+        except _Return as signal:
+            returned = signal.value
+        except (_Break, _Continue):  # pragma: no cover - malformed program
+            raise AnalysisFailure("break/continue outside a loop")
+        self.profile.return_batchable = _batchable_return(returned)
+
+    def _bind_parameters(self, fndef: ast.FunctionDef) -> Dict[str, Any]:
+        arguments = fndef.args
+        if arguments.vararg or arguments.kwarg:
+            raise AnalysisFailure("*args/**kwargs model signatures are unsupported")
+        params = [a.arg for a in arguments.posonlyargs] + [a.arg for a in arguments.args]
+        if not params:
+            raise AnalysisFailure("model function takes no trace-handler parameter")
+        env: Dict[str, Any] = {params[0]: _Handler()}
+        model_args = self.model.args
+        positional = params[1:]
+        if len(model_args) > len(positional):
+            raise AnalysisFailure(
+                f"model called with {len(model_args)} args but the function "
+                f"declares {len(positional)}"
+            )
+        defaults = getattr(self.fn, "__defaults__", None) or ()
+        for index, name in enumerate(positional):
+            if index < len(model_args):
+                env[name] = Const(model_args[index])
+            else:
+                default_index = index - (len(positional) - len(defaults))
+                if default_index < 0:
+                    raise AnalysisFailure(f"missing model argument {name!r}")
+                env[name] = Const(defaults[default_index])
+        kw_defaults = getattr(self.fn, "__kwdefaults__", None) or {}
+        for arg in arguments.kwonlyargs:
+            if arg.arg not in kw_defaults:
+                raise AnalysisFailure(f"missing keyword-only model argument {arg.arg!r}")
+            env[arg.arg] = Const(kw_defaults[arg.arg])
+        return env
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _tick(self, node: ast.AST) -> None:
+        self.steps += 1
+        if self.steps > STATEMENT_BUDGET:
+            raise AnalysisFailure(
+                f"statement budget exceeded ({STATEMENT_BUDGET}) at line "
+                f"{getattr(node, 'lineno', '?')}"
+            )
+
+    def _control_always(self) -> bool:
+        return not self.ctrl
+
+    def _control_deps(self) -> FrozenSet[Any]:
+        deps: FrozenSet[Any] = _EMPTY
+        for tainted, entry_deps in self.ctrl:
+            if tainted:
+                deps = deps | entry_deps
+        return deps
+
+    # -- statements -----------------------------------------------------------
+
+    def _exec_block(self, stmts: List[ast.stmt], env: Dict[str, Any]) -> None:
+        for stmt in stmts:
+            self._exec(stmt, env)
+
+    def _exec(self, stmt: ast.stmt, env: Dict[str, Any]) -> None:
+        self._tick(stmt)
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            current = self._eval(
+                ast.copy_location(
+                    ast.Name(id=stmt.target.id, ctx=ast.Load()), stmt
+                )
+                if isinstance(stmt.target, ast.Name)
+                else stmt.target,
+                env,
+            )
+            value = self._eval(stmt.value, env)
+            combined = self._binop(stmt.op, current, value, stmt)
+            self._assign(stmt.target, combined, env)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt, env)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, env)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            if self.branch_depth:
+                raise AnalysisFailure(
+                    f"early return under a data-dependent branch at line {stmt.lineno}"
+                )
+            value = self._eval(stmt.value, env) if stmt.value is not None else Const(None)
+            raise _Return(value)
+        elif isinstance(stmt, ast.Pass):
+            pass
+        elif isinstance(stmt, ast.Break):
+            if self.branch_depth:
+                raise AnalysisFailure(
+                    f"break under a data-dependent branch at line {stmt.lineno}"
+                )
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            if self.branch_depth:
+                raise AnalysisFailure(
+                    f"continue under a data-dependent branch at line {stmt.lineno}"
+                )
+            raise _Continue()
+        elif isinstance(stmt, ast.Assert):
+            pass
+        else:
+            raise AnalysisFailure(
+                f"unsupported statement {type(stmt).__name__} at line {stmt.lineno}"
+            )
+
+    def _assign(self, target: ast.expr, value: Any, env: Dict[str, Any]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            items = self._iterable_items(value, target)
+            if items is None or len(items) != len(target.elts):
+                raise AnalysisFailure(
+                    f"cannot unpack assignment at line {target.lineno}"
+                )
+            for element, item in zip(target.elts, items):
+                self._assign(element, item, env)
+            return
+        if isinstance(target, ast.Subscript):
+            base = self._eval(target.value, env)
+            if isinstance(base, AbstractList):
+                if self.branch_depth:
+                    raise AnalysisFailure(
+                        "list mutation under a data-dependent branch at line "
+                        f"{target.lineno}"
+                    )
+                ok, index = _concretize(self._eval(target.slice, env))
+                if ok and isinstance(index, int) and -len(base.items) <= index < len(base.items):
+                    base.items[index] = value
+                    return
+            raise AnalysisFailure(
+                f"unsupported subscript assignment at line {target.lineno}"
+            )
+        raise AnalysisFailure(
+            f"unsupported assignment target {type(target).__name__} at line "
+            f"{target.lineno}"
+        )
+
+    def _exec_if(self, stmt: ast.If, env: Dict[str, Any]) -> None:
+        cond = self._eval(stmt.test, env)
+        ok, concrete = self._truthiness(cond)
+        if ok:
+            self._exec_block(stmt.body if concrete else stmt.orelse, env)
+            return
+        tainted = _value_tainted(cond)
+        deps = _value_deps(cond)
+        if tainted:
+            self.profile.record_control("if", stmt.lineno, deps)
+        self._run_branches(stmt.body, stmt.orelse, env, tainted, deps)
+
+    def _run_branches(
+        self,
+        body: List[ast.stmt],
+        orelse: List[ast.stmt],
+        env: Dict[str, Any],
+        tainted: bool,
+        deps: FrozenSet[Any],
+    ) -> None:
+        self.ctrl.append((tainted, deps))
+        self.branch_depth += 1
+        try:
+            then_env = dict(env)
+            else_env = dict(env)
+            self._exec_block(body, then_env)
+            self._exec_block(orelse, else_env)
+        finally:
+            self.branch_depth -= 1
+            self.ctrl.pop()
+        for name in set(then_env) | set(else_env):
+            left = then_env.get(name)
+            right = else_env.get(name)
+            if left is right:
+                if left is not None:
+                    env[name] = left
+                continue
+            if left is None or right is None:
+                present = left if right is None else right
+                env[name] = Unknown(
+                    tainted or _value_tainted(present),
+                    deps | _value_deps(present),
+                )
+                continue
+            if isinstance(left, AbstractValue) and isinstance(right, AbstractValue):
+                env[name] = join(left, right, tainted=tainted, extra_deps=deps)
+                continue
+            # Divergent containers/handlers across a data-dependent
+            # branch cannot be represented; refuse.
+            raise AnalysisFailure(
+                f"variable {name!r} diverges structurally across a "
+                "data-dependent branch"
+            )
+
+    def _exec_for(self, stmt: ast.For, env: Dict[str, Any]) -> None:
+        if stmt.orelse:
+            raise AnalysisFailure(f"for/else is unsupported at line {stmt.lineno}")
+        iterable = self._eval(stmt.iter, env)
+        items = self._iterable_items(iterable, stmt.iter)
+        if items is None:
+            deps = _value_deps(iterable)
+            if _value_tainted(iterable):
+                self.profile.record_control("for", stmt.lineno, deps)
+            raise AnalysisFailure(
+                f"loop iterable at line {stmt.lineno} is not statically bounded"
+            )
+        for item in items:
+            self._tick(stmt)
+            self._assign(stmt.target, item, env)
+            try:
+                self._exec_block(stmt.body, env)
+            except _Break:
+                break
+            except _Continue:
+                continue
+
+    def _exec_while(self, stmt: ast.While, env: Dict[str, Any]) -> None:
+        if stmt.orelse:
+            raise AnalysisFailure(f"while/else is unsupported at line {stmt.lineno}")
+        while True:
+            self._tick(stmt)
+            cond = self._eval(stmt.test, env)
+            ok, concrete = self._truthiness(cond)
+            if not ok:
+                deps = _value_deps(cond)
+                if _value_tainted(cond):
+                    self.profile.record_control("while", stmt.lineno, deps)
+                raise AnalysisFailure(
+                    f"while condition at line {stmt.lineno} is not statically "
+                    "decidable (value-dependent loop bound)"
+                )
+            if not concrete:
+                return
+            try:
+                self._exec_block(stmt.body, env)
+            except _Break:
+                return
+            except _Continue:
+                continue
+
+    def _iterable_items(self, value: Any, node: ast.AST) -> Optional[List[Any]]:
+        """Materialize an iterable as a list of abstract items, or None."""
+        if isinstance(value, (AbstractList, AbstractTuple)):
+            return list(value.items)
+        ok, concrete = _concretize(value)
+        if not ok:
+            return None
+        try:
+            items = list(concrete)
+        except TypeError:
+            return None
+        if len(items) > STATEMENT_BUDGET:
+            raise AnalysisFailure(
+                f"iterable at line {getattr(node, 'lineno', '?')} is too large "
+                "to unroll"
+            )
+        return [Const(item) for item in items]
+
+    def _truthiness(self, value: Any) -> Tuple[bool, bool]:
+        ok, concrete = _concretize(value)
+        if not ok:
+            return False, False
+        try:
+            return True, bool(concrete)
+        except Exception as error:
+            raise AnalysisFailure(f"untestable branch condition ({error})") from error
+
+    # -- expressions ----------------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: Dict[str, Any]) -> Any:
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            raise AnalysisFailure(
+                f"unsupported expression {type(node).__name__} at line "
+                f"{getattr(node, 'lineno', '?')}"
+            )
+        return method(node, env)
+
+    def _eval_Constant(self, node: ast.Constant, env: Dict[str, Any]) -> Any:
+        return Const(node.value)
+
+    def _eval_Name(self, node: ast.Name, env: Dict[str, Any]) -> Any:
+        if node.id in env:
+            return env[node.id]
+        if node.id in self.closure:
+            return Const(self.closure[node.id])
+        if node.id in self.globals:
+            return Const(self.globals[node.id])
+        if hasattr(builtins, node.id):
+            return Const(getattr(builtins, node.id))
+        raise AnalysisFailure(f"unresolvable name {node.id!r} at line {node.lineno}")
+
+    def _eval_Tuple(self, node: ast.Tuple, env: Dict[str, Any]) -> Any:
+        items = [self._eval(element, env) for element in node.elts]
+        if all(isinstance(item, Const) for item in items):
+            return Const(tuple(item.value for item in items))
+        return AbstractTuple(tuple(items))
+
+    def _eval_List(self, node: ast.List, env: Dict[str, Any]) -> Any:
+        return AbstractList([self._eval(element, env) for element in node.elts])
+
+    def _eval_Dict(self, node: ast.Dict, env: Dict[str, Any]) -> Any:
+        keys = []
+        values = []
+        tainted = False
+        deps: FrozenSet[Any] = _EMPTY
+        for key_node, value_node in zip(node.keys, node.values):
+            if key_node is None:
+                raise AnalysisFailure(f"dict unpacking at line {node.lineno}")
+            key = self._eval(key_node, env)
+            value = self._eval(value_node, env)
+            tainted = tainted or _value_tainted(key) or _value_tainted(value)
+            deps = deps | _value_deps(key) | _value_deps(value)
+            keys.append(key)
+            values.append(value)
+        if all(isinstance(item, Const) for item in keys + values):
+            return Const(
+                {key.value: value.value for key, value in zip(keys, values)}
+            )
+        return Unknown(tainted, deps)
+
+    def _eval_Attribute(self, node: ast.Attribute, env: Dict[str, Any]) -> Any:
+        base = self._eval(node.value, env)
+        if isinstance(base, _Handler):
+            if node.attr in ("sample", "observe"):
+                return _HandlerMethod(node.attr)
+            raise AnalysisFailure(
+                f"unsupported trace-handler attribute {node.attr!r} at line "
+                f"{node.lineno}"
+            )
+        if isinstance(base, AbstractList):
+            if node.attr in _ALLOWED_MUTATING_LIST_METHODS:
+                return _ListMethod(base, node.attr)
+            raise AnalysisFailure(
+                f"unsupported list method {node.attr!r} at line {node.lineno}"
+            )
+        if isinstance(base, Const):
+            try:
+                return Const(getattr(base.value, node.attr))
+            except AttributeError as error:
+                raise AnalysisFailure(
+                    f"attribute error at line {node.lineno}: {error}"
+                ) from error
+        members = _possible(base) if isinstance(base, AbstractValue) else None
+        if members is not None:
+            try:
+                attrs = [getattr(member, node.attr) for member in members]
+            except AttributeError as error:
+                raise AnalysisFailure(
+                    f"attribute error at line {node.lineno}: {error}"
+                ) from error
+            return make_one_of(attrs, _value_tainted(base), _value_deps(base))
+        return Unknown(_value_tainted(base), _value_deps(base))
+
+    def _eval_Subscript(self, node: ast.Subscript, env: Dict[str, Any]) -> Any:
+        base = self._eval(node.value, env)
+        index = self._eval(node.slice, env)
+        if isinstance(base, (AbstractList, AbstractTuple)):
+            ok, concrete = _concretize(index)
+            if ok:
+                try:
+                    selected = base.items[concrete]
+                except Exception as error:
+                    raise AnalysisFailure(
+                        f"index error at line {node.lineno}: {error}"
+                    ) from error
+                if isinstance(concrete, slice):
+                    items = list(selected)
+                    return (
+                        AbstractList(items)
+                        if isinstance(base, AbstractList)
+                        else AbstractTuple(tuple(items))
+                    )
+                return selected
+            members = _possible(index)
+            if members is not None and base.items:
+                selected_values: List[Any] = []
+                for member in members:
+                    try:
+                        selected_values.append(base.items[member])
+                    except Exception:
+                        continue
+                if selected_values:
+                    out = selected_values[0]
+                    for other in selected_values[1:]:
+                        if not (
+                            isinstance(out, AbstractValue)
+                            and isinstance(other, AbstractValue)
+                        ):
+                            raise AnalysisFailure(
+                                f"container-valued dynamic index at line {node.lineno}"
+                            )
+                        out = join(out, other, tainted=True, extra_deps=_value_deps(index))
+                    if isinstance(out, AbstractValue):
+                        if len(selected_values) == 1:
+                            out = join(
+                                out, out, tainted=True, extra_deps=_value_deps(index)
+                            )
+                        return out
+            return Unknown(True, _value_deps(base) | _value_deps(index))
+        ok_base, concrete_base = _concretize(base)
+        if ok_base:
+            ok_index, concrete_index = _concretize(index)
+            if ok_index:
+                try:
+                    return Const(concrete_base[concrete_index])
+                except Exception as error:
+                    raise AnalysisFailure(
+                        f"subscript error at line {node.lineno}: {error}"
+                    ) from error
+            members = _possible(index)
+            if members is not None:
+                selected = []
+                for member in members:
+                    try:
+                        selected.append(concrete_base[member])
+                    except Exception:
+                        continue
+                if selected:
+                    return make_one_of(
+                        selected, True, _value_deps(index)
+                    )
+            return Unknown(
+                _value_tainted(index), _value_deps(index)
+            ) if not _value_tainted(index) else Unknown(True, _value_deps(index))
+        return Unknown(
+            _value_tainted(base) or _value_tainted(index),
+            _value_deps(base) | _value_deps(index),
+        )
+
+    def _eval_Slice(self, node: ast.Slice, env: Dict[str, Any]) -> Any:
+        parts = []
+        for part in (node.lower, node.upper, node.step):
+            if part is None:
+                parts.append(None)
+                continue
+            ok, concrete = _concretize(self._eval(part, env))
+            if not ok:
+                raise AnalysisFailure(f"non-constant slice at line {node.lineno}")
+            parts.append(concrete)
+        return Const(slice(*parts))
+
+    def _eval_Index(self, node: Any, env: Dict[str, Any]) -> Any:  # pragma: no cover
+        return self._eval(node.value, env)  # python<3.9 compatibility
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, env: Dict[str, Any]) -> Any:
+        operand = self._eval(node.operand, env)
+        return self._apply_concrete(
+            node, (operand,), lambda values: self._unary(node.op, values[0])
+        )
+
+    def _eval_BinOp(self, node: ast.BinOp, env: Dict[str, Any]) -> Any:
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        return self._binop(node.op, left, right, node)
+
+    def _binop(self, op: ast.operator, left: Any, right: Any, node: ast.AST) -> Any:
+        return self._apply_concrete(
+            node, (left, right), lambda values: self._binary(op, values[0], values[1])
+        )
+
+    def _eval_BoolOp(self, node: ast.BoolOp, env: Dict[str, Any]) -> Any:
+        is_and = isinstance(node.op, ast.And)
+        result: Any = None
+        for value_node in node.values:
+            value = self._eval(value_node, env)
+            ok, concrete = self._truth_or_none(value)
+            if ok:
+                if is_and and not concrete:
+                    return value
+                if not is_and and concrete:
+                    return value
+                result = value
+                continue
+            # Short-circuit undecidable: remaining operands may or may
+            # not evaluate; join everything seen plus the rest.
+            rest = [self._eval(v, env) for v in node.values[node.values.index(value_node) + 1 :]]
+            candidates = [value] + rest + ([result] if result is not None else [])
+            tainted = any(_value_tainted(c) for c in candidates)
+            deps: FrozenSet[Any] = _EMPTY
+            for candidate in candidates:
+                deps = deps | _value_deps(candidate)
+            return Unknown(tainted, deps)
+        return result if result is not None else Const(True if is_and else False)
+
+    def _truth_or_none(self, value: Any) -> Tuple[bool, bool]:
+        ok, concrete = _concretize(value)
+        if not ok:
+            return False, False
+        try:
+            return True, bool(concrete)
+        except Exception:
+            return False, False
+
+    def _eval_Compare(self, node: ast.Compare, env: Dict[str, Any]) -> Any:
+        operands = [self._eval(node.left, env)] + [
+            self._eval(comparator, env) for comparator in node.comparators
+        ]
+
+        def compute(values: Tuple[Any, ...]) -> Any:
+            result = True
+            left = values[0]
+            for op, right in zip(node.ops, values[1:]):
+                result = self._compare(op, left, right)
+                if not result:
+                    return False
+                left = right
+            return result
+
+        return self._apply_concrete(node, tuple(operands), compute)
+
+    def _eval_IfExp(self, node: ast.IfExp, env: Dict[str, Any]) -> Any:
+        cond = self._eval(node.test, env)
+        ok, concrete = self._truthiness(cond)
+        if ok:
+            return self._eval(node.body if concrete else node.orelse, env)
+        tainted = _value_tainted(cond)
+        deps = _value_deps(cond)
+        if tainted:
+            self.profile.record_control("ifexp", node.lineno, deps)
+        self.ctrl.append((tainted, deps))
+        self.branch_depth += 1
+        try:
+            then_value = self._eval(node.body, env)
+            else_value = self._eval(node.orelse, env)
+        finally:
+            self.branch_depth -= 1
+            self.ctrl.pop()
+        if isinstance(then_value, AbstractValue) and isinstance(else_value, AbstractValue):
+            return join(then_value, else_value, tainted=tainted, extra_deps=deps)
+        raise AnalysisFailure(
+            f"container-valued conditional expression at line {node.lineno}"
+        )
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr, env: Dict[str, Any]) -> Any:
+        parts: List[str] = []
+        tainted = False
+        deps: FrozenSet[Any] = _EMPTY
+        for part in node.values:
+            if isinstance(part, ast.Constant):
+                parts.append(str(part.value))
+                continue
+            if isinstance(part, ast.FormattedValue):
+                value = self._eval(part.value, env)
+                ok, concrete = _concretize(value)
+                if ok and part.format_spec is None and part.conversion in (-1, 115):
+                    parts.append(
+                        str(concrete) if part.conversion == -1 else str(concrete)
+                    )
+                    continue
+                tainted = tainted or _value_tainted(value)
+                deps = deps | _value_deps(value)
+                parts = []
+                break
+            tainted = True
+            parts = []
+            break
+        else:
+            return Const("".join(parts))
+        return Unknown(tainted, deps)
+
+    def _eval_FormattedValue(self, node: ast.FormattedValue, env: Dict[str, Any]) -> Any:
+        value = self._eval(node.value, env)
+        ok, concrete = _concretize(value)
+        if ok:
+            return Const(str(concrete))
+        return Unknown(_value_tainted(value), _value_deps(value))
+
+    def _eval_Call(self, node: ast.Call, env: Dict[str, Any]) -> Any:
+        func = self._eval(node.func, env)
+        if any(isinstance(arg, ast.Starred) for arg in node.args):
+            raise AnalysisFailure(f"star-args call at line {node.lineno}")
+        args = [self._eval(arg, env) for arg in node.args]
+        kwargs: Dict[str, Any] = {}
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                raise AnalysisFailure(f"**kwargs call at line {node.lineno}")
+            kwargs[keyword.arg] = self._eval(keyword.value, env)
+
+        if isinstance(func, _HandlerMethod):
+            return self._handler_call(func, args, kwargs, node)
+        if isinstance(func, _ListMethod):
+            return self._list_method_call(func, args, kwargs, node)
+        if not isinstance(func, Const):
+            raise AnalysisFailure(
+                f"call target at line {node.lineno} is not statically resolvable"
+            )
+        callee = func.value
+        if any(_contains_handler(arg) for arg in list(args) + list(kwargs.values())):
+            raise AnalysisFailure(
+                f"call at line {node.lineno} forwards the trace handler; nested "
+                "generative functions are not statically analyzable"
+            )
+        if isinstance(callee, type) and issubclass(callee, Distribution):
+            return self._distribution_call(callee, args, kwargs, node)
+        return self._concrete_or_opaque_call(callee, args, kwargs, node)
+
+    def _handler_call(
+        self,
+        method: _HandlerMethod,
+        args: List[Any],
+        kwargs: Dict[str, Any],
+        node: ast.Call,
+    ) -> Any:
+        if kwargs:
+            raise AnalysisFailure(
+                f"keyword arguments to t.{method.kind} at line {node.lineno}"
+            )
+        if method.kind == "sample":
+            if len(args) != 2:
+                raise AnalysisFailure(
+                    f"t.sample expects (dist, address) at line {node.lineno}"
+                )
+            dist_value, address_value = args
+            observed_value = None
+        else:
+            if len(args) != 3:
+                raise AnalysisFailure(
+                    f"t.observe expects (dist, value, address) at line {node.lineno}"
+                )
+            dist_value, observed_value, address_value = args
+        ok, raw_address = _concretize(address_value)
+        if not ok:
+            raise AnalysisFailure(
+                f"address at line {node.lineno} is not a compile-time constant "
+                "(dynamic address)"
+            )
+        try:
+            address = normalize_address(raw_address)
+        except Exception as error:
+            raise AnalysisFailure(
+                f"unnormalizable address at line {node.lineno}: {error}"
+            ) from error
+        dist_class, supports, param_deps, scalar_params, verified = self._dist_facts(
+            dist_value, node
+        )
+        control_deps = self._control_deps()
+        always = self._control_always()
+        if method.kind == "observe":
+            self.profile.record(
+                address,
+                dist_class,
+                supports,
+                observed=True,
+                always=always,
+                param_deps=param_deps,
+                control_deps=control_deps,
+                scalar_params=scalar_params,
+                verified_batch=verified,
+            )
+            return Const(None)
+        if address in self.model.observations:
+            self.profile.record(
+                address,
+                dist_class,
+                supports,
+                observed=True,
+                always=always,
+                param_deps=param_deps,
+                control_deps=control_deps,
+                scalar_params=scalar_params,
+                verified_batch=verified,
+            )
+            return Const(self.model.observations[address])
+        self.profile.record(
+            address,
+            dist_class,
+            supports,
+            observed=False,
+            always=always,
+            param_deps=param_deps,
+            control_deps=control_deps,
+            scalar_params=scalar_params,
+            verified_batch=verified,
+        )
+        return Sampled(address, supports)
+
+    def _dist_facts(
+        self, dist_value: Any, node: ast.Call
+    ) -> Tuple[str, Tuple[Support, ...], FrozenSet[Any], bool, bool]:
+        if isinstance(dist_value, Const) and isinstance(dist_value.value, Distribution):
+            dist = dist_value.value
+            try:
+                supports: Tuple[Support, ...] = (dist.support(),)
+            except Exception as error:
+                raise AnalysisFailure(
+                    f"support of {dist!r} unavailable at line {node.lineno}: {error}"
+                ) from error
+            return (
+                type(dist).__name__,
+                supports,
+                _EMPTY,
+                True,
+                _verified_batch_class(type(dist)),
+            )
+        if isinstance(dist_value, _AbstractDist):
+            if not dist_value.supports:
+                raise AnalysisFailure(
+                    f"support of {dist_value.dist_class.__name__} at line "
+                    f"{node.lineno} is not statically determined"
+                )
+            return (
+                dist_value.dist_class.__name__,
+                dist_value.supports,
+                dist_value.deps,
+                dist_value.scalar_params,
+                _verified_batch_class(dist_value.dist_class),
+            )
+        raise AnalysisFailure(
+            f"sampled object at line {node.lineno} is not a statically known "
+            "distribution"
+        )
+
+    def _list_method_call(
+        self,
+        method: _ListMethod,
+        args: List[Any],
+        kwargs: Dict[str, Any],
+        node: ast.Call,
+    ) -> Any:
+        if kwargs:
+            raise AnalysisFailure(f"keyword arguments to list.{method.name}")
+        if self.branch_depth:
+            raise AnalysisFailure(
+                f"list mutation under a data-dependent branch at line {node.lineno}"
+            )
+        if method.name == "append":
+            if len(args) != 1:
+                raise AnalysisFailure(f"list.append arity at line {node.lineno}")
+            method.target.items.append(args[0])
+            return Const(None)
+        if len(args) != 1:
+            raise AnalysisFailure(f"list.extend arity at line {node.lineno}")
+        items = self._iterable_items(args[0], node)
+        if items is None:
+            raise AnalysisFailure(
+                f"list.extend with unbounded iterable at line {node.lineno}"
+            )
+        method.target.items.extend(items)
+        return Const(None)
+
+    def _distribution_call(
+        self,
+        dist_class: type,
+        args: List[Any],
+        kwargs: Dict[str, Any],
+        node: ast.Call,
+    ) -> Any:
+        concrete_args = []
+        all_const = True
+        for value in args:
+            ok, concrete = _concretize(value)
+            if not ok:
+                all_const = False
+                break
+            concrete_args.append(concrete)
+        concrete_kwargs = {}
+        if all_const:
+            for name, value in kwargs.items():
+                ok, concrete = _concretize(value)
+                if not ok:
+                    all_const = False
+                    break
+                concrete_kwargs[name] = concrete
+        if all_const:
+            try:
+                return Const(dist_class(*concrete_args, **concrete_kwargs))
+            except Exception as error:
+                raise AnalysisFailure(
+                    f"distribution construction failed at line {node.lineno}: {error}"
+                ) from error
+        deps: FrozenSet[Any] = _EMPTY
+        tainted = False
+        for value in list(args) + list(kwargs.values()):
+            deps = deps | _value_deps(value)
+            tainted = tainted or _value_tainted(value)
+        supports = _abstract_support(dist_class, args, kwargs)
+        scalar_params = all(
+            _mergeable_param(value) for value in list(args) + list(kwargs.values())
+        )
+        return _AbstractDist(dist_class, supports, deps, tainted, scalar_params)
+
+    def _concrete_or_opaque_call(
+        self, callee: Any, args: List[Any], kwargs: Dict[str, Any], node: ast.Call
+    ) -> Any:
+        concrete_args = []
+        all_const = True
+        for value in args:
+            ok, concrete = _concretize(value)
+            if not ok:
+                all_const = False
+                break
+            concrete_args.append(concrete)
+        concrete_kwargs = {}
+        if all_const:
+            for name, value in kwargs.items():
+                ok, concrete = _concretize(value)
+                if not ok:
+                    all_const = False
+                    break
+                concrete_kwargs[name] = concrete
+        if all_const:
+            try:
+                result = callee(*concrete_args, **concrete_kwargs)
+            except Exception as error:
+                raise AnalysisFailure(
+                    f"call to {getattr(callee, '__name__', callee)!r} failed at "
+                    f"line {node.lineno}: {error}"
+                ) from error
+            return Const(result)
+        # Special-case the iteration builtins over abstract containers so
+        # constant-bounded loops over partially-abstract data still unroll.
+        if callee is enumerate and len(args) in (1, 2) and not kwargs:
+            items = self._iterable_items(args[0], node)
+            if items is not None:
+                start = 0
+                if len(args) == 2:
+                    ok, start = _concretize(args[1])
+                    if not ok:
+                        raise AnalysisFailure(
+                            f"non-constant enumerate start at line {node.lineno}"
+                        )
+                return AbstractList(
+                    [
+                        AbstractTuple((Const(start + offset), item))
+                        for offset, item in enumerate(items)
+                    ]
+                )
+        if callee is len and len(args) == 1 and not kwargs:
+            if isinstance(args[0], (AbstractList, AbstractTuple)):
+                return Const(len(args[0].items))
+        if callee in (list, tuple) and len(args) == 1 and not kwargs:
+            items = self._iterable_items(args[0], node)
+            if items is not None:
+                return (
+                    AbstractList(items)
+                    if callee is list
+                    else AbstractTuple(tuple(items))
+                )
+        for value in list(args) + list(kwargs.values()):
+            if isinstance(value, AbstractList):
+                raise AnalysisFailure(
+                    f"opaque call at line {node.lineno} receives a mutable "
+                    "abstract list; its mutations cannot be tracked"
+                )
+        deps: FrozenSet[Any] = _EMPTY
+        tainted = False
+        for value in list(args) + list(kwargs.values()):
+            deps = deps | _value_deps(value)
+            tainted = tainted or _value_tainted(value)
+        if tainted:
+            self.profile.opaque_tainted_lines.append(node.lineno)
+        if isinstance(callee, type):
+            # Constructing an object from tainted parts: opaque value.
+            return Unknown(tainted, deps)
+        if getattr(callee, "__self__", None) is not None and isinstance(
+            callee.__self__, (list, dict, set)
+        ):
+            raise AnalysisFailure(
+                f"opaque mutating method call at line {node.lineno}"
+            )
+        return Unknown(tainted, deps)
+
+    # -- concrete/finite operator evaluation ----------------------------------
+
+    def _apply_concrete(self, node: ast.AST, operands: Tuple[Any, ...], compute) -> Any:
+        concrete = []
+        all_const = True
+        for operand in operands:
+            ok, value = _concretize(operand)
+            if not ok:
+                all_const = False
+                break
+            concrete.append(value)
+        if all_const:
+            try:
+                return Const(compute(tuple(concrete)))
+            except Exception as error:
+                raise AnalysisFailure(
+                    f"evaluation failed at line {getattr(node, 'lineno', '?')}: "
+                    f"{error}"
+                ) from error
+        member_sets = []
+        total = 1
+        for operand in operands:
+            members = _possible(operand) if isinstance(operand, AbstractValue) else None
+            if members is None:
+                member_sets = None
+                break
+            total *= max(len(members), 1)
+            if total > MAX_ONE_OF:
+                member_sets = None
+                break
+            member_sets.append(members)
+        tainted = any(_value_tainted(operand) for operand in operands)
+        deps: FrozenSet[Any] = _EMPTY
+        for operand in operands:
+            deps = deps | _value_deps(operand)
+        if member_sets is not None:
+            results = []
+            for combo in itertools.product(*member_sets):
+                try:
+                    results.append(compute(combo))
+                except Exception:
+                    continue
+            if results:
+                return make_one_of(results, tainted, deps)
+        numeric = all(
+            isinstance(operand, AbstractValue) and is_numeric_scalar(operand)
+            for operand in operands
+        )
+        return Unknown(tainted, deps, numeric)
+
+    _BIN_OPS = {
+        ast.Add: lambda a, b: a + b,
+        ast.Sub: lambda a, b: a - b,
+        ast.Mult: lambda a, b: a * b,
+        ast.Div: lambda a, b: a / b,
+        ast.FloorDiv: lambda a, b: a // b,
+        ast.Mod: lambda a, b: a % b,
+        ast.Pow: lambda a, b: a**b,
+        ast.MatMult: lambda a, b: a @ b,
+        ast.LShift: lambda a, b: a << b,
+        ast.RShift: lambda a, b: a >> b,
+        ast.BitOr: lambda a, b: a | b,
+        ast.BitXor: lambda a, b: a ^ b,
+        ast.BitAnd: lambda a, b: a & b,
+    }
+
+    _UNARY_OPS = {
+        ast.USub: lambda a: -a,
+        ast.UAdd: lambda a: +a,
+        ast.Not: lambda a: not a,
+        ast.Invert: lambda a: ~a,
+    }
+
+    _CMP_OPS = {
+        ast.Eq: lambda a, b: a == b,
+        ast.NotEq: lambda a, b: a != b,
+        ast.Lt: lambda a, b: a < b,
+        ast.LtE: lambda a, b: a <= b,
+        ast.Gt: lambda a, b: a > b,
+        ast.GtE: lambda a, b: a >= b,
+        ast.Is: lambda a, b: a is b,
+        ast.IsNot: lambda a, b: a is not b,
+        ast.In: lambda a, b: a in b,
+        ast.NotIn: lambda a, b: a not in b,
+    }
+
+    def _binary(self, op: ast.operator, left: Any, right: Any) -> Any:
+        handler = self._BIN_OPS.get(type(op))
+        if handler is None:
+            raise AnalysisFailure(f"unsupported operator {type(op).__name__}")
+        return handler(left, right)
+
+    def _unary(self, op: ast.unaryop, operand: Any) -> Any:
+        handler = self._UNARY_OPS.get(type(op))
+        if handler is None:
+            raise AnalysisFailure(f"unsupported unary operator {type(op).__name__}")
+        return handler(operand)
+
+    def _compare(self, op: ast.cmpop, left: Any, right: Any) -> Any:
+        handler = self._CMP_OPS.get(type(op))
+        if handler is None:
+            raise AnalysisFailure(f"unsupported comparison {type(op).__name__}")
+        return handler(left, right)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def analyze_model(model: Model) -> StaticProfile:
+    """Statically profile ``model`` — no execution, no RNG.
+
+    Dispatches on the generative function's shape: structured-language
+    models (:class:`repro.lang.interp._LangModelFn`) get the lang-AST
+    interpreter (:mod:`repro.analysis.absint.lang`); everything else is
+    treated as a Python function and analyzed from source.  Always
+    returns a profile; when the analyzer cannot close the program the
+    profile is ``complete=False`` with ``failure`` naming the reason and
+    callers fall back to runtime profiling.
+    """
+    profile = StaticProfile(name=getattr(model, "name", "model"))
+    fn = getattr(model, "fn", None)
+    if fn is None:
+        profile.fail("model has no generative function")
+        return profile
+    if hasattr(fn, "program") and hasattr(fn, "initial"):
+        from .lang import analyze_lang_model
+
+        return analyze_lang_model(model, profile)
+    try:
+        _PyInterpreter(model, profile).run()
+        if not profile.failure:
+            profile.complete = True
+    except AnalysisFailure as error:
+        profile.fail(str(error))
+    except RecursionError:  # pragma: no cover - pathological nesting
+        profile.fail("recursion limit exceeded during analysis")
+    return profile

@@ -1,0 +1,281 @@
+"""The abstract-value lattice of the static model profiler.
+
+The profiler's job is narrow: decide, without running the model, which
+addresses a program samples at, which distribution class (and support)
+sits at each address, and whether any control flow depends on a sampled
+value.  The lattice is therefore small and *finite-first*:
+
+* :class:`Const` — a value known exactly (the model's ``args`` and
+  anything computed from constants);
+* :class:`OneOf` — a bounded, explicitly enumerated set of possible
+  constants.  Branch joins and subscripting constants with
+  finite-support sampled indices produce these; the set is widened to
+  :class:`Unknown` past :data:`MAX_ONE_OF`;
+* :class:`Sampled` — the value of a random choice, carrying the
+  choice's possible supports so downstream subscripts can enumerate it;
+* :class:`Unknown` — anything else, tracking only *taint* (whether the
+  value transitively depends on a random choice) and the set of
+  sampled addresses it depends on.
+
+Taint is the load-bearing bit: a tainted branch condition is the
+``value-dependent-control-flow`` verdict, which both demotes the model
+from the columnar runtime and (for ``while`` bounds) stops the address
+space from being statically closed.  The ``deps`` sets ride along so
+the emitted :class:`~repro.analysis.absint.profile.StaticProfile` can
+report a statement-level dependency graph (which sampled addresses feed
+each distribution's parameters).
+
+Every class is immutable; the interpreter treats plain Python lists
+built inside the analyzed function as mutable containers *of* abstract
+values, which is how ``states.append(...)``-style model code stays
+precise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterable, Optional, Tuple
+
+__all__ = [
+    "AbstractValue",
+    "Const",
+    "OneOf",
+    "Sampled",
+    "Unknown",
+    "UNKNOWN",
+    "MAX_ONE_OF",
+    "is_tainted",
+    "is_numeric_scalar",
+    "deps_of",
+    "join",
+    "make_one_of",
+    "possible_values",
+    "const_value",
+]
+
+#: Widening threshold: a :class:`OneOf` may enumerate at most this many
+#: alternatives before it collapses into :class:`Unknown`.  Keeps the
+#: product sets of nested sampled subscripts (second-order HMM
+#: transition rows, ...) bounded.
+MAX_ONE_OF = 64
+
+_EMPTY: FrozenSet[Any] = frozenset()
+
+
+class AbstractValue:
+    """Base marker for abstract values (plain Python values are *not*
+    abstract values; the interpreter wraps them in :class:`Const`)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(AbstractValue):
+    """A value known exactly at analysis time."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class OneOf(AbstractValue):
+    """One of a bounded set of known values.
+
+    ``tainted`` records whether the *selection* among the alternatives
+    depends on a random choice (it almost always does — the usual
+    producers are branch joins on sampled conditions and subscripts by
+    sampled indices); ``deps`` names the sampled addresses involved.
+    Identity equality only: members may be numpy arrays, whose ``==`` is
+    elementwise and would poison a structural ``__eq__``.
+    """
+
+    values: Tuple[Any, ...]
+    tainted: bool = True
+    deps: FrozenSet[Any] = _EMPTY
+
+    def __repr__(self) -> str:
+        flag = "tainted" if self.tainted else "pure"
+        return f"OneOf({len(self.values)} values, {flag})"
+
+
+@dataclass(frozen=True)
+class Sampled(AbstractValue):
+    """The value of one random choice.
+
+    ``supports`` is the tuple of possible
+    :class:`~repro.distributions.base.Support` descriptions of the
+    distribution sampled at the address (usually one element;
+    branch-dependent parameters can produce several).
+    """
+
+    address: Any
+    supports: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"Sampled({self.address!r})"
+
+
+@dataclass(frozen=True)
+class Unknown(AbstractValue):
+    """Top: nothing is known beyond taint and its origin set.
+
+    ``numeric`` preserves one shape fact through widening: the value,
+    though unknown, is certainly a numeric *scalar* (arithmetic over
+    scalars, oversized joins of scalar sets).  The columnar pre-flight
+    keys off it — varying scalar distribution parameters merge into an
+    array-parameterized template, varying non-scalars do not.
+    """
+
+    tainted: bool = False
+    deps: FrozenSet[Any] = _EMPTY
+    numeric: bool = False
+
+    def __repr__(self) -> str:
+        return "Unknown(tainted)" if self.tainted else "Unknown"
+
+
+#: Shared pure-top instance (allocation thrift in the interpreter loop).
+UNKNOWN = Unknown()
+
+
+def is_tainted(value: AbstractValue) -> bool:
+    """True when ``value`` (transitively) depends on a random choice."""
+    if isinstance(value, Sampled):
+        return True
+    if isinstance(value, (OneOf, Unknown)):
+        return value.tainted
+    return False
+
+
+def _scalar_types() -> tuple:
+    import numpy as np
+
+    return (bool, int, float, np.bool_, np.integer, np.floating)
+
+
+def is_numeric_scalar(value: AbstractValue) -> bool:
+    """True when ``value`` is certainly a numeric scalar at run time."""
+    if isinstance(value, Const):
+        return isinstance(value.value, _scalar_types())
+    if isinstance(value, OneOf):
+        return all(isinstance(m, _scalar_types()) for m in value.values)
+    if isinstance(value, Sampled):
+        # Every Distribution this analyzer closes draws numeric scalars.
+        return True
+    if isinstance(value, Unknown):
+        return value.numeric
+    return False
+
+
+def deps_of(value: AbstractValue) -> FrozenSet[Any]:
+    """The sampled addresses ``value`` (transitively) depends on."""
+    if isinstance(value, Sampled):
+        return frozenset((value.address,))
+    if isinstance(value, (OneOf, Unknown)):
+        return value.deps
+    return _EMPTY
+
+
+def _append_unseen(out: list, value: Any) -> None:
+    """Append ``value`` unless an equal member exists; incomparable
+    members (numpy arrays, ...) are kept as duplicates — dedup is a
+    compactness optimization, never a soundness requirement."""
+    for existing in out:
+        if existing is value:
+            return
+        try:
+            equal = bool(existing == value)
+        except Exception:
+            continue
+        if equal:
+            return
+    out.append(value)
+
+
+def _bounded_set(values: Iterable[Any]) -> Optional[Tuple[Any, ...]]:
+    """Deduplicate preserving order; None past :data:`MAX_ONE_OF`."""
+    out: list = []
+    for value in values:
+        _append_unseen(out, value)
+        if len(out) > MAX_ONE_OF:
+            return None
+    return tuple(out)
+
+
+def make_one_of(
+    values: Iterable[Any], tainted: bool, deps: FrozenSet[Any] = _EMPTY
+) -> AbstractValue:
+    """A :class:`OneOf` over ``values``, collapsing singletons and
+    widening oversized sets."""
+    values = list(values)
+    bounded = _bounded_set(values)
+    if bounded is None:
+        numeric = all(isinstance(m, _scalar_types()) for m in values)
+        return Unknown(tainted, deps, numeric)
+    if len(bounded) == 1 and not tainted:
+        return Const(bounded[0])
+    return OneOf(bounded, tainted=tainted, deps=deps)
+
+
+def possible_values(value: AbstractValue) -> Optional[Tuple[Any, ...]]:
+    """The finite set of concrete values ``value`` may take, or None.
+
+    :class:`Sampled` values enumerate through their supports when every
+    support is finite and small (``Support.is_finite`` plus a size cap —
+    Geometric/Poisson report finite-but-astronomical integer ranges),
+    which is what lets a sampled HMM state index a constant transition
+    matrix precisely.
+    """
+    if isinstance(value, Const):
+        return (value.value,)
+    if isinstance(value, OneOf):
+        return value.values
+    if isinstance(value, Sampled):
+        members: list = []
+        for support in value.supports:
+            try:
+                if not support.is_finite() or len(support) > MAX_ONE_OF:
+                    return None
+                for member in support.enumerate():
+                    _append_unseen(members, member)
+            except Exception:
+                return None
+            if len(members) > MAX_ONE_OF:
+                return None
+        return tuple(members)
+    return None
+
+
+def const_value(value: AbstractValue) -> Tuple[bool, Any]:
+    """``(True, v)`` when ``value`` is exactly the constant ``v``."""
+    if isinstance(value, Const):
+        return True, value.value
+    return False, None
+
+
+def join(
+    a: AbstractValue,
+    b: AbstractValue,
+    tainted: bool = False,
+    extra_deps: FrozenSet[Any] = _EMPTY,
+) -> AbstractValue:
+    """Least upper bound of two abstract values (used at branch joins).
+
+    ``tainted``/``extra_deps`` fold in the branch condition: a join
+    caused by a branch on a sampled condition makes the merged value
+    data-dependent on that choice even when both alternatives are
+    constants.
+    """
+    taint = tainted or is_tainted(a) or is_tainted(b)
+    deps = deps_of(a) | deps_of(b) | extra_deps
+    if isinstance(a, Sampled) and isinstance(b, Sampled) and a == b and not tainted:
+        return a
+    if a is b and not tainted and not isinstance(a, OneOf):
+        return a
+    left = possible_values(a) if isinstance(a, (Const, OneOf)) else None
+    right = possible_values(b) if isinstance(b, (Const, OneOf)) else None
+    if left is not None and right is not None:
+        return make_one_of(left + right, tainted=taint, deps=deps)
+    return Unknown(taint, deps, is_numeric_scalar(a) and is_numeric_scalar(b))

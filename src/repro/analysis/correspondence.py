@@ -83,6 +83,10 @@ class AddressProfile:
     complete: bool = False
     #: Trace executions that raised (sampling mode only).
     failures: int = 0
+    #: How the profile was produced: "static" (abstract interpretation),
+    #: "enumerate" (exhaustive trace enumeration), or "sample" (seeded
+    #: forward simulation).  Empty on hand-built profiles.
+    method: str = ""
 
     def record(self, address: Address, dist: Any) -> None:
         supports = self.supports.setdefault(address, [])
@@ -101,14 +105,47 @@ def profile_model(
     model: Model,
     rng: Optional[np.random.Generator] = None,
     num_samples: int = DEFAULT_SAMPLES,
+    method: str = "auto",
 ) -> AddressProfile:
     """Collect the address space of ``model``.
 
-    Tries exhaustive enumeration first (finite discrete models); falls
-    back to ``num_samples`` forward simulations seeded from ``rng`` (a
-    fixed seed when omitted, so validation is deterministic).
+    ``method`` selects the strategy:
+
+    * ``"auto"`` (default) — static abstract interpretation first
+      (:func:`repro.analysis.absint.analyze_model`); when the analyzer
+      closes the model the profile is deterministic and consumes **no**
+      randomness.  Models the analyzer cannot close (value-dependent
+      loop bounds, dynamic addresses, ...) fall back to the runtime
+      strategies below.
+    * ``"static"`` — abstract interpretation only; raises
+      :class:`ValueError` when the model resists analysis.
+    * ``"runtime"`` — exhaustive enumeration when the model is finite
+      and discrete, else ``num_samples`` forward simulations seeded
+      from ``rng`` (a fixed seed when omitted, so validation is
+      deterministic).  This is the pre-static behaviour.
+    * ``"sample"`` — forward simulation only (benchmark baseline).
     """
-    profile = AddressProfile(name=getattr(model, "name", "model"))
+    if method not in ("auto", "static", "runtime", "sample"):
+        raise ValueError(
+            f"unknown profiling method {method!r}; choose from "
+            "'auto', 'static', 'runtime', 'sample'"
+        )
+    if method in ("auto", "static"):
+        from .absint import analyze_model
+
+        static = analyze_model(model)
+        if static.complete:
+            profile = static.to_address_profile()
+            profile.method = "static"
+            return profile
+        if method == "static":
+            raise ValueError(
+                f"static analysis of {profile_name(model)!r} is incomplete: "
+                f"{static.failure}"
+            )
+    profile = AddressProfile(name=profile_name(model))
+    if method == "sample":
+        return _profile_by_sampling(profile, model, rng, num_samples)
     try:
         count = 0
         enumerated: List[Any] = []
@@ -121,11 +158,26 @@ def profile_model(
             for choice in trace.choices():
                 profile.record(choice.address, choice.dist)
         profile.complete = True
+        profile.method = "enumerate"
         return profile
     except ValueError:
         # Continuous/unbounded model (or budget blown): sample instead.
         pass
+    return _profile_by_sampling(profile, model, rng, num_samples)
+
+
+def profile_name(model: Model) -> str:
+    return getattr(model, "name", "model")
+
+
+def _profile_by_sampling(
+    profile: AddressProfile,
+    model: Model,
+    rng: Optional[np.random.Generator],
+    num_samples: int,
+) -> AddressProfile:
     rng = rng if rng is not None else np.random.default_rng(0)
+    profile.method = "sample"
     for _ in range(max(1, num_samples)):
         try:
             trace = model.simulate(rng)

@@ -62,6 +62,19 @@ def preflight_inference(
     add(lint_config(config, first))
     for translator in translators:
         add(validate_translator(translator, rng=rng, num_samples=PREFLIGHT_SAMPLES))
+    if getattr(config, "collection", None) == "columnar":
+        # The run asked for the columnar fast path: surface the static
+        # pre-flight's predicted spill reasons (info severity — spilling
+        # to the object path is routing, not failure) so a user who
+        # expected columnar speed learns *before* the run why each step
+        # will take the object path.
+        from .static_profile import columnar_plan_lint
+
+        for translator in translators:
+            try:
+                add(columnar_plan_lint(translator))
+            except Exception:  # pragma: no cover - analysis must not
+                pass  # block inference
     return diagnostics
 
 

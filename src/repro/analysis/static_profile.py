@@ -1,0 +1,222 @@
+"""The static model profiler as an analysis pass (pass 5).
+
+Surfaces the abstract interpreter (:mod:`repro.analysis.absint`) through
+the same :class:`~repro.analysis.diagnostics.Diagnostic` pipeline as the
+other passes, in three shapes:
+
+* :func:`static_profile_model` — profile one model; report what the
+  analyzer concluded (``static-profile-complete`` /
+  ``static-profile-incomplete`` / ``static-profile-control-flow``) and,
+  optionally, **gate agreement** against the runtime profiler: a
+  complete static profile that disagrees with an enumerated/sampled
+  profile of the same model is an ``error``
+  (``static-profile-disagreement``) — the soundness check CI runs over
+  every bundled target.
+* :func:`columnar_plan_lint` — run the columnar pre-flight
+  (:func:`repro.analysis.absint.plan_columnar_step`) on a translator and
+  report each predicted spill reason under its stable
+  ``columnar-ineligible-*`` code.
+* :func:`bundled_static_profiles` — the JSON profile/plan dump behind
+  ``repro lint --static-profile`` and the CI profile artifacts.
+
+Severity policy: everything the pass reports about *bundled* models is
+``info`` unless the static profiler is provably wrong — incompleteness
+(the Figure 6 geometric loop) and columnar ineligibility (the burglary
+branching) are expected properties of shipped programs, and ``repro
+lint bundled --strict`` must stay green.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.model import Model
+from .correspondence import DEFAULT_SAMPLES, profile_model
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "static_profile_model",
+    "columnar_plan_lint",
+    "bundled_static_profiles",
+]
+
+PASS_NAME = "static-profile"
+
+
+def _diag(
+    severity: str, message: str, code: str, address: Any = None
+) -> Diagnostic:
+    return Diagnostic(
+        severity,
+        message,
+        code=code,
+        pass_name=PASS_NAME,
+        address=None if address is None else repr(address),
+    )
+
+
+def static_profile_model(
+    model: Model,
+    *,
+    check_agreement: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    num_samples: int = DEFAULT_SAMPLES,
+) -> List[Diagnostic]:
+    """Statically profile ``model`` and report the analyzer's verdicts.
+
+    With ``check_agreement`` (the default), a complete static profile is
+    cross-checked against the runtime profiler: the static address set
+    must contain every runtime-observed address with the same support
+    lists (the static set may be strictly larger only when the runtime
+    profile is sampled, i.e. an under-approximation).
+    """
+    from .absint import analyze_model
+
+    name = getattr(model, "name", "model")
+    profile = analyze_model(model)
+    diagnostics: List[Diagnostic] = []
+
+    if profile.complete:
+        diagnostics.append(
+            _diag(
+                "info",
+                f"statically profiled {name!r}: {len(profile.addresses)} "
+                f"latent address(es), {len(profile.observations)} "
+                f"observation(s), {len(profile.families())} famil(ies)",
+                "static-profile-complete",
+            )
+        )
+    else:
+        diagnostics.append(
+            _diag(
+                "info",
+                f"static analysis of {name!r} is incomplete "
+                f"({profile.failure}); runtime profiling applies",
+                "static-profile-incomplete",
+            )
+        )
+    if profile.value_dependent_control_flow:
+        sites = "; ".join(site.describe() for site in profile.control_sites)
+        diagnostics.append(
+            _diag(
+                "info",
+                f"{name!r} has value-dependent control flow: {sites}",
+                "static-profile-control-flow",
+            )
+        )
+
+    if check_agreement and profile.complete:
+        runtime = profile_model(model, rng, num_samples, method="runtime")
+        static = profile.to_address_profile()
+        for address in sorted(runtime.supports, key=repr):
+            if address not in static.supports:
+                diagnostics.append(
+                    _diag(
+                        "error",
+                        f"static profile of {name!r} misses address "
+                        f"{address!r} observed by the runtime profiler "
+                        f"({runtime.method})",
+                        "static-profile-disagreement",
+                        address,
+                    )
+                )
+            elif sorted(map(repr, static.supports[address])) != sorted(
+                map(repr, runtime.supports[address])
+            ):
+                diagnostics.append(
+                    _diag(
+                        "error",
+                        f"support disagreement at {address!r} in {name!r}: "
+                        f"static {static.supports[address]} vs "
+                        f"{runtime.method} {runtime.supports[address]}",
+                        "static-profile-disagreement",
+                        address,
+                    )
+                )
+        for address in sorted(set(static.supports) - set(runtime.supports), key=repr):
+            if runtime.complete:
+                diagnostics.append(
+                    _diag(
+                        "error",
+                        f"static profile of {name!r} claims address "
+                        f"{address!r}, which exhaustive enumeration never "
+                        "produced",
+                        "static-profile-disagreement",
+                        address,
+                    )
+                )
+            else:
+                diagnostics.append(
+                    _diag(
+                        "info",
+                        f"static profile of {name!r} includes {address!r}, "
+                        f"unseen in {runtime.method} profiling (sound "
+                        "over-approximation)",
+                        "static-profile-overapprox",
+                        address,
+                    )
+                )
+    return diagnostics
+
+
+def columnar_plan_lint(translator: Any) -> List[Diagnostic]:
+    """Report a translator's predicted columnar spill reasons.
+
+    Every finding is ``info``: ineligibility is a routing fact, not a
+    defect — the object path is always available.
+    """
+    from .absint import plan_columnar_step
+
+    plan = plan_columnar_step(translator)
+    diagnostics: List[Diagnostic] = []
+    for finding in plan.findings:
+        diagnostics.append(
+            _diag("info", finding.describe(), finding.lint_code)
+        )
+    if plan.eligible:
+        diagnostics.append(
+            _diag(
+                "info",
+                "no certain spill predicted; the step runs columnar "
+                "(runtime probe still applies)",
+                "columnar-eligible",
+            )
+        )
+    return diagnostics
+
+
+def bundled_static_profiles() -> Dict[str, Dict[str, Any]]:
+    """Static profiles and columnar plans of every bundled model pair.
+
+    The payload behind ``repro lint bundled --static-profile PATH`` and
+    the CI ``static-profile`` job's JSON artifacts.
+    """
+    from ..core.corr_translator import CorrespondenceTranslator
+    from ..derive.gate import BUNDLED_PAIRS
+    from ..experiments.burglary import (
+        burglary_correspondence,
+        burglary_original,
+        burglary_refined,
+    )
+    from .absint import analyze_model, plan_columnar_step
+
+    pairs = {name: setup() for name, setup in sorted(BUNDLED_PAIRS.items())}
+    pairs["burglary"] = (
+        burglary_original(),
+        burglary_refined(),
+        burglary_correspondence(),
+    )
+
+    payload: Dict[str, Dict[str, Any]] = {}
+    for name, (source, target, reference) in sorted(pairs.items()):
+        plan = plan_columnar_step(
+            CorrespondenceTranslator(source, target, reference)
+        )
+        payload[name] = {
+            "source": analyze_model(source).to_json(),
+            "target": analyze_model(target).to_json(),
+            "columnar_plan": plan.to_json(),
+        }
+    return payload

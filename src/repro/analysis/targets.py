@@ -164,6 +164,58 @@ def _derive_gate(pair_name: str):
     return run
 
 
+def _static_profile_pair(pair_name: str):
+    """Static-profiler target: profile both models of a bundled pair,
+    gate static-vs-runtime agreement, and lint the columnar plan."""
+
+    def run() -> List[Diagnostic]:
+        from ..core.corr_translator import CorrespondenceTranslator
+        from .static_profile import columnar_plan_lint, static_profile_model
+
+        if pair_name == "burglary":
+            from ..experiments.burglary import (
+                burglary_correspondence,
+                burglary_original,
+                burglary_refined,
+            )
+
+            source, target, reference = (
+                burglary_original(),
+                burglary_refined(),
+                burglary_correspondence(),
+            )
+        else:
+            from ..derive.gate import BUNDLED_PAIRS
+
+            source, target, reference = BUNDLED_PAIRS[pair_name]()
+        diagnostics = static_profile_model(source)
+        diagnostics.extend(static_profile_model(target))
+        diagnostics.extend(
+            columnar_plan_lint(
+                CorrespondenceTranslator(source, target, reference)
+            )
+        )
+        return diagnostics
+
+    return run
+
+
+def _static_profile_lang(source_name: str):
+    """Static-profiler target for one structured-language program."""
+
+    def run() -> List[Diagnostic]:
+        from ..lang import programs as lang_programs
+        from ..lang.interp import lang_model
+        from ..lang.parser import parse_program
+        from .static_profile import static_profile_model
+
+        program = parse_program(getattr(lang_programs, source_name))
+        model = lang_model(program, name=source_name.lower())
+        return static_profile_model(model)
+
+    return run
+
+
 def _config(name: str, **kwargs):
     def run() -> List[Diagnostic]:
         from ..core.config import InferenceConfig
@@ -206,6 +258,16 @@ def bundled_targets() -> TargetRegistry:
     registry["derive:hmm"] = _derive_gate("hmm")
     registry["derive:regression"] = _derive_gate("regression")
     registry["derive:gmm"] = _derive_gate("gmm")
+    for pair in ("burglary", "gmm", "hmm", "regression"):
+        registry[f"static-profile:{pair}"] = _static_profile_pair(pair)
+    for name in (
+        "FIGURE3",
+        "FIGURE5_P",
+        "FIGURE5_Q",
+        "FIGURE6_GEOMETRIC",
+        "FIGURE7",
+    ):
+        registry[f"static-profile:{name.lower()}"] = _static_profile_lang(name)
     registry["config:default"] = _config("default")
     registry["config:adaptive-smc"] = _config(
         "adaptive-smc",

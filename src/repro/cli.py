@@ -235,11 +235,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import AnalysisResult
 
     result = AnalysisResult()
+    static_payload = None
     if list(args.targets) == ["bundled"]:
         from .analysis import lint_bundled
 
         for name, diagnostics in lint_bundled().items():
             result.extend(diagnostics, target=name)
+        if getattr(args, "static_profile", None):
+            from .analysis import bundled_static_profiles
+
+            static_payload = bundled_static_profiles()
     elif len(args.targets) == 1:
         env = _parse_env(args.env)
         array_parameters = tuple(
@@ -252,6 +257,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             extended_check_program(program, tuple(env), array_parameters),
             target=args.targets[0],
         )
+        if getattr(args, "static_profile", None):
+            from .analysis.absint import analyze_model
+
+            model = lang_model(program, env=env, name=args.targets[0])
+            static_payload = {args.targets[0]: analyze_model(model).to_json()}
     elif len(args.targets) == 2:
         env = _parse_env(args.env)
         parameters = tuple(env)
@@ -300,10 +310,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             ),
             target=edit_target,
         )
+        if getattr(args, "static_profile", None):
+            from .analysis.absint import analyze_model
+
+            source = lang_model(old_program, env=env, name=args.targets[0])
+            target = lang_model(new_program, env=env, name=args.targets[1])
+            static_payload = {
+                args.targets[0]: analyze_model(source).to_json(),
+                args.targets[1]: analyze_model(target).to_json(),
+            }
+            if derivation is not None:
+                from .analysis.absint import plan_columnar_step
+                from .core.corr_translator import CorrespondenceTranslator
+
+                plan = plan_columnar_step(
+                    CorrespondenceTranslator(
+                        source, target, derivation.correspondence
+                    )
+                )
+                static_payload["columnar_plan"] = plan.to_json()
     else:
         _fail_usage(
             "lint takes one program, an OLD NEW pair, or the literal 'bundled'"
         )
+
+    if static_payload is not None:
+        with open(args.static_profile, "w") as handle:
+            handle.write(
+                json_module.dumps(static_payload, indent=2, sort_keys=True) + "\n"
+            )
+        print(f"static profiles written to {args.static_profile}")
 
     if args.format == "json" or args.out:
         report = json_module.dumps(result.to_dict(), indent=2, sort_keys=True)
@@ -862,6 +898,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--out", metavar="PATH",
                           help="also write the JSON report to this file "
                                "(the CI artifact)")
+    lint_cmd.add_argument("--static-profile", metavar="PATH", dest="static_profile",
+                          help="also write the static model profiles (and, "
+                               "for pairs, the columnar pre-flight plan) as "
+                               "JSON to this file; with 'bundled', covers "
+                               "every bundled model pair")
     lint_cmd.add_argument("--derive", action="store_true",
                           help="with OLD NEW: validate the automatically "
                                "derived correspondence (repro.derive) instead "

@@ -82,7 +82,20 @@ class ColumnarSpill(Exception):
     Deliberately **not** a :class:`~repro.errors.ReproError`: spilling is
     an internal representation decision, never a model fault, so fault
     policies must not observe (or count) it.
+
+    ``code`` is a stable machine-readable reason (a key of
+    :data:`repro.analysis.absint.plan.SPILL_CODES`) so tests, metrics,
+    and the static pre-flight can match raise sites without parsing the
+    human-readable ``detail``.
     """
+
+    def __init__(self, code: str, detail: Optional[str] = None):
+        if detail is None:
+            # Single-argument (legacy) form: the argument is the detail.
+            code, detail = "unspecified", code
+        self.code = code
+        self.detail = detail
+        super().__init__(f"[{code}] {detail}")
 
 
 # ---------------------------------------------------------------------------
@@ -98,7 +111,9 @@ def _kind_of_values(values: Sequence[Any]) -> str:
         return "int"
     if all(isinstance(v, (float, np.floating)) for v in values):
         return "float"
-    raise ColumnarSpill(f"non-numeric or mixed-kind value column: {values[:3]!r}...")
+    raise ColumnarSpill(
+        "value-kind", f"non-numeric or mixed-kind value column: {values[:3]!r}..."
+    )
 
 
 def _kind_of_dtype(dtype: np.dtype) -> str:
@@ -108,7 +123,7 @@ def _kind_of_dtype(dtype: np.dtype) -> str:
         return "int"
     if dtype.kind == "f":
         return "float"
-    raise ColumnarSpill(f"unsupported sample dtype {dtype!r}")
+    raise ColumnarSpill("value-kind", f"unsupported sample dtype {dtype!r}")
 
 
 def _restore_kind(value: float, kind: str) -> Any:
@@ -145,8 +160,9 @@ def _template_rebuild(dist: Distribution, transform) -> Distribution:
     to every ndarray init field (gather / row-select)."""
     if not dataclasses.is_dataclass(dist):
         raise ColumnarSpill(
+            "template",
             f"{type(dist).__name__} has array parameters but is not a "
-            "dataclass; cannot gather its template"
+            "dataclass; cannot gather its template",
         )
     kwargs = {}
     for f in dataclasses.fields(dist):
@@ -158,7 +174,7 @@ def _template_rebuild(dist: Distribution, transform) -> Distribution:
         return type(dist)(**kwargs)
     except Exception as error:
         raise ColumnarSpill(
-            f"cannot rebuild {type(dist).__name__} template: {error!r}"
+            "template", f"cannot rebuild {type(dist).__name__} template: {error!r}"
         ) from error
 
 
@@ -193,11 +209,14 @@ def _merge_dists(dists: Sequence[Distribution]) -> Distribution:
         if all(d == first for d in dists):
             return first
     except Exception as error:
-        raise ColumnarSpill(f"ambiguous distribution equality: {error!r}") from error
+        raise ColumnarSpill(
+            "dist-merge", f"ambiguous distribution equality: {error!r}"
+        ) from error
     if not dataclasses.is_dataclass(first) or any(type(d) is not type(first) for d in dists):
         raise ColumnarSpill(
+            "dist-merge",
             f"cannot merge heterogeneous distributions at one address: "
-            f"{type(first).__name__}"
+            f"{type(first).__name__}",
         )
     kwargs: Dict[str, Any] = {}
     for f in dataclasses.fields(first):
@@ -208,20 +227,24 @@ def _merge_dists(dists: Sequence[Distribution]) -> Distribution:
         try:
             uniform = all(v == head for v in values)
         except Exception as error:
-            raise ColumnarSpill(f"ambiguous field equality: {error!r}") from error
+            raise ColumnarSpill(
+                "dist-merge", f"ambiguous field equality: {error!r}"
+            ) from error
         if uniform:
             kwargs[f.name] = head
         elif all(isinstance(v, (int, float, np.integer, np.floating)) for v in values):
             kwargs[f.name] = np.asarray(values, dtype=np.float64)
         else:
             raise ColumnarSpill(
-                f"non-numeric varying field {f.name!r} on {type(first).__name__}"
+                "dist-merge",
+                f"non-numeric varying field {f.name!r} on {type(first).__name__}",
             )
     try:
         return type(first)(**kwargs)
     except Exception as error:
         raise ColumnarSpill(
-            f"cannot build merged {type(first).__name__} template: {error!r}"
+            "dist-merge",
+            f"cannot build merged {type(first).__name__} template: {error!r}",
         ) from error
 
 
@@ -271,7 +294,9 @@ def _batch_values(values: Sequence[Any], num: int) -> Any:
         return tuple(
             _batch_values([v[i] for v in values], num) for i in range(len(head))
         )
-    raise ColumnarSpill(f"cannot batch return values of type {type(head).__name__}")
+    raise ColumnarSpill(
+        "return-value", f"cannot batch return values of type {type(head).__name__}"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -527,14 +552,17 @@ class ColumnarCollection:
         items = collection.items
         first = items[0]
         if not isinstance(first, Trace):
-            raise ColumnarSpill(f"items are {type(first).__name__}, not Trace")
+            raise ColumnarSpill("items", f"items are {type(first).__name__}, not Trace")
         order = first.addresses()
         obs_order = first.observation_addresses()
         for trace in items[1:]:
             if not isinstance(trace, Trace):
-                raise ColumnarSpill(f"mixed item types in collection")
+                raise ColumnarSpill("items", "mixed item types in collection")
             if trace.addresses() != order or trace.observation_addresses() != obs_order:
-                raise ColumnarSpill("heterogeneous address structure across particles")
+                raise ColumnarSpill(
+                    "address-structure",
+                    "heterogeneous address structure across particles",
+                )
 
         num = len(items)
         choices: Dict[Address, _Column] = {}
@@ -558,7 +586,9 @@ class ColumnarCollection:
             try:
                 shared = all(r.value is head or r.value == head for r in records)
             except Exception as error:
-                raise ColumnarSpill(f"ambiguous observation equality: {error!r}") from error
+                raise ColumnarSpill(
+                    "observation", f"ambiguous observation equality: {error!r}"
+                ) from error
             varying = None
             if not shared:
                 _kind_of_values([r.value for r in records])  # numeric or spill
@@ -714,8 +744,9 @@ class _ColumnarForwardHandler:
         log_probs = np.asarray(log_probs, dtype=np.float64)
         if log_probs.shape != (self._num,):
             raise ColumnarSpill(
+                "batch-shape",
                 f"log_prob_batch returned shape {log_probs.shape}, "
-                f"expected ({self._num},)"
+                f"expected ({self._num},)",
             )
         return log_probs
 
@@ -759,7 +790,9 @@ class _ColumnarForwardHandler:
         values = np.asarray(dist.sample_batch(self._rng, self._num))
         if values.shape != (self._num,):
             raise ColumnarSpill(
-                f"sample_batch returned shape {values.shape}, expected ({self._num},)"
+                "batch-shape",
+                f"sample_batch returned shape {values.shape}, "
+                f"expected ({self._num},)",
             )
         kind = _kind_of_dtype(values.dtype)
         float_values = values.astype(np.float64)
@@ -775,7 +808,8 @@ class _ColumnarForwardHandler:
         if isinstance(value, np.ndarray):
             if value.shape != (self._num,):
                 raise ColumnarSpill(
-                    f"array-valued observation at {address!r} is not per-particle"
+                    "observation",
+                    f"array-valued observation at {address!r} is not per-particle",
                 )
             varying = value.astype(np.float64)
             log_probs = self._score_column(dist, varying)
@@ -799,6 +833,32 @@ class _ColumnarForwardHandler:
 # ---------------------------------------------------------------------------
 
 
+def _static_plan(translator):
+    """The translator's cached :class:`~repro.analysis.absint.plan.ColumnarPlan`.
+
+    Computed once per translator (model-level facts only — kernel and
+    fault-policy ineligibility is cheaper to check directly), so a
+    sequence of steps over the same edit consults the abstract
+    interpreter exactly once instead of probing every step.  ``False``
+    caches "planning unavailable" (analysis import failed or the
+    translator refuses attributes).
+    """
+    cached = getattr(translator, "_columnar_plan", None)
+    if cached is not None:
+        return cached or None
+    try:
+        from ..analysis.absint import plan_columnar_step
+
+        plan = plan_columnar_step(translator)
+    except Exception:  # pragma: no cover - defensive: planning is optional
+        plan = False
+    try:
+        translator._columnar_plan = plan
+    except Exception:  # pragma: no cover - slotted/frozen translator
+        pass
+    return plan or None
+
+
 def _check_translator(translator, mcmc_kernel, policy) -> None:
     """Spill on anything outside the columnar runtime's contract.
 
@@ -808,16 +868,17 @@ def _check_translator(translator, mcmc_kernel, policy) -> None:
 
     if type(translator) is not CorrespondenceTranslator:
         raise ColumnarSpill(
+            "translator",
             f"columnar path supports plain CorrespondenceTranslator, "
-            f"got {type(translator).__name__}"
+            f"got {type(translator).__name__}",
         )
     if translator.forward_proposals or translator.backward_proposals:
-        raise ColumnarSpill("translator has custom proposals")
+        raise ColumnarSpill("proposals", "translator has custom proposals")
     if mcmc_kernel is not None:
-        raise ColumnarSpill("MCMC rejuvenation uses the object path")
+        raise ColumnarSpill("mcmc", "MCMC rejuvenation uses the object path")
     if policy.contains_faults:
         raise ColumnarSpill(
-            f"fault policy {policy.mode!r} needs per-particle isolation"
+            "fault-policy", f"fault policy {policy.mode!r} needs per-particle isolation"
         )
 
 
@@ -866,12 +927,30 @@ def columnar_infer_step(
     policy = config.fault_policy
     _check_translator(translator, mcmc_kernel, policy)
 
+    # Static pre-flight: a certain finding (value-dependent control flow
+    # in the target, ...) routes to the object path immediately — before
+    # columnarizing the population or consuming any randomness — instead
+    # of probing by running the batched model until it fails.
+    plan = _static_plan(translator)
+    if plan is not None:
+        try:
+            num_hint: Optional[int] = len(traces)
+        except TypeError:
+            num_hint = None
+        blocking = plan.blocking(num_particles=num_hint)
+        if blocking is not None:
+            raise ColumnarSpill(
+                blocking.code, f"{blocking.detail} (static pre-flight)"
+            )
+
     if isinstance(traces, ColumnarCollection):
         source = traces
     elif isinstance(traces, WeightedCollection):
         source = ColumnarCollection.from_weighted(traces)
     else:
-        raise ColumnarSpill(f"unsupported collection type {type(traces).__name__}")
+        raise ColumnarSpill(
+            "collection-type", f"unsupported collection type {type(traces).__name__}"
+        )
 
     num = len(source)
     tracer, metrics, hooks = config.tracer, config.metrics, config.hooks
@@ -897,8 +976,18 @@ def columnar_infer_step(
             except Exception as error:
                 # Array-in-bool-context, shape mismatches, real model
                 # faults — the object path re-runs the step and reports
-                # (or contains) the true error per particle.
-                raise ColumnarSpill(f"batched execution failed: {error!r}") from error
+                # (or contains) the true error per particle.  Numpy's
+                # truth-value guard identifies the control-flow case
+                # (a branch condition received a whole column).
+                code = (
+                    "control-flow"
+                    if isinstance(error, ValueError)
+                    and "truth value" in str(error)
+                    else "execution"
+                )
+                raise ColumnarSpill(
+                    code, f"batched execution failed: {error!r}"
+                ) from error
 
             if executor is not None:
                 # The object path spawns per-particle streams whenever an

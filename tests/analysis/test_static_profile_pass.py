@@ -1,0 +1,211 @@
+"""The static-profile analysis pass (pass 5) and its agreement gate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import bundled_targets
+from repro.analysis.static_profile import (
+    bundled_static_profiles,
+    columnar_plan_lint,
+    static_profile_model,
+)
+from repro.core import Correspondence, CorrespondenceTranslator, Model
+from repro.distributions import Flip, Normal
+
+
+def _flip_pair_fn(h):
+    a = h.sample(Flip(0.4), "a")
+    h.sample(Flip(0.6), "b")
+    return a
+
+
+def _gauss_fn(h):
+    return h.sample(Normal(0.0, 1.0), "x")
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def severities(diagnostics):
+    return {d.severity for d in diagnostics}
+
+
+class TestStaticProfilePass:
+    def test_complete_model_reports_info_only(self):
+        diagnostics = static_profile_model(Model(_flip_pair_fn, name="p"))
+        assert "static-profile-complete" in codes(diagnostics)
+        assert severities(diagnostics) == {"info"}
+
+    def test_incomplete_model_reports_fallback(self):
+        def unbounded(h):
+            x = h.sample(Normal(0.0, 1.0), "x")
+            n = 0
+            while x > 0:
+                x = h.sample(Normal(0.0, 1.0), ("x", n))
+                n = n + 1
+            return n
+
+        diagnostics = static_profile_model(Model(unbounded, name="g"))
+        assert "static-profile-incomplete" in codes(diagnostics)
+        assert severities(diagnostics) == {"info"}
+
+    def test_control_flow_verdict_is_reported(self):
+        def branchy(h):
+            a = h.sample(Flip(0.5), "a")
+            if a:
+                h.sample(Normal(0.0, 1.0), "b")
+            return a
+
+        diagnostics = static_profile_model(Model(branchy, name="br"))
+        assert "static-profile-control-flow" in codes(diagnostics)
+        assert severities(diagnostics) == {"info"}
+
+
+class TestAgreementGate:
+    """Seeded disagreements: doctor the static profile and check that the
+    gate catches each direction of error."""
+
+    def _doctored(self, monkeypatch, mutate):
+        import repro.analysis.absint as absint
+
+        real = absint.analyze_model
+
+        def doctored(model):
+            profile = real(model)
+            mutate(profile)
+            return profile
+
+        monkeypatch.setattr(absint, "analyze_model", doctored)
+
+    def test_missing_address_is_an_error(self, monkeypatch):
+        self._doctored(
+            monkeypatch, lambda profile: profile.addresses.pop(("b",))
+        )
+        diagnostics = static_profile_model(Model(_flip_pair_fn, name="p"))
+        errors = [d for d in diagnostics if d.severity == "error"]
+        assert errors
+        assert all(d.code == "static-profile-disagreement" for d in errors)
+        assert any("misses address" in d.message for d in errors)
+
+    def test_ghost_address_against_enumeration_is_an_error(self, monkeypatch):
+        from repro.analysis.absint.profile import AddressInfo
+
+        def add_ghost(profile):
+            profile.addresses[("ghost",)] = AddressInfo(
+                address=("ghost",),
+                dist_classes=("Flip",),
+                supports=[Flip(0.5).support()],
+            )
+
+        self._doctored(monkeypatch, add_ghost)
+        # The flip pair enumerates exhaustively, so the runtime profile is
+        # complete and the ghost is provably wrong.
+        diagnostics = static_profile_model(Model(_flip_pair_fn, name="p"))
+        errors = [d for d in diagnostics if d.severity == "error"]
+        assert any("never produced" in d.message for d in errors)
+
+    def test_ghost_address_against_sampling_is_info(self, monkeypatch):
+        from repro.analysis.absint.profile import AddressInfo
+
+        def add_ghost(profile):
+            profile.addresses[("ghost",)] = AddressInfo(
+                address=("ghost",),
+                dist_classes=("Normal",),
+                supports=[Normal(0.0, 1.0).support()],
+            )
+
+        self._doctored(monkeypatch, add_ghost)
+        # A continuous model cannot be enumerated: the runtime profile is
+        # a sampled under-approximation, so a static-only address is a
+        # sound over-approximation, not a proven bug.
+        diagnostics = static_profile_model(Model(_gauss_fn, name="g"))
+        assert "static-profile-overapprox" in codes(diagnostics)
+        assert not any(d.severity == "error" for d in diagnostics)
+
+    def test_support_mismatch_is_an_error(self, monkeypatch):
+        def swap_support(profile):
+            profile.addresses[("a",)].supports = [Normal(0.0, 1.0).support()]
+
+        self._doctored(monkeypatch, swap_support)
+        diagnostics = static_profile_model(Model(_flip_pair_fn, name="p"))
+        errors = [d for d in diagnostics if d.severity == "error"]
+        assert any("support disagreement" in d.message for d in errors)
+
+    def test_check_agreement_off_skips_the_runtime_profiler(self):
+        diagnostics = static_profile_model(
+            Model(_flip_pair_fn, name="p"), check_agreement=False
+        )
+        assert codes(diagnostics) == {"static-profile-complete"}
+
+
+class TestColumnarPlanLint:
+    def test_eligible_translator_reports_columnar_eligible(self):
+        def src(h):
+            x = h.sample(Normal(0.0, 1.0), "x")
+            h.observe(Normal(x, 0.5), 0.3, "y")
+            return x
+
+        translator = CorrespondenceTranslator(
+            Model(src), Model(src), Correspondence.identity(["x"])
+        )
+        diagnostics = columnar_plan_lint(translator)
+        assert "columnar-eligible" in codes(diagnostics)
+        assert severities(diagnostics) <= {"info"}
+
+    def test_findings_use_stable_lint_codes(self):
+        from repro.experiments.burglary import (
+            burglary_correspondence,
+            burglary_original,
+            burglary_refined,
+        )
+
+        translator = CorrespondenceTranslator(
+            burglary_original(), burglary_refined(), burglary_correspondence()
+        )
+        diagnostics = columnar_plan_lint(translator)
+        finding_codes = codes(diagnostics) - {"columnar-eligible"}
+        assert finding_codes
+        assert all(c.startswith("columnar-ineligible-") for c in finding_codes)
+        assert severities(diagnostics) == {"info"}
+
+
+class TestBundledArtifacts:
+    def test_bundled_static_profiles_shape(self):
+        payload = bundled_static_profiles()
+        assert set(payload) == {"burglary", "gmm", "hmm", "regression"}
+        for name, entry in payload.items():
+            assert set(entry) == {"source", "target", "columnar_plan"}
+            assert entry["source"]["complete"], name
+            assert entry["target"]["complete"], name
+            assert "predicted_codes" in entry["columnar_plan"]
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+    def test_registry_exposes_static_profile_targets(self):
+        registry = bundled_targets()
+        expected = {
+            "static-profile:burglary",
+            "static-profile:gmm",
+            "static-profile:hmm",
+            "static-profile:regression",
+            "static-profile:figure3",
+            "static-profile:figure5_p",
+            "static-profile:figure5_q",
+            "static-profile:figure6_geometric",
+            "static-profile:figure7",
+        }
+        assert expected <= set(registry)
+
+    @pytest.mark.parametrize(
+        "target",
+        [
+            "static-profile:burglary",
+            "static-profile:hmm",
+            "static-profile:figure6_geometric",
+        ],
+    )
+    def test_registry_targets_are_strict_clean(self, target):
+        diagnostics = bundled_targets()[target]()
+        assert not any(d.severity in ("warning", "error") for d in diagnostics)

@@ -1,0 +1,83 @@
+"""The static fast path of :func:`derive_correspondence`.
+
+Acceptance bar for the static profiler: on every bundled target the
+derivation run on static profiles is *byte-identical* (pickled
+:class:`Correspondence`) to the derivation run on sampled profiles, and
+the static run consumes **zero** RNG draws — proven with a poisoned
+generator that raises on any attribute access.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis import profile_model
+from repro.derive import derive_correspondence
+from repro.derive.gate import BUNDLED_PAIRS
+
+
+class PoisonedRNG:
+    """Raises on any use: passes for an rng only if never touched."""
+
+    def __getattr__(self, name):
+        raise AssertionError(f"static derivation touched the RNG ({name})")
+
+
+def _burglary_pair():
+    from repro.experiments.burglary import burglary_original, burglary_refined
+
+    return burglary_original(), burglary_refined(), None
+
+
+_PAIRS = dict(BUNDLED_PAIRS)
+_PAIRS["burglary"] = _burglary_pair
+
+
+class TestStaticFastPath:
+    @pytest.mark.parametrize("name", sorted(_PAIRS))
+    def test_static_profiles_close_every_bundled_model(self, name):
+        source, target, _ = _PAIRS[name]()
+        for model in (source, target):
+            profile = profile_model(model, method="static")
+            assert profile.complete
+            assert profile.method == "static"
+
+    @pytest.mark.parametrize("name", sorted(_PAIRS))
+    def test_static_derivation_is_byte_identical_to_sampled(self, name):
+        source, target, _ = _PAIRS[name]()
+        static = derive_correspondence(
+            source, target, rng=PoisonedRNG(), profile_method="static"
+        )
+        sampled = derive_correspondence(
+            source, target, rng=np.random.default_rng(0), profile_method="runtime"
+        )
+        assert pickle.dumps(static.correspondence) == pickle.dumps(
+            sampled.correspondence
+        )
+
+    @pytest.mark.parametrize("name", sorted(_PAIRS))
+    def test_auto_uses_the_static_path_without_randomness(self, name):
+        source, target, _ = _PAIRS[name]()
+        derivation = derive_correspondence(source, target, rng=PoisonedRNG())
+        assert any(
+            "source=static" in note and "target=static" in note
+            for note in derivation.report.notes
+        )
+        assert derivation.report.source_complete
+        assert derivation.report.target_complete
+
+    def test_static_method_raises_on_unclosable_models(self):
+        from repro.core.model import Model
+        from repro.distributions import Normal
+
+        def geometric_ish(h):
+            x = h.sample(Normal(0.0, 1.0), "x")
+            n = 0
+            while x > 0:
+                x = h.sample(Normal(0.0, 1.0), ("x", n))
+                n = n + 1
+            return n
+
+        with pytest.raises(ValueError, match="incomplete"):
+            profile_model(Model(geometric_ish), method="static")
